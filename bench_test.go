@@ -1,0 +1,274 @@
+package vdom
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7), plus ablation benches for the design choices DESIGN.md calls out.
+// Each benchmark runs a representative configuration of the corresponding
+// experiment and reports the figure's headline metric via ReportMetric;
+// `cmd/vdom-bench` regenerates the full tables with every row and column.
+
+import (
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/libmpk"
+	"vdom/internal/workload"
+)
+
+// BenchmarkFig1LibmpkBreakdown reproduces Figure 1: libmpk's overhead
+// breakdown on httpd (25 threads, 16 KiB transfers) at high concurrency.
+func BenchmarkFig1LibmpkBreakdown(b *testing.B) {
+	var busyFrac, overhead float64
+	for i := 0; i < b.N; i++ {
+		base := workload.RunHttpd(workload.HttpdConfig{
+			Arch: cycles.X86, System: workload.Original,
+			Clients: 24, RequestsPerClient: 10, FileBytes: 16384, Workers: 25,
+		})
+		lm := workload.RunHttpd(workload.HttpdConfig{
+			Arch: cycles.X86, System: workload.Libmpk,
+			Clients: 24, RequestsPerClient: 10, FileBytes: 16384, Workers: 25,
+		})
+		overhead = float64(lm.Makespan)/float64(base.Makespan) - 1
+		st := lm.LibmpkStats
+		sum := float64(st.BusyWaitCycles + st.ShootdownCycles + st.MgmtCycles)
+		if sum > 0 {
+			busyFrac = float64(st.BusyWaitCycles) / sum
+		}
+	}
+	b.ReportMetric(overhead*100, "overhead-%")
+	b.ReportMetric(busyFrac*100, "busywait-share-%")
+}
+
+// BenchmarkTable3Ops reproduces Table 3: the cycle costs of VDom's common
+// operations on both architectures.
+func BenchmarkTable3Ops(b *testing.B) {
+	var rows []workload.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = workload.Table3()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.X86, "x86:"+metricName(r.Operation))
+	}
+}
+
+func metricName(op string) string {
+	out := make([]rune, 0, len(op))
+	for _, c := range op {
+		if c == ' ' {
+			c = '-'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// BenchmarkTable4DomainAccess reproduces Table 4's headline comparison:
+// VDom's switch-triggering activation cost at 64 vdoms versus libmpk and
+// EPK.
+func BenchmarkTable4DomainAccess(b *testing.B) {
+	var vdomC, libmpkC, epkC float64
+	for i := 0; i < b.N; i++ {
+		vdomC = workload.RunPattern(workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternVDomSecure,
+			Pattern: workload.SwitchTriggering, NumVdoms: 64, Rounds: 6}).AvgCycles
+		libmpkC = workload.RunPattern(workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternLibmpk,
+			Pattern: workload.Sequential, NumVdoms: 64, Rounds: 6}).AvgCycles
+		epkC = workload.RunPattern(workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternEPK,
+			Pattern: workload.SwitchTriggering, NumVdoms: 64, Rounds: 6}).AvgCycles
+	}
+	b.ReportMetric(vdomC, "VDom-cycles")
+	b.ReportMetric(libmpkC, "libmpk-cycles")
+	b.ReportMetric(epkC, "EPK-cycles")
+}
+
+// BenchmarkTable5MemSync reproduces Table 5: the allocation+sync overhead
+// with 8 VDSes.
+func BenchmarkTable5MemSync(b *testing.B) {
+	var ov float64
+	for i := 0; i < b.N; i++ {
+		ov, _ = workload.MemSyncOverhead(cycles.X86, 8)
+	}
+	b.ReportMetric(ov*100, "overhead-%")
+}
+
+// BenchmarkFig5Httpd reproduces Figure 5's headline: httpd throughput with
+// VDom protection versus the original server (X86, 1 KiB responses).
+func BenchmarkFig5Httpd(b *testing.B) {
+	var orig, prot float64
+	for i := 0; i < b.N; i++ {
+		orig = workload.RunHttpd(workload.HttpdConfig{
+			Arch: cycles.X86, System: workload.Original,
+			Clients: 32, RequestsPerClient: 10, FileBytes: 1024}).ReqPerSec
+		prot = workload.RunHttpd(workload.HttpdConfig{
+			Arch: cycles.X86, System: workload.VDom,
+			Clients: 32, RequestsPerClient: 10, FileBytes: 1024}).ReqPerSec
+	}
+	b.ReportMetric(orig, "original-req/s")
+	b.ReportMetric(prot, "VDom-req/s")
+	b.ReportMetric((1-prot/orig)*100, "overhead-%")
+}
+
+// BenchmarkFig6MySQL reproduces Figure 6's headline: MySQL throughput with
+// per-connection stack domains.
+func BenchmarkFig6MySQL(b *testing.B) {
+	var orig, prot float64
+	for i := 0; i < b.N; i++ {
+		orig = workload.RunMySQL(workload.MySQLConfig{
+			Arch: cycles.X86, System: workload.Original,
+			Clients: 32, QueriesPerClient: 8}).QueriesPerS
+		prot = workload.RunMySQL(workload.MySQLConfig{
+			Arch: cycles.X86, System: workload.VDom,
+			Clients: 32, QueriesPerClient: 8}).QueriesPerS
+	}
+	b.ReportMetric(orig, "original-q/s")
+	b.ReportMetric(prot, "VDom-q/s")
+	b.ReportMetric((1-prot/orig)*100, "overhead-%")
+}
+
+// BenchmarkFig7PMO reproduces Figure 7's headline: String Replace overhead
+// under VDom's two strategies and libmpk at 4 threads.
+func BenchmarkFig7PMO(b *testing.B) {
+	metric := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		base := workload.RunPMO(workload.PMOConfig{
+			Arch: cycles.X86, System: workload.Original, Threads: 4, OpsPerThread: 1000})
+		run := func(name string, cfg workload.PMOConfig) {
+			cfg.Threads = 4
+			cfg.OpsPerThread = 1000
+			r := workload.RunPMO(cfg)
+			metric[name] = (float64(r.Makespan)/float64(base.Makespan) - 1) * 100
+		}
+		run("switch-%", workload.PMOConfig{Arch: cycles.X86, System: workload.VDom, Mode: workload.PMOSwitch})
+		run("evict-%", workload.PMOConfig{Arch: cycles.X86, System: workload.VDom, Mode: workload.PMOEvict})
+		run("libmpk2M-%", workload.PMOConfig{Arch: cycles.X86, System: workload.Libmpk, LibmpkMode: libmpk.Huge2M})
+	}
+	for k, v := range metric {
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkUnixBench reproduces §7.3: the VDom kernel's relative UnixBench
+// index.
+func BenchmarkUnixBench(b *testing.B) {
+	var idx float64
+	for i := 0; i < b.N; i++ {
+		idx = workload.RunUnixBench(cycles.X86, false).Index
+	}
+	b.ReportMetric(idx, "index-%")
+}
+
+// BenchmarkCtxSwitch reproduces §7.5: context-switch cycle costs.
+func BenchmarkCtxSwitch(b *testing.B) {
+	var vanilla, vdomProc, vds float64
+	for i := 0; i < b.N; i++ {
+		vanilla, vdomProc, vds = workload.CtxSwitchCycles(cycles.X86)
+	}
+	b.ReportMetric(vanilla, "vanilla-cycles")
+	b.ReportMetric(vdomProc, "vdom-kernel-cycles")
+	b.ReportMetric(vds, "vds-switch-cycles")
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+func ablationCell(b *testing.B, mut func(*workload.PatternConfig)) float64 {
+	b.Helper()
+	cfg := workload.PatternConfig{
+		Arch: cycles.X86, System: workload.PatternVDomEvict,
+		Pattern: workload.Sequential, NumVdoms: 29, Rounds: 5,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return workload.RunPattern(cfg).AvgCycles
+}
+
+// BenchmarkAblationHLRU compares HLRU against strict LRU eviction.
+func BenchmarkAblationHLRU(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = ablationCell(b, func(c *workload.PatternConfig) { c.NumVdoms = 16 })
+		off = ablationCell(b, func(c *workload.PatternConfig) { c.NumVdoms = 16; c.StrictLRU = true })
+	}
+	b.ReportMetric(on, "hlru-cycles")
+	b.ReportMetric(off, "lru-cycles")
+}
+
+// BenchmarkAblationPMD compares the PMD-disable eviction fast path against
+// per-PTE retagging.
+func BenchmarkAblationPMD(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = ablationCell(b, nil)
+		off = ablationCell(b, func(c *workload.PatternConfig) { c.NoPMDOpt = true })
+	}
+	b.ReportMetric(on, "pmd-cycles")
+	b.ReportMetric(off, "no-pmd-cycles")
+}
+
+// BenchmarkAblationASID compares ASID-tagged pgd switches against
+// flush-on-switch.
+func BenchmarkAblationASID(b *testing.B) {
+	run := func(noASID bool) float64 {
+		r := workload.RunPattern(workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternVDomSecure,
+			Pattern: workload.SwitchTriggering, NumVdoms: 64, Rounds: 5,
+			NoASID: noASID,
+		})
+		return r.AvgCycles + r.AvgTouchCycles
+	}
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = run(false)
+		off = run(true)
+	}
+	b.ReportMetric(on, "asid-cycles")
+	b.ReportMetric(off, "no-asid-cycles")
+}
+
+// BenchmarkAblationFlushThreshold sweeps the range-flush/ASID-flush
+// cutoff.
+func BenchmarkAblationFlushThreshold(b *testing.B) {
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		small = ablationCell(b, func(c *workload.PatternConfig) { c.FlushThresholdPages = 64 })
+		large = ablationCell(b, func(c *workload.PatternConfig) { c.FlushThresholdPages = 1024 })
+	}
+	b.ReportMetric(small, "asid-flush-cycles")
+	b.ReportMetric(large, "range-flush-cycles")
+}
+
+// BenchmarkAblationSwitchVsEvict compares the two overflow strategies on
+// the PMO workload.
+func BenchmarkAblationSwitchVsEvict(b *testing.B) {
+	var sw, ev float64
+	for i := 0; i < b.N; i++ {
+		base := workload.RunPMO(workload.PMOConfig{
+			Arch: cycles.X86, System: workload.Original, Threads: 2, OpsPerThread: 800})
+		s := workload.RunPMO(workload.PMOConfig{
+			Arch: cycles.X86, System: workload.VDom, Mode: workload.PMOSwitch, Threads: 2, OpsPerThread: 800})
+		e := workload.RunPMO(workload.PMOConfig{
+			Arch: cycles.X86, System: workload.VDom, Mode: workload.PMOEvict, Threads: 2, OpsPerThread: 800})
+		sw = (float64(s.Makespan)/float64(base.Makespan) - 1) * 100
+		ev = (float64(e.Makespan)/float64(base.Makespan) - 1) * 100
+	}
+	b.ReportMetric(sw, "switch-overhead-%")
+	b.ReportMetric(ev, "evict-overhead-%")
+}
+
+// BenchmarkAblationGate compares the secure call gate against the fast
+// API.
+func BenchmarkAblationGate(b *testing.B) {
+	run := func(sys workload.PatternSystem) float64 {
+		return workload.RunPattern(workload.PatternConfig{
+			Arch: cycles.X86, System: sys,
+			Pattern: workload.Sequential, NumVdoms: 4, Rounds: 5}).AvgCycles
+	}
+	var secure, fast float64
+	for i := 0; i < b.N; i++ {
+		secure = run(workload.PatternVDomSecure)
+		fast = run(workload.PatternVDomFast)
+	}
+	b.ReportMetric(secure, "secure-cycles")
+	b.ReportMetric(fast, "fast-cycles")
+}

@@ -1,0 +1,88 @@
+// Command vdom-bench regenerates the tables and figures of the VDom
+// paper's evaluation section on the simulated platform.
+//
+// Usage:
+//
+//	vdom-bench [-quick] [experiment]
+//
+// Experiments: fig1, table3, table4, table5, fig5, fig6, fig7, unixbench,
+// ctxswitch, ablation, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdom/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts for a fast run")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vdom-bench [-quick] [experiment]\n\n")
+		fmt.Fprintf(os.Stderr, "experiments:\n")
+		fmt.Fprintf(os.Stderr, "  fig1       libmpk overhead breakdown on httpd (Figure 1)\n")
+		fmt.Fprintf(os.Stderr, "  table1     the VDom API surface (Table 1)\n")
+		fmt.Fprintf(os.Stderr, "  table2     ported sandbox defenses (Table 2)\n")
+		fmt.Fprintf(os.Stderr, "  table3     cycles of common operations (Table 3)\n")
+		fmt.Fprintf(os.Stderr, "  table4     domain access patterns (Table 4)\n")
+		fmt.Fprintf(os.Stderr, "  table5     memory synchronization across VDSes (Table 5)\n")
+		fmt.Fprintf(os.Stderr, "  fig5       httpd throughput (Figure 5)\n")
+		fmt.Fprintf(os.Stderr, "  fig6       MySQL throughput (Figure 6)\n")
+		fmt.Fprintf(os.Stderr, "  fig7       PMO String Replace overheads (Figure 7)\n")
+		fmt.Fprintf(os.Stderr, "  unixbench  kernel impact on non-VDom programs (§7.3)\n")
+		fmt.Fprintf(os.Stderr, "  ctxswitch  context switch costs (§7.5)\n")
+		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
+		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
+		fmt.Fprintf(os.Stderr, "  all        everything (default)\n")
+	}
+	flag.Parse()
+
+	f, err := bench.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdom-bench:", err)
+		os.Exit(2)
+	}
+	o := bench.Options{Quick: *quick, Format: f}
+	exp := "all"
+	if flag.NArg() > 0 {
+		exp = flag.Arg(0)
+	}
+	w := os.Stdout
+	switch exp {
+	case "fig1":
+		bench.Fig1(w, o)
+	case "table1":
+		bench.Table1(w, o)
+	case "table2":
+		bench.Table2(w, o)
+	case "table3":
+		bench.Table3Opts(w, o)
+	case "table4":
+		bench.Table4(w, o)
+	case "table5":
+		bench.Table5Opts(w, o)
+	case "fig5":
+		bench.Fig5(w, o)
+	case "fig6":
+		bench.Fig6(w, o)
+	case "fig7":
+		bench.Fig7(w, o)
+	case "unixbench":
+		bench.UnixBenchOpts(w, o)
+	case "ctxswitch":
+		bench.CtxSwitchOpts(w, o)
+	case "ablation":
+		bench.Ablations(w, o)
+	case "compare":
+		bench.Compare(w, o)
+	case "all":
+		bench.All(w, o)
+	default:
+		fmt.Fprintf(os.Stderr, "vdom-bench: unknown experiment %q\n", exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

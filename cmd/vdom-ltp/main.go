@@ -1,0 +1,34 @@
+// Command vdom-ltp runs the LTP-like compatibility suite (§7.1) on both
+// the vanilla and the VDom-modified kernels, on both architectures,
+// verifying that the kernel modifications do not change the semantics of
+// the memory-management, scheduler, and IPC surfaces.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vdom/internal/cycles"
+	"vdom/internal/workload"
+)
+
+func main() {
+	failed := 0
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		for _, vdomOn := range []bool{false, true} {
+			flavour := "vanilla"
+			if vdomOn {
+				flavour = "VDom   "
+			}
+			r := workload.RunLTP(arch, vdomOn)
+			fmt.Printf("%v %s kernel: %d passed, %d failed\n", arch, flavour, r.Passed, r.Failed)
+			for _, f := range r.Failures {
+				fmt.Printf("  FAIL %s\n", f)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

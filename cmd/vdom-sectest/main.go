@@ -1,0 +1,33 @@
+// Command vdom-sectest runs the paper's security evaluation (§7.2): the
+// penetration tests on random vdoms, the X86 API-protection attacks, and
+// the Table 2 sandbox defenses, on both simulated architectures. It exits
+// non-zero if any attack is not blocked.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vdom/internal/cycles"
+	"vdom/internal/sectest"
+)
+
+func main() {
+	failed := 0
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		fmt.Printf("=== %v ===\n", arch)
+		for _, r := range sectest.Run(arch) {
+			status := "BLOCKED"
+			if !r.Blocked {
+				status = "*** NOT BLOCKED ***"
+				failed++
+			}
+			fmt.Printf("  %-48s %-20s %s\n", r.Name, status, r.Detail)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d attack(s) succeeded\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall attacks blocked")
+}

@@ -1,0 +1,112 @@
+// Keyvault: the paper's OpenSSL scenario — a server holding thousands of
+// private keys, each sealed in its own 4 KiB virtual domain so that a
+// compromised request handler can only ever reach the single key it is
+// legitimately using (§7.6, httpd/OpenSSL).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"vdom"
+)
+
+// vault is a toy key store: every key lives in a private domain.
+type vault struct {
+	p    *vdom.Process
+	keys map[string]keyEntry
+}
+
+type keyEntry struct {
+	addr vdom.Addr
+	dom  vdom.Domain
+}
+
+func newVault(p *vdom.Process) *vault {
+	return &vault{p: p, keys: make(map[string]keyEntry)}
+}
+
+// store seals key material under a fresh domain.
+func (v *vault) store(t *vdom.Thread, name string) error {
+	addr, err := t.Mmap(vdom.PageSize)
+	if err != nil {
+		return err
+	}
+	dom, _ := v.p.AllocDomain(false)
+	if _, err := v.p.ProtectRange(t, addr, vdom.PageSize, dom); err != nil {
+		return err
+	}
+	// Write the key material while the domain is open, then seal.
+	if _, err := t.WriteVDR(dom, vdom.ReadWrite); err != nil {
+		return err
+	}
+	if err := t.Store(addr); err != nil {
+		return err
+	}
+	if _, err := t.WriteVDR(dom, vdom.NoAccess); err != nil {
+		return err
+	}
+	v.keys[name] = keyEntry{addr: addr, dom: dom}
+	return nil
+}
+
+// sign opens exactly one key around the signing operation.
+func (v *vault) sign(t *vdom.Thread, name string) error {
+	k, ok := v.keys[name]
+	if !ok {
+		return fmt.Errorf("unknown key %q", name)
+	}
+	if _, err := t.WriteVDR(k.dom, vdom.ReadOnly); err != nil {
+		return err
+	}
+	defer t.WriteVDR(k.dom, vdom.NoAccess)
+	return t.Load(k.addr) // the RSA op reads the key material
+}
+
+func main() {
+	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 8})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+	t := p.NewThread(0)
+	if _, err := t.AllocVDR(4); err != nil {
+		log.Fatal(err)
+	}
+
+	v := newVault(p)
+	const numKeys = 500 // far beyond the hardware's 16 domains
+	for i := 0; i < numKeys; i++ {
+		if err := v.store(t, fmt.Sprintf("key-%04d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("sealed %d keys in %d separate domains\n", numKeys, numKeys)
+
+	// A request handler signs with its session's key...
+	if err := v.sign(t, "key-0042"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("legitimate sign with key-0042: ok")
+
+	// ...while a compromised handler that guesses another key's address
+	// is stopped cold: the domain is closed in this thread's VDR.
+	victim := v.keys["key-0137"]
+	if err := t.Load(victim.addr); errors.Is(err, vdom.ErrSigsegv) {
+		fmt.Println("exploit probing key-0137 directly: SIGSEGV (blocked)")
+	} else {
+		log.Fatal("SECURITY HOLE: foreign key readable")
+	}
+
+	// Even with one key open, all other keys stay sealed.
+	if _, err := t.WriteVDR(v.keys["key-0042"].dom, vdom.ReadOnly); err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Load(victim.addr); errors.Is(err, vdom.ErrSigsegv) {
+		fmt.Println("with key-0042 open, key-0137 still sealed (least privilege)")
+	} else {
+		log.Fatal("SECURITY HOLE: open key leaked another domain")
+	}
+
+	st := p.Stats()
+	fmt.Printf("stats: %d wrvdr, %d maps to free pdoms, %d VDS switches, %d evictions\n",
+		st.WrVdrCalls, st.MapsToFree, st.VDSSwitches, st.Evictions)
+}

@@ -1,0 +1,84 @@
+// Tracing: watch the domain virtualization algorithm make its decisions in
+// real time — which vdoms map to free pdoms, when threads switch or
+// migrate between VDSes, and when HLRU evicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdom"
+)
+
+func main() {
+	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 4})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+
+	counts := map[vdom.EventKind]int{}
+	p.Trace(func(e vdom.Event) {
+		counts[e.Kind]++
+		// Print the first few of each kind so the output stays short.
+		if counts[e.Kind] <= 3 {
+			fmt.Printf("  %v\n", e)
+		} else if counts[e.Kind] == 4 {
+			fmt.Printf("  (%v: further events elided)\n", e.Kind)
+		}
+	})
+
+	t1 := p.NewThread(0)
+	t2 := p.NewThread(1)
+	for _, th := range []*vdom.Thread{t1, t2} {
+		if _, err := th.AllocVDR(3); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("two threads fill the first address space:")
+	mk := func(th *vdom.Thread) (vdom.Domain, vdom.Addr) {
+		a, err := th.Mmap(vdom.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, _ := p.AllocDomain(false)
+		if _, err := p.ProtectRange(th, a, vdom.PageSize, d); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := th.WriteVDR(d, vdom.ReadWrite); err != nil {
+			log.Fatal(err)
+		}
+		if err := th.Store(a); err != nil {
+			log.Fatal(err)
+		}
+		return d, a
+	}
+	for i := 0; i < 7; i++ {
+		mk(t1)
+		mk(t2)
+	}
+
+	fmt.Println("\nthread 2 overflows the shared VDS (watch it migrate):")
+	mk(t2)
+
+	fmt.Println("\nthread 1 cycles through many more domains (switches/evictions):")
+	var doms []vdom.Domain
+	for i := 0; i < 40; i++ {
+		d, _ := mk(t1)
+		if _, err := t1.WriteVDR(d, vdom.NoAccess); err != nil {
+			log.Fatal(err)
+		}
+		doms = append(doms, d)
+	}
+	for _, d := range doms[:10] {
+		if _, err := t1.WriteVDR(d, vdom.ReadOnly); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := t1.WriteVDR(d, vdom.NoAccess); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nevent totals:")
+	for _, k := range []vdom.EventKind{vdom.EventVDSAlloc, vdom.EventMap, vdom.EventSwitch, vdom.EventMigrate, vdom.EventEvict, vdom.EventFree} {
+		fmt.Printf("  %-10v %d\n", k, counts[k])
+	}
+}

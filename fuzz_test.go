@@ -1,0 +1,102 @@
+package vdom
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzPublicAPI drives the whole stack through the public API with an
+// arbitrary operation tape, checking that protection outcomes always match
+// the written VDR state and that nothing panics or leaks access.
+func FuzzPublicAPI(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 9, 9})
+	f.Add([]byte{5, 200, 3, 7, 1, 250, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		sys := NewSystem(Config{Arch: X86, Cores: 2})
+		p := sys.NewProcess(DefaultPolicy())
+		threads := []*Thread{p.NewThread(0), p.NewThread(1)}
+		for _, th := range threads {
+			if _, err := th.AllocVDR(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		type dom struct {
+			d     Domain
+			a     Addr
+			alive bool
+		}
+		var doms []*dom
+		perms := []Perm{NoAccess, ReadOnly, ReadWrite, Pinned}
+		// Track each thread's intended permission per domain.
+		intent := map[*Thread]map[Domain]Perm{
+			threads[0]: {}, threads[1]: {},
+		}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			th := threads[int(op>>4)%2]
+			switch op % 5 {
+			case 0: // new protected region
+				if len(doms) >= 40 {
+					continue
+				}
+				a, err := th.Mmap(PageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, _ := p.AllocDomain(arg%8 == 0)
+				if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+					t.Fatal(err)
+				}
+				doms = append(doms, &dom{d: d, a: a, alive: true})
+			case 1: // permission change
+				if len(doms) == 0 {
+					continue
+				}
+				e := doms[int(arg)%len(doms)]
+				perm := perms[int(arg)%4]
+				_, err := th.WriteVDR(e.d, perm)
+				if e.alive {
+					if err != nil {
+						t.Fatalf("WriteVDR on live domain: %v", err)
+					}
+					intent[th][e.d] = perm
+				} else if err == nil {
+					t.Fatal("WriteVDR on freed domain succeeded")
+				}
+			case 2: // free
+				if len(doms) == 0 {
+					continue
+				}
+				e := doms[int(arg)%len(doms)]
+				if e.alive {
+					if _, err := p.FreeDomain(e.d); err != nil {
+						t.Fatal(err)
+					}
+					e.alive = false
+				}
+			default: // access and validate
+				if len(doms) == 0 {
+					continue
+				}
+				e := doms[int(arg)%len(doms)]
+				write := arg%2 == 1
+				var err error
+				if write {
+					err = th.Store(e.a)
+				} else {
+					err = th.Load(e.a)
+				}
+				want := e.alive && intent[th][e.d].Allows(write)
+				if want && err != nil {
+					t.Fatalf("allowed access denied (perm %v, write %v): %v",
+						intent[th][e.d], write, err)
+				}
+				if !want && !errors.Is(err, ErrSigsegv) {
+					t.Fatalf("forbidden access returned %v (perm %v, alive %v, write %v)",
+						err, intent[th][e.d], e.alive, write)
+				}
+			}
+		}
+	})
+}

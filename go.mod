@@ -1,0 +1,3 @@
+module vdom
+
+go 1.22

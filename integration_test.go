@@ -1,0 +1,308 @@
+package vdom
+
+// End-to-end integration tests exercising the public API across every
+// layer: multiple threads, multiple architectures, domain lifecycles,
+// policy variants, and the interaction between the virtualization
+// algorithm and the simulated hardware.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestIntegrationServerLifecycle models a small server end to end: worker
+// threads handling "requests" that allocate, protect, use, and free
+// per-request secrets while a long-lived shared configuration domain is
+// consulted read-only.
+func TestIntegrationServerLifecycle(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 8})
+	p := sys.NewProcess(DefaultPolicy())
+
+	const workers = 6
+	threads := make([]*Thread, workers)
+	for i := range threads {
+		threads[i] = p.NewThread(i % sys.Cores())
+		if _, err := threads[i].AllocVDR(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shared read-only configuration domain.
+	cfgAddr, err := threads[0].Mmap(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDom, _ := p.AllocDomain(true)
+	if _, err := p.ProtectRange(threads[0], cfgAddr, 2*PageSize, cfgDom); err != nil {
+		t.Fatal(err)
+	}
+	// Initialize it once with write access, then every worker gets RO.
+	if _, err := threads[0].WriteVDR(cfgDom, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := threads[0].Store(cfgAddr); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		if _, err := th.WriteVDR(cfgDom, ReadOnly); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Workers process requests.
+	const requestsPerWorker = 30
+	for r := 0; r < requestsPerWorker; r++ {
+		for wi, th := range threads {
+			// Read the shared config (allowed).
+			if err := th.Load(cfgAddr); err != nil {
+				t.Fatalf("worker %d request %d: config read: %v", wi, r, err)
+			}
+			// Writing it must fail (read-only).
+			if err := th.Store(cfgAddr); !errors.Is(err, ErrSigsegv) {
+				t.Fatalf("worker %d: config write = %v, want SIGSEGV", wi, err)
+			}
+			// Per-request secret: allocate, use, free.
+			sAddr, err := th.Mmap(PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sDom, _ := p.AllocDomain(false)
+			if _, err := p.ProtectRange(th, sAddr, PageSize, sDom); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := th.WriteVDR(sDom, ReadWrite); err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Store(sAddr); err != nil {
+				t.Fatalf("worker %d: secret store: %v", wi, err)
+			}
+			if _, err := th.WriteVDR(sDom, NoAccess); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.FreeDomain(sDom); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st := p.Stats()
+	if st.WrVdrCalls < uint64(workers*requestsPerWorker) {
+		t.Errorf("too few wrvdr calls recorded: %d", st.WrVdrCalls)
+	}
+	// 180 domains were allocated and freed; the process never ran out.
+}
+
+// TestIntegrationAllArchitectures runs the same protection scenario on all
+// three architecture models.
+func TestIntegrationAllArchitectures(t *testing.T) {
+	for _, arch := range []Arch{X86, ARM, Power} {
+		t.Run(arch.String(), func(t *testing.T) {
+			sys := NewSystem(Config{Arch: arch, Cores: 4})
+			p := sys.NewProcess(DefaultPolicy())
+			th := p.NewThread(0)
+			if _, err := th.AllocVDR(3); err != nil {
+				t.Fatal(err)
+			}
+			// Twice the 16-domain hardware capacity everywhere.
+			const n = 40
+			addrs := make([]Addr, n)
+			doms := make([]Domain, n)
+			for i := 0; i < n; i++ {
+				a, err := th.Mmap(PageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs[i] = a
+				doms[i], _ = p.AllocDomain(false)
+				if _, err := p.ProtectRange(th, a, PageSize, doms[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for round := 0; round < 3; round++ {
+				for i := 0; i < n; i++ {
+					if _, err := th.WriteVDR(doms[i], ReadWrite); err != nil {
+						t.Fatal(err)
+					}
+					if err := th.Store(addrs[i]); err != nil {
+						t.Fatalf("%v round %d vdom %d: %v", arch, round, doms[i], err)
+					}
+					if _, err := th.WriteVDR(doms[i], NoAccess); err != nil {
+						t.Fatal(err)
+					}
+					if err := th.Load(addrs[i]); !errors.Is(err, ErrSigsegv) {
+						t.Fatalf("%v: closed-domain load = %v", arch, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationPowerCapacity shows the 32-domain Power projection holds
+// 30 domains per address space without any virtualization machinery.
+func TestIntegrationPowerCapacity(t *testing.T) {
+	sys := NewSystem(Config{Arch: Power, Cores: 4})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		a, err := th.Mmap(PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := p.AllocDomain(false)
+		if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := th.WriteVDR(d, ReadWrite); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Store(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Evictions != 0 || st.VDSSwitches != 0 {
+		t.Errorf("Power: machinery engaged below 30 domains: %+v", st)
+	}
+}
+
+// TestIntegrationPolicyVariants exercises the ablation policies through
+// the public API.
+func TestIntegrationPolicyVariants(t *testing.T) {
+	pols := map[string]Policy{
+		"default":   DefaultPolicy(),
+		"fast-gate": {SecureGate: false, RangeFlushThresholdPages: 64, DefaultNas: 4},
+		"strictLRU": {SecureGate: true, StrictLRU: true, RangeFlushThresholdPages: 64, DefaultNas: 2},
+		"noPMD":     {SecureGate: true, NoPMDOpt: true, RangeFlushThresholdPages: 64, DefaultNas: 2},
+	}
+	for name, pol := range pols {
+		t.Run(name, func(t *testing.T) {
+			sys := NewSystem(Config{Arch: X86, Cores: 2})
+			p := sys.NewProcess(pol)
+			th := p.NewThread(0)
+			if _, err := th.AllocVDR(0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30; i++ {
+				a, err := th.Mmap(PageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, _ := p.AllocDomain(false)
+				if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := th.WriteVDR(d, ReadWrite); err != nil {
+					t.Fatal(err)
+				}
+				if err := th.Store(a); err != nil {
+					t.Fatalf("%s: vdom %d: %v", name, d, err)
+				}
+				if _, err := th.WriteVDR(d, NoAccess); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationIsolationMatrix grants a grid of permissions across
+// threads and domains and verifies the full access matrix.
+func TestIntegrationIsolationMatrix(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 4})
+	p := sys.NewProcess(DefaultPolicy())
+	const nThreads, nDoms = 3, 6
+	threads := make([]*Thread, nThreads)
+	for i := range threads {
+		threads[i] = p.NewThread(i)
+		if _, err := threads[i].AllocVDR(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrs := make([]Addr, nDoms)
+	doms := make([]Domain, nDoms)
+	for j := 0; j < nDoms; j++ {
+		a, err := threads[0].Mmap(PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[j] = a
+		doms[j], _ = p.AllocDomain(false)
+		if _, err := p.ProtectRange(threads[0], a, PageSize, doms[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Permission grid: thread i gets perm (i+j) mod 3 on domain j.
+	permOf := func(i, j int) Perm {
+		return []Perm{NoAccess, ReadOnly, ReadWrite}[(i+j)%3]
+	}
+	for i := range threads {
+		for j := range doms {
+			if _, err := threads[i].WriteVDR(doms[j], permOf(i, j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Verify the matrix, twice (second pass hits warm TLB/state).
+	for pass := 0; pass < 2; pass++ {
+		for i, th := range threads {
+			for j := range doms {
+				perm := permOf(i, j)
+				loadErr := th.Load(addrs[j])
+				storeErr := th.Store(addrs[j])
+				wantLoad := perm == ReadOnly || perm == ReadWrite
+				wantStore := perm == ReadWrite
+				if wantLoad != (loadErr == nil) {
+					t.Fatalf("pass %d thread %d dom %d perm %v: load err=%v", pass, i, j, perm, loadErr)
+				}
+				if wantStore != (storeErr == nil) {
+					t.Fatalf("pass %d thread %d dom %d perm %v: store err=%v", pass, i, j, perm, storeErr)
+				}
+				if loadErr != nil && !errors.Is(loadErr, ErrSigsegv) {
+					t.Fatalf("unexpected error type: %v", loadErr)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationDeterministicCosts verifies that the same API sequence
+// yields identical cycle counts run to run.
+func TestIntegrationDeterministicCosts(t *testing.T) {
+	run := func() string {
+		sys := NewSystem(Config{Arch: X86, Cores: 2})
+		p := sys.NewProcess(DefaultPolicy())
+		th := p.NewThread(0)
+		if _, err := th.AllocVDR(2); err != nil {
+			t.Fatal(err)
+		}
+		var trace string
+		for i := 0; i < 20; i++ {
+			a, err := th.Mmap(PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _ := p.AllocDomain(false)
+			if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+				t.Fatal(err)
+			}
+			c1, err := th.WriteVDR(d, ReadWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := th.StoreCost(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace += fmt.Sprintf("%d/%d,", c1, c2)
+		}
+		return trace
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("cost traces diverged:\n%s\n%s", a, b)
+	}
+}

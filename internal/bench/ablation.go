@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vdom/internal/cycles"
+	"vdom/internal/workload"
+)
+
+// Ablations sweeps the design choices DESIGN.md calls out, quantifying
+// what each §5.5 optimization buys, and projects the 32-domain Power
+// configuration.
+func Ablations(w io.Writer, o Options) {
+	t := &Table{
+		Title:   "Ablations: what each VDom design choice buys (X86)",
+		Columns: []string{"design choice", "configuration", "avg activation cycles"},
+	}
+
+	rounds := o.patternRounds()
+	evictCell := func(mut func(*workload.PatternConfig)) float64 {
+		cfg := workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternVDomEvict,
+			Pattern: workload.Sequential, NumVdoms: 16, Rounds: rounds,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return workload.RunPattern(cfg).AvgCycles
+	}
+	// HLRU vs strict LRU: the last-pdom heuristic keeps cyclic working
+	// sets cheap (only the overflow vdoms thrash).
+	t.Row("HLRU eviction", "on (default)", f0(evictCell(nil)))
+	t.Row("HLRU eviction", "strict LRU",
+		f0(evictCell(func(c *workload.PatternConfig) { c.StrictLRU = true })))
+
+	// PMD-disable fast path for 2 MiB evictions.
+	t.Row("PMD-disable eviction", "on (default)",
+		f0(evictCell(func(c *workload.PatternConfig) { c.NumVdoms = 29 })))
+	t.Row("PMD-disable eviction", "off (per-PTE retag)",
+		f0(evictCell(func(c *workload.PatternConfig) { c.NumVdoms = 29; c.NoPMDOpt = true })))
+
+	// ASID tagging: without it, every pgd switch flushes the TLB and the
+	// switched-to working set refaults through page walks — visible in
+	// the access cost following each activation, so this row reports
+	// activation + access cycles.
+	switchTotal := func(mut func(*workload.PatternConfig)) float64 {
+		cfg := workload.PatternConfig{
+			Arch: cycles.X86, System: workload.PatternVDomSecure,
+			Pattern: workload.SwitchTriggering, NumVdoms: 64, Rounds: rounds,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		r := workload.RunPattern(cfg)
+		return r.AvgCycles + r.AvgTouchCycles
+	}
+	t.Row("ASID tagging", "on (default)", f0(switchTotal(nil)))
+	t.Row("ASID tagging", "off (flush per switch)",
+		f0(switchTotal(func(c *workload.PatternConfig) { c.NoASID = true })))
+
+	// Range-flush threshold: small thresholds favour ASID flushes for
+	// 512-page vdoms; very large ones pay per-page invalidations.
+	for _, thr := range []uint64{8, 64, 1024} {
+		thr := thr
+		t.Row("range-flush threshold", fmt.Sprintf("%d pages", thr),
+			f0(evictCell(func(c *workload.PatternConfig) {
+				c.NumVdoms = 29
+				c.FlushThresholdPages = thr
+			})))
+	}
+
+	// Secure vs fast API (call-gate cost).
+	secure := workload.RunPattern(workload.PatternConfig{
+		Arch: cycles.X86, System: workload.PatternVDomSecure,
+		Pattern: workload.Sequential, NumVdoms: 4, Rounds: rounds}).AvgCycles
+	fast := workload.RunPattern(workload.PatternConfig{
+		Arch: cycles.X86, System: workload.PatternVDomFast,
+		Pattern: workload.Sequential, NumVdoms: 4, Rounds: rounds}).AvgCycles
+	t.Row("call gate", "secure (default)", f0(secure))
+	t.Row("call gate", "fast (no gate)", f0(fast))
+	o.Render(w, t)
+
+	// VDS switch vs eviction on the PMO workload (Figure 7's comparison
+	// in one line).
+	fmt.Fprintln(w)
+	t2 := &Table{
+		Title:   "VDS switch vs eviction on the PMO workload (4 threads)",
+		Columns: []string{"strategy", "overhead"},
+	}
+	base := workload.RunPMO(workload.PMOConfig{Arch: cycles.X86, System: workload.Original, Threads: 4, OpsPerThread: o.pmoOps()})
+	for _, m := range []struct {
+		name string
+		mode workload.PMOMode
+	}{{"VDS switch (nas=6)", workload.PMOSwitch}, {"eviction (nas=1)", workload.PMOEvict}} {
+		r := workload.RunPMO(workload.PMOConfig{Arch: cycles.X86, System: workload.VDom, Mode: m.mode, Threads: 4, OpsPerThread: o.pmoOps()})
+		t2.Row(m.name, pct(float64(r.Makespan)/float64(base.Makespan)-1))
+	}
+	o.Render(w, t2)
+
+	// Keep-alive extension: with connection reuse (ab -k) the handshake
+	// and its key domains amortize, shrinking VDom's relative overhead
+	// even further.
+	fmt.Fprintln(w)
+	t4 := &Table{
+		Title:   "Extension: httpd connection reuse (keep-alive, 16KB, 8 clients)",
+		Columns: []string{"connections", "original req/s", "VDom req/s", "overhead"},
+	}
+	for _, ka := range []bool{false, true} {
+		label := "per-request"
+		if ka {
+			label = "keep-alive"
+		}
+		base := workload.RunHttpd(workload.HttpdConfig{Arch: cycles.X86, System: workload.Original,
+			Clients: 8, RequestsPerClient: o.httpdRequests(), FileBytes: 16384, KeepAlive: ka})
+		prot := workload.RunHttpd(workload.HttpdConfig{Arch: cycles.X86, System: workload.VDom,
+			Clients: 8, RequestsPerClient: o.httpdRequests(), FileBytes: 16384, KeepAlive: ka})
+		t4.Row(label, f0(base.ReqPerSec), f0(prot.ReqPerSec),
+			pct(float64(prot.Makespan)/float64(base.Makespan)-1))
+	}
+	o.Render(w, t4)
+
+	// Power projection: 32 hardware domains halve the virtualization
+	// pressure — 29 vdoms fit one address space outright.
+	fmt.Fprintln(w)
+	t3 := &Table{
+		Title:   "Projection: 32-domain hardware (IBM Power model)",
+		Columns: []string{"# of vdoms", "X86 (16 domains)", "Power (32 domains)"},
+	}
+	for _, n := range []int{15, 29, 64} {
+		cell := func(arch cycles.Arch) string {
+			r := workload.RunPattern(workload.PatternConfig{
+				Arch: arch, System: workload.PatternVDomSecure,
+				Pattern: workload.SwitchTriggering, NumVdoms: n, Rounds: rounds,
+			})
+			return f0(r.AvgCycles)
+		}
+		t3.Row(fmt.Sprint(n), cell(cycles.X86), cell(cycles.Power))
+	}
+	o.Render(w, t3)
+}

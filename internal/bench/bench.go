@@ -1,0 +1,374 @@
+// Package bench regenerates every table and figure of the VDom paper's
+// evaluation section: Figure 1 (libmpk overhead breakdown), Table 3
+// (operation cycles), Table 4 (domain access patterns), Table 5 (memory
+// synchronization), Figures 5–7 (httpd, MySQL, PMO), the UnixBench
+// comparison (§7.3), and the context-switch measurements (§7.5), plus
+// ablation sweeps over VDom's design choices. Results render as aligned
+// text or CSV.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vdom/internal/cycles"
+	"vdom/internal/workload"
+)
+
+// Options control iteration counts and output rendering.
+type Options struct {
+	// Quick reduces iteration counts for fast smoke runs; results keep
+	// their shape but average over fewer operations.
+	Quick bool
+	// Format selects text (default) or CSV rendering.
+	Format Format
+}
+
+func (o Options) httpdRequests() int {
+	if o.Quick {
+		return 8
+	}
+	return 40
+}
+
+func (o Options) mysqlQueries() int {
+	if o.Quick {
+		return 6
+	}
+	return 25
+}
+
+func (o Options) pmoOps() int {
+	if o.Quick {
+		return 600
+	}
+	return 3000
+}
+
+func (o Options) patternRounds() int {
+	if o.Quick {
+		return 4
+	}
+	return 12
+}
+
+// Fig1 reproduces Figure 1: the overhead breakdown of libmpk on httpd
+// (per-key 4 KiB domains, 25 server threads, 16 KiB transfers) across
+// concurrent client counts.
+func Fig1(w io.Writer, o Options) {
+	t := &Table{
+		Title:   "Figure 1: overhead breakdown of libmpk on httpd (25 threads, 16KB)",
+		Columns: []string{"clients", "total ovh", "busy waiting", "TLB shootdown", "memory+metadata mgmt"},
+	}
+	for _, clients := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+		mk := func(sys workload.System) workload.HttpdResult {
+			return workload.RunHttpd(workload.HttpdConfig{
+				Arch: cycles.X86, System: sys, Clients: clients,
+				RequestsPerClient: o.httpdRequests(), FileBytes: 16384, Workers: 25,
+			})
+		}
+		base := mk(workload.Original)
+		lm := mk(workload.Libmpk)
+		ov := float64(lm.Makespan)/float64(base.Makespan) - 1
+
+		// Attribute the overhead to the Figure 1 buckets by each
+		// bucket's share of the extra cycles.
+		st := lm.LibmpkStats
+		bw := float64(st.BusyWaitCycles)
+		sd := float64(st.ShootdownCycles)
+		mg := float64(st.MgmtCycles)
+		sum := bw + sd + mg
+		if sum == 0 {
+			sum = 1
+		}
+		t.Row(fmt.Sprint(clients), pct(ov), pct(ov*bw/sum), pct(ov*sd/sum), pct(ov*mg/sum))
+	}
+	o.Render(w, t)
+}
+
+// Table3 reproduces Table 3: average cycles of common operations.
+func Table3(w io.Writer) { Table3Opts(w, Options{}) }
+
+// Table3Opts is Table3 with rendering options.
+func Table3Opts(w io.Writer, o Options) {
+	t := &Table{
+		Title:   "Table 3: average cycles of common operations",
+		Columns: []string{"Operation", "X86 Cycles", "ARM Cycles"},
+	}
+	for _, r := range workload.Table3() {
+		arm := "undefined"
+		if r.ARMDefined {
+			arm = f1(r.ARM)
+		}
+		t.Row(r.Operation, f1(r.X86), arm)
+	}
+	o.Render(w, t)
+}
+
+// table4Counts are the vdom counts of Table 4's columns.
+var table4Counts = []int{3, 4, 15, 16, 29, 32, 64, 70}
+
+// Table4 reproduces Table 4: average cycles of wrvdr (and counterparts) on
+// sequential and switch-triggering accesses of 2 MiB vdoms.
+func Table4(w io.Writer, o Options) {
+	cols := []string{"# of vdoms"}
+	for _, n := range table4Counts {
+		cols = append(cols, fmt.Sprint(n))
+	}
+	t := &Table{
+		Title:   "Table 4: average cycles per activation, 2MB (512-page) vdoms",
+		Columns: cols,
+	}
+	row := func(label string, arch cycles.Arch, sys workload.PatternSystem, pat workload.Pattern) {
+		cells := []string{label}
+		for _, n := range table4Counts {
+			r := workload.RunPattern(workload.PatternConfig{
+				Arch: arch, System: sys, Pattern: pat, NumVdoms: n,
+				Rounds: o.patternRounds(),
+			})
+			cells = append(cells, f0(r.AvgCycles))
+		}
+		t.Row(cells...)
+	}
+	row("VDom X86f seq", cycles.X86, workload.PatternVDomFast, workload.Sequential)
+	row("VDom X86f trig", cycles.X86, workload.PatternVDomFast, workload.SwitchTriggering)
+	row("VDom X86s seq", cycles.X86, workload.PatternVDomSecure, workload.Sequential)
+	row("VDom X86s trig", cycles.X86, workload.PatternVDomSecure, workload.SwitchTriggering)
+	row("VDom X86e seq", cycles.X86, workload.PatternVDomEvict, workload.Sequential)
+	row("libmpk seq", cycles.X86, workload.PatternLibmpk, workload.Sequential)
+	row("EPK seq", cycles.X86, workload.PatternEPK, workload.Sequential)
+	row("EPK trig", cycles.X86, workload.PatternEPK, workload.SwitchTriggering)
+	row("VDom ARM seq", cycles.ARM, workload.PatternVDomSecure, workload.Sequential)
+	row("VDom ARM trig", cycles.ARM, workload.PatternVDomSecure, workload.SwitchTriggering)
+	row("VDom ARMe seq", cycles.ARM, workload.PatternVDomEvict, workload.Sequential)
+	o.Render(w, t)
+}
+
+// Table5 reproduces Table 5: 4 KiB allocation+synchronization overhead
+// across VDS counts.
+func Table5(w io.Writer) { Table5Opts(w, Options{}) }
+
+// Table5Opts is Table5 with rendering options.
+func Table5Opts(w io.Writer, o Options) {
+	t := &Table{
+		Title:   "Table 5: alloc+sync overhead across numbers of VDSes",
+		Columns: []string{"# of VDSes", "2", "4", "8", "16", "32"},
+	}
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		cells := []string{fmt.Sprintf("%v overhead (%%)", arch)}
+		for _, n := range []int{2, 4, 8, 16, 32} {
+			ov, ok := workload.MemSyncOverhead(arch, n)
+			if !ok {
+				cells = append(cells, "undefined")
+				continue
+			}
+			cells = append(cells, f1(ov*100))
+		}
+		t.Row(cells...)
+	}
+	o.Render(w, t)
+}
+
+// fig5Systems are Figure 5's lines, plus the lowerbound configuration the
+// paper's §7.6 prose reports (all keys in one domain: 0.86–1.03%).
+var fig5Systems = []workload.System{
+	workload.Original, workload.VDom, workload.VDomLowerbound,
+	workload.EPK, workload.Libmpk,
+}
+
+// Fig5 reproduces Figure 5: httpd throughput for original, VDom (plus the
+// single-domain lowerbound), EPK, and libmpk across architectures, file
+// sizes, and client counts.
+func Fig5(w io.Writer, o Options) {
+	fmt.Fprintln(w, "Figure 5: httpd throughput (requests/second)")
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		clientCounts := []int{4, 12, 20, 28, 36, 44, 48}
+		if arch == cycles.ARM {
+			clientCounts = []int{4, 8, 12, 16, 20, 24}
+		}
+		for _, size := range []uint64{1 << 10, 64 << 10, 128 << 10} {
+			cols := []string{"clients"}
+			for _, s := range fig5Systems {
+				cols = append(cols, s.String())
+			}
+			t := &Table{
+				Title:   fmt.Sprintf("%v %dKB", arch, size/1024),
+				Columns: cols,
+			}
+			for _, c := range clientCounts {
+				cells := []string{fmt.Sprint(c)}
+				for _, sys := range fig5Systems {
+					r := workload.RunHttpd(workload.HttpdConfig{
+						Arch: arch, System: sys, Clients: c,
+						RequestsPerClient: o.httpdRequests(), FileBytes: size,
+					})
+					cells = append(cells, f0(r.ReqPerSec))
+				}
+				t.Row(cells...)
+			}
+			fmt.Fprintln(w)
+			o.Render(w, t)
+		}
+	}
+}
+
+// Fig6 reproduces Figure 6: MySQL throughput for the four systems.
+func Fig6(w io.Writer, o Options) {
+	fmt.Fprintln(w, "Figure 6: MySQL throughput (queries/second)")
+	systems := []workload.System{workload.Original, workload.VDom, workload.EPK, workload.Libmpk}
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		clientCounts := []int{4, 8, 12, 16, 24, 32, 40, 48}
+		if arch == cycles.ARM {
+			clientCounts = []int{4, 8, 12, 16, 20, 24}
+		}
+		cols := []string{"clients"}
+		for _, s := range systems {
+			cols = append(cols, s.String())
+		}
+		t := &Table{Title: arch.String(), Columns: cols}
+		for _, c := range clientCounts {
+			cells := []string{fmt.Sprint(c)}
+			for _, sys := range systems {
+				r := workload.RunMySQL(workload.MySQLConfig{
+					Arch: arch, System: sys, Clients: c,
+					QueriesPerClient: o.mysqlQueries(),
+				})
+				if !r.Supported {
+					cells = append(cells, "DNF")
+					continue
+				}
+				cells = append(cells, f0(r.QueriesPerS))
+			}
+			t.Row(cells...)
+		}
+		fmt.Fprintln(w)
+		o.Render(w, t)
+	}
+}
+
+// Fig7 reproduces Figure 7: String Replace overheads for the six
+// configurations across thread counts.
+func Fig7(w io.Writer, o Options) {
+	fmt.Fprintln(w, "Figure 7: String Replace overhead (%) on 64 x 2MB PMOs")
+	type variant struct {
+		name string
+		cfg  func(arch cycles.Arch, threads int) workload.PMOConfig
+	}
+	variants := []variant{
+		{"lowerbound", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.VDomLowerbound, Threads: th}
+		}},
+		{"EPK", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.EPK, Threads: th}
+		}},
+		{"libmpk 4KB pages", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.Libmpk, Threads: th}
+		}},
+		{"libmpk 2MB huge pages", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.Libmpk, LibmpkMode: 1, Threads: th}
+		}},
+		{"VDS switch", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.VDom, Mode: workload.PMOSwitch, Threads: th}
+		}},
+		{"VDom eviction", func(a cycles.Arch, th int) workload.PMOConfig {
+			return workload.PMOConfig{Arch: a, System: workload.VDom, Mode: workload.PMOEvict, Threads: th}
+		}},
+	}
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		threads := []int{1, 2, 4, 8}
+		if arch == cycles.ARM {
+			threads = []int{1, 2, 4}
+		}
+		cols := []string{"threads"}
+		for _, th := range threads {
+			cols = append(cols, fmt.Sprint(th))
+		}
+		t := &Table{Title: arch.String(), Columns: cols}
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, th := range threads {
+				cfg := v.cfg(arch, th)
+				cfg.OpsPerThread = o.pmoOps()
+				base := cfg
+				base.System = workload.Original
+				b := workload.RunPMO(base)
+				r := workload.RunPMO(cfg)
+				cells = append(cells, pct(float64(r.Makespan)/float64(b.Makespan)-1))
+			}
+			t.Row(cells...)
+		}
+		fmt.Fprintln(w)
+		o.Render(w, t)
+	}
+}
+
+// UnixBench reproduces §7.3: relative UnixBench scores of the VDom kernel.
+func UnixBench(w io.Writer) { UnixBenchOpts(w, Options{}) }
+
+// UnixBenchOpts is UnixBench with rendering options.
+func UnixBenchOpts(w io.Writer, o Options) {
+	t := &Table{
+		Title:   "UnixBench (§7.3): VDom kernel score relative to vanilla (100% = equal)",
+		Columns: []string{"arch", "suite", "index", "worst test"},
+	}
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		for _, parallel := range []bool{false, true} {
+			suite := "single-thread"
+			if parallel {
+				suite = "parallel"
+			}
+			r := workload.RunUnixBench(arch, parallel)
+			worst := r.Scores[0]
+			for _, s := range r.Scores {
+				if s.Relative < worst.Relative {
+					worst = s
+				}
+			}
+			t.Row(arch.String(), suite, f1(r.Index)+"%",
+				fmt.Sprintf("%s (%.1f%%)", worst.Test, worst.Relative))
+		}
+	}
+	o.Render(w, t)
+}
+
+// CtxSwitch reproduces §7.5's context-switch measurements.
+func CtxSwitch(w io.Writer) { CtxSwitchOpts(w, Options{}) }
+
+// CtxSwitchOpts is CtxSwitch with rendering options.
+func CtxSwitchOpts(w io.Writer, o Options) {
+	t := &Table{
+		Title: "Context switch (§7.5): switch_mm cycles",
+		Columns: []string{"arch", "vanilla kernel", "VDom kernel (non-VDom proc)",
+			"slowdown", "switch to a VDS"},
+	}
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		vanilla, vdomProc, vds := workload.CtxSwitchCycles(arch)
+		t.Row(arch.String(), f1(vanilla), f1(vdomProc),
+			fmt.Sprintf("%.2f%%", (vdomProc/vanilla-1)*100), f1(vds))
+	}
+	o.Render(w, t)
+}
+
+// All runs every experiment in order.
+func All(w io.Writer, o Options) {
+	sections := []func(){
+		func() { Fig1(w, o) },
+		func() { Table1(w, o) },
+		func() { Table2(w, o) },
+		func() { Table3Opts(w, o) },
+		func() { Table4(w, o) },
+		func() { Table5Opts(w, o) },
+		func() { Fig5(w, o) },
+		func() { Fig6(w, o) },
+		func() { Fig7(w, o) },
+		func() { UnixBenchOpts(w, o) },
+		func() { CtxSwitchOpts(w, o) },
+		func() { Ablations(w, o) },
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		s()
+	}
+}

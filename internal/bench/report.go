@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Format selects how experiment tables are rendered.
+type Format int
+
+const (
+	// Text renders aligned human-readable tables (the default).
+	Text Format = iota
+	// CSV renders machine-readable comma-separated values, one header
+	// row per table, with the table title in a leading comment-style
+	// row ("# title").
+	CSV
+)
+
+// ParseFormat converts a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	default:
+		return Text, fmt.Errorf("bench: unknown format %q (want text or csv)", s)
+	}
+}
+
+// Table is one experiment's result grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Row appends one row; cells beyond the column count are kept (useful for
+// free-form notes), missing cells render empty.
+func (t *Table) Row(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	fmt.Fprintln(w, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+// WriteCSV renders the table as CSV with a "# title" prologue row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render writes the table in the options' format.
+func (o Options) Render(w io.Writer, t *Table) {
+	if o.Format == CSV {
+		if err := t.WriteCSV(w); err != nil {
+			fmt.Fprintf(w, "# csv error: %v\n", err)
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	t.WriteText(w)
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// pct formats a ratio as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

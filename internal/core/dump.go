@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// DumpState writes a human-readable snapshot of the whole VDom instance —
+// every VDS's domain map (in the layout of Figure 3), every thread's VDR
+// and residency, and the event counters — for debugging and for the
+// diagnostics the kernel would expose under /proc.
+func (m *Manager) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "VDom state: %d vdoms live, %d VDSes, %d threads\n",
+		len(m.live), len(m.vdses), len(m.vdrs))
+
+	for _, vds := range m.vdses {
+		fmt.Fprintf(w, "\nVDS%d (asid %d, %d threads, %d free pdoms, cpus %b)\n",
+			vds.id, vds.asid, vds.NumThreads(), vds.FreePdoms(), uint64(vds.CPUSet()))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  pdom\tvdom\t#thread\tlast use")
+		for p := firstUsablePdom; p < vds.numPdoms; p++ {
+			e := vds.domainMap[p]
+			if !e.used {
+				fmt.Fprintf(tw, "  %d\t-\t\t\n", p)
+				continue
+			}
+			fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\n", p, e.vdom, e.threads, e.lastUse)
+		}
+		tw.Flush()
+	}
+
+	// Threads in TID order for stable output.
+	type row struct {
+		tid int
+		v   *VDR
+	}
+	var rows []row
+	for task, vdr := range m.vdrs {
+		rows = append(rows, row{task.TID(), vdr})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].tid < rows[j].tid })
+	for _, r := range rows {
+		fmt.Fprintf(w, "\nthread %d: VDS%d (nas %d, %d attached), register %#x\n",
+			r.tid, r.v.current.id, r.v.nas, len(r.v.vdses), r.v.task.SavedPerm())
+		// Non-AD permissions, in vdom order.
+		var ds []VdomID
+		for d, p := range r.v.perms {
+			if p != VPermNone {
+				ds = append(ds, d)
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		for _, d := range ds {
+			marker := " (unmapped here)"
+			if p, ok := r.v.current.PdomOf(d); ok {
+				marker = fmt.Sprintf(" @ pdom%d", p)
+			}
+			fmt.Fprintf(w, "  vdom %d: %v%s\n", d, r.v.perms[d], marker)
+		}
+	}
+
+	fmt.Fprintf(w, "\nstats: %+v\n", m.Stats)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpState(t *testing.T) {
+	f := x86Fixture(t)
+	t1, t2 := f.proc.NewTask(0), f.proc.NewTask(1)
+	if _, err := f.m.VdrAlloc(t1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.m.VdrAlloc(t2, 2); err != nil {
+		t.Fatal(err)
+	}
+	d1, b1 := f.newVdomRegion(t, t1, 1, false)
+	d2, b2 := f.newVdomRegion(t, t2, 1, false)
+	grant(t, f.m, t1, d1, VPermReadWrite)
+	grant(t, f.m, t2, d2, VPermRead)
+	if _, err := t1.Access(b1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Access(b2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	f.m.DumpState(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"VDom state:", "VDS0", "pdom", "#thread",
+		"thread 1:", "thread 2:", "FA", "WD", "stats:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Mapped vdoms show their pdom binding.
+	if !strings.Contains(out, "@ pdom") {
+		t.Errorf("dump missing pdom bindings:\n%s", out)
+	}
+}

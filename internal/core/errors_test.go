@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/pagetable"
+)
+
+func TestVdrAllocTwiceFails(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.m.VdrAlloc(task, 2); err == nil {
+		t.Error("second VdrAlloc succeeded")
+	}
+}
+
+func TestMprotectUnmappedRegionFails(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.m.AllocVdom(false)
+	if _, err := f.m.Mprotect(task, 0xdead0000, pg, d); err == nil {
+		t.Error("Mprotect on unmapped memory succeeded")
+	}
+}
+
+func TestMprotectDeadVdomFails(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Mmap(0x100000000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.m.Mprotect(task, 0x100000000, pg, 9999); !errors.Is(err, ErrFreedVdom) {
+		t.Errorf("Mprotect with unallocated vdom = %v, want ErrFreedVdom", err)
+	}
+}
+
+func TestAPIsWithoutVDR(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	d, _ := f.m.AllocVdom(false)
+	if _, err := f.m.WrVdr(task, d, VPermRead); !errors.Is(err, ErrNoVDR) {
+		t.Errorf("WrVdr without VDR = %v", err)
+	}
+	if _, _, err := f.m.RdVdr(task, d); !errors.Is(err, ErrNoVDR) {
+		t.Errorf("RdVdr without VDR = %v", err)
+	}
+	if _, err := f.m.VdrFree(task); !errors.Is(err, ErrNoVDR) {
+		t.Errorf("VdrFree without VDR = %v", err)
+	}
+	if _, err := f.m.PlaceInNewVDS(task); !errors.Is(err, ErrNoVDR) {
+		t.Errorf("PlaceInNewVDS without VDR = %v", err)
+	}
+}
+
+func TestVDROfUnknownTaskNil(t *testing.T) {
+	f := x86Fixture(t)
+	if f.m.VDROf(f.proc.NewTask(0)) != nil {
+		t.Error("VDROf unknown task non-nil")
+	}
+}
+
+func TestFaultOnForeignNonVdomMemoryUnhandled(t *testing.T) {
+	// A domain fault on memory with no vdom tag is not VDom's to handle:
+	// the kernel delivers SIGSEGV.
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Mmap(0x100000000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	// Manually poison the PTE with a denied pdom, no VMA tag.
+	if _, err := task.Access(0x100000000, true); err != nil {
+		t.Fatal(err)
+	}
+	tbl := f.m.VDROf(task).Current().Table()
+	tbl.SetPdom(0x100000000, 9)
+	task.Core().TLB().FlushASID(task.ASID())
+	var r regImage
+	r.set(1, false, true)
+	r.set(9, false, true)
+	task.SetSavedPerm(r.bits)
+	_, err := task.Access(pagetable.VAddr(0x100000000), false)
+	if err == nil {
+		t.Error("poisoned access succeeded")
+	}
+}
+
+func TestReassignAllowedAfterFree(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	d1, base := f.newVdomRegion(t, task, 1, false)
+	if _, err := f.m.FreeVdom(d1); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := f.m.AllocVdom(false)
+	if _, err := f.m.Mprotect(task, base, pg, d2); err != nil {
+		t.Fatalf("reassign after free rejected: %v", err)
+	}
+	grant(t, f.m, task, d2, VPermReadWrite)
+	if _, err := task.Access(base, true); err != nil {
+		t.Fatal(err)
+	}
+	// The sealed gate pages can never be reassigned, even though their
+	// tag is not a live vdom.
+	g, err := NewGate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := g.SealVDRPage(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.m.Mprotect(task, page, pg, d2); !errors.Is(err, ErrReassign) {
+		t.Errorf("sealed page reassign = %v, want ErrReassign", err)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+)
+
+// SealTag is the reserved VMA tag for memory the trusted API library seals
+// with the access-never pdom for the whole process lifetime: VDR pages and
+// the API stack (§6.3). It is not a vdom — no VDR permission can ever
+// grant access, and only the call gate (kernel-mediated here) reaches it.
+const SealTag mm.Tag = ^mm.Tag(0)
+
+// ErrGateViolation reports that the call-gate exit check caught an illegal
+// permission-register value (the eax legality check of Figure 4, lines
+// 29–31).
+var ErrGateViolation = errors.New("core: call gate detected illegal PKRU value")
+
+// Gate models the Intel secure call gate of Figure 4: VDR pages sealed
+// under pdom1, the per-core secure sharing page, and the exit-path check
+// that defeats control-flow hijacking of wrpkru.
+type Gate struct {
+	m *Manager
+	// vdrPages maps each thread to its sealed VDR page.
+	vdrPages map[*kernel.Task]pagetable.VAddr
+	nextPage pagetable.VAddr
+	// sharePage is the kernel-filled, read-only page holding per-core
+	// (cacheline-aligned) pointers to the running thread's VDR.
+	sharePage pagetable.VAddr
+}
+
+// gateRegion is where the gate's sealed pages live in the simulated
+// address space (far away from workload mappings).
+const gateRegion = pagetable.VAddr(0x7f0000000000)
+
+// NewGate initializes the gate for the manager's process: it maps the
+// secure sharing page and seals it read-only.
+func NewGate(m *Manager) (*Gate, error) {
+	g := &Gate{
+		m:         m,
+		vdrPages:  make(map[*kernel.Task]pagetable.VAddr),
+		nextPage:  gateRegion + pagetable.PageSize,
+		sharePage: gateRegion,
+	}
+	as := m.proc.AS()
+	if _, err := as.Mmap(g.sharePage, pagetable.PageSize, false); err != nil {
+		return nil, fmt.Errorf("core: mapping gate share page: %w", err)
+	}
+	return g, nil
+}
+
+// SealVDRPage allocates and seals the thread's VDR page under pdom1. The
+// page is locked for the whole process lifetime; untrusted code accessing
+// it takes a fatal domain fault.
+func (g *Gate) SealVDRPage(task *kernel.Task) (pagetable.VAddr, error) {
+	as := g.m.proc.AS()
+	page := g.nextPage
+	g.nextPage += pagetable.PageSize
+	if _, err := as.Mmap(page, pagetable.PageSize, true); err != nil {
+		return 0, err
+	}
+	if _, err := as.SetTag(page, pagetable.PageSize, SealTag); err != nil {
+		return 0, err
+	}
+	g.vdrPages[task] = page
+	return page, nil
+}
+
+// VDRPage returns the sealed VDR page of the thread.
+func (g *Gate) VDRPage(task *kernel.Task) (pagetable.VAddr, bool) {
+	p, ok := g.vdrPages[task]
+	return p, ok
+}
+
+// Enter models lib_entry (Figure 4 lines 1–16): it opens pdom1 in the live
+// register — only the trusted library runs with this image — and resolves
+// the thread's VDR through the per-core sharing page (lsl + aligned load,
+// never a caller-controlled pointer). It returns the saved register value
+// the exit path must restore around.
+func (g *Gate) Enter(task *kernel.Task) (saved uint64, cost cycles.Cost) {
+	core := task.Core()
+	saved = core.Perm().Raw()
+	var r hw.PermRegister
+	r.SetRaw(saved)
+	r.Set(uint8(AccessNeverPdom), hw.PermReadWrite)
+	core.Perm().SetRaw(r.Raw())
+	return saved, g.m.params.GateEntry
+}
+
+// Exit models lib_exit (lines 19–32): the caller supplies the eax value to
+// load into PKRU (in the benign path, the merged "target vdom bits +
+// pdom1 access-disable" value). The gate performs the write and then the
+// legality check: if the loaded value leaves pdom1 accessible — the
+// signature of a control-flow hijack that skipped the and/or sequence —
+// the gate reports ErrGateViolation and the program must terminate.
+func (g *Gate) Exit(task *kernel.Task, eax uint64) (cycles.Cost, error) {
+	core := task.Core()
+	core.Perm().SetRaw(eax)
+	cost := g.m.params.GateExit
+	var r hw.PermRegister
+	r.SetRaw(eax)
+	if r.Get(uint8(AccessNeverPdom)) != hw.PermNone {
+		return cost, fmt.Errorf("%w: pdom1 left %v", ErrGateViolation,
+			r.Get(uint8(AccessNeverPdom)))
+	}
+	return cost, nil
+}
+
+// LegalExitValue builds the correct eax for Exit: the thread's synced
+// register image with pdom1 access-disabled.
+func (g *Gate) LegalExitValue(task *kernel.Task) uint64 {
+	var r hw.PermRegister
+	r.SetRaw(task.SavedPerm())
+	r.Set(uint8(AccessNeverPdom), hw.PermNone)
+	return r.Raw()
+}
+
+// ExpectedRegister dynamically constructs the expected PKRU value for a
+// sandbox's call-gate check (§7.1): since the domain virtualization
+// algorithm does not produce fixed vdom→pdom maps, the sandbox consults
+// the shared domain map and rebuilds the legal value from the thread's
+// VDR and the current VDS.
+func (g *Gate) ExpectedRegister(task *kernel.Task) (uint64, bool) {
+	vdr := g.m.vdrs[task]
+	if vdr == nil {
+		return 0, false
+	}
+	return task.SavedPerm(), true
+}
+
+// ValidateRegister is the sandbox check ❷ of Table 2: it compares a
+// proposed register value against the dynamically constructed legal value.
+func (g *Gate) ValidateRegister(task *kernel.Task, raw uint64) bool {
+	want, ok := g.ExpectedRegister(task)
+	return ok && raw == want
+}

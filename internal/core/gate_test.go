@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+)
+
+func TestGateSealsVDRPage(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := g.SealVDRPage(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := g.VDRPage(task); !ok || got != page {
+		t.Fatalf("VDRPage = (%#x, %v)", uint64(got), ok)
+	}
+	// Untrusted code (any normal access) cannot read or write the VDR
+	// page, even from its owner thread.
+	if _, err := task.Access(page, false); !errors.Is(err, kernel.ErrSigsegv) {
+		t.Errorf("VDR page read = %v, want SIGSEGV", err)
+	}
+	if _, err := task.Access(page, true); !errors.Is(err, kernel.ErrSigsegv) {
+		t.Errorf("VDR page write = %v, want SIGSEGV", err)
+	}
+	// Attempting to re-tag the sealed page to an attacker vdom is
+	// rejected (address-space integrity).
+	evil, _ := f.m.AllocVdom(false)
+	if _, err := f.m.Mprotect(task, page, pg, evil); !errors.Is(err, ErrReassign) {
+		t.Errorf("re-tagging sealed page = %v, want ErrReassign", err)
+	}
+}
+
+func TestGateEnterOpensExitCloses(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.k.Dispatch(task)
+	g, err := NewGate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, _ := g.Enter(task)
+	core := task.Core()
+	if core.Perm().Get(uint8(AccessNeverPdom)) != hw.PermReadWrite {
+		t.Error("gate entry did not open pdom1")
+	}
+	_ = saved
+	// Benign exit: legal value restores pdom1 to access-disable.
+	if _, err := g.Exit(task, g.LegalExitValue(task)); err != nil {
+		t.Fatalf("legal exit rejected: %v", err)
+	}
+	if core.Perm().Get(uint8(AccessNeverPdom)) != hw.PermNone {
+		t.Error("gate exit left pdom1 open")
+	}
+}
+
+func TestGateDetectsHijackedEAX(t *testing.T) {
+	// §7.2: filling PKRU with a hijacked eax that keeps pdom1 accessible
+	// must be caught by the exit check.
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.k.Dispatch(task)
+	g, err := NewGate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Enter(task)
+	var evil hw.PermRegister // all-RW, including pdom1
+	if _, err := g.Exit(task, evil.Raw()); !errors.Is(err, ErrGateViolation) {
+		t.Errorf("hijacked exit = %v, want ErrGateViolation", err)
+	}
+}
+
+func TestValidateRegisterDynamicCheck(t *testing.T) {
+	// Table 2 ❷: the sandbox rebuilds the expected PKRU from the shared
+	// domain map instead of comparing against fixed values.
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, b := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d, VPermReadWrite)
+	if _, err := task.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !g.ValidateRegister(task, task.SavedPerm()) {
+		t.Error("legal register rejected")
+	}
+	if g.ValidateRegister(task, 0) {
+		t.Error("all-access register accepted")
+	}
+	// After the domain map changes (new vdom mapped), the expected value
+	// changes with it — the dynamic reconstruction tracks it.
+	d2, b2 := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d2, VPermRead)
+	if _, err := task.Access(b2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !g.ValidateRegister(task, task.SavedPerm()) {
+		t.Error("legal register rejected after domain-map change")
+	}
+	// A thread with no VDR has no expected value.
+	stranger := f.proc.NewTask(1)
+	if g.ValidateRegister(stranger, 0) {
+		t.Error("validated a thread with no VDR")
+	}
+}
+
+func TestScanBinaryFindsUnsafeWRPKRU(t *testing.T) {
+	// Table 2 ❶: unvetted wrpkru and xrstor occurrences are reported;
+	// the gate's own wrpkru (followed by cmp/jne legality check) is not.
+	code := []Instr{
+		{OpOther},
+		{OpWRPKRU}, // unsafe: no check follows
+		{OpOther},
+		{OpXORECX},
+		{OpWRPKRU}, // gated: cmp+jne follow
+		{OpCmpEAX},
+		{OpJNE},
+		{OpXRSTOR}, // always unsafe
+		{OpOther},
+	}
+	fs := ScanBinary(code)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want 2", fs)
+	}
+	if fs[0].Index != 1 || fs[0].Op != OpWRPKRU {
+		t.Errorf("first finding = %+v", fs[0])
+	}
+	if fs[1].Index != 7 || fs[1].Op != OpXRSTOR {
+		t.Errorf("second finding = %+v", fs[1])
+	}
+}
+
+func TestScanBinaryCleanGate(t *testing.T) {
+	code := []Instr{
+		{OpXORECX}, {OpRDPKRU}, {OpOther}, {OpWRPKRU}, {OpOther}, {OpCmpEAX}, {OpJNE},
+	}
+	if fs := ScanBinary(code); len(fs) != 0 {
+		t.Errorf("clean gate flagged: %v", fs)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/sim"
+)
+
+// checkInvariants asserts the structural invariants of the whole VDom
+// instance; called after every step of the random-operation test.
+func checkInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+
+	// VDS domain maps are internally consistent bijections over the
+	// usable pdoms.
+	for _, vds := range m.vdses {
+		seen := map[VdomID]bool{}
+		mappedCount := 0
+		for p := 0; p < vds.numPdoms; p++ {
+			e := vds.domainMap[p]
+			if !e.used {
+				continue
+			}
+			if p < firstUsablePdom {
+				t.Fatalf("VDS %d: reserved pdom %d in use by vdom %d", vds.id, p, e.vdom)
+			}
+			mappedCount++
+			if seen[e.vdom] {
+				t.Fatalf("VDS %d: vdom %d mapped to two pdoms", vds.id, e.vdom)
+			}
+			seen[e.vdom] = true
+			if got, ok := vds.vdomPdom[e.vdom]; !ok || got != pagetable.Pdom(p) {
+				t.Fatalf("VDS %d: inverse map broken for vdom %d (pdom %d vs %d,%v)",
+					vds.id, e.vdom, p, got, ok)
+			}
+			if e.threads < 0 {
+				t.Fatalf("VDS %d: negative #thread for vdom %d", vds.id, e.vdom)
+			}
+		}
+		if len(vds.vdomPdom) != mappedCount {
+			t.Fatalf("VDS %d: vdomPdom has %d entries, domain map %d",
+				vds.id, len(vds.vdomPdom), mappedCount)
+		}
+	}
+
+	// Every VDR's residency and register image are consistent.
+	for task, vdr := range m.vdrs {
+		if vdr.current == nil {
+			t.Fatalf("task %d: nil current VDS", task.TID())
+		}
+		if !vdr.current.threads[task] {
+			t.Fatalf("task %d not resident in its current VDS", task.TID())
+		}
+		if !contains(vdr.vdses, vdr.current) {
+			t.Fatalf("task %d: current VDS not in attachment list", task.TID())
+		}
+		if len(vdr.vdses) > vdr.nas {
+			t.Fatalf("task %d: %d attached VDSes exceed nas=%d",
+				task.TID(), len(vdr.vdses), vdr.nas)
+		}
+		// Register image matches VDR ⨯ domain map.
+		raw := task.SavedPerm()
+		var want Manager
+		_ = want
+		reg := rebuildRegister(vdr)
+		if raw != reg {
+			t.Fatalf("task %d: register image %#x, want %#x", task.TID(), raw, reg)
+		}
+		// Residency is exclusive.
+		for _, vds := range m.vdses {
+			if vds != vdr.current && vds.threads[task] {
+				t.Fatalf("task %d resident in two VDSes", task.TID())
+			}
+		}
+	}
+
+	// #thread counters equal the recount from resident VDRs.
+	for _, vds := range m.vdses {
+		for p := firstUsablePdom; p < vds.numPdoms; p++ {
+			e := vds.domainMap[p]
+			if !e.used {
+				continue
+			}
+			want := 0
+			for task := range vds.threads {
+				if vdr := m.vdrs[task]; vdr != nil && vdr.perms[e.vdom].Accessible() {
+					want++
+				}
+			}
+			if e.threads != want {
+				t.Fatalf("VDS %d vdom %d: #thread=%d, recount=%d",
+					vds.id, e.vdom, e.threads, want)
+			}
+		}
+	}
+}
+
+// rebuildRegister mirrors syncRegister's construction for verification.
+func rebuildRegister(vdr *VDR) uint64 {
+	var r regImage
+	r.set(uint8(AccessNeverPdom), false, true)
+	vds := vdr.current
+	for p := firstUsablePdom; p < vds.numPdoms; p++ {
+		e := vds.domainMap[p]
+		if e.used {
+			switch vdr.perms[e.vdom] {
+			case VPermReadWrite:
+				r.set(uint8(p), false, false)
+			case VPermRead:
+				r.set(uint8(p), true, false)
+			default:
+				r.set(uint8(p), false, true)
+			}
+		} else {
+			r.set(uint8(p), false, true)
+		}
+	}
+	return r.bits
+}
+
+type regImage struct{ bits uint64 }
+
+func (r *regImage) set(p uint8, wd, ad bool) {
+	var f uint64
+	if ad {
+		f = 0b01
+	} else if wd {
+		f = 0b10
+	}
+	shift := 2 * uint64(p)
+	r.bits = r.bits&^(0b11<<shift) | f<<shift
+}
+
+// TestRandomOperationInvariants drives the whole system with a long random
+// sequence of API calls and accesses from multiple threads, checking every
+// structural invariant after each step and validating that access outcomes
+// always match the calling thread's VDR.
+func TestRandomOperationInvariants(t *testing.T) {
+	mach := newFixture(t, cycles.X86, 4, DefaultPolicy())
+	m := mach.m
+	rng := sim.NewRand(0xfeed)
+
+	const numTasks = 4
+	tasks := make([]*kernel.Task, numTasks)
+	for i := range tasks {
+		tasks[i] = mach.proc.NewTask(i % 4)
+		nas := 1 + rng.Intn(4)
+		if _, err := m.VdrAlloc(tasks[i], nas); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type domInfo struct {
+		d    VdomID
+		base pagetable.VAddr
+	}
+	var doms []domInfo
+	newDom := func(task *kernel.Task) {
+		base := mach.next
+		mach.next += 4 * pagetable.PMDSize
+		if _, err := task.Mmap(base, pg, true); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := m.AllocVdom(rng.Intn(4) == 0)
+		if _, err := m.Mprotect(task, base, pg, d); err != nil {
+			t.Fatal(err)
+		}
+		doms = append(doms, domInfo{d: d, base: base})
+	}
+	for i := 0; i < 8; i++ {
+		newDom(tasks[0])
+	}
+
+	perms := []VPerm{VPermNone, VPermRead, VPermReadWrite, VPermPinned}
+	const steps = 1500
+	for step := 0; step < steps; step++ {
+		task := tasks[rng.Intn(numTasks)]
+		switch rng.Intn(10) {
+		case 0: // allocate a new protected region
+			if len(doms) < 80 {
+				newDom(task)
+			}
+		case 1, 2, 3, 4: // permission change
+			di := doms[rng.Intn(len(doms))]
+			perm := perms[rng.Intn(len(perms))]
+			if _, err := m.WrVdr(task, di.d, perm); err != nil && !errors.Is(err, ErrFreedVdom) {
+				t.Fatalf("step %d: WrVdr: %v", step, err)
+			}
+		default: // access and validate outcome against the VDR
+			di := doms[rng.Intn(len(doms))]
+			write := rng.Intn(2) == 1
+			vdr := m.VDROf(task)
+			wantAllowed := m.live[di.d] && vdr.perms[di.d].Allows(write)
+			_, err := task.Access(di.base, write)
+			switch {
+			case wantAllowed && err != nil:
+				t.Fatalf("step %d: task %d denied allowed %v access to vdom %d: %v",
+					step, task.TID(), write, di.d, err)
+			case !wantAllowed && !errors.Is(err, kernel.ErrSigsegv):
+				t.Fatalf("step %d: task %d performed forbidden access to vdom %d (err=%v)",
+					step, task.TID(), di.d, err)
+			}
+		}
+		if step%25 == 0 {
+			checkInvariants(t, m)
+		}
+	}
+	checkInvariants(t, m)
+
+	// The system exercised its interesting machinery during the run.
+	st := m.Stats
+	summary := fmt.Sprintf("%+v", st)
+	if st.WrVdrCalls == 0 || st.DomainFaults == 0 {
+		t.Errorf("run too tame: %s", summary)
+	}
+	if st.Evictions == 0 && st.VDSSwitches == 0 && st.Migrations == 0 {
+		t.Errorf("no overflow machinery exercised: %s", summary)
+	}
+}
+
+// TestRandomOperationInvariantsARM repeats a shorter run on the ARM model.
+func TestRandomOperationInvariantsARM(t *testing.T) {
+	f := newFixture(t, cycles.ARM, 4, DefaultPolicy())
+	m := f.m
+	rng := sim.NewRand(0xa)
+	task := f.proc.NewTask(0)
+	if _, err := m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doms []VdomID
+	var bases []pagetable.VAddr
+	for i := 0; i < 30; i++ {
+		d, b := f.newVdomRegion(t, task, 1, false)
+		doms = append(doms, d)
+		bases = append(bases, b)
+	}
+	for step := 0; step < 400; step++ {
+		i := rng.Intn(len(doms))
+		grant(t, m, task, doms[i], VPermReadWrite)
+		if _, err := task.Access(bases[i], true); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		grant(t, m, task, doms[i], VPermNone)
+		if step%50 == 0 {
+			checkInvariants(t, m)
+		}
+	}
+	checkInvariants(t, m)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/sim"
+)
+
+// TestVdomSpanningMultipleAreas protects three disjoint regions under ONE
+// vdom and verifies that activation, eviction, and remap treat them as a
+// unit (the VDT chains multiple areas per vdom, §5.3).
+func TestVdomSpanningMultipleAreas(t *testing.T) {
+	f := x86Fixture(t)
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.m.AllocVdom(false)
+	var bases []pagetable.VAddr
+	for i := 0; i < 3; i++ {
+		base := f.next
+		f.next += 4 * pagetable.PMDSize
+		if _, err := task.Mmap(base, 2*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.m.Mprotect(task, base, 2*pg, d); err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, base)
+	}
+	if got := len(f.m.VDT().Areas(d)); got != 3 {
+		t.Fatalf("VDT areas = %d, want 3", got)
+	}
+	grant(t, f.m, task, d, VPermReadWrite)
+	for _, b := range bases {
+		if _, err := task.Access(b, true); err != nil {
+			t.Fatalf("area at %#x: %v", uint64(b), err)
+		}
+		if _, err := task.Access(b+pg, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grant(t, f.m, task, d, VPermNone)
+
+	// Force d's eviction by cycling enough other vdoms through.
+	for i := 0; i < usablePdoms+2; i++ {
+		o, ob := f.newVdomRegion(t, task, 1, false)
+		grant(t, f.m, task, o, VPermReadWrite)
+		if _, err := task.Access(ob, true); err != nil {
+			t.Fatal(err)
+		}
+		grant(t, f.m, task, o, VPermNone)
+	}
+	if f.m.VDROf(task).Current().Mapped(d) {
+		t.Fatal("multi-area vdom survived the cycling; test premise broken")
+	}
+	// While evicted, every area is unreachable...
+	grantErrCheck := func(b pagetable.VAddr, want bool) {
+		t.Helper()
+		_, err := task.Access(b, false)
+		if want != (err == nil) {
+			t.Fatalf("access %#x: err=%v, want ok=%v", uint64(b), err, want)
+		}
+		if err != nil && !errors.Is(err, kernel.ErrSigsegv) {
+			t.Fatalf("wrong error type: %v", err)
+		}
+	}
+	for _, b := range bases {
+		grantErrCheck(b, false)
+	}
+	// ...and reactivation restores all three at once.
+	grant(t, f.m, task, d, VPermRead)
+	for _, b := range bases {
+		grantErrCheck(b, true)
+		grantErrCheck(b+pg, true)
+	}
+}
+
+// TestSoakFullStack runs a long mixed workload over the whole stack (only
+// in non-short mode): three threads, hundreds of domains, every permission
+// type, periodic frees, reclaim pressure, and invariant checks.
+func TestSoakFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	f := newFixture(t, cycles.X86, 4, DefaultPolicy())
+	m := f.m
+	rng := sim.NewRand(0x50a6)
+	tasks := []*kernel.Task{f.proc.NewTask(0), f.proc.NewTask(1), f.proc.NewTask(2)}
+	for i, task := range tasks {
+		if _, err := m.VdrAlloc(task, 1+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type entry struct {
+		d     VdomID
+		b     pagetable.VAddr
+		alive bool
+	}
+	var pool []*entry
+	mk := func(task *kernel.Task) {
+		base := f.next
+		f.next += 4 * pagetable.PMDSize
+		if _, err := task.Mmap(base, pg, true); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := m.AllocVdom(rng.Intn(5) == 0)
+		if _, err := m.Mprotect(task, base, pg, d); err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, &entry{d: d, b: base, alive: true})
+	}
+	for i := 0; i < 20; i++ {
+		mk(tasks[i%3])
+	}
+	perms := []VPerm{VPermNone, VPermRead, VPermReadWrite, VPermPinned}
+	const steps = 6000
+	for step := 0; step < steps; step++ {
+		task := tasks[rng.Intn(3)]
+		switch rng.Intn(12) {
+		case 0:
+			if len(pool) < 300 {
+				mk(task)
+			}
+		case 1: // free a random live vdom
+			e := pool[rng.Intn(len(pool))]
+			if e.alive {
+				if _, err := m.FreeVdom(e.d); err != nil {
+					t.Fatalf("step %d: free: %v", step, err)
+				}
+				e.alive = false
+			}
+		case 2: // memory pressure
+			f.proc.ReclaimFrames(task.CoreID(), 16)
+		default:
+			e := pool[rng.Intn(len(pool))]
+			perm := perms[rng.Intn(4)]
+			_, err := m.WrVdr(task, e.d, perm)
+			if e.alive && err != nil {
+				t.Fatalf("step %d: wrvdr live vdom: %v", step, err)
+			}
+			if !e.alive && !errors.Is(err, ErrFreedVdom) {
+				t.Fatalf("step %d: wrvdr freed vdom = %v", step, err)
+			}
+			if e.alive {
+				write := rng.Intn(2) == 1
+				vdr := m.VDROf(task)
+				want := vdr.perms[e.d].Allows(write)
+				_, aerr := task.Access(e.b, write)
+				if want != (aerr == nil) {
+					t.Fatalf("step %d: access mismatch (perm %v write %v err %v)",
+						step, vdr.perms[e.d], write, aerr)
+				}
+			}
+		}
+		if step%500 == 0 {
+			checkInvariants(t, m)
+		}
+	}
+	checkInvariants(t, m)
+	if m.Stats.Evictions == 0 || m.Stats.DomainFaults == 0 {
+		t.Errorf("soak too tame: %+v", m.Stats)
+	}
+}

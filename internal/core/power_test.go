@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/pagetable"
+)
+
+// TestPowerThirtyDomainsInOneVDS verifies the projected IBM Power model:
+// with 32 hardware domains, one VDS holds 30 simultaneously mapped vdoms —
+// double what MPK-class hardware offers — with no virtualization machinery
+// engaged.
+func TestPowerThirtyDomainsInOneVDS(t *testing.T) {
+	f := newFixture(t, cycles.Power, 4, DefaultPolicy())
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	usable := UsablePdoms(cycles.PowerParams().NumPdoms)
+	if usable != 30 {
+		t.Fatalf("usable pdoms on Power = %d, want 30", usable)
+	}
+	for i := 0; i < usable; i++ {
+		d, b := f.newVdomRegion(t, task, 1, false)
+		grant(t, f.m, task, d, VPermReadWrite)
+		if _, err := task.Access(b, true); err != nil {
+			t.Fatalf("vdom #%d: %v", i, err)
+		}
+	}
+	if len(f.m.VDSes()) != 1 {
+		t.Errorf("VDSes = %d, want 1 (30 domains fit)", len(f.m.VDSes()))
+	}
+	if f.m.Stats.Evictions != 0 || f.m.Stats.VDSSwitches != 0 || f.m.Stats.Migrations != 0 {
+		t.Errorf("virtualization machinery engaged below capacity: %+v", f.m.Stats)
+	}
+	// The 31st spills over, as on any architecture.
+	d, b := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d, VPermReadWrite)
+	if _, err := task.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.m.VDSes()) < 2 && f.m.Stats.Evictions == 0 {
+		t.Error("31st domain did not trigger the virtualization algorithm")
+	}
+}
+
+// TestPowerKernelMediatedAPI verifies that Power's wrvdr pays a kernel
+// round trip like ARM (the AMR is written in the kernel here).
+func TestPowerKernelMediatedAPI(t *testing.T) {
+	f := newFixture(t, cycles.Power, 2, DefaultPolicy())
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	d, b := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d, VPermReadWrite)
+	if _, err := task.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	c := grant(t, f.m, task, d, VPermRead)
+	p := cycles.PowerParams()
+	want := float64(p.CallReturn + p.SyscallReturn + p.PermRegWrite + p.VDRUpdate)
+	if float64(c) < want*0.9 || float64(c) > want*1.1 {
+		t.Errorf("Power steady wrvdr = %d, want ≈%.0f (kernel-mediated)", c, want)
+	}
+}
+
+// TestPowerInvariantsUnderLoad reuses the invariant checker on the
+// 32-domain model.
+func TestPowerInvariantsUnderLoad(t *testing.T) {
+	f := newFixture(t, cycles.Power, 4, DefaultPolicy())
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		d VdomID
+		b pagetable.VAddr
+	}
+	var all []entry
+	for i := 0; i < 70; i++ {
+		d, b := f.newVdomRegion(t, task, 1, false)
+		all = append(all, entry{d, b})
+	}
+	for step := 0; step < 300; step++ {
+		e := all[step%len(all)]
+		grant(t, f.m, task, e.d, VPermReadWrite)
+		if _, err := task.Access(e.b, true); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		grant(t, f.m, task, e.d, VPermNone)
+		if step%60 == 0 {
+			checkInvariants(t, f.m)
+		}
+	}
+	checkInvariants(t, f.m)
+}

@@ -1,0 +1,78 @@
+package core
+
+// This file implements the memory-domain sandbox defenses of Table 2 that
+// operate on program binaries: the binary inspection that identifies
+// unsafe permission-register writes (Hodor/ERIM-style, defense ❶). The
+// call-gate defense ❷ lives in gate.go (ValidateRegister) and the syscall
+// filter ❸ in the kernel package (RegisterSyscallFilter).
+
+// Op is a simplified instruction opcode for the binary-scan model.
+type Op string
+
+// The opcodes the scanner cares about.
+const (
+	OpWRPKRU Op = "wrpkru"
+	OpRDPKRU Op = "rdpkru"
+	OpXRSTOR Op = "xrstor" // can restore PKRU from memory
+	OpXORECX Op = "xor ecx,ecx"
+	OpCmpEAX Op = "cmp eax"
+	OpJNE    Op = "jne"
+	OpOther  Op = "other"
+)
+
+// Instr is one decoded instruction of a scanned binary.
+type Instr struct {
+	Op Op
+}
+
+// Finding is one unsafe occurrence reported by the scanner.
+type Finding struct {
+	// Index is the instruction offset.
+	Index int
+	// Op is the offending opcode.
+	Op Op
+}
+
+// ScanBinary performs the sandbox's binary inspection (Table 2 ❶): every
+// wrpkru or xrstor outside an approved call-gate sequence is reported. A
+// wrpkru is considered gated when it is immediately followed by the
+// exit-check pattern (cmp eax / jne), mirroring how Hodor and Cerberus
+// whitelist their own gates and how VDom's inlined wrvdr call sites are
+// vetted (§7.1). Deployments insert a hardware watchpoint before making
+// any page containing an unvetted occurrence executable.
+func ScanBinary(code []Instr) []Finding {
+	var out []Finding
+	for i, ins := range code {
+		switch ins.Op {
+		case OpXRSTOR:
+			out = append(out, Finding{Index: i, Op: OpXRSTOR})
+		case OpWRPKRU:
+			if !gatedAt(code, i) {
+				out = append(out, Finding{Index: i, Op: OpWRPKRU})
+			}
+		}
+	}
+	return out
+}
+
+// gatedAt reports whether the wrpkru at index i is immediately followed by
+// the legality-check epilogue (cmp eax then jne, with at most one
+// unrelated instruction in between and no intervening register write),
+// i.e. belongs to a vetted call gate. A later gate's check cannot vouch
+// for an earlier unvetted write.
+func gatedAt(code []Instr, i int) bool {
+	sawCmp := false
+	for j := i + 1; j < len(code) && j <= i+3; j++ {
+		switch code[j].Op {
+		case OpWRPKRU, OpXRSTOR:
+			return false // another write intervenes: not this one's check
+		case OpCmpEAX:
+			sawCmp = true
+		case OpJNE:
+			if sawCmp {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vdom/internal/cycles"
+)
+
+func TestTracerObservesAlgorithmDecisions(t *testing.T) {
+	f := x86Fixture(t)
+	var events []Event
+	f.m.SetTracer(func(e Event) { events = append(events, e) })
+
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 4); err != nil {
+		t.Fatal(err)
+	}
+	// VdrAlloc creates VDS0.
+	if len(events) == 0 || events[0].Kind != EventVDSAlloc {
+		t.Fatalf("first event = %v, want vds-alloc", events)
+	}
+
+	// Fill the VDS: every activation is a map.
+	kinds := func() map[EventKind]int {
+		out := map[EventKind]int{}
+		for _, e := range events {
+			out[e.Kind]++
+		}
+		return out
+	}
+	for i := 0; i < usablePdoms; i++ {
+		d, b := f.newVdomRegion(t, task, 1, false)
+		grant(t, f.m, task, d, VPermReadWrite)
+		if _, err := task.Access(b, true); err != nil {
+			t.Fatal(err)
+		}
+		grant(t, f.m, task, d, VPermNone)
+	}
+	if kinds()[EventMap] != usablePdoms {
+		t.Errorf("map events = %d, want %d", kinds()[EventMap], usablePdoms)
+	}
+	if kinds()[EventEvict] != 0 {
+		t.Error("evictions below capacity")
+	}
+
+	// Overflow: a new VDS + switch appear.
+	d, b := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d, VPermReadWrite)
+	if _, err := task.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	k := kinds()
+	if k[EventVDSAlloc] != 2 || k[EventSwitch] == 0 {
+		t.Errorf("overflow events = %v, want a second vds-alloc and a switch", k)
+	}
+
+	// Free emits.
+	if _, err := f.m.FreeVdom(d); err != nil {
+		t.Fatal(err)
+	}
+	if kinds()[EventFree] != 1 {
+		t.Errorf("free events = %d, want 1", kinds()[EventFree])
+	}
+
+	// Event strings are informative.
+	s := events[len(events)-1].String()
+	if !strings.Contains(s, "free") || !strings.Contains(s, "vdom=") {
+		t.Errorf("event string %q malformed", s)
+	}
+}
+
+func TestTracerEvictionAndMigration(t *testing.T) {
+	f := x86Fixture(t)
+	var events []Event
+	f.m.SetTracer(func(e Event) { events = append(events, e) })
+
+	// nas=1 thread: overflow evicts.
+	t1 := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(t1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= usablePdoms; i++ {
+		d, b := f.newVdomRegion(t, t1, 1, false)
+		grant(t, f.m, t1, d, VPermReadWrite)
+		if _, err := t1.Access(b, true); err != nil {
+			t.Fatal(err)
+		}
+		grant(t, f.m, t1, d, VPermNone)
+	}
+	var sawEvict bool
+	for _, e := range events {
+		if e.Kind == EventEvict {
+			sawEvict = true
+			if e.TID != t1.TID() {
+				t.Errorf("evict attributed to tid %d, want %d", e.TID, t1.TID())
+			}
+			if e.Cost == 0 {
+				t.Error("evict event has zero cost")
+			}
+		}
+	}
+	if !sawEvict {
+		t.Error("no evict events traced")
+	}
+
+	// A second thread sharing the (full) VDS migrates on overflow.
+	events = nil
+	t2 := f.proc.NewTask(1)
+	if _, err := f.m.VdrAlloc(t2, 4); err != nil {
+		t.Fatal(err)
+	}
+	d, b := f.newVdomRegion(t, t2, 1, false)
+	grant(t, f.m, t2, d, VPermReadWrite)
+	if _, err := t2.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	var sawMigrate bool
+	for _, e := range events {
+		if e.Kind == EventMigrate && e.TID == t2.TID() {
+			sawMigrate = true
+		}
+	}
+	if !sawMigrate {
+		t.Errorf("no migrate event for thread 2; events: %v", events)
+	}
+}
+
+func TestTracerDisabledIsFree(t *testing.T) {
+	f := newFixture(t, cycles.X86, 2, DefaultPolicy())
+	task := f.proc.NewTask(0)
+	if _, err := f.m.VdrAlloc(task, 2); err != nil {
+		t.Fatal(err)
+	}
+	// No tracer installed: nothing panics, nothing records.
+	d, b := f.newVdomRegion(t, task, 1, false)
+	grant(t, f.m, task, d, VPermReadWrite)
+	if _, err := task.Access(b, true); err != nil {
+		t.Fatal(err)
+	}
+	// Install then remove.
+	n := 0
+	f.m.SetTracer(func(Event) { n++ })
+	grant(t, f.m, task, d, VPermNone)
+	f.m.SetTracer(nil)
+	grant(t, f.m, task, d, VPermReadWrite)
+	_ = n
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventMap, EventEvict, EventSwitch, EventMigrate, EventVDSAlloc, EventFree}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d string %q empty or dup", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Reserved hardware domains (§5.4, §6.3): pdom 0 is the default domain all
+// unprotected memory lives in; pdom 1 is access-never, used for evicted
+// pages and for sealing the trusted API library's VDR pages on Intel.
+const (
+	DefaultPdom     = pagetable.Pdom(0)
+	AccessNeverPdom = pagetable.Pdom(1)
+	// firstUsablePdom is the first pdom vdoms can map to.
+	firstUsablePdom = 2
+)
+
+// UsablePdomsPerVDS is the number of hardware domains each VDS can hand
+// out to vdoms on the 16-domain architectures (Intel MPK, ARM Memory
+// Domain). Use UsablePdoms for an architecture-aware count.
+const UsablePdomsPerVDS = 16 - firstUsablePdom
+
+// UsablePdoms returns how many vdoms one VDS can map simultaneously on a
+// machine with numPdoms hardware domains (32 on IBM Power).
+func UsablePdoms(numPdoms int) int { return numPdoms - firstUsablePdom }
+
+// evictState remembers how a vdom left a VDS, enabling the HLRU remap
+// optimization: pages evicted by PMD-disable keep their old domain tags, so
+// remapping the vdom to the same pdom later only re-enables the PMDs
+// instead of rewriting every PTE (§5.5).
+type evictState struct {
+	pdom   pagetable.Pdom
+	viaPMD bool
+}
+
+// mapEntry is one slot of a VDS's domain map, indexed by pdom. Since pdoms
+// are fewer than vdoms, the map is indexed by pdom and stores (pdom, vdom)
+// pairs to avoid sparsity (§5.3).
+type mapEntry struct {
+	vdom VdomID
+	used bool
+	// threads is the number of VDS threads whose VDR holds a live
+	// (non-AD) permission on the vdom — the #thread column of Figure 3.
+	threads int
+	// lastUse is the logical timestamp of the vdom's last activation,
+	// driving LRU.
+	lastUse uint64
+}
+
+// VDS is one virtual domain space: a separate ASID-tagged address space
+// with a private domain map (§5.3).
+type VDS struct {
+	id    int
+	table *pagetable.Table
+	asid  tlb.ASID
+
+	domainMap []mapEntry                // indexed by pdom, len == numPdoms
+	vdomPdom  map[VdomID]pagetable.Pdom // inverse of domainMap
+	threads   map[*kernel.Task]bool
+	clock     uint64
+
+	// lastMapping and evicted drive the HLRU policy.
+	lastMapping map[VdomID]pagetable.Pdom
+	evicted     map[VdomID]evictState
+
+	numPdoms int
+}
+
+func newVDS(id int, asid tlb.ASID, numPdoms int) *VDS {
+	return &VDS{
+		id:          id,
+		table:       pagetable.New(),
+		asid:        asid,
+		domainMap:   make([]mapEntry, numPdoms),
+		vdomPdom:    make(map[VdomID]pagetable.Pdom),
+		threads:     make(map[*kernel.Task]bool),
+		lastMapping: make(map[VdomID]pagetable.Pdom),
+		evicted:     make(map[VdomID]evictState),
+		numPdoms:    numPdoms,
+	}
+}
+
+// ID returns the VDS id.
+func (v *VDS) ID() int { return v.id }
+
+// Table returns the VDS's private page table.
+func (v *VDS) Table() *pagetable.Table { return v.table }
+
+// ASID returns the VDS's address-space identifier.
+func (v *VDS) ASID() tlb.ASID { return v.asid }
+
+// NumThreads returns how many threads currently run in the VDS.
+func (v *VDS) NumThreads() int { return len(v.threads) }
+
+// CPUSet returns the cores threads of this VDS are pinned to — the CPU
+// bitmap that bounds TLB shootdowns (§5.3).
+func (v *VDS) CPUSet() hw.CPUSet {
+	var s hw.CPUSet
+	for t := range v.threads {
+		s = s.Add(t.CoreID())
+	}
+	return s
+}
+
+// PdomOf returns the pdom v is mapped to, if any.
+func (v *VDS) PdomOf(d VdomID) (pagetable.Pdom, bool) {
+	p, ok := v.vdomPdom[d]
+	return p, ok
+}
+
+// Mapped reports whether d is mapped in the VDS.
+func (v *VDS) Mapped(d VdomID) bool {
+	_, ok := v.vdomPdom[d]
+	return ok
+}
+
+// FreePdoms returns the number of unmapped usable pdoms.
+func (v *VDS) FreePdoms() int {
+	n := 0
+	for p := firstUsablePdom; p < v.numPdoms; p++ {
+		if !v.domainMap[p].used {
+			n++
+		}
+	}
+	return n
+}
+
+// MappedVdoms returns the vdoms currently mapped, in pdom order.
+func (v *VDS) MappedVdoms() []VdomID {
+	var out []VdomID
+	for p := firstUsablePdom; p < v.numPdoms; p++ {
+		if v.domainMap[p].used {
+			out = append(out, v.domainMap[p].vdom)
+		}
+	}
+	return out
+}
+
+// freePdom returns an unmapped usable pdom, preferring the HLRU hint if it
+// is free.
+func (v *VDS) freePdom(hint pagetable.Pdom, hasHint bool) (pagetable.Pdom, bool) {
+	if hasHint && int(hint) >= firstUsablePdom && int(hint) < v.numPdoms && !v.domainMap[hint].used {
+		return hint, true
+	}
+	for p := firstUsablePdom; p < v.numPdoms; p++ {
+		if !v.domainMap[p].used {
+			return pagetable.Pdom(p), true
+		}
+	}
+	return 0, false
+}
+
+// install binds d to pdom p in the domain map.
+func (v *VDS) install(d VdomID, p pagetable.Pdom) {
+	if v.domainMap[p].used {
+		panic(fmt.Sprintf("core: pdom %d already used by vdom %d", p, v.domainMap[p].vdom))
+	}
+	v.clock++
+	v.domainMap[p] = mapEntry{vdom: d, used: true, lastUse: v.clock}
+	v.vdomPdom[d] = p
+	v.lastMapping[d] = p
+	delete(v.evicted, d)
+}
+
+// uninstall unbinds d from its pdom, remembering the eviction state.
+func (v *VDS) uninstall(d VdomID, viaPMD bool) pagetable.Pdom {
+	p, ok := v.vdomPdom[d]
+	if !ok {
+		panic(fmt.Sprintf("core: uninstall of unmapped vdom %d", d))
+	}
+	v.domainMap[p] = mapEntry{}
+	delete(v.vdomPdom, d)
+	v.evicted[d] = evictState{pdom: p, viaPMD: viaPMD}
+	return p
+}
+
+// touch refreshes d's LRU timestamp.
+func (v *VDS) touch(d VdomID) {
+	if p, ok := v.vdomPdom[d]; ok {
+		v.clock++
+		v.domainMap[p].lastUse = v.clock
+	}
+}
+
+// addThreadRef adjusts the #thread counters when a task with the given VDR
+// permissions joins (+1) or leaves (-1) the VDS.
+func (v *VDS) addThreadRef(perms map[VdomID]VPerm, delta int) {
+	for d, perm := range perms {
+		if !perm.Accessible() {
+			continue
+		}
+		if p, ok := v.vdomPdom[d]; ok {
+			v.domainMap[p].threads += delta
+		}
+	}
+}
+
+// threadsOn returns the #thread counter for d.
+func (v *VDS) threadsOn(d VdomID) int {
+	if p, ok := v.vdomPdom[d]; ok {
+		return v.domainMap[p].threads
+	}
+	return 0
+}
+
+// adjustRef moves the #thread counter of d by delta (on wrvdr permission
+// transitions).
+func (v *VDS) adjustRef(d VdomID, delta int) {
+	if p, ok := v.vdomPdom[d]; ok {
+		v.domainMap[p].threads += delta
+		if v.domainMap[p].threads < 0 {
+			panic("core: negative thread refcount")
+		}
+	}
+}

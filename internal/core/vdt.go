@@ -1,0 +1,122 @@
+package core
+
+import (
+	"vdom/internal/pagetable"
+)
+
+// Area is one contiguous protected memory range assigned to a vdom.
+type Area struct {
+	Start  pagetable.VAddr
+	Length uint64
+}
+
+// Pages returns the page count of the area.
+func (a Area) Pages() uint64 { return a.Length / pagetable.PageSize }
+
+// End returns the exclusive end address.
+func (a Area) End() pagetable.VAddr { return a.Start + pagetable.VAddr(a.Length) }
+
+// vdtFanout is the fan-out of each VDT level.
+const vdtFanout = 512
+
+// VDT is the hierarchical virtual domain table of the per-process VDM
+// (§5.3): a two-level radix over vdom ids whose last-level entries point to
+// the chained memory areas protected by the indexing vdom. It balances
+// memory against the O(1) lookups eviction needs — evicting a vdom must
+// find all of its areas without scanning the process's VMA tree.
+type VDT struct {
+	top   map[uint64]*vdtLeaf
+	areas int
+}
+
+type vdtLeaf struct {
+	slots [vdtFanout][]Area
+}
+
+// NewVDT returns an empty table.
+func NewVDT() *VDT {
+	return &VDT{top: make(map[uint64]*vdtLeaf)}
+}
+
+// TotalAreas returns the number of areas across all vdoms.
+func (t *VDT) TotalAreas() int { return t.areas }
+
+func (t *VDT) leafFor(v VdomID, create bool) (*vdtLeaf, int) {
+	hi, lo := uint64(v)/vdtFanout, int(uint64(v)%vdtFanout)
+	leaf := t.top[hi]
+	if leaf == nil && create {
+		leaf = &vdtLeaf{}
+		t.top[hi] = leaf
+	}
+	return leaf, lo
+}
+
+// AddArea records that [start, start+length) is protected by v. Adjacent
+// areas are coalesced so eviction walks stay short.
+func (t *VDT) AddArea(v VdomID, start pagetable.VAddr, length uint64) {
+	leaf, lo := t.leafFor(v, true)
+	chain := leaf.slots[lo]
+	// Coalesce with an adjacent existing area when possible.
+	for i := range chain {
+		if chain[i].End() == start {
+			chain[i].Length += length
+			return
+		}
+		if start+pagetable.VAddr(length) == chain[i].Start {
+			chain[i].Start = start
+			chain[i].Length += length
+			return
+		}
+	}
+	leaf.slots[lo] = append(chain, Area{Start: start, Length: length})
+	t.areas++
+}
+
+// RemoveArea drops the exact area [start, start+length) from v's chain.
+// It reports whether the area was found.
+func (t *VDT) RemoveArea(v VdomID, start pagetable.VAddr, length uint64) bool {
+	leaf, lo := t.leafFor(v, false)
+	if leaf == nil {
+		return false
+	}
+	chain := leaf.slots[lo]
+	for i := range chain {
+		if chain[i].Start == start && chain[i].Length == length {
+			leaf.slots[lo] = append(chain[:i], chain[i+1:]...)
+			t.areas--
+			return true
+		}
+	}
+	return false
+}
+
+// Clear removes every area of v and returns how many were dropped.
+func (t *VDT) Clear(v VdomID) int {
+	leaf, lo := t.leafFor(v, false)
+	if leaf == nil {
+		return 0
+	}
+	n := len(leaf.slots[lo])
+	leaf.slots[lo] = nil
+	t.areas -= n
+	return n
+}
+
+// Areas returns the protected areas of v. The returned slice must not be
+// mutated.
+func (t *VDT) Areas(v VdomID) []Area {
+	leaf, lo := t.leafFor(v, false)
+	if leaf == nil {
+		return nil
+	}
+	return leaf.slots[lo]
+}
+
+// TotalPages returns the number of pages protected by v.
+func (t *VDT) TotalPages(v VdomID) uint64 {
+	var n uint64
+	for _, a := range t.Areas(v) {
+		n += a.Pages()
+	}
+	return n
+}

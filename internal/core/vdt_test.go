@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdom/internal/pagetable"
+)
+
+func TestVDTAddAndLookup(t *testing.T) {
+	v := NewVDT()
+	v.AddArea(5, 0x1000, 2*pg)
+	v.AddArea(5, 0x10000, pg)
+	v.AddArea(900000, 0x20000, 4*pg) // far id exercises the radix split
+
+	if got := len(v.Areas(5)); got != 2 {
+		t.Errorf("areas(5) = %d, want 2", got)
+	}
+	if got := v.TotalPages(5); got != 3 {
+		t.Errorf("TotalPages(5) = %d, want 3", got)
+	}
+	if got := len(v.Areas(900000)); got != 1 {
+		t.Errorf("areas(900000) = %d, want 1", got)
+	}
+	if got := v.Areas(7); got != nil {
+		t.Errorf("areas(7) = %v, want nil", got)
+	}
+	if v.TotalAreas() != 3 {
+		t.Errorf("TotalAreas = %d, want 3", v.TotalAreas())
+	}
+}
+
+func TestVDTCoalescesAdjacentAreas(t *testing.T) {
+	v := NewVDT()
+	v.AddArea(1, 0x1000, pg)
+	v.AddArea(1, 0x2000, pg) // extends the first
+	if got := len(v.Areas(1)); got != 1 {
+		t.Fatalf("areas = %d after forward coalesce, want 1", got)
+	}
+	if a := v.Areas(1)[0]; a.Start != 0x1000 || a.Length != 2*pg {
+		t.Errorf("coalesced area = %+v", a)
+	}
+	v.AddArea(1, 0x800000, pg)
+	v.AddArea(1, 0x7ff000, pg) // extends backward
+	if got := len(v.Areas(1)); got != 2 {
+		t.Fatalf("areas = %d after backward coalesce, want 2", got)
+	}
+	if got := v.TotalPages(1); got != 4 {
+		t.Errorf("TotalPages = %d, want 4", got)
+	}
+}
+
+func TestVDTRemoveArea(t *testing.T) {
+	v := NewVDT()
+	v.AddArea(3, 0x1000, pg)
+	v.AddArea(3, 0x10000, 2*pg)
+	if !v.RemoveArea(3, 0x1000, pg) {
+		t.Error("RemoveArea of existing failed")
+	}
+	if v.RemoveArea(3, 0x1000, pg) {
+		t.Error("double remove succeeded")
+	}
+	if v.RemoveArea(99, 0x1000, pg) {
+		t.Error("remove on unknown vdom succeeded")
+	}
+	if got := len(v.Areas(3)); got != 1 {
+		t.Errorf("areas = %d after remove, want 1", got)
+	}
+	if v.TotalAreas() != 1 {
+		t.Errorf("TotalAreas = %d", v.TotalAreas())
+	}
+}
+
+func TestVDTClear(t *testing.T) {
+	v := NewVDT()
+	v.AddArea(8, 0x1000, pg)
+	v.AddArea(8, 0x10000, pg)
+	v.AddArea(9, 0x20000, pg)
+	if n := v.Clear(8); n != 2 {
+		t.Errorf("Clear(8) = %d, want 2", n)
+	}
+	if v.Areas(8) != nil && len(v.Areas(8)) != 0 {
+		t.Error("areas survive Clear")
+	}
+	if len(v.Areas(9)) != 1 {
+		t.Error("Clear leaked into another vdom")
+	}
+	if v.Clear(12345) != 0 {
+		t.Error("Clear of unknown vdom returned non-zero")
+	}
+}
+
+func TestAreaHelpers(t *testing.T) {
+	a := Area{Start: 0x4000, Length: 3 * pg}
+	if a.Pages() != 3 {
+		t.Errorf("Pages = %d", a.Pages())
+	}
+	if a.End() != 0x4000+3*pg {
+		t.Errorf("End = %#x", uint64(a.End()))
+	}
+}
+
+// Property: TotalAreas always equals the sum over vdoms of len(Areas)
+// after random non-coalescing add/remove sequences.
+func TestVDTAreaCountProperty(t *testing.T) {
+	if err := quick.Check(func(ops []uint32) bool {
+		v := NewVDT()
+		ref := map[VdomID]map[pagetable.VAddr]bool{}
+		for _, op := range ops {
+			d := VdomID(op % 7)
+			// Non-adjacent slots so coalescing never fires.
+			start := pagetable.VAddr(uint64(op%32) * 4 * pg)
+			if ref[d] == nil {
+				ref[d] = map[pagetable.VAddr]bool{}
+			}
+			if op&0x80000000 == 0 {
+				if !ref[d][start] {
+					v.AddArea(d, start, pg)
+					ref[d][start] = true
+				}
+			} else {
+				had := ref[d][start]
+				delete(ref[d], start)
+				if v.RemoveArea(d, start, pg) != had {
+					return false
+				}
+			}
+		}
+		total := 0
+		for d, set := range ref {
+			if len(v.Areas(d)) != len(set) {
+				return false
+			}
+			total += len(set)
+		}
+		return v.TotalAreas() == total
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPermStringAndHardware(t *testing.T) {
+	cases := []struct {
+		p    VPerm
+		s    string
+		read bool
+	}{
+		{VPermNone, "AD", false},
+		{VPermRead, "WD", true},
+		{VPermReadWrite, "FA", true},
+		{VPermPinned, "PIN", false},
+	}
+	for _, c := range cases {
+		if c.p.String() != c.s {
+			t.Errorf("%d.String() = %q, want %q", c.p, c.p.String(), c.s)
+		}
+		if c.p.Allows(false) != c.read {
+			t.Errorf("%v.Allows(read) = %v", c.p, c.p.Allows(false))
+		}
+	}
+	if VPermPinned.Accessible() || !VPermRead.Accessible() {
+		t.Error("Accessible wrong")
+	}
+	if VPermReadWrite.Hardware().Allows(true) != true {
+		t.Error("FA hardware mapping wrong")
+	}
+	if VPermPinned.Hardware().Allows(false) {
+		t.Error("pinned must be access-disabled at the hardware level")
+	}
+}
+
+func TestVDSAccessors(t *testing.T) {
+	v := newVDS(3, 17, 16)
+	if v.ID() != 3 || v.ASID() != 17 || v.Table() == nil {
+		t.Error("accessors wrong")
+	}
+	if v.FreePdoms() != UsablePdomsPerVDS {
+		t.Errorf("FreePdoms = %d, want %d", v.FreePdoms(), UsablePdomsPerVDS)
+	}
+	v.install(41, 5)
+	if got, ok := v.PdomOf(41); !ok || got != 5 {
+		t.Errorf("PdomOf = (%d, %v)", got, ok)
+	}
+	if !v.Mapped(41) || v.Mapped(42) {
+		t.Error("Mapped wrong")
+	}
+	if v.FreePdoms() != UsablePdomsPerVDS-1 {
+		t.Errorf("FreePdoms after install = %d", v.FreePdoms())
+	}
+	if vs := v.MappedVdoms(); len(vs) != 1 || vs[0] != 41 {
+		t.Errorf("MappedVdoms = %v", vs)
+	}
+	p := v.uninstall(41, true)
+	if p != 5 {
+		t.Errorf("uninstall returned pdom %d", p)
+	}
+	if st, ok := v.evicted[41]; !ok || !st.viaPMD || st.pdom != 5 {
+		t.Errorf("evict state = %+v, %v", st, ok)
+	}
+	// HLRU memory survives the uninstall.
+	if v.lastMapping[41] != 5 {
+		t.Error("lastMapping lost")
+	}
+}
+
+func TestVDSDoubleInstallPanics(t *testing.T) {
+	v := newVDS(0, 1, 16)
+	v.install(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("double install on one pdom did not panic")
+		}
+	}()
+	v.install(2, 4)
+}
+
+func TestVDSUninstallUnmappedPanics(t *testing.T) {
+	v := newVDS(0, 1, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("uninstall of unmapped vdom did not panic")
+		}
+	}()
+	v.uninstall(9, false)
+}
+
+func TestVDSFreePdomHint(t *testing.T) {
+	v := newVDS(0, 1, 16)
+	// Hint respected when free.
+	if p, ok := v.freePdom(7, true); !ok || p != 7 {
+		t.Errorf("freePdom(hint 7) = (%d, %v)", p, ok)
+	}
+	v.install(1, 7)
+	// Occupied hint falls back to the first free pdom.
+	if p, ok := v.freePdom(7, true); !ok || p != firstUsablePdom {
+		t.Errorf("freePdom(occupied hint) = (%d, %v)", p, ok)
+	}
+	// Reserved pdoms are never handed out.
+	if p, ok := v.freePdom(0, true); !ok || p < firstUsablePdom {
+		t.Errorf("freePdom handed out reserved pdom %d (%v)", p, ok)
+	}
+}

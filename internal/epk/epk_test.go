@@ -1,0 +1,113 @@
+package epk
+
+import "testing"
+
+func TestVMFuncCyclesFitsPaperPoints(t *testing.T) {
+	// The paper reports ≈350 cycles with 32 domains (2–3 EPTs) and
+	// ≈830 with 64–70 domains (5 EPTs).
+	if got := VMFuncCycles(2); got < 315 || got > 385 {
+		t.Errorf("VMFuncCycles(2) = %d, want ≈350", got)
+	}
+	if got := VMFuncCycles(5); got < 750 || got > 915 {
+		t.Errorf("VMFuncCycles(5) = %d, want ≈830", got)
+	}
+	// Never below a bare VMFUNC.
+	if got := VMFuncCycles(0); got < vmfuncMin {
+		t.Errorf("VMFuncCycles(0) = %d < %d", got, vmfuncMin)
+	}
+}
+
+func TestEPTCount(t *testing.T) {
+	cases := []struct{ domains, epts int }{
+		{1, 1}, {15, 1}, {16, 2}, {30, 2}, {31, 3}, {64, 5}, {70, 5},
+	}
+	for _, c := range cases {
+		if got := New(c.domains, DefaultVMTax()).NumEPTs(); got != c.epts {
+			t.Errorf("New(%d).NumEPTs = %d, want %d", c.domains, got, c.epts)
+		}
+	}
+}
+
+func TestSwitchWithinGroupUsesMPK(t *testing.T) {
+	s := New(64, DefaultVMTax())
+	// First touch loads the group.
+	s.Switch(1, 0)
+	c := s.Switch(1, 5) // same group (0..14)
+	if c != MPKSwitchCycles {
+		t.Errorf("in-group switch = %d, want %d", c, MPKSwitchCycles)
+	}
+	if s.Stats.VMFuncSwitches != 1 {
+		t.Errorf("VMFuncSwitches = %d after first load, want 1", s.Stats.VMFuncSwitches)
+	}
+}
+
+func TestSwitchAcrossGroupsUsesVMFUNC(t *testing.T) {
+	s := New(64, DefaultVMTax())
+	s.Switch(1, 0)
+	c := s.Switch(1, 20) // group 1
+	if c != VMFuncCycles(s.NumEPTs()) {
+		t.Errorf("cross-group switch = %d, want %d", c, VMFuncCycles(s.NumEPTs()))
+	}
+	if s.Stats.VMFuncSwitches != 2 {
+		t.Errorf("VMFuncSwitches = %d, want 2", s.Stats.VMFuncSwitches)
+	}
+}
+
+func TestSingleEPTNeverVMFuncs(t *testing.T) {
+	s := New(15, DefaultVMTax())
+	for d := 0; d < 15; d++ {
+		if c := s.Switch(1, d); c != MPKSwitchCycles {
+			t.Fatalf("switch to %d = %d cycles with one EPT", d, c)
+		}
+	}
+	if s.Stats.VMFuncSwitches != 0 {
+		t.Errorf("VMFuncSwitches = %d with one EPT", s.Stats.VMFuncSwitches)
+	}
+}
+
+func TestPerThreadGroups(t *testing.T) {
+	s := New(64, DefaultVMTax())
+	s.Switch(1, 0)
+	s.Switch(2, 20)
+	// Thread 1 stays in group 0; thread 2's group change must not
+	// affect it.
+	if c := s.Switch(1, 3); c != MPKSwitchCycles {
+		t.Errorf("thread 1 in-group switch = %d after thread 2 moved", c)
+	}
+}
+
+func TestSequentialPatternMatchesTable4(t *testing.T) {
+	// Table 4 EPK seq: 64 domains ≈162 cycles average; 16 domains ≈111.
+	for _, tc := range []struct {
+		domains int
+		want    float64
+	}{
+		{16, 111},
+		{64, 162},
+	} {
+		s := New(tc.domains, DefaultVMTax())
+		var total uint64
+		const rounds = 100
+		for r := 0; r < rounds; r++ {
+			for d := 0; d < tc.domains; d++ {
+				total += uint64(s.Switch(1, d))
+			}
+		}
+		avg := float64(total) / float64(rounds*tc.domains)
+		if avg < tc.want*0.8 || avg > tc.want*1.2 {
+			t.Errorf("%d domains: avg seq switch = %.0f, want ≈%.0f", tc.domains, avg, tc.want)
+		}
+	}
+}
+
+func TestVMTaxSplit(t *testing.T) {
+	tax := DefaultVMTax()
+	pure := tax.Apply(10000, 0)
+	if pure < 10100 || pure > 10400 {
+		t.Errorf("pure-user tax = %d, want ≈2%%", pure)
+	}
+	kern := tax.Apply(0, 10000)
+	if kern < 12500 || kern > 13500 {
+		t.Errorf("kernel tax = %d, want ≈30%%", kern)
+	}
+}

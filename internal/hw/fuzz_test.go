@@ -1,0 +1,34 @@
+package hw
+
+import "testing"
+
+// FuzzPermRegister checks that arbitrary Set/SetRaw interleavings keep the
+// register's field isolation intact.
+func FuzzPermRegister(f *testing.F) {
+	f.Add(uint64(0), []byte{1, 2, 3})
+	f.Add(^uint64(0), []byte{0, 31, 15, 16})
+	f.Fuzz(func(t *testing.T, raw uint64, tape []byte) {
+		var r PermRegister
+		r.SetRaw(raw)
+		want := map[uint8]Perm{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			d := tape[i] % MaxPdoms
+			p := Perm(tape[i+1] % 3)
+			r.Set(d, p)
+			want[d] = p
+		}
+		for d, p := range want {
+			if got := r.Get(d); got != p {
+				t.Fatalf("pdom %d = %v, want %v (raw=%#x)", d, got, p, r.Raw())
+			}
+		}
+		// Fields not in `want` must still decode to a valid Perm
+		// consistent with Allows.
+		for d := uint8(0); d < MaxPdoms; d++ {
+			p := r.Get(d)
+			if p.Allows(true) && !p.Allows(false) {
+				t.Fatalf("pdom %d allows write but not read", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package hw assembles the simulated machine: cores with ASID-tagged TLBs
+// and domain permission registers, a physical frame allocator, the MMU
+// access path (TLB lookup → page walk → domain check), and IPI-based TLB
+// shootdowns.
+//
+// Every operation returns its cycle cost so callers can either accumulate
+// cycles (microbenchmarks) or convert them into virtual-time delays
+// (discrete-event workloads).
+package hw
+
+import (
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Config describes a machine to build.
+type Config struct {
+	// Arch selects the cost table and domain model.
+	Arch cycles.Arch
+	// NumCores is the number of hardware threads.
+	NumCores int
+	// TLBCapacity is per-core TLB entries; 0 means tlb.DefaultCapacity.
+	TLBCapacity int
+	// NoASID disables ASID tagging (ablation): every pgd switch must
+	// fully flush the local TLB.
+	NoASID bool
+	// SetAssociative organizes each TLB as 8-way set-associative
+	// (modelling conflict misses) instead of fully associative.
+	SetAssociative bool
+}
+
+// Machine is the simulated hardware platform.
+type Machine struct {
+	params *cycles.Params
+	cores  []*Core
+	noASID bool
+
+	nextFrame pagetable.Frame
+}
+
+// NewMachine builds a machine from the config.
+func NewMachine(cfg Config) *Machine {
+	if cfg.NumCores <= 0 {
+		panic("hw: NumCores must be positive")
+	}
+	capacity := cfg.TLBCapacity
+	if capacity == 0 {
+		capacity = tlb.DefaultCapacity
+	}
+	m := &Machine{params: cycles.ParamsFor(cfg.Arch), noASID: cfg.NoASID}
+	for i := 0; i < cfg.NumCores; i++ {
+		var cache tlb.Cache
+		if cfg.SetAssociative {
+			const ways = 8
+			sets := 1
+			for sets*ways < capacity {
+				sets <<= 1
+			}
+			cache = tlb.NewSetAssoc(sets, ways)
+		} else {
+			cache = tlb.New(capacity)
+		}
+		m.cores = append(m.cores, &Core{
+			id:      i,
+			machine: m,
+			tlb:     cache,
+		})
+	}
+	return m
+}
+
+// Params returns the machine's cycle cost table.
+func (m *Machine) Params() *cycles.Params { return m.params }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// ASIDSupported reports whether pgd switches preserve TLB contents.
+func (m *Machine) ASIDSupported() bool { return !m.noASID }
+
+// AllocFrames reserves n fresh physical frames and returns the first.
+func (m *Machine) AllocFrames(n int) pagetable.Frame {
+	f := m.nextFrame
+	m.nextFrame += pagetable.Frame(n)
+	return f
+}
+
+// ShootdownReport describes the cost of one TLB shootdown.
+type ShootdownReport struct {
+	// InitiatorCycles is charged to the core that issued the IPIs
+	// (send cost per target plus waiting for acknowledgements).
+	InitiatorCycles cycles.Cost
+	// ReceiverCycles is charged to EACH remote core that serviced the
+	// interrupt.
+	ReceiverCycles cycles.Cost
+	// RemoteCores is the number of cores that received an IPI.
+	RemoteCores int
+}
+
+// Shootdown invalidates TLB state on the given remote cores (identified by
+// a bitmap of core ids) and on the initiator, using flush to perform the
+// invalidation on each core's TLB. It returns the cost split. The initiator
+// core's own TLB is flushed locally at localCost.
+func (m *Machine) Shootdown(initiator int, targets CPUSet, flush func(tlb.Cache), localCost cycles.Cost) ShootdownReport {
+	r := ShootdownReport{}
+	for id := range m.cores {
+		if id == initiator || !targets.Has(id) {
+			continue
+		}
+		flush(m.cores[id].tlb)
+		r.RemoteCores++
+	}
+	flush(m.cores[initiator].tlb)
+	r.InitiatorCycles = localCost + cycles.Cost(r.RemoteCores)*m.params.IPI
+	r.ReceiverCycles = m.params.IPIReceive
+	return r
+}
+
+// CPUSet is a bitmap of core ids.
+type CPUSet uint64
+
+// Has reports whether core id is in the set.
+func (s CPUSet) Has(id int) bool { return s&(1<<uint(id)) != 0 }
+
+// Add returns the set with core id included.
+func (s CPUSet) Add(id int) CPUSet { return s | 1<<uint(id) }
+
+// Remove returns the set without core id.
+func (s CPUSet) Remove(id int) CPUSet { return s &^ (1 << uint(id)) }
+
+// Count returns the number of cores in the set.
+func (s CPUSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// AllCores returns a set containing cores [0, n).
+func AllCores(n int) CPUSet {
+	if n >= 64 {
+		panic("hw: CPUSet supports at most 64 cores")
+	}
+	return CPUSet(1<<uint(n) - 1)
+}
+
+// FaultKind classifies the outcome of a memory access.
+type FaultKind int
+
+const (
+	// AccessOK means the access succeeded.
+	AccessOK FaultKind = iota
+	// FaultNotPresent means no translation exists (demand paging).
+	FaultNotPresent
+	// FaultPMDDisabled means the walk hit a VDom-disabled PMD entry.
+	FaultPMDDisabled
+	// FaultDomainPerm means the permission register denied the domain
+	// (protection-key fault on Intel, domain fault on ARM).
+	FaultDomainPerm
+	// FaultWriteProtect means a write hit a read-only page.
+	FaultWriteProtect
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case AccessOK:
+		return "ok"
+	case FaultNotPresent:
+		return "not-present"
+	case FaultPMDDisabled:
+		return "pmd-disabled"
+	case FaultDomainPerm:
+		return "domain-perm"
+	case FaultWriteProtect:
+		return "write-protect"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// AccessResult is the outcome of Core.Access.
+type AccessResult struct {
+	Kind FaultKind
+	// Pdom is the domain tag of the page, valid unless the translation
+	// was absent.
+	Pdom pagetable.Pdom
+	// TLBHit reports whether the translation came from the TLB.
+	TLBHit bool
+	// Cost is the cycle cost of the access attempt itself (not of any
+	// fault handling that may follow).
+	Cost cycles.Cost
+}
+
+// Core is one hardware thread.
+type Core struct {
+	id      int
+	machine *Machine
+	tlb     tlb.Cache
+
+	perm  PermRegister
+	table *pagetable.Table
+	asid  tlb.ASID
+}
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// TLB exposes the core's TLB (for kernel flush operations and tests).
+func (c *Core) TLB() tlb.Cache { return c.tlb }
+
+// Perm exposes the core's permission register.
+func (c *Core) Perm() *PermRegister { return &c.perm }
+
+// ASID returns the currently loaded address-space identifier.
+func (c *Core) ASID() tlb.ASID { return c.asid }
+
+// Table returns the currently loaded page table.
+func (c *Core) Table() *pagetable.Table { return c.table }
+
+// SwitchPgd loads a new page table and ASID, returning the cycle cost. With
+// ASID support the TLB is preserved; without it (ablation) the switch costs
+// a full local flush as well.
+func (c *Core) SwitchPgd(t *pagetable.Table, asid tlb.ASID) cycles.Cost {
+	c.table = t
+	c.asid = asid
+	cost := c.machine.params.PgdSwitch
+	if c.machine.noASID {
+		c.tlb.FlushAll()
+		cost += c.machine.params.TLBFlushLocalAll
+	}
+	return cost
+}
+
+// Access performs one load (write=false) or store (write=true) at addr
+// against the currently loaded address space: TLB lookup, page walk on
+// miss, then the domain permission check. It mirrors the hardware pipeline,
+// so a TLB hit still pays the domain check, and a missing translation
+// faults before any domain check can happen.
+func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
+	if c.table == nil {
+		panic("hw: Access with no page table loaded")
+	}
+	p := c.machine.params
+	vpn := addr.VPN()
+	if e, ok := c.tlb.Lookup(c.asid, vpn); ok {
+		res := AccessResult{Pdom: e.Pdom, TLBHit: true, Cost: p.TLBHit}
+		res.Kind = c.check(e.Pdom, e.Writable, write)
+		return res
+	}
+	wr := c.table.Walk(addr)
+	cost := p.TLBHit + p.PageWalk*cycles.Cost(wr.LevelsVisited)/cycles.Cost(pagetable.Levels)
+	switch {
+	case wr.PMDDisabled:
+		return AccessResult{Kind: FaultPMDDisabled, Cost: cost}
+	case !wr.Present:
+		return AccessResult{Kind: FaultNotPresent, Cost: cost}
+	}
+	c.tlb.Insert(tlb.Entry{
+		ASID:     c.asid,
+		VPN:      vpn,
+		Frame:    wr.PTE.Frame,
+		Pdom:     wr.PTE.Pdom,
+		Writable: wr.PTE.Writable,
+	})
+	res := AccessResult{Pdom: wr.PTE.Pdom, Cost: cost}
+	res.Kind = c.check(wr.PTE.Pdom, wr.PTE.Writable, write)
+	return res
+}
+
+func (c *Core) check(pdom pagetable.Pdom, writable, write bool) FaultKind {
+	if !c.perm.Allows(uint8(pdom), write) {
+		return FaultDomainPerm
+	}
+	if write && !writable {
+		return FaultWriteProtect
+	}
+	return AccessOK
+}

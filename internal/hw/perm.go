@@ -1,0 +1,108 @@
+package hw
+
+import "fmt"
+
+// Perm is an access right to one protection domain, the common abstraction
+// over Intel PKRU bit pairs and ARM DACR field values.
+type Perm uint8
+
+const (
+	// PermNone denies all access (PKRU access-disable, DACR No Access).
+	PermNone Perm = iota
+	// PermRead allows reads only (PKRU write-disable).
+	PermRead
+	// PermReadWrite allows full access.
+	PermReadWrite
+)
+
+// String returns a short human-readable permission name.
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "NA"
+	case PermRead:
+		return "RO"
+	case PermReadWrite:
+		return "RW"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// Allows reports whether the permission admits the access.
+func (p Perm) Allows(write bool) bool {
+	switch p {
+	case PermReadWrite:
+		return true
+	case PermRead:
+		return !write
+	default:
+		return false
+	}
+}
+
+// PermRegister is the per-core domain permission register: PKRU on Intel,
+// DACR on ARM, AMR on Power. Each domain gets a 2-bit field — 16 fields
+// fit a 32-bit PKRU/DACR, and the 64-bit width also accommodates Power's
+// 32 domains. The encoding follows PKRU: bit 2k is access-disable (AD),
+// bit 2k+1 is write-disable (WD); a zero register grants full access to
+// every domain.
+type PermRegister struct {
+	bits uint64
+}
+
+// MaxPdoms is the largest domain count any architecture model uses.
+const MaxPdoms = 32
+
+// Get returns the permission for pdom.
+func (r *PermRegister) Get(pdom uint8) Perm {
+	f := r.bits >> (2 * uint64(pdom)) & 0b11
+	switch {
+	case f&0b01 != 0:
+		return PermNone
+	case f&0b10 != 0:
+		return PermRead
+	default:
+		return PermReadWrite
+	}
+}
+
+// Set updates the permission for pdom.
+func (r *PermRegister) Set(pdom uint8, p Perm) {
+	var f uint64
+	switch p {
+	case PermNone:
+		f = 0b01
+	case PermRead:
+		f = 0b10
+	case PermReadWrite:
+		f = 0b00
+	default:
+		panic(fmt.Sprintf("hw: invalid permission %d", p))
+	}
+	shift := 2 * uint64(pdom)
+	r.bits = r.bits&^(0b11<<shift) | f<<shift
+}
+
+// Raw returns the raw register value (rdpkru / mfspr).
+func (r *PermRegister) Raw() uint64 { return r.bits }
+
+// SetRaw overwrites the raw register value (wrpkru / mtspr). It is how the
+// secure call gate and hijack tests manipulate the register wholesale.
+func (r *PermRegister) SetRaw(v uint64) { r.bits = v }
+
+// Allows reports whether the register admits the access to pdom.
+func (r *PermRegister) Allows(pdom uint8, write bool) bool {
+	return r.Get(pdom).Allows(write)
+}
+
+// DenyAll returns a raw value that access-disables every domain except
+// pdom0 (the default domain, which always stays accessible so code can
+// run).
+func DenyAll() uint64 {
+	var r PermRegister
+	for d := uint8(1); d < MaxPdoms; d++ {
+		r.Set(d, PermNone)
+	}
+	return r.Raw()
+}

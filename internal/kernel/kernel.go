@@ -1,0 +1,333 @@
+// Package kernel implements the simulated operating system layer: tasks
+// (threads), processes, ASID management, context switches, the page-fault
+// dispatch path, and a syscall surface with the filter hooks that memory
+// domain sandboxes rely on.
+//
+// The kernel comes in two flavours, selected by Config.VDomEnabled:
+// "vanilla" (baseline Linux 5.17 analog) and "VDom-modified", whose context
+// switch carries the extra metadata maintenance the paper measures in §7.5.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// ErrSigsegv reports a fatal memory access violation delivered to the
+// faulting task.
+var ErrSigsegv = errors.New("kernel: SIGSEGV")
+
+// Config describes a kernel to boot.
+type Config struct {
+	// Machine is the hardware to run on.
+	Machine *hw.Machine
+	// VDomEnabled builds the kernel with the VDom patches (HAS_VDOM).
+	// It slightly slows context switches (§7.5) and enables VDS-aware
+	// fault dispatch.
+	VDomEnabled bool
+}
+
+// Kernel is the simulated OS instance.
+type Kernel struct {
+	machine *hw.Machine
+	params  *cycles.Params
+	vdom    bool
+
+	nextASID tlb.ASID
+	nextPID  int
+
+	// lastTask tracks, per core, which task's state is loaded.
+	lastTask []*Task
+
+	// pendingIRQ accumulates, per core, interrupt-servicing cycles
+	// (shootdown IPIs) that the next burst scheduled on that core must
+	// absorb.
+	pendingIRQ []cycles.Cost
+
+	syscallFilters []SyscallFilter
+}
+
+// AddPendingInterrupt charges c interrupt-handling cycles to core id; the
+// scheduler folds them into the next burst that runs there. Initiators of
+// TLB shootdowns use this to model the disruption of remote cores.
+func (k *Kernel) AddPendingInterrupt(id int, c cycles.Cost) {
+	k.pendingIRQ[id] += c
+}
+
+// TakePendingInterrupts drains the interrupt debt of core id.
+func (k *Kernel) TakePendingInterrupts(id int) cycles.Cost {
+	c := k.pendingIRQ[id]
+	k.pendingIRQ[id] = 0
+	return c
+}
+
+// New boots a kernel on the machine.
+func New(cfg Config) *Kernel {
+	if cfg.Machine == nil {
+		panic("kernel: nil machine")
+	}
+	return &Kernel{
+		machine:    cfg.Machine,
+		params:     cfg.Machine.Params(),
+		vdom:       cfg.VDomEnabled,
+		nextASID:   1,
+		lastTask:   make([]*Task, cfg.Machine.NumCores()),
+		pendingIRQ: make([]cycles.Cost, cfg.Machine.NumCores()),
+	}
+}
+
+// Machine returns the underlying hardware.
+func (k *Kernel) Machine() *hw.Machine { return k.machine }
+
+// Params returns the cycle cost table.
+func (k *Kernel) Params() *cycles.Params { return k.params }
+
+// VDomEnabled reports whether the kernel carries the VDom patches.
+func (k *Kernel) VDomEnabled() bool { return k.vdom }
+
+// AllocASID hands out a fresh address-space identifier.
+func (k *Kernel) AllocASID() tlb.ASID {
+	a := k.nextASID
+	k.nextASID++
+	return a
+}
+
+// FaultHandler lets a subsystem (the VDom core, libmpk) intercept domain
+// and PMD-disabled faults before the kernel's default SIGSEGV. Handled
+// reports the fault was repaired and the access should retry; Cost is
+// charged to the faulting task on top of the trap costs.
+type FaultHandler interface {
+	HandleDomainFault(t *Task, addr pagetable.VAddr, write bool, kind hw.FaultKind) (cost cycles.Cost, handled bool, err error)
+}
+
+// Process is a group of tasks sharing one address space.
+type Process struct {
+	kernel *Kernel
+	pid    int
+	as     *mm.AddressSpace
+	tasks  []*Task
+
+	// handler receives domain faults (protection-key / domain faults and
+	// PMD-disabled faults) for all tasks of the process.
+	handler FaultHandler
+}
+
+// NewProcess creates a process with an empty address space.
+func (k *Kernel) NewProcess() *Process {
+	k.nextPID++
+	return &Process{
+		kernel: k,
+		pid:    k.nextPID,
+		as:     mm.NewAddressSpace(k.machine),
+	}
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// AS returns the process address space.
+func (p *Process) AS() *mm.AddressSpace { return p.as }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// SetFaultHandler installs the process's domain-fault handler.
+func (p *Process) SetFaultHandler(h FaultHandler) { p.handler = h }
+
+// Tasks returns the live tasks of the process.
+func (p *Process) Tasks() []*Task { return p.tasks }
+
+// Task is one schedulable thread (task_struct analog). VDom extends it
+// with a pointer to the VDS the thread runs in and its VDR; those live in
+// the core package and hook in through Table/ASID/perm state here.
+type Task struct {
+	proc *Process
+	tid  int
+	core int // assigned core id
+
+	// table and asid are the address space the task runs in: the
+	// process shadow table by default, or a VDS table under VDom.
+	table *pagetable.Table
+	asid  tlb.ASID
+
+	// savedPerm is the task's domain permission register image, restored
+	// on context switch.
+	savedPerm uint64
+
+	// vds reports whether table belongs to a VDS (affects context-switch
+	// cost on the VDom kernel).
+	vds bool
+
+	// Counter attributes this task's cycles.
+	Counter *cycles.Counter
+}
+
+// NewTask creates a task pinned to the given core, running on the process
+// shadow page table.
+func (p *Process) NewTask(core int) *Task {
+	if core < 0 || core >= p.kernel.machine.NumCores() {
+		panic(fmt.Sprintf("kernel: bad core %d", core))
+	}
+	t := &Task{
+		proc:  p,
+		tid:   len(p.tasks) + 1,
+		core:  core,
+		table: p.as.Shadow(),
+		asid:  p.kernel.AllocASID(),
+		// Like Linux's init_pkru, threads start with access to the
+		// default domain only.
+		savedPerm: hw.DenyAll(),
+		Counter:   cycles.NewCounter(),
+	}
+	p.tasks = append(p.tasks, t)
+	return t
+}
+
+// TID returns the task id (unique within the process).
+func (t *Task) TID() int { return t.tid }
+
+// Process returns the owning process.
+func (t *Task) Process() *Process { return t.proc }
+
+// CoreID returns the core the task is pinned to.
+func (t *Task) CoreID() int { return t.core }
+
+// Core returns the hardware core the task is pinned to.
+func (t *Task) Core() *hw.Core { return t.proc.kernel.machine.Core(t.core) }
+
+// ASID returns the task's current address-space identifier.
+func (t *Task) ASID() tlb.ASID { return t.asid }
+
+// Table returns the page table the task currently runs on.
+func (t *Task) Table() *pagetable.Table { return t.table }
+
+// SetAddressSpace points the task at a (table, asid) pair — the VDom core
+// calls this on VDS switches and migrations. isVDS marks the table as a
+// VDS for context-switch accounting.
+func (t *Task) SetAddressSpace(table *pagetable.Table, asid tlb.ASID, isVDS bool) {
+	t.table = table
+	t.asid = asid
+	t.vds = isVDS
+}
+
+// SavedPerm returns the saved permission-register image.
+func (t *Task) SavedPerm() uint64 { return t.savedPerm }
+
+// SetSavedPerm updates the saved permission-register image. If the task is
+// currently loaded on its core the live register is updated too.
+func (t *Task) SetSavedPerm(v uint64) {
+	t.savedPerm = v
+	k := t.proc.kernel
+	if k.lastTask[t.core] == t {
+		k.machine.Core(t.core).Perm().SetRaw(v)
+	}
+}
+
+// SwitchMMCost returns the cost of a context switch to this task's address
+// space, reproducing §7.5: the vanilla kernel pays ContextSwitchBase; the
+// VDom kernel pays ~6%/7.63% more for non-VDom processes, plus the VDS
+// metadata maintenance when the target runs in a VDS.
+func (k *Kernel) SwitchMMCost(target *Task) cycles.Cost {
+	base := k.params.ContextSwitchBase
+	if !k.vdom {
+		return base
+	}
+	// The VDom kernel's switch_mm carries extra branches and
+	// per-ASID bookkeeping even for processes not using VDom.
+	slowed := base + base*6/100
+	if k.params.Arch == cycles.ARM {
+		slowed = base + base*763/10000
+	}
+	if target != nil && target.vds {
+		slowed += k.params.VDSMetadataSwitch
+	}
+	return slowed
+}
+
+// Dispatch loads the task's state onto its core if another task (or
+// nothing) was running there, returning the context-switch cost (zero when
+// the task is already current). The hardware pgd switch preserves the TLB
+// under ASIDs.
+func (k *Kernel) Dispatch(t *Task) cycles.Cost {
+	core := k.machine.Core(t.core)
+	var cost cycles.Cost
+	if k.lastTask[t.core] != t {
+		cost = k.SwitchMMCost(t) + core.SwitchPgd(t.table, t.asid)
+		core.Perm().SetRaw(t.savedPerm)
+		k.lastTask[t.core] = t
+	} else if core.Table() != t.table || core.ASID() != t.asid {
+		// Same task, new address space (VDS switch already charged by
+		// the core layer): just reload the pgd.
+		cost = core.SwitchPgd(t.table, t.asid)
+	}
+	return cost
+}
+
+// CurrentOn returns the task whose state is loaded on core id.
+func (k *Kernel) CurrentOn(core int) *Task { return k.lastTask[core] }
+
+// maxFaultRetries bounds fault-repair loops; a well-formed system never
+// needs more than a handful (demand-page then domain-map, for instance).
+const maxFaultRetries = 8
+
+// Access performs one memory access on behalf of the task, dispatching
+// page faults to the memory manager and domain faults to the process's
+// fault handler, exactly as the modified page-fault path of §6.2 does. It
+// returns the total cycle cost including fault handling, and ErrSigsegv
+// (possibly wrapped) for violations.
+func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
+	k := t.proc.kernel
+	total := k.Dispatch(t)
+	core := k.machine.Core(t.core)
+	for try := 0; try < maxFaultRetries; try++ {
+		res := core.Access(addr, write)
+		total += res.Cost
+		switch res.Kind {
+		case hw.AccessOK:
+			return total, nil
+		case hw.FaultNotPresent:
+			total += k.params.FaultEntry
+			fix, err := t.proc.as.HandleFault(t.table, addr, write)
+			if err != nil {
+				return total, fmt.Errorf("%w: %v at %#x", ErrSigsegv, err, uint64(addr))
+			}
+			total += cycles.Cost(fix.PTEWrites)*k.params.PTEWrite + k.params.FaultExit
+		case hw.FaultWriteProtect:
+			total += k.params.FaultEntry
+			fix, err := t.proc.as.HandleFault(t.table, addr, write)
+			if err != nil || fix.PTEWrites == 0 {
+				return total, fmt.Errorf("%w: write to read-only page %#x", ErrSigsegv, uint64(addr))
+			}
+			// The stale translation must leave the TLB before retry.
+			core.TLB().FlushPage(t.asid, addr.VPN())
+			total += cycles.Cost(fix.PTEWrites)*k.params.PTEWrite +
+				k.params.TLBFlushLocalPage + k.params.FaultExit
+		case hw.FaultDomainPerm, hw.FaultPMDDisabled:
+			total += k.params.FaultEntry
+			if t.proc.handler == nil {
+				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
+			}
+			c, handled, err := t.proc.handler.HandleDomainFault(t, addr, write, res.Kind)
+			total += c
+			if err != nil {
+				return total, err
+			}
+			if !handled {
+				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
+			}
+			total += k.params.FaultExit
+			// The handler may have switched the task's address space;
+			// reload core state before retrying.
+			total += k.Dispatch(t)
+		default:
+			return total, fmt.Errorf("kernel: unexpected fault kind %v", res.Kind)
+		}
+	}
+	return total, fmt.Errorf("%w: fault loop at %#x", ErrSigsegv, uint64(addr))
+}

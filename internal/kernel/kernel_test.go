@@ -1,0 +1,496 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/pagetable"
+	"vdom/internal/sim"
+)
+
+const pg = pagetable.PageSize
+
+func boot(t *testing.T, arch cycles.Arch, cores int, vdomOn bool) *Kernel {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{Arch: arch, NumCores: cores, TLBCapacity: 256})
+	return New(Config{Machine: m, VDomEnabled: vdomOn})
+}
+
+func TestTaskAccessDemandPaging(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	if _, err := task.Mmap(0x10000, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	cost1, err := task.Access(0x10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost2, err := task.Access(0x10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 >= cost1 {
+		t.Errorf("warm access %d not cheaper than faulting access %d", cost2, cost1)
+	}
+}
+
+func TestTaskAccessUnmappedSegfaults(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	task := k.NewProcess().NewTask(0)
+	if _, err := task.Access(0xbad000, false); !errors.Is(err, ErrSigsegv) {
+		t.Errorf("err = %v, want SIGSEGV", err)
+	}
+}
+
+func TestTaskWriteToReadOnlySegfaults(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	task := k.NewProcess().NewTask(0)
+	if _, err := task.Mmap(0x10000, pg, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Access(0x10000, false); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	if _, err := task.Access(0x10000, true); !errors.Is(err, ErrSigsegv) {
+		t.Errorf("write err = %v, want SIGSEGV", err)
+	}
+}
+
+func TestMprotectUpgradeThenWrite(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	task := k.NewProcess().NewTask(0)
+	if _, err := task.Mmap(0x10000, pg, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Access(0x10000, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Mprotect(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	// The PTE is still read-only; the write fault must repair it lazily.
+	if _, err := task.Access(0x10000, true); err != nil {
+		t.Errorf("write after upgrade failed: %v", err)
+	}
+}
+
+func TestMprotectRevokeStopsOtherThread(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	t1, t2 := p.NewTask(0), p.NewTask(1)
+	if _, err := t1.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Access(0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Mprotect(0x10000, pg, false); err != nil {
+		t.Fatal(err)
+	}
+	// t2's cached translation was shot down; its next write must fault
+	// and then SIGSEGV.
+	if _, err := t2.Access(0x10000, true); !errors.Is(err, ErrSigsegv) {
+		t.Errorf("t2 write after revoke = %v, want SIGSEGV", err)
+	}
+}
+
+func TestContextSwitchCosts(t *testing.T) {
+	// §7.5: the VDom kernel slows switch_mm by 6% on X86 and 7.63% on
+	// ARM; a switch to a VDS costs extra metadata maintenance.
+	for _, tc := range []struct {
+		arch               cycles.Arch
+		wantBase, wantVDom float64
+	}{
+		{cycles.X86, 426, 451.9},
+		{cycles.ARM, 1340, 1442.1},
+	} {
+		vanilla := boot(t, tc.arch, 1, false)
+		vk := boot(t, tc.arch, 1, true)
+		base := float64(vanilla.SwitchMMCost(nil))
+		mod := float64(vk.SwitchMMCost(nil))
+		if base < tc.wantBase*0.95 || base > tc.wantBase*1.05 {
+			t.Errorf("%v vanilla switch_mm = %.0f, want ≈%.0f", tc.arch, base, tc.wantBase)
+		}
+		if mod < tc.wantVDom*0.95 || mod > tc.wantVDom*1.05 {
+			t.Errorf("%v VDom switch_mm = %.0f, want ≈%.0f", tc.arch, mod, tc.wantVDom)
+		}
+		// VDS target adds metadata cost (771.7 / 1545.1 in the paper).
+		p := vk.NewProcess()
+		task := p.NewTask(0)
+		task.SetAddressSpace(p.AS().Shadow(), task.ASID(), true)
+		vds := float64(vk.SwitchMMCost(task))
+		want := map[cycles.Arch]float64{cycles.X86: 771.7, cycles.ARM: 1545.1}[tc.arch]
+		if vds < want*0.95 || vds > want*1.05 {
+			t.Errorf("%v VDS switch = %.0f, want ≈%.0f", tc.arch, vds, want)
+		}
+	}
+}
+
+func TestDispatchChargesOnlyOnTaskChange(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	t1, t2 := p.NewTask(0), p.NewTask(0)
+	if c := k.Dispatch(t1); c == 0 {
+		t.Error("first dispatch free")
+	}
+	if c := k.Dispatch(t1); c != 0 {
+		t.Errorf("repeat dispatch cost %d, want 0", c)
+	}
+	if c := k.Dispatch(t2); c == 0 {
+		t.Error("task change dispatch free")
+	}
+	if k.CurrentOn(0) != t2 {
+		t.Error("CurrentOn wrong")
+	}
+}
+
+func TestSetSavedPermUpdatesLiveRegister(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	k.Dispatch(task)
+	task.SetSavedPerm(0x55)
+	if got := k.Machine().Core(0).Perm().Raw(); got != 0x55 {
+		t.Errorf("live PKRU = %#x, want 0x55", got)
+	}
+	// A second task's dispatch restores ITS image.
+	other := p.NewTask(0)
+	other.SetSavedPerm(0xAA) // not current: live register untouched
+	if got := k.Machine().Core(0).Perm().Raw(); got != 0x55 {
+		t.Errorf("PKRU changed by non-current task: %#x", got)
+	}
+	k.Dispatch(other)
+	if got := k.Machine().Core(0).Perm().Raw(); got != 0xAA&^0 {
+		t.Errorf("PKRU after dispatch = %#x, want 0xAA", got)
+	}
+}
+
+type denyHandler struct{ err error }
+
+func (h denyHandler) HandleDomainFault(*Task, pagetable.VAddr, bool, hw.FaultKind) (cycles.Cost, bool, error) {
+	return 10, false, h.err
+}
+
+func TestDomainFaultDispatchToHandler(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	if _, err := task.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AS().SetTag(0x10000, pg, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Make the page land in pdom 5 and deny it in the register.
+	if _, err := task.Access(0x10000, false); err != nil {
+		t.Fatal(err) // resolver defaults tag→pdom0; still accessible
+	}
+	p.AS().Shadow().SetPdom(0x10000, 5)
+	task.Core().TLB().FlushASID(task.ASID())
+	task.SetSavedPerm(func() uint64 {
+		var r hw.PermRegister
+		r.Set(5, hw.PermNone)
+		return r.Raw()
+	}())
+
+	// Without a handler: SIGSEGV.
+	if _, err := task.Access(0x10000, false); !errors.Is(err, ErrSigsegv) {
+		t.Fatalf("no-handler fault = %v, want SIGSEGV", err)
+	}
+	// Handler that declines: SIGSEGV too.
+	p.SetFaultHandler(denyHandler{})
+	if _, err := task.Access(0x10000, false); !errors.Is(err, ErrSigsegv) {
+		t.Errorf("declined fault = %v, want SIGSEGV", err)
+	}
+	// Handler error propagates.
+	boom := fmt.Errorf("boom")
+	p.SetFaultHandler(denyHandler{err: boom})
+	if _, err := task.Access(0x10000, false); !errors.Is(err, boom) {
+		t.Errorf("handler error = %v, want boom", err)
+	}
+}
+
+type grantHandler struct{ task *Task }
+
+func (h grantHandler) HandleDomainFault(t *Task, addr pagetable.VAddr, write bool, kind hw.FaultKind) (cycles.Cost, bool, error) {
+	var r hw.PermRegister
+	r.SetRaw(t.SavedPerm())
+	r.Set(5, hw.PermReadWrite)
+	t.SetSavedPerm(r.Raw())
+	return 50, true, nil
+}
+
+func TestDomainFaultHandledAndRetried(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	if _, err := task.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Access(0x10000, false); err != nil {
+		t.Fatal(err)
+	}
+	p.AS().Shadow().SetPdom(0x10000, 5)
+	task.Core().TLB().FlushASID(task.ASID())
+	task.SetSavedPerm(func() uint64 {
+		var r hw.PermRegister
+		r.Set(5, hw.PermNone)
+		return r.Raw()
+	}())
+	p.SetFaultHandler(grantHandler{task})
+	cost, err := task.Access(0x10000, false)
+	if err != nil {
+		t.Fatalf("handled fault failed: %v", err)
+	}
+	if cost < 50 {
+		t.Errorf("cost %d does not include handler cost", cost)
+	}
+}
+
+func TestSyscallFilterBlocks(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	k.RegisterSyscallFilter(func(_ *Task, sc Syscall, _ SyscallArgs) error {
+		if sc == SysProcessVMReadv {
+			return fmt.Errorf("sandbox: confused deputy")
+		}
+		return nil
+	})
+	if _, err := task.Mmap(0x10000, pg, true); err != nil {
+		t.Fatalf("unfiltered syscall blocked: %v", err)
+	}
+	if _, _, err := task.ProcessVMReadv(0x10000); !errors.Is(err, ErrBlocked) {
+		t.Errorf("filtered syscall err = %v, want ErrBlocked", err)
+	}
+}
+
+func TestProcessVMReadvLeaksWithoutFilter(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	if _, err := task.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AS().SetTag(0x10000, pg, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Even with every domain denied in the register, the kernel deputy
+	// reads the page — demonstrating the attack Table 2 ❸ must block.
+	task.SetSavedPerm(hw.DenyAll())
+	if _, _, err := task.ProcessVMReadv(0x10000); err != nil {
+		t.Errorf("unfiltered deputy read failed: %v", err)
+	}
+}
+
+func TestGetTIDCost(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	task := k.NewProcess().NewTask(0)
+	tid, cost := task.GetTID()
+	if tid != 1 {
+		t.Errorf("tid = %d, want 1", tid)
+	}
+	if cost != k.Params().SyscallReturn {
+		t.Errorf("gettid cost = %d, want syscall cost %d", cost, k.Params().SyscallReturn)
+	}
+}
+
+func TestRunningCores(t *testing.T) {
+	k := boot(t, cycles.X86, 4, true)
+	p := k.NewProcess()
+	p.NewTask(0)
+	p.NewTask(2)
+	p.NewTask(2)
+	s := p.RunningCores()
+	if !s.Has(0) || !s.Has(2) || s.Has(1) || s.Has(3) {
+		t.Errorf("RunningCores = %b", s)
+	}
+}
+
+func TestSchedSerializesPerCore(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	env := sim.NewEnv()
+	sched := NewSched(env, k)
+	// Two tasks on core 0 (serialize), one on core 1 (parallel).
+	ta, tb, tc := p.NewTask(0), p.NewTask(0), p.NewTask(1)
+	ends := map[*Task]sim.Time{}
+	for _, task := range []*Task{ta, tb, tc} {
+		task := task
+		env.Go("t", func(pr *sim.Proc) {
+			sched.Run(pr, task, func() cycles.Cost { return 1000 })
+			ends[task] = pr.Now()
+		})
+	}
+	env.Run()
+	// Core 1's task finishes with only dispatch overhead; core 0's
+	// second task waits for the first.
+	if len(ends) != 3 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if ends[tc] >= ends[tb] {
+		t.Errorf("parallel task (%d) not faster than queued task (%d)", ends[tc], ends[tb])
+	}
+	if sched.QueueWait(0) == 0 {
+		t.Error("no queueing recorded on oversubscribed core")
+	}
+	if sched.QueueWait(1) != 0 {
+		t.Error("queueing recorded on idle core")
+	}
+}
+
+func TestSchedRunReturnsCost(t *testing.T) {
+	k := boot(t, cycles.X86, 1, true)
+	p := k.NewProcess()
+	env := sim.NewEnv()
+	sched := NewSched(env, k)
+	task := p.NewTask(0)
+	var got cycles.Cost
+	env.Go("t", func(pr *sim.Proc) {
+		got = sched.Run(pr, task, func() cycles.Cost { return 500 })
+	})
+	env.Run()
+	if got < 500 {
+		t.Errorf("burst cost %d < body cost", got)
+	}
+}
+
+func TestReclaimFramesRefault(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	task := p.NewTask(0)
+	if _, err := task.Mmap(0x10000, 8*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := task.Access(0x10000+pagetable.VAddr(i)*pg, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.AS().Shadow().Present() != 8 {
+		t.Fatalf("present = %d", p.AS().Shadow().Present())
+	}
+	n, cost := p.ReclaimFrames(0, 5)
+	if n != 5 || cost == 0 {
+		t.Fatalf("Reclaim = (%d, %d), want 5 frames at non-zero cost", n, cost)
+	}
+	if got := p.AS().Shadow().Present(); got != 3 {
+		t.Errorf("present after reclaim = %d, want 3", got)
+	}
+	// Everything still usable: reclaimed pages demand-fault back in.
+	for i := 0; i < 8; i++ {
+		if _, err := task.Access(0x10000+pagetable.VAddr(i)*pg, true); err != nil {
+			t.Fatalf("refault page %d: %v", i, err)
+		}
+	}
+	// Reclaim on an empty set is a no-op.
+	p2 := k.NewProcess()
+	p2.NewTask(1)
+	if n, c := p2.ReclaimFrames(1, 10); n != 0 || c != 0 {
+		t.Errorf("empty reclaim = (%d, %d)", n, c)
+	}
+}
+
+func TestAccessorsAndStrings(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	if !k.VDomEnabled() {
+		t.Error("VDomEnabled false on VDom kernel")
+	}
+	p := k.NewProcess()
+	if p.PID() == 0 || p.Kernel() != k {
+		t.Error("process accessors wrong")
+	}
+	task := p.NewTask(1)
+	if task.TID() != 1 || task.Process() != p || task.Table() != p.AS().Shadow() {
+		t.Error("task accessors wrong")
+	}
+	if len(p.Tasks()) != 1 || p.Tasks()[0] != task {
+		t.Error("Tasks() wrong")
+	}
+	env := sim.NewEnv()
+	s := NewSched(env, k)
+	if s.Env() != env || s.Kernel() != k {
+		t.Error("sched accessors wrong")
+	}
+	for sc, want := range map[Syscall]string{
+		SysMmap: "mmap", SysMunmap: "munmap", SysMprotect: "mprotect",
+		SysPkeyMprotect: "pkey_mprotect", SysProcessVMReadv: "process_vm_readv",
+		SysGetTID: "gettid", Syscall(99): "Syscall(99)",
+	} {
+		if sc.String() != want {
+			t.Errorf("%d.String() = %q, want %q", sc, sc.String(), want)
+		}
+	}
+}
+
+func TestMunmapSyscall(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	t1, t2 := p.NewTask(0), p.NewTask(1)
+	if _, err := t1.Mmap(0x10000, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	// Warm both threads' translations; munmap must shoot them down.
+	if _, err := t1.Access(0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Access(0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := t1.Munmap(0x10000, 4*pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < k.Params().SyscallReturn {
+		t.Errorf("munmap cost %d below a syscall", cost)
+	}
+	for _, task := range []*Task{t1, t2} {
+		if _, err := task.Access(0x10000, false); !errors.Is(err, ErrSigsegv) {
+			t.Errorf("task %d access after munmap = %v", task.TID(), err)
+		}
+	}
+	// Filtered munmap is blocked.
+	k.RegisterSyscallFilter(func(_ *Task, sc Syscall, _ SyscallArgs) error {
+		if sc == SysMunmap {
+			return errors.New("sealed")
+		}
+		return nil
+	})
+	if _, err := t1.Mmap(0x90000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Munmap(0x90000, pg); !errors.Is(err, ErrBlocked) {
+		t.Errorf("filtered munmap = %v, want ErrBlocked", err)
+	}
+}
+
+func TestNewKernelNilMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(nil machine) did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPendingInterruptsViaSched(t *testing.T) {
+	k := boot(t, cycles.X86, 2, true)
+	p := k.NewProcess()
+	env := sim.NewEnv()
+	s := NewSched(env, k)
+	task := p.NewTask(1)
+	k.AddPendingInterrupt(1, 5_000)
+	var burst cycles.Cost
+	env.Go("t", func(pr *sim.Proc) {
+		burst = s.Run(pr, task, func() cycles.Cost { return 100 })
+	})
+	env.Run()
+	if burst < 5_100 {
+		t.Errorf("burst %d did not absorb the pending interrupt", burst)
+	}
+}

@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"vdom/internal/cycles"
+	"vdom/internal/sim"
+)
+
+// Sched bridges tasks into the discrete-event simulator: each hardware
+// core becomes a capacity-1 resource, and tasks execute work bursts on
+// their assigned core in FIFO order. Because the simulator runs exactly
+// one process at a time, bursts that mutate shared machine state (page
+// tables, TLBs, domain maps) serialize in virtual-time order, which is
+// also what the per-core execution model of the real machine guarantees.
+type Sched struct {
+	env    *sim.Env
+	kernel *Kernel
+	cores  []*sim.Resource
+}
+
+// NewSched creates a scheduler for the kernel inside env.
+func NewSched(env *sim.Env, k *Kernel) *Sched {
+	s := &Sched{env: env, kernel: k}
+	for i := 0; i < k.machine.NumCores(); i++ {
+		s.cores = append(s.cores, env.NewResource(1))
+	}
+	return s
+}
+
+// Env returns the simulation environment.
+func (s *Sched) Env() *sim.Env { return s.env }
+
+// Kernel returns the kernel being scheduled.
+func (s *Sched) Kernel() *Kernel { return s.kernel }
+
+// Run executes one burst of task t: it waits for t's core, dispatches the
+// task (charging any context-switch cost), runs body — which may perform
+// accesses and syscalls and must return the additional cycles consumed —
+// and advances virtual time by the total. It returns the cycles the burst
+// consumed on-core (excluding queueing delay) so callers can attribute
+// them.
+func (s *Sched) Run(p *sim.Proc, t *Task, body func() cycles.Cost) cycles.Cost {
+	core := s.cores[t.CoreID()]
+	core.Acquire(p, 1)
+	cost := s.kernel.TakePendingInterrupts(t.CoreID())
+	cost += s.kernel.Dispatch(t)
+	cost += body()
+	p.Delay(uint64(cost))
+	core.Release(1)
+	return cost
+}
+
+// QueueWait returns the total cycles tasks have spent queued for core id.
+func (s *Sched) QueueWait(core int) uint64 { return s.cores[core].WaitedCycles }

@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Syscall identifies a system call of the simulated kernel's surface that
+// matters to memory-domain systems and their sandboxes.
+type Syscall int
+
+const (
+	// SysMmap maps anonymous memory.
+	SysMmap Syscall = iota
+	// SysMunmap unmaps memory.
+	SysMunmap
+	// SysMprotect changes page protections.
+	SysMprotect
+	// SysPkeyMprotect assigns a protection domain to pages.
+	SysPkeyMprotect
+	// SysProcessVMReadv reads another thread's memory through the
+	// kernel — the classic confused-deputy vector sandboxes must filter.
+	SysProcessVMReadv
+	// SysGetTID returns the calling thread id.
+	SysGetTID
+)
+
+// String names the syscall.
+func (s Syscall) String() string {
+	switch s {
+	case SysMmap:
+		return "mmap"
+	case SysMunmap:
+		return "munmap"
+	case SysMprotect:
+		return "mprotect"
+	case SysPkeyMprotect:
+		return "pkey_mprotect"
+	case SysProcessVMReadv:
+		return "process_vm_readv"
+	case SysGetTID:
+		return "gettid"
+	default:
+		return fmt.Sprintf("Syscall(%d)", int(s))
+	}
+}
+
+// ErrBlocked reports that a syscall filter denied the call.
+var ErrBlocked = errors.New("kernel: syscall blocked by filter")
+
+// SyscallArgs carries the arguments of a filtered syscall.
+type SyscallArgs struct {
+	Addr   pagetable.VAddr
+	Length uint64
+	Write  bool
+	Tag    mm.Tag
+}
+
+// SyscallFilter inspects a syscall before it runs; returning a non-nil
+// error blocks it. This is the hook memory-domain sandboxes (Hodor, ERIM,
+// Cerberus) use to stop kernel-based confused-deputy attacks (Table 2 ❸).
+type SyscallFilter func(t *Task, sc Syscall, args SyscallArgs) error
+
+// RegisterSyscallFilter appends a filter applied to every syscall.
+func (k *Kernel) RegisterSyscallFilter(f SyscallFilter) {
+	k.syscallFilters = append(k.syscallFilters, f)
+}
+
+// checkFilters runs all registered filters.
+func (k *Kernel) checkFilters(t *Task, sc Syscall, args SyscallArgs) error {
+	for _, f := range k.syscallFilters {
+		if err := f(t, sc, args); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrBlocked, sc, err)
+		}
+	}
+	return nil
+}
+
+// Mmap is the mmap(2) analog. It returns the syscall's cycle cost.
+func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
+	k := t.proc.kernel
+	cost := k.params.SyscallReturn
+	if err := k.checkFilters(t, SysMmap, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
+		return cost, err
+	}
+	if _, err := t.proc.as.Mmap(addr, length, writable); err != nil {
+		return cost, err
+	}
+	return cost, nil
+}
+
+// Munmap is the munmap(2) analog. Revocation is eager across every VDS
+// table and requires a shootdown on all cores running the process.
+func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cycles.Cost, error) {
+	k := t.proc.kernel
+	cost := k.params.SyscallReturn
+	if err := k.checkFilters(t, SysMunmap, SyscallArgs{Addr: addr, Length: length}); err != nil {
+		return cost, err
+	}
+	rep, err := t.proc.as.Munmap(addr, length)
+	if err != nil {
+		return cost, err
+	}
+	cost += t.chargeSync(rep, addr, length)
+	return cost, nil
+}
+
+// Mprotect is the mprotect(2) analog (writability only; domains are
+// assigned through PkeyMprotect).
+func (t *Task) Mprotect(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
+	k := t.proc.kernel
+	cost := k.params.SyscallReturn
+	if err := k.checkFilters(t, SysMprotect, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
+		return cost, err
+	}
+	rep, err := t.proc.as.Mprotect(addr, length, writable)
+	if err != nil {
+		return cost, err
+	}
+	if rep.PagesTouched > 0 { // revocation: flush stale translations
+		cost += t.chargeSync(rep, addr, length)
+	}
+	return cost, nil
+}
+
+// chargeSync converts a sync report into cycles and performs the TLB
+// shootdown revocation requires: every core that may cache translations of
+// this process flushes the affected range.
+func (t *Task) chargeSync(rep mm.SyncReport, addr pagetable.VAddr, length uint64) cycles.Cost {
+	k := t.proc.kernel
+	cost := cycles.Cost(rep.PTEWrites)*k.params.PTEWrite +
+		cycles.Cost(rep.PMDWrites)*k.params.PMDWrite
+	targets := t.proc.RunningCores()
+	pages := length / pagetable.PageSize
+	rep2 := k.machine.Shootdown(t.core, targets, func(tb tlb.Cache) {
+		for _, task := range t.proc.tasks {
+			tb.FlushRange(task.asid, addr.VPN(), pages)
+		}
+	}, k.params.TLBFlushLocalPage*cycles.Cost(min64(pages, 16)))
+	cost += rep2.InitiatorCycles
+	return cost
+}
+
+// RunningCores returns the set of cores any task of the process is
+// assigned to (the CPU bitmap that bounds shootdowns, §5.3).
+func (p *Process) RunningCores() hw.CPUSet {
+	var s hw.CPUSet
+	for _, t := range p.tasks {
+		s = s.Add(t.core)
+	}
+	return s
+}
+
+// GetTID is the gettid(2) analog; the paper cites its cost as the reason
+// VDom shares VDR pointers through per-core pages instead.
+func (t *Task) GetTID() (int, cycles.Cost) {
+	return t.tid, t.proc.kernel.params.SyscallReturn
+}
+
+// ProcessVMReadv models the confused-deputy syscall: the kernel reads
+// memory on the caller's behalf, checking only page presence — not the
+// caller's domain permission register. Sandboxes must filter it (Table 2
+// ❸). It returns the pdom of the page read so tests can confirm the leak.
+func (t *Task) ProcessVMReadv(addr pagetable.VAddr) (pagetable.Pdom, cycles.Cost, error) {
+	k := t.proc.kernel
+	cost := k.params.SyscallReturn
+	if err := k.checkFilters(t, SysProcessVMReadv, SyscallArgs{Addr: addr}); err != nil {
+		return 0, cost, err
+	}
+	wr := t.proc.as.Shadow().Walk(addr)
+	if !wr.Present {
+		// Fault it in through the shadow table as the kernel would.
+		if _, err := t.proc.as.HandleFault(t.proc.as.Shadow(), addr, false); err != nil {
+			return 0, cost, fmt.Errorf("%w: %v", ErrSigsegv, err)
+		}
+		wr = t.proc.as.Shadow().Walk(addr)
+	}
+	return wr.PTE.Pdom, cost, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReclaimFrames emulates kswapd reclaiming up to max page frames from the
+// process: the eager multi-table synchronization of §6.2, followed by a
+// process-wide shootdown so no stale translations survive. It returns the
+// frames reclaimed and the cycles charged to the reclaiming context.
+func (p *Process) ReclaimFrames(initiatorCore int, max int) (int, cycles.Cost) {
+	k := p.kernel
+	n, rep := p.as.Reclaim(max)
+	if n == 0 {
+		return 0, 0
+	}
+	cost := cycles.Cost(rep.PTEWrites)*k.params.PTEWrite +
+		cycles.Cost(rep.PMDWrites)*k.params.PMDWrite
+	targets := p.RunningCores()
+	asids := make([]tlb.ASID, 0, len(p.tasks))
+	for _, t := range p.tasks {
+		asids = append(asids, t.asid)
+	}
+	sd := k.machine.Shootdown(initiatorCore, targets, func(tb tlb.Cache) {
+		for _, a := range asids {
+			tb.FlushASID(a)
+		}
+	}, k.params.TLBFlushLocalAll)
+	for id := 0; id < k.machine.NumCores(); id++ {
+		if id != initiatorCore && targets.Has(id) {
+			k.AddPendingInterrupt(id, sd.ReceiverCycles)
+		}
+	}
+	return n, cost + sd.InitiatorCycles
+}

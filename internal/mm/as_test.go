@@ -1,0 +1,347 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/pagetable"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{Arch: cycles.X86, NumCores: 2, TLBCapacity: 64})
+	return NewAddressSpace(m)
+}
+
+func TestMmapAndFault(t *testing.T) {
+	as := newAS(t)
+	_, err := as.Mmap(0x10000, 4*pg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := as.HandleFault(as.Shadow(), 0x10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fix.FreshFrame {
+		t.Error("first touch did not allocate a frame")
+	}
+	if !as.Shadow().Walk(0x10000).Present {
+		t.Error("fault did not map the page in the shadow")
+	}
+	// Second fault on same page in shadow is a no-op allocation-wise.
+	fix, err = as.HandleFault(as.Shadow(), 0x10000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.FreshFrame {
+		t.Error("second touch allocated again")
+	}
+}
+
+func TestMmapRejectsOverlapAndBadRange(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Mmap(0x11000, pg, true); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlapping mmap err = %v, want ErrOverlap", err)
+	}
+	if _, err := as.Mmap(0x10001, pg, true); err == nil {
+		t.Error("unaligned mmap succeeded")
+	}
+	if _, err := as.Mmap(0x20000, 0, true); err == nil {
+		t.Error("empty mmap succeeded")
+	}
+}
+
+func TestFaultOutsideVMASegfaults(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.HandleFault(as.Shadow(), 0xdead000, false); !errors.Is(err, ErrSegfault) {
+		t.Errorf("err = %v, want ErrSegfault", err)
+	}
+}
+
+func TestWriteFaultOnReadOnlyVMASegfaults(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, pg, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.HandleFault(as.Shadow(), 0x10000, true); !errors.Is(err, ErrSegfault) {
+		t.Errorf("write fault err = %v, want ErrSegfault", err)
+	}
+	if _, err := as.HandleFault(as.Shadow(), 0x10000, false); err != nil {
+		t.Errorf("read fault err = %v", err)
+	}
+}
+
+func TestDemandPagingFillsVDSTableFromShadow(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	vds := pagetable.New()
+	as.RegisterTable(vds)
+
+	// Touch in the shadow first; the VDS table stays empty (lazy).
+	if _, err := as.HandleFault(as.Shadow(), 0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	if vds.Present() != 0 {
+		t.Error("VDS table filled eagerly")
+	}
+	fix, err := as.HandleFault(vds, 0x10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.FreshFrame {
+		t.Error("VDS fill re-allocated the frame")
+	}
+	sf := as.Shadow().Walk(0x10000).PTE.Frame
+	vf := vds.Walk(0x10000).PTE.Frame
+	if sf != vf {
+		t.Errorf("frames diverge: shadow %d vs VDS %d", sf, vf)
+	}
+}
+
+func TestMunmapEagerlyClearsAllTables(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	vds := pagetable.New()
+	as.RegisterTable(vds)
+	for i := 0; i < 4; i++ {
+		addr := pagetable.VAddr(0x10000 + i*pg)
+		if _, err := as.HandleFault(vds, addr, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := as.Munmap(0x10000, 4*pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Shadow().Present() != 0 || vds.Present() != 0 {
+		t.Errorf("pages survive munmap: shadow %d, vds %d",
+			as.Shadow().Present(), vds.Present())
+	}
+	if rep.PagesTouched != 8 { // 4 pages × 2 tables
+		t.Errorf("PagesTouched = %d, want 8", rep.PagesTouched)
+	}
+	if rep.TablesTouched != 2 {
+		t.Errorf("TablesTouched = %d, want 2", rep.TablesTouched)
+	}
+	if as.FindVMA(0x10000) != nil {
+		t.Error("VMA survives munmap")
+	}
+}
+
+func TestMunmapPartialSplits(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 10*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Munmap(0x10000+2*pg, 3*pg); err != nil {
+		t.Fatal(err)
+	}
+	head := as.FindVMA(0x10000)
+	if head == nil || head.Pages() != 2 {
+		t.Fatalf("head after split = %v", head)
+	}
+	if as.FindVMA(0x10000+3*pg) != nil {
+		t.Error("hole still mapped")
+	}
+	tail := as.FindVMA(0x10000 + 5*pg)
+	if tail == nil || tail.Pages() != 5 || tail.Start != 0x10000+5*pg {
+		t.Fatalf("tail after split = %v", tail)
+	}
+	if as.NumVMAs() != 2 {
+		t.Errorf("NumVMAs = %d, want 2", as.NumVMAs())
+	}
+}
+
+func TestMprotectDowngradeEager(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 2*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	vds := pagetable.New()
+	as.RegisterTable(vds)
+	if _, err := as.HandleFault(vds, 0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := as.Mprotect(0x10000, 2*pg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesTouched == 0 {
+		t.Error("downgrade touched no pages")
+	}
+	if as.Shadow().Walk(0x10000).PTE.Writable || vds.Walk(0x10000).PTE.Writable {
+		t.Error("present PTEs still writable after revocation")
+	}
+	// A write fault now segfaults.
+	if _, err := as.HandleFault(vds, 0x10000, true); !errors.Is(err, ErrSegfault) {
+		t.Errorf("write after revoke err = %v, want ErrSegfault", err)
+	}
+}
+
+func TestMprotectUpgradeLazy(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, pg, false); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := as.Mprotect(0x10000, pg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesTouched != 0 {
+		t.Errorf("upgrade touched %d pages, want 0 (lazy)", rep.PagesTouched)
+	}
+	if !as.FindVMA(0x10000).Writable {
+		t.Error("VMA not upgraded")
+	}
+}
+
+func TestSetTagSplitsAndRetags(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 8*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Populate(as.Shadow(), 0x10000, 8*pg); err != nil {
+		t.Fatal(err)
+	}
+	// Tag an unaligned byte range inside pages 2..3; it must expand to
+	// page boundaries.
+	_, err := as.SetTag(0x10000+2*pg+100, pg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag := as.FindVMA(0x10000 + 2*pg).Tag; tag != 42 {
+		t.Errorf("tagged VMA tag = %d, want 42", tag)
+	}
+	if tag := as.FindVMA(0x10000).Tag; tag != 0 {
+		t.Errorf("head VMA tag = %d, want 0", tag)
+	}
+	if tag := as.FindVMA(0x10000 + 4*pg).Tag; tag != 0 {
+		t.Errorf("tail VMA tag = %d, want 0", tag)
+	}
+	if as.NumVMAs() != 3 {
+		t.Errorf("NumVMAs = %d, want 3", as.NumVMAs())
+	}
+}
+
+func TestSetTagUnmappedFails(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.SetTag(0xf000000, pg, 1); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("err = %v, want ErrNoMapping", err)
+	}
+}
+
+// resolver that maps tag 42 to pdom 9 in one specific table only.
+type testResolver struct {
+	special *pagetable.Table
+}
+
+func (r testResolver) PdomFor(t *pagetable.Table, tag Tag) (pagetable.Pdom, bool) {
+	if tag == 0 {
+		return 0, true
+	}
+	if t == r.special && tag == 42 {
+		return 9, true
+	}
+	return 0, false
+}
+func (r testResolver) AccessNever() pagetable.Pdom { return 1 }
+
+func TestResolverControlsPdoms(t *testing.T) {
+	as := newAS(t)
+	vds := pagetable.New()
+	as.RegisterTable(vds)
+	as.SetResolver(testResolver{special: vds})
+
+	if _, err := as.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.SetTag(0x10000, pg, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Fault into both tables: vds gets pdom 9, shadow gets access-never.
+	fix, err := as.HandleFault(vds, 0x10000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Pdom != 9 {
+		t.Errorf("vds pdom = %d, want 9", fix.Pdom)
+	}
+	if got := as.Shadow().Walk(0x10000).PTE.Pdom; got != 1 {
+		t.Errorf("shadow pdom = %d, want access-never 1", got)
+	}
+}
+
+func TestPopulateCountsFreshFrames(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	n, err := as.Populate(as.Shadow(), 0x10000, 4*pg)
+	if err != nil || n != 4 {
+		t.Fatalf("Populate = (%d, %v), want (4, nil)", n, err)
+	}
+	n, err = as.Populate(as.Shadow(), 0x10000, 4*pg)
+	if err != nil || n != 0 {
+		t.Errorf("second Populate = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestUnregisterTableStopsSync(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	vds := pagetable.New()
+	as.RegisterTable(vds)
+	if _, err := as.HandleFault(vds, 0x10000, true); err != nil {
+		t.Fatal(err)
+	}
+	as.UnregisterTable(vds)
+	if _, err := as.Munmap(0x10000, pg); err != nil {
+		t.Fatal(err)
+	}
+	// The unregistered table keeps its stale entry; shadow is clean.
+	if vds.Present() != 1 {
+		t.Errorf("unregistered table Present = %d, want 1", vds.Present())
+	}
+	if as.Shadow().Present() != 0 {
+		t.Error("shadow not cleaned")
+	}
+}
+
+func TestSyncReportCountsTables(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Mmap(0x10000, pg, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vt := pagetable.New()
+		as.RegisterTable(vt)
+		if _, err := as.HandleFault(vt, 0x10000, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := as.Munmap(0x10000, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TablesTouched != 4 { // shadow + 3 VDS tables
+		t.Errorf("TablesTouched = %d, want 4", rep.TablesTouched)
+	}
+	if rep.PagesTouched != 4 {
+		t.Errorf("PagesTouched = %d, want 4", rep.PagesTouched)
+	}
+	if rep.PTEWrites < 4 {
+		t.Errorf("PTEWrites = %d, want >= 4", rep.PTEWrites)
+	}
+}

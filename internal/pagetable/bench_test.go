@@ -1,0 +1,45 @@
+package pagetable
+
+import "testing"
+
+func BenchmarkWalkPresent(b *testing.B) {
+	pt := New()
+	pt.Map(0x40000000, 1, true, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Walk(0x40000000)
+	}
+}
+
+func BenchmarkMapNewPages(b *testing.B) {
+	pt := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Map(VAddr(uint64(i)<<PageShift), Frame(i), true, 2)
+	}
+}
+
+func BenchmarkEvictRange2MB(b *testing.B) {
+	pt := New()
+	base := VAddr(0x40000000)
+	for off := uint64(0); off < PMDSize; off += PageSize {
+		pt.Map(base+VAddr(off), Frame(off/PageSize), true, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.EvictRange(base, PMDSize, 1)
+		pt.RemapRange(base, PMDSize, 4)
+	}
+}
+
+func BenchmarkRetagRange64Pages(b *testing.B) {
+	pt := New()
+	base := VAddr(0x40000000)
+	for i := 0; i < 64; i++ {
+		pt.Map(base+VAddr(i*PageSize), Frame(i), true, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.RetagRange(base, 64*PageSize, Pdom(2+i%2))
+	}
+}

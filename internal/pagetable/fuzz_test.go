@@ -1,0 +1,63 @@
+package pagetable
+
+import "testing"
+
+// FuzzTableOps drives a page table with an arbitrary operation tape and
+// checks the structural invariants the rest of the system depends on.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 0, 16, 16, 32, 255, 1, 9})
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 100, 200, 50, 60})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		pt := New()
+		ref := map[uint64]PTE{} // vpn → expected
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			vpn := uint64(arg) % 2048
+			a := VAddr(vpn << PageShift)
+			switch op % 5 {
+			case 0:
+				pte := PTE{Frame: Frame(arg), Present: true,
+					Writable: op&0x80 != 0, Pdom: Pdom(op % 16)}
+				pt.Map(a, pte.Frame, pte.Writable, pte.Pdom)
+				ref[vpn] = pte
+			case 1:
+				had := ref[vpn].Present
+				delete(ref, vpn)
+				if pt.Unmap(a) != had {
+					t.Fatalf("Unmap(%#x) disagreement", uint64(a))
+				}
+			case 2:
+				d := Pdom(op % 16)
+				if pt.SetPdom(a, d) {
+					e := ref[vpn]
+					if !e.Present {
+						t.Fatalf("SetPdom succeeded on absent page %#x", uint64(a))
+					}
+					e.Pdom = d
+					ref[vpn] = e
+				} else if ref[vpn].Present {
+					t.Fatalf("SetPdom failed on present page %#x", uint64(a))
+				}
+			case 3:
+				pt.DisablePMD(a)
+			case 4:
+				pt.EnablePMD(a)
+			}
+		}
+		// Present() equals the reference count.
+		if pt.Present() != len(ref) {
+			t.Fatalf("Present = %d, ref = %d", pt.Present(), len(ref))
+		}
+		// Every reference entry is found by a walk (modulo PMD
+		// disables, which hide but never lose entries).
+		for vpn, want := range ref {
+			a := VAddr(vpn << PageShift)
+			pt.EnablePMD(a) // unhide for verification
+			wr := pt.Walk(a)
+			if !wr.Present || wr.PTE != want {
+				t.Fatalf("walk(%#x) = %+v, want %+v", uint64(a), wr, want)
+			}
+		}
+	})
+}

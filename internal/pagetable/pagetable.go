@@ -1,0 +1,395 @@
+// Package pagetable implements the 4-level radix page tables of the
+// simulated machine, including the per-PTE memory-domain tags that Intel
+// MPK and ARM Memory Domain attach to translations, and the PMD-disable
+// fast path VDom uses to evict 2 MiB-spanning domains cheaply.
+//
+// The package is purely structural: operations return *counts* of PTE/PMD
+// writes and walk depths; charging cycles for them is the caller's job
+// (internal/hw and internal/kernel), keeping the cost model in one place.
+package pagetable
+
+import "fmt"
+
+// Virtual address geometry (x86-64-style 4-level, 4 KiB pages). The ARM
+// model reuses the same geometry; its 2 MiB domain granularity is enforced
+// a level up, in the kernel.
+const (
+	PageShift = 12
+	// PageSize is the size of one page in bytes.
+	PageSize = 1 << PageShift
+	// EntriesPerTable is the fan-out of every table level.
+	EntriesPerTable = 512
+	// PMDShift is the shift of one page-middle-directory entry (2 MiB).
+	PMDShift = PageShift + 9
+	// PMDSize is the bytes covered by one PMD entry.
+	PMDSize = 1 << PMDShift
+	// Levels is the number of radix levels (pgd, pud, pmd, pt).
+	Levels = 4
+	// AddrBits is the number of meaningful virtual-address bits.
+	AddrBits = PageShift + 9*Levels
+)
+
+// VAddr is a virtual address in the simulated machine.
+type VAddr uint64
+
+// Frame is a physical frame number.
+type Frame uint64
+
+// Pdom is a hardware protection-domain identifier (0..15).
+type Pdom uint8
+
+// VPN returns the virtual page number of the address.
+func (a VAddr) VPN() uint64 { return uint64(a) >> PageShift }
+
+// PageAlign rounds the address down to a page boundary.
+func (a VAddr) PageAlign() VAddr { return a &^ (PageSize - 1) }
+
+// PMDAlign rounds the address down to a 2 MiB boundary.
+func (a VAddr) PMDAlign() VAddr { return a &^ (PMDSize - 1) }
+
+// PTE is one page-table entry: a translation plus its domain tag.
+type PTE struct {
+	Frame    Frame
+	Present  bool
+	Writable bool
+	Pdom     Pdom
+}
+
+// indices splits a virtual address into its four radix indices
+// (pgd, pud, pmd, pt).
+func indices(a VAddr) (i3, i2, i1, i0 int) {
+	v := uint64(a)
+	i3 = int(v >> 39 & 0x1ff)
+	i2 = int(v >> 30 & 0x1ff)
+	i1 = int(v >> 21 & 0x1ff)
+	i0 = int(v >> 12 & 0x1ff)
+	return
+}
+
+type ptTable struct {
+	ptes    [EntriesPerTable]PTE
+	present int
+}
+
+type pmdTable struct {
+	pts [EntriesPerTable]*ptTable
+	// disabled marks PMD entries VDom has made access-never without
+	// touching the 512 PTEs underneath (§5.5 page-table optimization).
+	disabled [EntriesPerTable]bool
+}
+
+type pudTable struct {
+	pmds [EntriesPerTable]*pmdTable
+}
+
+// Table is one address space's page table, rooted at a pgd.
+type Table struct {
+	pgd     [EntriesPerTable]*pudTable
+	present int
+
+	// PTEWrites and PMDWrites count structural updates since the last
+	// ResetCounts. The memory-management layer converts them to cycles.
+	PTEWrites uint64
+	PMDWrites uint64
+}
+
+// New returns an empty page table.
+func New() *Table {
+	return &Table{}
+}
+
+// Present returns the number of present PTEs.
+func (t *Table) Present() int { return t.present }
+
+// ResetCounts zeroes the PTE/PMD write counters.
+func (t *Table) ResetCounts() {
+	t.PTEWrites = 0
+	t.PMDWrites = 0
+}
+
+// WalkResult describes the outcome of a page walk.
+type WalkResult struct {
+	// PTE is the entry found; only meaningful when Present.
+	PTE PTE
+	// Present reports whether a present translation exists.
+	Present bool
+	// PMDDisabled reports that the walk hit a PMD entry VDom disabled;
+	// the access must fault even though PTEs may exist underneath.
+	PMDDisabled bool
+	// LevelsVisited is the number of table levels the walker touched
+	// (1..4); hardware charges walk cost proportionally.
+	LevelsVisited int
+}
+
+// Walk performs a page-table walk for the address.
+func (t *Table) Walk(a VAddr) WalkResult {
+	i3, i2, i1, i0 := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return WalkResult{LevelsVisited: 1}
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil {
+		return WalkResult{LevelsVisited: 2}
+	}
+	if pmd.disabled[i1] {
+		return WalkResult{LevelsVisited: 3, PMDDisabled: true}
+	}
+	pt := pmd.pts[i1]
+	if pt == nil {
+		return WalkResult{LevelsVisited: 3}
+	}
+	pte := pt.ptes[i0]
+	return WalkResult{PTE: pte, Present: pte.Present, LevelsVisited: 4}
+}
+
+// ensurePT materializes the path to the page table covering a and returns
+// it together with the owning pmd table and the pmd index.
+func (t *Table) ensurePT(a VAddr) (*ptTable, *pmdTable, int) {
+	i3, i2, i1, _ := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		pud = &pudTable{}
+		t.pgd[i3] = pud
+		t.PTEWrites++ // directory entry install
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil {
+		pmd = &pmdTable{}
+		pud.pmds[i2] = pmd
+		t.PTEWrites++
+	}
+	pt := pmd.pts[i1]
+	if pt == nil {
+		pt = &ptTable{}
+		pmd.pts[i1] = pt
+		t.PTEWrites++
+	}
+	return pt, pmd, i1
+}
+
+// Map installs a translation for the page containing a. Mapping a page
+// under a disabled PMD re-enables that PMD entry (one PMD write), matching
+// the remap path of VDom's HLRU policy.
+func (t *Table) Map(a VAddr, f Frame, writable bool, d Pdom) {
+	pt, pmd, i1 := t.ensurePT(a)
+	if pmd.disabled[i1] {
+		pmd.disabled[i1] = false
+		t.PMDWrites++
+	}
+	_, _, _, i0 := indices(a)
+	if !pt.ptes[i0].Present {
+		pt.present++
+		t.present++
+	}
+	pt.ptes[i0] = PTE{Frame: f, Present: true, Writable: writable, Pdom: d}
+	t.PTEWrites++
+}
+
+// Unmap removes the translation for the page containing a. It reports
+// whether a present mapping existed.
+func (t *Table) Unmap(a VAddr) bool {
+	i3, i2, i1, i0 := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return false
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil {
+		return false
+	}
+	pt := pmd.pts[i1]
+	if pt == nil {
+		return false
+	}
+	if !pt.ptes[i0].Present {
+		return false
+	}
+	pt.ptes[i0] = PTE{}
+	pt.present--
+	t.present--
+	t.PTEWrites++
+	return true
+}
+
+// SetPdom retags the page containing a with domain d. It reports whether a
+// present mapping existed. Retagging a page under a disabled PMD re-enables
+// the PMD entry.
+func (t *Table) SetPdom(a VAddr, d Pdom) bool {
+	i3, i2, i1, i0 := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return false
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil {
+		return false
+	}
+	pt := pmd.pts[i1]
+	if pt == nil || !pt.ptes[i0].Present {
+		return false
+	}
+	if pmd.disabled[i1] {
+		pmd.disabled[i1] = false
+		t.PMDWrites++
+	}
+	pt.ptes[i0].Pdom = d
+	t.PTEWrites++
+	return true
+}
+
+// SetWritable flips the writable bit of the page containing a.
+func (t *Table) SetWritable(a VAddr, w bool) bool {
+	wr := t.Walk(a)
+	if !wr.Present {
+		return false
+	}
+	i3, i2, i1, i0 := indices(a)
+	t.pgd[i3].pmds[i2].pts[i1].ptes[i0].Writable = w
+	t.PTEWrites++
+	return true
+}
+
+// DisablePMD marks the 2 MiB PMD entry covering a as access-never without
+// touching its PTEs. It reports whether the entry existed and was enabled.
+func (t *Table) DisablePMD(a VAddr) bool {
+	i3, i2, i1, _ := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return false
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil || pmd.pts[i1] == nil || pmd.disabled[i1] {
+		return false
+	}
+	pmd.disabled[i1] = true
+	t.PMDWrites++
+	return true
+}
+
+// EnablePMD clears the disabled mark on the PMD entry covering a.
+func (t *Table) EnablePMD(a VAddr) bool {
+	i3, i2, i1, _ := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return false
+	}
+	pmd := pud.pmds[i2]
+	if pmd == nil || !pmd.disabled[i1] {
+		return false
+	}
+	pmd.disabled[i1] = false
+	t.PMDWrites++
+	return true
+}
+
+// PMDDisabled reports whether the PMD entry covering a is disabled.
+func (t *Table) PMDDisabled(a VAddr) bool {
+	i3, i2, i1, _ := indices(a)
+	pud := t.pgd[i3]
+	if pud == nil {
+		return false
+	}
+	pmd := pud.pmds[i2]
+	return pmd != nil && pmd.disabled[i1]
+}
+
+// RetagRange retags every present page in [start, start+length) with d and
+// returns the number of pages retagged. length must be page-aligned.
+func (t *Table) RetagRange(start VAddr, length uint64, d Pdom) int {
+	checkAligned(start, length)
+	n := 0
+	for off := uint64(0); off < length; off += PageSize {
+		if t.SetPdom(start+VAddr(off), d) {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictRange makes [start, start+length) inaccessible for a domain
+// eviction. Full 2 MiB-aligned chunks are disabled at the PMD level (one
+// PMD write per 2 MiB, the §5.5 optimization); partial chunks fall back to
+// per-PTE retagging with the access-never domain. It returns the number of
+// PMD entries disabled and PTEs retagged.
+func (t *Table) EvictRange(start VAddr, length uint64, accessNever Pdom) (pmds, ptes int) {
+	checkAligned(start, length)
+	end := start + VAddr(length)
+	a := start
+	for a < end {
+		if a == a.PMDAlign() && uint64(end-a) >= PMDSize {
+			if t.DisablePMD(a) {
+				pmds++
+			} else {
+				// No live PT under this PMD (or already
+				// disabled): nothing to evict here.
+			}
+			a += PMDSize
+			continue
+		}
+		if t.SetPdom(a, accessNever) {
+			ptes++
+		}
+		a += PageSize
+	}
+	return pmds, ptes
+}
+
+// RemapRange is the inverse of EvictRange for the HLRU fast-remap path
+// (§5.5): full 2 MiB-aligned chunks whose PTEs still carry the target
+// domain tag are brought back by re-enabling their PMD entries (one PMD
+// write each); partial chunks are retagged per PTE. It returns the number
+// of PMD entries enabled and PTEs retagged.
+func (t *Table) RemapRange(start VAddr, length uint64, d Pdom) (pmds, ptes int) {
+	checkAligned(start, length)
+	end := start + VAddr(length)
+	a := start
+	for a < end {
+		if a == a.PMDAlign() && uint64(end-a) >= PMDSize {
+			if t.EnablePMD(a) {
+				pmds++
+			}
+			a += PMDSize
+			continue
+		}
+		if t.SetPdom(a, d) {
+			ptes++
+		}
+		a += PageSize
+	}
+	return pmds, ptes
+}
+
+// Pages calls fn for every present PTE, in ascending address order. fn may
+// not mutate the table.
+func (t *Table) Pages(fn func(a VAddr, pte PTE)) {
+	for i3, pud := range t.pgd {
+		if pud == nil {
+			continue
+		}
+		for i2, pmd := range pud.pmds {
+			if pmd == nil {
+				continue
+			}
+			for i1, pt := range pmd.pts {
+				if pt == nil || pt.present == 0 {
+					continue
+				}
+				for i0, pte := range pt.ptes {
+					if !pte.Present {
+						continue
+					}
+					a := VAddr(uint64(i3)<<39 | uint64(i2)<<30 |
+						uint64(i1)<<21 | uint64(i0)<<12)
+					fn(a, pte)
+				}
+			}
+		}
+	}
+}
+
+func checkAligned(start VAddr, length uint64) {
+	if uint64(start)%PageSize != 0 || length%PageSize != 0 {
+		panic(fmt.Sprintf("pagetable: unaligned range [%#x, +%#x)", uint64(start), length))
+	}
+}

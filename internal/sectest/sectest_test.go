@@ -1,0 +1,31 @@
+package sectest
+
+import (
+	"testing"
+
+	"vdom/internal/cycles"
+)
+
+func TestAllAttacksBlocked(t *testing.T) {
+	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		results := Run(arch)
+		if len(results) < 12 {
+			t.Fatalf("%v: only %d tests ran", arch, len(results))
+		}
+		for _, r := range results {
+			if !r.Blocked {
+				t.Errorf("%v: %s NOT blocked: %s", arch, r.Name, r.Detail)
+			}
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := Run(cycles.X86)
+	b := Run(cycles.X86)
+	for i := range a {
+		if a[i].Blocked != b[i].Blocked {
+			t.Errorf("test %q not deterministic", a[i].Name)
+		}
+	}
+}

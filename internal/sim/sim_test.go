@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var sawAt Time
+	env.Go("a", func(p *Proc) {
+		p.Delay(100)
+		sawAt = p.Now()
+	})
+	end := env.Run()
+	if sawAt != 100 {
+		t.Errorf("process observed time %d after Delay(100), want 100", sawAt)
+	}
+	if end != 100 {
+		t.Errorf("Run returned %d, want 100", end)
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Go("a", func(p *Proc) {
+		p.Delay(10)
+		order = append(order, "a10")
+		p.Delay(20) // at 30
+		order = append(order, "a30")
+	})
+	env.Go("b", func(p *Proc) {
+		p.Delay(20)
+		order = append(order, "b20")
+		p.Delay(20) // at 40
+		order = append(order, "b40")
+	})
+	env.Run()
+	want := []string{"a10", "b20", "a30", "b40"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsRunInSpawnOrder(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			p.Delay(5)
+			order = append(order, name)
+		})
+	}
+	env.Run()
+	for i, want := range []string{"p1", "p2", "p3"} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want spawn order", order)
+		}
+	}
+}
+
+func TestGoAtStartsLater(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.GoAt(500, "late", func(p *Proc) {
+		at = p.Now()
+	})
+	env.Run()
+	if at != 500 {
+		t.Errorf("late process started at %d, want 500", at)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	env := NewEnv()
+	mu := env.NewResource(1)
+	var inside, maxInside int
+	for i := 0; i < 4; i++ {
+		env.Go("worker", func(p *Proc) {
+			mu.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Delay(10)
+			inside--
+			mu.Release(1)
+		})
+	}
+	end := env.Run()
+	if maxInside != 1 {
+		t.Errorf("max concurrent holders = %d, want 1", maxInside)
+	}
+	if end != 40 {
+		t.Errorf("4 serialized 10-cycle sections finished at %d, want 40", end)
+	}
+}
+
+func TestResourceWaitedCyclesAccumulate(t *testing.T) {
+	env := NewEnv()
+	mu := env.NewResource(1)
+	var waits []uint64
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *Proc) {
+			w := mu.Acquire(p, 1)
+			waits = append(waits, w)
+			p.Delay(100)
+			mu.Release(1)
+		})
+	}
+	env.Run()
+	// First waits 0, second 100, third 200.
+	wantTotal := uint64(300)
+	if mu.WaitedCycles != wantTotal {
+		t.Errorf("WaitedCycles = %d, want %d", mu.WaitedCycles, wantTotal)
+	}
+	if waits[0] != 0 || waits[1] != 100 || waits[2] != 200 {
+		t.Errorf("per-acquire waits = %v, want [0 100 200]", waits)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	mu := env.NewResource(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go("w", func(p *Proc) {
+			p.Delay(uint64(i)) // stagger arrival: 0,1,2,3,4
+			mu.Acquire(p, 1)
+			got = append(got, i)
+			p.Delay(50)
+			mu.Release(1)
+		})
+	}
+	env.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("acquisition order %v, want FIFO arrival order", got)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	env := NewEnv()
+	r := env.NewResource(2)
+	env.Go("a", func(p *Proc) {
+		if !r.TryAcquire(2) {
+			t.Error("TryAcquire(2) on empty resource failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire(1) on full resource succeeded")
+		}
+		r.Release(2)
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire(1) after release failed")
+		}
+		r.Release(1)
+	})
+	env.Run()
+}
+
+func TestCountingResourceCapacity(t *testing.T) {
+	env := NewEnv()
+	r := env.NewResource(3)
+	var inside, maxInside int
+	for i := 0; i < 9; i++ {
+		env.Go("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Delay(10)
+			inside--
+			r.Release(1)
+		})
+	}
+	end := env.Run()
+	if maxInside != 3 {
+		t.Errorf("max concurrency = %d, want 3", maxInside)
+	}
+	if end != 30 {
+		t.Errorf("9 tasks × 10 cycles at width 3 finished at %d, want 30", end)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	env := NewEnv()
+	s := env.NewSignal()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		env.Go("sleeper", func(p *Proc) {
+			s.Wait(p)
+			woken++
+		})
+	}
+	env.Go("waker", func(p *Proc) {
+		p.Delay(100)
+		if s.NumWaiting() != 3 {
+			t.Errorf("NumWaiting = %d, want 3", s.NumWaiting())
+		}
+		s.Broadcast()
+	})
+	env.Run()
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestSignalWaitReportsDuration(t *testing.T) {
+	env := NewEnv()
+	s := env.NewSignal()
+	var waited uint64
+	env.Go("sleeper", func(p *Proc) {
+		waited = s.Wait(p)
+	})
+	env.Go("waker", func(p *Proc) {
+		p.Delay(250)
+		s.Broadcast()
+	})
+	env.Run()
+	if waited != 250 {
+		t.Errorf("waited = %d, want 250", waited)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not panic on deadlock")
+		}
+	}()
+	env := NewEnv()
+	mu := env.NewResource(1)
+	env.Go("hog", func(p *Proc) {
+		mu.Acquire(p, 1)
+		// never released
+	})
+	env.Go("victim", func(p *Proc) {
+		mu.Acquire(p, 1)
+	})
+	env.Run()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (Time, uint64) {
+		env := NewEnv()
+		rng := NewRand(42)
+		mu := env.NewResource(2)
+		var acc uint64
+		for i := 0; i < 8; i++ {
+			env.Go("w", func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					mu.Acquire(p, 1)
+					d := uint64(rng.Intn(50) + 1)
+					p.Delay(d)
+					acc += d
+					mu.Release(1)
+				}
+			})
+		}
+		return env.Run(), acc
+	}
+	t1, a1 := run()
+	t2, a2 := run()
+	if t1 != t2 || a1 != a2 {
+		t.Errorf("replay diverged: (%d,%d) vs (%d,%d)", t1, a1, t2, a2)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(7).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		v := NewRand(seed).Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64Bounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		f := NewRand(seed).Float64()
+		return f >= 0 && f < 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		m := int(n % 64)
+		p := NewRand(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoAtInPastPanics(t *testing.T) {
+	env := NewEnv()
+	env.Go("a", func(p *Proc) {
+		p.Delay(100)
+		defer func() {
+			if recover() == nil {
+				t.Error("GoAt in the past did not panic")
+			}
+		}()
+		env.GoAt(50, "past", func(p *Proc) {})
+	})
+	env.Run()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	env := NewEnv()
+	var childTime Time
+	env.Go("parent", func(p *Proc) {
+		p.Delay(10)
+		env.Go("child", func(c *Proc) {
+			c.Delay(5)
+			childTime = c.Now()
+		})
+		p.Delay(100)
+	})
+	env.Run()
+	if childTime != 15 {
+		t.Errorf("child observed %d, want 15", childTime)
+	}
+}

@@ -1,0 +1,45 @@
+package tlb
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(DefaultCapacity)
+	for vpn := uint64(0); vpn < 512; vpn++ {
+		c.Insert(mk(1, vpn))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(1, uint64(i)%512)
+	}
+}
+
+func BenchmarkInsertWithEviction(b *testing.B) {
+	c := New(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(mk(1, uint64(i)))
+	}
+}
+
+func BenchmarkSetAssocLookupHit(b *testing.B) {
+	c := NewSetAssoc(128, 8)
+	for vpn := uint64(0); vpn < 512; vpn++ {
+		c.Insert(mk(1, vpn))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(1, uint64(i)%512)
+	}
+}
+
+func BenchmarkFlushASID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(1024)
+		for vpn := uint64(0); vpn < 512; vpn++ {
+			c.Insert(mk(ASID(vpn%4), vpn))
+		}
+		b.StartTimer()
+		c.FlushASID(1)
+	}
+}

@@ -1,0 +1,116 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAssocBasics(t *testing.T) {
+	c := NewSetAssoc(64, 8)
+	if c.Capacity() != 512 {
+		t.Errorf("Capacity = %d", c.Capacity())
+	}
+	c.Insert(mk(1, 0x40))
+	if e, ok := c.Lookup(1, 0x40); !ok || e.Frame != 100 {
+		t.Errorf("lookup = (%+v, %v)", e, ok)
+	}
+	if _, ok := c.Lookup(2, 0x40); ok {
+		t.Error("hit under wrong ASID")
+	}
+	c.FlushPage(1, 0x40)
+	if _, ok := c.Lookup(1, 0x40); ok {
+		t.Error("flushed entry survives")
+	}
+}
+
+func TestSetAssocConflictMisses(t *testing.T) {
+	// 4 sets × 2 ways: 9 VPNs that all map to set 0 (stride = sets)
+	// must thrash despite total capacity 8.
+	c := NewSetAssoc(4, 2)
+	for i := uint64(0); i < 9; i++ {
+		c.Insert(mk(1, i*4)) // all in set 0
+	}
+	resident := 0
+	for i := uint64(0); i < 9; i++ {
+		if _, ok := c.Lookup(1, i*4); ok {
+			resident++
+		}
+	}
+	if resident != 2 {
+		t.Errorf("set-0 residents = %d, want exactly the 2 ways", resident)
+	}
+	// A fully-associative TLB of the same capacity keeps 8 of them.
+	fa := New(8)
+	for i := uint64(0); i < 9; i++ {
+		fa.Insert(mk(1, i*4))
+	}
+	if fa.Len() != 8 {
+		t.Errorf("fully-associative Len = %d, want 8", fa.Len())
+	}
+}
+
+func TestSetAssocFlushASIDAndAll(t *testing.T) {
+	c := NewSetAssoc(16, 4)
+	for vpn := uint64(0); vpn < 30; vpn++ {
+		c.Insert(mk(1, vpn))
+		c.Insert(mk(2, vpn))
+	}
+	c.FlushASID(1)
+	if c.CountASID(1) != 0 {
+		t.Error("ASID 1 survived flush")
+	}
+	if c.CountASID(2) == 0 {
+		t.Error("ASID 2 wiped by ASID 1 flush")
+	}
+	c.FlushAll()
+	if c.Len() != 0 {
+		t.Error("entries survived FlushAll")
+	}
+	c.Insert(mk(3, 7))
+	if _, ok := c.Lookup(3, 7); !ok {
+		t.Error("insert after FlushAll failed")
+	}
+}
+
+func TestSetAssocValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {3, 4}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewSetAssoc(bad[0], bad[1])
+		}()
+	}
+}
+
+// Property: the index never exceeds capacity and always agrees with the
+// slots under random operations.
+func TestSetAssocConsistencyProperty(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		c := NewSetAssoc(8, 2)
+		for _, op := range ops {
+			asid := ASID(op % 3)
+			vpn := uint64(op % 64)
+			switch op % 5 {
+			case 0, 1:
+				c.Insert(mk(asid, vpn))
+			case 2:
+				if e, ok := c.Lookup(asid, vpn); ok && (e.ASID != asid || e.VPN != vpn) {
+					return false
+				}
+			case 3:
+				c.FlushPage(asid, vpn)
+			case 4:
+				c.FlushASID(asid)
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package tlb models a per-core, ASID-tagged translation lookaside buffer.
+//
+// ASID tagging is what lets VDom switch page global directories without
+// flushing: entries of the previous address space stay resident under their
+// own tag and become live again when the core switches back. The model is a
+// capacity-bounded cache with clock (second-chance) replacement — enough to
+// reproduce the miss behaviour that separates VDom from VM-based and
+// shootdown-based approaches, while staying deterministic.
+package tlb
+
+import "vdom/internal/pagetable"
+
+// ASID is an address-space identifier (PCID on x86).
+type ASID uint16
+
+// Entry is one cached translation.
+type Entry struct {
+	ASID  ASID
+	VPN   uint64
+	Frame pagetable.Frame
+	// Pdom is the memory-domain tag cached with the translation; the
+	// permission-register check happens on every access, even on hits.
+	Pdom     pagetable.Pdom
+	Writable bool
+}
+
+type slot struct {
+	entry      Entry
+	valid      bool
+	referenced bool
+}
+
+type key struct {
+	asid ASID
+	vpn  uint64
+}
+
+// Stats counts TLB events since the last ResetStats.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Inserts      uint64
+	PageFlushes  uint64
+	ASIDFlushes  uint64
+	FullFlushes  uint64
+	RangeFlushes uint64
+	Invalidated  uint64 // entries removed by any flush
+}
+
+// TLB is one core's translation cache.
+type TLB struct {
+	slots []slot
+	index map[key]int
+	hand  int
+	stats Stats
+}
+
+// DefaultCapacity approximates a unified second-level TLB.
+const DefaultCapacity = 1536
+
+// New returns a TLB with the given entry capacity.
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("tlb: capacity must be positive")
+	}
+	return &TLB{
+		slots: make([]slot, capacity),
+		index: make(map[key]int, capacity),
+	}
+}
+
+// Capacity returns the number of entry slots.
+func (t *TLB) Capacity() int { return len(t.slots) }
+
+// Len returns the number of valid entries.
+func (t *TLB) Len() int { return len(t.index) }
+
+// Stats returns a copy of the event counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the event counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Lookup searches for (asid, vpn). A hit refreshes the entry's reference
+// bit.
+func (t *TLB) Lookup(asid ASID, vpn uint64) (Entry, bool) {
+	if i, ok := t.index[key{asid, vpn}]; ok {
+		t.slots[i].referenced = true
+		t.stats.Hits++
+		return t.slots[i].entry, true
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Insert caches a translation, evicting by clock replacement if full. An
+// existing entry for the same (asid, vpn) is overwritten in place.
+func (t *TLB) Insert(e Entry) {
+	t.stats.Inserts++
+	k := key{e.ASID, e.VPN}
+	if i, ok := t.index[k]; ok {
+		t.slots[i].entry = e
+		t.slots[i].referenced = true
+		return
+	}
+	i := t.victim()
+	if t.slots[i].valid {
+		delete(t.index, key{t.slots[i].entry.ASID, t.slots[i].entry.VPN})
+	}
+	t.slots[i] = slot{entry: e, valid: true, referenced: true}
+	t.index[k] = i
+}
+
+// victim finds a free slot or evicts via the clock algorithm.
+func (t *TLB) victim() int {
+	for {
+		s := &t.slots[t.hand]
+		i := t.hand
+		t.hand = (t.hand + 1) % len(t.slots)
+		if !s.valid {
+			return i
+		}
+		if !s.referenced {
+			return i
+		}
+		s.referenced = false
+	}
+}
+
+// FlushPage invalidates one page of one address space (invlpg/TLBIMVA).
+func (t *TLB) FlushPage(asid ASID, vpn uint64) {
+	t.stats.PageFlushes++
+	if i, ok := t.index[key{asid, vpn}]; ok {
+		t.slots[i] = slot{}
+		delete(t.index, key{asid, vpn})
+		t.stats.Invalidated++
+	}
+}
+
+// FlushRange invalidates [startVPN, startVPN+pages) of one address space,
+// modelling the range-flush instructions §5.5 leans on.
+func (t *TLB) FlushRange(asid ASID, startVPN, pages uint64) {
+	t.stats.RangeFlushes++
+	for vpn := startVPN; vpn < startVPN+pages; vpn++ {
+		if i, ok := t.index[key{asid, vpn}]; ok {
+			t.slots[i] = slot{}
+			delete(t.index, key{asid, vpn})
+			t.stats.Invalidated++
+		}
+	}
+}
+
+// FlushASID invalidates every entry of one address space.
+func (t *TLB) FlushASID(asid ASID) {
+	t.stats.ASIDFlushes++
+	for k, i := range t.index {
+		if k.asid == asid {
+			t.slots[i] = slot{}
+			delete(t.index, k)
+			t.stats.Invalidated++
+		}
+	}
+}
+
+// FlushAll invalidates the whole TLB.
+func (t *TLB) FlushAll() {
+	t.stats.FullFlushes++
+	t.stats.Invalidated += uint64(len(t.index))
+	for i := range t.slots {
+		t.slots[i] = slot{}
+	}
+	t.index = make(map[key]int, len(t.slots))
+	t.hand = 0
+}
+
+// CountASID returns the number of resident entries tagged with asid.
+// It is an introspection helper for tests and experiments, not a hardware
+// operation.
+func (t *TLB) CountASID(asid ASID) int {
+	n := 0
+	for k := range t.index {
+		if k.asid == asid {
+			n++
+		}
+	}
+	return n
+}
+
+// Cache is the operation set common to the TLB organizations (fully
+// associative with global clock, or set-associative). Hardware cores and
+// kernel flush paths operate through it.
+type Cache interface {
+	Lookup(asid ASID, vpn uint64) (Entry, bool)
+	Insert(e Entry)
+	FlushPage(asid ASID, vpn uint64)
+	FlushRange(asid ASID, startVPN, pages uint64)
+	FlushASID(asid ASID)
+	FlushAll()
+	Len() int
+	Capacity() int
+	Stats() Stats
+	ResetStats()
+	CountASID(asid ASID) int
+}
+
+var (
+	_ Cache = (*TLB)(nil)
+	_ Cache = (*SetAssoc)(nil)
+)

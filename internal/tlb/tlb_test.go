@@ -1,0 +1,251 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(asid ASID, vpn uint64) Entry {
+	return Entry{ASID: asid, VPN: vpn, Frame: 100, Pdom: 2, Writable: true}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := New(16)
+	c.Insert(mk(1, 0x40))
+	e, ok := c.Lookup(1, 0x40)
+	if !ok {
+		t.Fatal("miss after insert")
+	}
+	if e.Frame != 100 || e.Pdom != 2 || !e.Writable {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, ok := c.Lookup(2, 0x40); ok {
+		t.Error("hit under wrong ASID")
+	}
+	if _, ok := c.Lookup(1, 0x41); ok {
+		t.Error("hit on wrong VPN")
+	}
+}
+
+func TestASIDSeparation(t *testing.T) {
+	c := New(16)
+	c.Insert(Entry{ASID: 1, VPN: 5, Frame: 10})
+	c.Insert(Entry{ASID: 2, VPN: 5, Frame: 20})
+	e1, _ := c.Lookup(1, 5)
+	e2, _ := c.Lookup(2, 5)
+	if e1.Frame != 10 || e2.Frame != 20 {
+		t.Errorf("frames = %d, %d; want 10, 20", e1.Frame, e2.Frame)
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	c := New(4)
+	c.Insert(Entry{ASID: 1, VPN: 7, Frame: 1})
+	c.Insert(Entry{ASID: 1, VPN: 7, Frame: 2})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after overwrite, want 1", c.Len())
+	}
+	e, _ := c.Lookup(1, 7)
+	if e.Frame != 2 {
+		t.Errorf("frame = %d, want 2", e.Frame)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	c := New(8)
+	for vpn := uint64(0); vpn < 20; vpn++ {
+		c.Insert(mk(1, vpn))
+	}
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want capacity 8", c.Len())
+	}
+}
+
+func TestClockKeepsReferencedEntries(t *testing.T) {
+	c := New(4)
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		c.Insert(mk(1, vpn))
+	}
+	// All four entries are referenced, so this insert sweeps the clock
+	// hand across the whole cache (clearing reference bits) and evicts
+	// the first slot.
+	c.Insert(mk(1, 100))
+	if _, ok := c.Lookup(1, 0); ok {
+		t.Error("expected vpn 0 to be the clock victim")
+	}
+	// Re-reference vpn 2; the next insert must pick the first
+	// unreferenced entry (vpn 1) and spare the re-referenced one.
+	c.Lookup(1, 2)
+	c.Insert(mk(1, 101))
+	if _, ok := c.Lookup(1, 1); ok {
+		t.Error("expected vpn 1 to be evicted")
+	}
+	if _, ok := c.Lookup(1, 2); !ok {
+		t.Error("recently referenced entry was evicted while unreferenced entries existed")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	c := New(16)
+	c.Insert(mk(1, 5))
+	c.Insert(mk(1, 6))
+	c.FlushPage(1, 5)
+	if _, ok := c.Lookup(1, 5); ok {
+		t.Error("flushed page still resident")
+	}
+	if _, ok := c.Lookup(1, 6); !ok {
+		t.Error("unrelated page flushed")
+	}
+}
+
+func TestFlushRange(t *testing.T) {
+	c := New(64)
+	for vpn := uint64(0); vpn < 32; vpn++ {
+		c.Insert(mk(1, vpn))
+		c.Insert(mk(2, vpn))
+	}
+	c.FlushRange(1, 8, 16)
+	for vpn := uint64(0); vpn < 32; vpn++ {
+		_, ok := c.Lookup(1, vpn)
+		inRange := vpn >= 8 && vpn < 24
+		if inRange && ok {
+			t.Fatalf("vpn %d in flushed range still resident", vpn)
+		}
+		if !inRange && !ok {
+			t.Fatalf("vpn %d outside range was flushed", vpn)
+		}
+		if _, ok := c.Lookup(2, vpn); !ok {
+			t.Fatalf("ASID 2 vpn %d flushed by ASID 1 range flush", vpn)
+		}
+	}
+}
+
+func TestFlushASID(t *testing.T) {
+	c := New(64)
+	for vpn := uint64(0); vpn < 10; vpn++ {
+		c.Insert(mk(3, vpn))
+		c.Insert(mk(4, vpn))
+	}
+	c.FlushASID(3)
+	if c.CountASID(3) != 0 {
+		t.Errorf("ASID 3 count = %d after flush", c.CountASID(3))
+	}
+	if c.CountASID(4) != 10 {
+		t.Errorf("ASID 4 count = %d, want 10", c.CountASID(4))
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := New(32)
+	for vpn := uint64(0); vpn < 10; vpn++ {
+		c.Insert(mk(1, vpn))
+	}
+	c.FlushAll()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after FlushAll", c.Len())
+	}
+	// Table remains usable.
+	c.Insert(mk(1, 99))
+	if _, ok := c.Lookup(1, 99); !ok {
+		t.Error("insert after FlushAll failed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(16)
+	c.Insert(mk(1, 1))
+	c.Lookup(1, 1) // hit
+	c.Lookup(1, 2) // miss
+	c.FlushPage(1, 1)
+	c.FlushASID(1)
+	c.FlushAll()
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PageFlushes != 1 || s.ASIDFlushes != 1 || s.FullFlushes != 1 {
+		t.Errorf("flush stats = %+v", s)
+	}
+	if s.Invalidated != 1 {
+		t.Errorf("Invalidated = %d, want 1 (page flush removed the only entry)", s.Invalidated)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero stats")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: Len never exceeds capacity and index/slots stay consistent
+// under random operation sequences.
+func TestLenBoundedProperty(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		c := New(16)
+		for _, op := range ops {
+			asid := ASID(op % 4)
+			vpn := uint64(op % 64)
+			switch op % 5 {
+			case 0, 1:
+				c.Insert(mk(asid, vpn))
+			case 2:
+				c.Lookup(asid, vpn)
+			case 3:
+				c.FlushPage(asid, vpn)
+			case 4:
+				c.FlushASID(asid)
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		// Every indexed entry must be resident and agree on its key.
+		for asid := ASID(0); asid < 4; asid++ {
+			for vpn := uint64(0); vpn < 64; vpn++ {
+				if e, ok := c.Lookup(asid, vpn); ok {
+					if e.ASID != asid || e.VPN != vpn {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after FlushASID(a), no entry under a survives, and entries of
+// other ASIDs are untouched.
+func TestFlushASIDProperty(t *testing.T) {
+	if err := quick.Check(func(vpns []uint8, target uint8) bool {
+		c := New(256)
+		a := ASID(target % 4)
+		for _, v := range vpns {
+			c.Insert(mk(ASID(v%4), uint64(v)))
+		}
+		before := map[ASID]int{}
+		for x := ASID(0); x < 4; x++ {
+			before[x] = c.CountASID(x)
+		}
+		c.FlushASID(a)
+		if c.CountASID(a) != 0 {
+			return false
+		}
+		for x := ASID(0); x < 4; x++ {
+			if x != a && c.CountASID(x) != before[x] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

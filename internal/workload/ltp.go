@@ -1,0 +1,422 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// LTPCase is one compatibility check run against a kernel flavour, in the
+// spirit of the Linux Test Project suites the paper passes on both the
+// original and the VDom-modified kernel (§7.1).
+type LTPCase struct {
+	Suite string
+	Name  string
+	Run   func(k *kernel.Kernel) error
+}
+
+// LTPResult is the outcome of a full suite run on one kernel flavour.
+type LTPResult struct {
+	Arch        cycles.Arch
+	VDomEnabled bool
+	Passed      int
+	Failed      int
+	Failures    []string
+}
+
+// RunLTP runs every case against a freshly booted kernel of the given
+// flavour.
+func RunLTP(arch cycles.Arch, vdomEnabled bool) LTPResult {
+	res := LTPResult{Arch: arch, VDomEnabled: vdomEnabled}
+	for _, tc := range LTPCases() {
+		k := bootBench(arch, 4, vdomEnabled)
+		if err := tc.Run(k); err != nil {
+			res.Failed++
+			res.Failures = append(res.Failures, fmt.Sprintf("%s/%s: %v", tc.Suite, tc.Name, err))
+		} else {
+			res.Passed++
+		}
+	}
+	return res
+}
+
+const ltpPage = pagetable.PageSize
+
+// LTPCases returns the full compatibility suite: memory management,
+// scheduler, and IPC-surface checks (the paper's file-system and disk-IO
+// suites exercise subsystems the simulated kernel intentionally omits; see
+// DESIGN.md).
+func LTPCases() []LTPCase {
+	return []LTPCase{
+		// --- mm suite ---
+		{"mm", "mmap01-basic-map-and-touch", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 4*ltpPage, true); err != nil {
+				return err
+			}
+			_, err := t.Access(0x10000+2*ltpPage, true)
+			return err
+		}},
+		{"mm", "mmap02-overlap-rejected", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 4*ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t.Mmap(0x11000, ltpPage, true); err == nil {
+				return errors.New("overlapping mmap succeeded")
+			}
+			return nil
+		}},
+		{"mm", "mmap03-unaligned-rejected", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10001, ltpPage, true); err == nil {
+				return errors.New("unaligned mmap succeeded")
+			}
+			return nil
+		}},
+		{"mm", "munmap01-basic", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 4*ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, true); err != nil {
+				return err
+			}
+			if _, err := t.Munmap(0x10000, 4*ltpPage); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, false); !errors.Is(err, kernel.ErrSigsegv) {
+				return fmt.Errorf("access after munmap = %v", err)
+			}
+			return nil
+		}},
+		{"mm", "munmap02-partial-hole", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 8*ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t.Munmap(0x10000+2*ltpPage, 2*ltpPage); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, true); err != nil {
+				return fmt.Errorf("head lost: %v", err)
+			}
+			if _, err := t.Access(0x10000+2*ltpPage, false); !errors.Is(err, kernel.ErrSigsegv) {
+				return errors.New("hole still mapped")
+			}
+			if _, err := t.Access(0x10000+5*ltpPage, true); err != nil {
+				return fmt.Errorf("tail lost: %v", err)
+			}
+			return nil
+		}},
+		{"mm", "mprotect01-revoke-write", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, true); err != nil {
+				return err
+			}
+			if _, err := t.Mprotect(0x10000, ltpPage, false); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, true); !errors.Is(err, kernel.ErrSigsegv) {
+				return errors.New("write after revoke succeeded")
+			}
+			_, err := t.Access(0x10000, false)
+			return err
+		}},
+		{"mm", "mprotect02-grant-write", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, ltpPage, false); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, false); err != nil {
+				return err
+			}
+			if _, err := t.Mprotect(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			_, err := t.Access(0x10000, true)
+			return err
+		}},
+		{"mm", "pagefault01-demand-zero", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 64*ltpPage, true); err != nil {
+				return err
+			}
+			for i := 0; i < 64; i++ {
+				if _, err := t.Access(0x10000+pagetable.VAddr(i)*ltpPage, true); err != nil {
+					return fmt.Errorf("page %d: %v", i, err)
+				}
+			}
+			if n := t.Process().AS().Shadow().Present(); n != 64 {
+				return fmt.Errorf("present pages = %d, want 64", n)
+			}
+			return nil
+		}},
+		{"mm", "segv01-wild-pointer", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Access(0xdead0000, true); !errors.Is(err, kernel.ErrSigsegv) {
+				return fmt.Errorf("wild access = %v", err)
+			}
+			return nil
+		}},
+		{"mm", "shm01-two-threads-share", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t1, t2 := p.NewTask(0), p.NewTask(1)
+			if _, err := t1.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t1.Access(0x10000, true); err != nil {
+				return err
+			}
+			_, err := t2.Access(0x10000, true)
+			return err
+		}},
+
+		// --- sched suite ---
+		{"sched", "switch01-dispatch-restores-state", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t1, t2 := p.NewTask(0), p.NewTask(0)
+			t1.SetSavedPerm(0x11)
+			t2.SetSavedPerm(0x22)
+			k.Dispatch(t1)
+			if got := k.Machine().Core(0).Perm().Raw(); got != 0x11 {
+				return fmt.Errorf("t1 register = %#x", got)
+			}
+			k.Dispatch(t2)
+			if got := k.Machine().Core(0).Perm().Raw(); got != 0x22 {
+				return fmt.Errorf("t2 register = %#x", got)
+			}
+			return nil
+		}},
+		{"sched", "affinity01-tasks-stay-on-core", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t := p.NewTask(2)
+			if t.CoreID() != 2 || t.Core() != k.Machine().Core(2) {
+				return errors.New("task not pinned to its core")
+			}
+			return nil
+		}},
+		{"sched", "switch02-asid-preserves-tlb", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t1, t2 := p.NewTask(0), p.NewTask(0)
+			if _, err := t1.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t1.Access(0x10000, true); err != nil {
+				return err
+			}
+			if _, err := t2.Access(0x10000, true); err != nil {
+				return err
+			}
+			// Back to t1: its translation must still be warm.
+			k.Dispatch(t1)
+			res := t1.Core().Access(0x10000, false)
+			if !res.TLBHit {
+				return errors.New("ASID-tagged translation lost across context switch")
+			}
+			return nil
+		}},
+
+		// --- ipc/syscall suite ---
+		{"ipc", "filter01-blocks-configured-call", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t := p.NewTask(0)
+			k.RegisterSyscallFilter(func(_ *kernel.Task, sc kernel.Syscall, _ kernel.SyscallArgs) error {
+				if sc == kernel.SysProcessVMReadv {
+					return errors.New("blocked")
+				}
+				return nil
+			})
+			if _, err := t.Mmap(0x10000, ltpPage, true); err != nil {
+				return fmt.Errorf("unrelated call filtered: %v", err)
+			}
+			if _, _, err := t.ProcessVMReadv(0x10000); !errors.Is(err, kernel.ErrBlocked) {
+				return fmt.Errorf("filtered call = %v", err)
+			}
+			return nil
+		}},
+		{"ipc", "shootdown01-revocation-visible-cross-core", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t1, t2 := p.NewTask(0), p.NewTask(1)
+			if _, err := t1.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t2.Access(0x10000, true); err != nil {
+				return err
+			}
+			if _, err := t1.Mprotect(0x10000, ltpPage, false); err != nil {
+				return err
+			}
+			if _, err := t2.Access(0x10000, true); !errors.Is(err, kernel.ErrSigsegv) {
+				return errors.New("stale writable translation survived revocation")
+			}
+			return nil
+		}},
+		{"ipc", "gettid01", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t1, t2 := p.NewTask(0), p.NewTask(1)
+			a, _ := t1.GetTID()
+			b, _ := t2.GetTID()
+			if a == b {
+				return errors.New("duplicate TIDs")
+			}
+			return nil
+		}},
+
+		// --- mm suite (part 2) ---
+		{"mm", "reclaim01-refault-after-kswapd", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t := p.NewTask(0)
+			if _, err := t.Mmap(0x10000, 16*ltpPage, true); err != nil {
+				return err
+			}
+			for i := 0; i < 16; i++ {
+				if _, err := t.Access(0x10000+pagetable.VAddr(i)*ltpPage, true); err != nil {
+					return err
+				}
+			}
+			n, _ := p.ReclaimFrames(0, 10)
+			if n != 10 {
+				return fmt.Errorf("reclaimed %d, want 10", n)
+			}
+			for i := 0; i < 16; i++ {
+				if _, err := t.Access(0x10000+pagetable.VAddr(i)*ltpPage, true); err != nil {
+					return fmt.Errorf("refault page %d: %v", i, err)
+				}
+			}
+			return nil
+		}},
+		{"mm", "mprotect03-split-boundaries", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 8*ltpPage, true); err != nil {
+				return err
+			}
+			// Revoke the middle; head and tail stay writable.
+			if _, err := t.Mprotect(0x10000+3*ltpPage, 2*ltpPage, false); err != nil {
+				return err
+			}
+			if _, err := t.Access(0x10000, true); err != nil {
+				return fmt.Errorf("head: %v", err)
+			}
+			if _, err := t.Access(0x10000+3*ltpPage, true); !errors.Is(err, kernel.ErrSigsegv) {
+				return fmt.Errorf("middle write = %v", err)
+			}
+			if _, err := t.Access(0x10000+7*ltpPage, true); err != nil {
+				return fmt.Errorf("tail: %v", err)
+			}
+			if got := t.Process().AS().NumVMAs(); got != 3 {
+				return fmt.Errorf("VMAs = %d, want 3 after split", got)
+			}
+			return nil
+		}},
+		{"mm", "mmap04-remap-freed-range", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, 4*ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := t.Munmap(0x10000, 4*ltpPage); err != nil {
+				return err
+			}
+			if _, err := t.Mmap(0x10000, 2*ltpPage, true); err != nil {
+				return fmt.Errorf("remap freed range: %v", err)
+			}
+			_, err := t.Access(0x10000, true)
+			return err
+		}},
+		{"mm", "settag01-empty-range-rejected", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t := p.NewTask(0)
+			if _, err := t.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := p.AS().SetTag(0x10000, 0, 3); err == nil {
+				return errors.New("empty SetTag succeeded")
+			}
+			return nil
+		}},
+		{"mm", "fault02-costs-decrease-warm", func(k *kernel.Kernel) error {
+			t := k.NewProcess().NewTask(0)
+			if _, err := t.Mmap(0x10000, ltpPage, true); err != nil {
+				return err
+			}
+			cold, err := t.Access(0x10000, true)
+			if err != nil {
+				return err
+			}
+			warm, err := t.Access(0x10000, true)
+			if err != nil {
+				return err
+			}
+			if warm >= cold {
+				return fmt.Errorf("warm %d not cheaper than cold %d", warm, cold)
+			}
+			return nil
+		}},
+
+		// --- sched suite (part 2) ---
+		{"sched", "asid01-unique-per-task", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			seen := map[tlb.ASID]bool{}
+			for i := 0; i < 8; i++ {
+				t := p.NewTask(i % 4)
+				if seen[t.ASID()] {
+					return fmt.Errorf("duplicate ASID %d", t.ASID())
+				}
+				seen[t.ASID()] = true
+			}
+			return nil
+		}},
+		{"sched", "irq01-pending-interrupts-drain", func(k *kernel.Kernel) error {
+			k.AddPendingInterrupt(1, 500)
+			if got := k.TakePendingInterrupts(1); got != 500 {
+				return fmt.Errorf("drained %d, want 500", got)
+			}
+			if got := k.TakePendingInterrupts(1); got != 0 {
+				return fmt.Errorf("second drain %d, want 0", got)
+			}
+			return nil
+		}},
+
+		// --- hardware-conformance suite ---
+		{"hw", "pkru01-default-deny", func(k *kernel.Kernel) error {
+			var r hw.PermRegister
+			r.SetRaw(hw.DenyAll())
+			if r.Get(0) != hw.PermReadWrite {
+				return errors.New("pdom0 not accessible")
+			}
+			for d := uint8(1); d < 16; d++ {
+				if r.Get(d) != hw.PermNone {
+					return fmt.Errorf("pdom %d accessible by default", d)
+				}
+			}
+			return nil
+		}},
+		{"hw", "pgtable01-vma-tagging", func(k *kernel.Kernel) error {
+			p := k.NewProcess()
+			t := p.NewTask(0)
+			if _, err := t.Mmap(0x10000, 2*ltpPage, true); err != nil {
+				return err
+			}
+			if _, err := p.AS().SetTag(0x10000, ltpPage, mm.Tag(7)); err != nil {
+				return err
+			}
+			v := p.AS().FindVMA(0x10000)
+			if v == nil || v.Tag != 7 {
+				return fmt.Errorf("tag lost: %v", v)
+			}
+			if v2 := p.AS().FindVMA(0x10000 + ltpPage); v2 == nil || v2.Tag != 0 {
+				return errors.New("tag bled into the neighbour page")
+			}
+			return nil
+		}},
+	}
+}

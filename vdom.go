@@ -1,0 +1,304 @@
+// Package vdom is a faithful, fully simulated reproduction of VDom — the
+// fast and unlimited memory-domain virtualization system of Yuan et al.
+// (ASPLOS 2023) — as an embeddable Go library.
+//
+// Hardware memory-domain primitives (Intel MPK, ARM Memory Domain) offer
+// cheap in-process isolation but only 16 domains. VDom virtualizes them
+// into an unlimited supply of "virtual domains" (vdoms) by grouping
+// threads into separate ASID-tagged address spaces (VDSes), each
+// contributing a fresh set of hardware domains, and by balancing page
+// global directory switches against HLRU domain evictions.
+//
+// Because Go's runtime cannot host real per-thread page tables or PKRU
+// state, the library runs on a cycle-accounted simulated machine: real
+// multi-level page tables, ASID-tagged TLBs, per-core permission
+// registers, and a simulated kernel. Protection decisions are real — an
+// access the hardware would forbid returns ErrSigsegv — and every
+// operation reports the cycles the real system would spend, calibrated
+// against the paper's measurements.
+//
+// # Quick start
+//
+//	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 4})
+//	p := sys.NewProcess(vdom.DefaultPolicy())
+//	t := p.NewThread(0)
+//
+//	buf, _ := t.Mmap(16 * vdom.PageSize) // map some memory
+//	t.AllocVDR(4)                        // get a permission register
+//	secret, _ := p.AllocDomain(false)    // unlimited vdoms
+//	p.ProtectRange(t, buf, 4*vdom.PageSize, secret)
+//
+//	t.WriteVDR(secret, vdom.ReadWrite) // open the domain ...
+//	t.Store(buf)                       // ... access it ...
+//	t.WriteVDR(secret, vdom.NoAccess)  // ... and close it again.
+//
+//	if err := t.Load(buf); err != nil { /* SIGSEGV: domain is closed */ }
+package vdom
+
+import (
+	"fmt"
+
+	"vdom/internal/core"
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+)
+
+// PageSize is the protection granularity in bytes.
+const PageSize = pagetable.PageSize
+
+// Arch selects the simulated architecture.
+type Arch = cycles.Arch
+
+// Supported architectures.
+const (
+	// X86 models an Intel Xeon with MPK (user-space PKRU writes, PCID).
+	X86 = cycles.X86
+	// ARM models a 32-bit ARM core with Memory Domains (kernel-mediated
+	// DACR writes, ASIDs).
+	ARM = cycles.ARM
+	// Power models a projected IBM POWER9 with 32 protection domains
+	// (kernel-mediated AMR writes). The paper's prototype does not cover
+	// Power; treat results as projections (see DESIGN.md).
+	Power = cycles.Power
+)
+
+// Addr is a virtual address in a process's simulated address space.
+type Addr = pagetable.VAddr
+
+// Domain is a virtual domain identifier (vdom). Domains are unlimited;
+// ids increase monotonically and are never reused.
+type Domain = core.VdomID
+
+// Perm is a thread's permission on a domain.
+type Perm = core.VPerm
+
+// Permission values, mirroring the paper's API: on top of MPK's triple,
+// Pinned is access-disabled but resists HLRU eviction.
+const (
+	NoAccess  = core.VPermNone
+	ReadOnly  = core.VPermRead
+	ReadWrite = core.VPermReadWrite
+	Pinned    = core.VPermPinned
+)
+
+// Cycles is a simulated-cycle count.
+type Cycles = cycles.Cost
+
+// Policy re-exports the VDom policy knobs (eviction flavour, call-gate
+// profile, flush thresholds).
+type Policy = core.Policy
+
+// DefaultPolicy returns the paper-faithful policy: secure call gate, HLRU
+// with the PMD fast path, 64-page range-flush threshold, nas budget 4.
+func DefaultPolicy() Policy { return core.DefaultPolicy() }
+
+// ErrSigsegv is returned by Load/Store when the simulated hardware denies
+// the access; it aliases the kernel's signal for errors.Is tests.
+var ErrSigsegv = kernel.ErrSigsegv
+
+// Config describes the simulated platform.
+type Config struct {
+	// Arch is the simulated architecture (default X86).
+	Arch Arch
+	// Cores is the number of hardware threads (default 4).
+	Cores int
+	// TLBEntries is the per-core TLB capacity (default 1536).
+	TLBEntries int
+	// NoASID disables ASID tagging, forcing a full TLB flush on every
+	// address-space switch (ablation only).
+	NoASID bool
+	// SetAssociativeTLB models 8-way set-associative TLBs (conflict
+	// misses) instead of fully associative ones.
+	SetAssociativeTLB bool
+	// VanillaKernel boots the kernel without the VDom patches; only
+	// useful for baseline measurements.
+	VanillaKernel bool
+}
+
+// System is one simulated machine plus its booted kernel.
+type System struct {
+	machine *hw.Machine
+	kernel  *kernel.Kernel
+}
+
+// NewSystem boots a simulated machine.
+func NewSystem(cfg Config) *System {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	m := hw.NewMachine(hw.Config{
+		Arch:           cfg.Arch,
+		NumCores:       cfg.Cores,
+		TLBCapacity:    cfg.TLBEntries,
+		NoASID:         cfg.NoASID,
+		SetAssociative: cfg.SetAssociativeTLB,
+	})
+	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: !cfg.VanillaKernel})
+	return &System{machine: m, kernel: k}
+}
+
+// Kernel exposes the simulated kernel (advanced use: scheduler bridges,
+// syscall filters).
+func (s *System) Kernel() *kernel.Kernel { return s.kernel }
+
+// Cores returns the machine's core count.
+func (s *System) Cores() int { return s.machine.NumCores() }
+
+// Process is a VDom-enabled process.
+type Process struct {
+	sys  *System
+	proc *kernel.Process
+	mgr  *core.Manager
+	next Addr
+}
+
+// NewProcess creates a process with VDom initialized (vdom_init).
+func (s *System) NewProcess(policy Policy) *Process {
+	proc := s.kernel.NewProcess()
+	return &Process{
+		sys:  s,
+		proc: proc,
+		mgr:  core.Attach(proc, policy),
+		next: 0x10_0000_0000,
+	}
+}
+
+// Manager exposes the underlying domain manager (advanced use: stats,
+// call-gate access).
+func (p *Process) Manager() *core.Manager { return p.mgr }
+
+// Underlying returns the kernel process (advanced use).
+func (p *Process) Underlying() *kernel.Process { return p.proc }
+
+// AllocDomain allocates a fresh virtual domain (vdom_alloc). Marking it
+// frequently-accessed biases activation toward in-place eviction rather
+// than address-space switches.
+func (p *Process) AllocDomain(frequentlyAccessed bool) (Domain, Cycles) {
+	return p.mgr.AllocVdom(frequentlyAccessed)
+}
+
+// FreeDomain releases a domain (vdom_free).
+func (p *Process) FreeDomain(d Domain) (Cycles, error) {
+	return p.mgr.FreeVdom(d)
+}
+
+// ProtectRange assigns the pages containing [addr, addr+length) to domain
+// d (vdom_mprotect), called by thread t.
+func (p *Process) ProtectRange(t *Thread, addr Addr, length uint64, d Domain) (Cycles, error) {
+	return p.mgr.Mprotect(t.task, addr, length, d)
+}
+
+// Stats returns the domain-virtualization event counters.
+func (p *Process) Stats() core.Stats { return p.mgr.Stats }
+
+// Event is one traced domain-virtualization occurrence (a map, eviction,
+// VDS switch, migration, VDS allocation, or free).
+type Event = core.Event
+
+// EventKind classifies a traced event.
+type EventKind = core.EventKind
+
+// Traced event kinds.
+const (
+	EventMap      = core.EventMap
+	EventEvict    = core.EventEvict
+	EventSwitch   = core.EventSwitch
+	EventMigrate  = core.EventMigrate
+	EventVDSAlloc = core.EventVDSAlloc
+	EventFree     = core.EventFree
+)
+
+// Trace installs fn as the process's domain-virtualization tracer; pass
+// nil to disable. Tracing is free when disabled.
+func (p *Process) Trace(fn func(Event)) {
+	if fn == nil {
+		p.mgr.SetTracer(nil)
+		return
+	}
+	p.mgr.SetTracer(core.Tracer(fn))
+}
+
+// Thread is one schedulable thread of a process.
+type Thread struct {
+	proc *Process
+	task *kernel.Task
+}
+
+// NewThread spawns a thread pinned to the given core.
+func (p *Process) NewThread(coreID int) *Thread {
+	return &Thread{proc: p, task: p.proc.NewTask(coreID)}
+}
+
+// Task exposes the kernel task (advanced use: scheduler bridges).
+func (t *Thread) Task() *kernel.Task { return t.task }
+
+// Mmap maps `length` bytes (page-aligned up) of fresh anonymous memory
+// and returns its base address.
+func (t *Thread) Mmap(length uint64) (Addr, error) {
+	length = (length + PageSize - 1) &^ (PageSize - 1)
+	base := t.proc.next
+	// Keep regions far apart so 2 MiB-granular operations of different
+	// domains never share a PMD.
+	gap := uint64(16 * pagetable.PMDSize)
+	t.proc.next += Addr(length + gap)
+	if _, err := t.task.Mmap(base, length, true); err != nil {
+		return 0, fmt.Errorf("vdom: mmap: %w", err)
+	}
+	return base, nil
+}
+
+// MmapAt maps memory at a caller-chosen page-aligned address.
+func (t *Thread) MmapAt(addr Addr, length uint64, writable bool) error {
+	_, err := t.task.Mmap(addr, length, writable)
+	return err
+}
+
+// AllocVDR gives the thread a virtual domain register (vdr_alloc). nas
+// bounds the number of address spaces the thread may own; nas <= 0 uses
+// the policy default. nas == 1 disables VDS switching entirely (pure
+// eviction mode).
+func (t *Thread) AllocVDR(nas int) (Cycles, error) {
+	return t.proc.mgr.VdrAlloc(t.task, nas)
+}
+
+// FreeVDR releases the thread's register (vdr_free).
+func (t *Thread) FreeVDR() (Cycles, error) {
+	return t.proc.mgr.VdrFree(t.task)
+}
+
+// WriteVDR sets the thread's permission on d (wrvdr), activating the
+// domain in the thread's current VDS if needed — this is where the domain
+// virtualization algorithm runs.
+func (t *Thread) WriteVDR(d Domain, perm Perm) (Cycles, error) {
+	return t.proc.mgr.WrVdr(t.task, d, perm)
+}
+
+// ReadVDR reads the thread's permission on d (rdvdr).
+func (t *Thread) ReadVDR(d Domain) (Perm, Cycles, error) {
+	return t.proc.mgr.RdVdr(t.task, d)
+}
+
+// Load performs a read at addr; the simulated MMU enforces domain
+// permissions and returns ErrSigsegv on violations.
+func (t *Thread) Load(addr Addr) error {
+	_, err := t.task.Access(addr, false)
+	return err
+}
+
+// Store performs a write at addr.
+func (t *Thread) Store(addr Addr) error {
+	_, err := t.task.Access(addr, true)
+	return err
+}
+
+// LoadCost is Load returning the cycle cost as well.
+func (t *Thread) LoadCost(addr Addr) (Cycles, error) {
+	return t.task.Access(addr, false)
+}
+
+// StoreCost is Store returning the cycle cost as well.
+func (t *Thread) StoreCost(addr Addr) (Cycles, error) {
+	return t.task.Access(addr, true)
+}

@@ -1,0 +1,316 @@
+package vdom
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 4})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+
+	buf, err := th.Mmap(16 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.AllocVDR(4); err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := p.AllocDomain(false)
+	if _, err := p.ProtectRange(th, buf, 4*PageSize, secret); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.WriteVDR(secret, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(buf); err != nil {
+		t.Fatalf("store with FA: %v", err)
+	}
+	if _, err := th.WriteVDR(secret, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Load(buf); !errors.Is(err, ErrSigsegv) {
+		t.Fatalf("load after close = %v, want ErrSigsegv", err)
+	}
+	// Unprotected tail of the buffer stays accessible throughout.
+	if err := th.Store(buf + 4*PageSize); err != nil {
+		t.Fatalf("unprotected store: %v", err)
+	}
+}
+
+func TestUnlimitedDomainsEndToEnd(t *testing.T) {
+	// Far more domains than the hardware's 16, all usable.
+	sys := NewSystem(Config{Arch: X86, Cores: 2})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(4); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	addrs := make([]Addr, n)
+	doms := make([]Domain, n)
+	for i := 0; i < n; i++ {
+		a, err := th.Mmap(PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+		doms[i], _ = p.AllocDomain(false)
+		if _, err := p.ProtectRange(th, a, PageSize, doms[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := th.WriteVDR(doms[i], ReadWrite); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Store(a); err != nil {
+			t.Fatalf("domain %d: %v", i, err)
+		}
+		if _, err := th.WriteVDR(doms[i], NoAccess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Revisit everything in reverse order.
+	for i := n - 1; i >= 0; i-- {
+		if _, err := th.WriteVDR(doms[i], ReadOnly); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Load(addrs[i]); err != nil {
+			t.Fatalf("revisit domain %d: %v", i, err)
+		}
+		if _, err := th.WriteVDR(doms[i], NoAccess); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestARMSystem(t *testing.T) {
+	sys := NewSystem(Config{Arch: ARM, Cores: 4})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := th.Mmap(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := p.AllocDomain(false)
+	if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	// ARM wrvdr costs a kernel round trip (≈406 cycles steady-state).
+	if _, err := th.WriteVDR(d, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := th.WriteVDR(d, ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 350 || c > 460 {
+		t.Errorf("ARM steady wrvdr = %d cycles, want ≈406", c)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	sys := NewSystem(Config{})
+	if sys.Cores() != 4 {
+		t.Errorf("default cores = %d, want 4", sys.Cores())
+	}
+}
+
+func TestReadVDR(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 1})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(0); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := p.AllocDomain(false)
+	if perm, _, _ := th.ReadVDR(d); perm != NoAccess {
+		t.Errorf("fresh domain perm = %v, want NoAccess", perm)
+	}
+	a, _ := th.Mmap(PageSize)
+	if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.WriteVDR(d, Pinned); err != nil {
+		t.Fatal(err)
+	}
+	if perm, _, _ := th.ReadVDR(d); perm != Pinned {
+		t.Errorf("perm = %v, want Pinned", perm)
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 1})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(0); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := p.AllocDomain(false)
+	a, _ := th.Mmap(PageSize)
+	if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.WriteVDR(d, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().WrVdrCalls == 0 {
+		t.Error("stats not recorded")
+	}
+}
+
+func TestPublicTracer(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 2})
+	p := sys.NewProcess(DefaultPolicy())
+	var kinds []EventKind
+	p.Trace(func(e Event) { kinds = append(kinds, e.Kind) })
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := th.Mmap(PageSize)
+	d, _ := p.AllocDomain(false)
+	if _, err := p.ProtectRange(th, a, PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.WriteVDR(d, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	var sawAlloc, sawMap bool
+	for _, k := range kinds {
+		if k == EventVDSAlloc {
+			sawAlloc = true
+		}
+		if k == EventMap {
+			sawMap = true
+		}
+	}
+	if !sawAlloc || !sawMap {
+		t.Errorf("events = %v, want vds-alloc and map", kinds)
+	}
+	p.Trace(nil) // disabling must not break subsequent ops
+	if _, err := th.WriteVDR(d, NoAccess); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcessesAreIsolated(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 2})
+	p1 := sys.NewProcess(DefaultPolicy())
+	p2 := sys.NewProcess(DefaultPolicy())
+	t1, t2 := p1.NewThread(0), p2.NewThread(1)
+	if _, err := t1.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	// Same virtual address in both processes; distinct physical state.
+	a1, err := t1.Mmap(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := p1.AllocDomain(false)
+	if _, err := p1.ProtectRange(t1, a1, PageSize, d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.WriteVDR(d1, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Store(a1); err != nil {
+		t.Fatal(err)
+	}
+	// Process 2 never mapped that address: SIGSEGV, no cross-talk.
+	if err := t2.Load(a1); !errors.Is(err, ErrSigsegv) {
+		t.Errorf("cross-process access = %v, want SIGSEGV", err)
+	}
+	// Process 2's own domains work independently.
+	a2, err := t2.Mmap(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := p2.AllocDomain(false)
+	if _, err := p2.ProtectRange(t2, a2, PageSize, d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.WriteVDR(d2, ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Store(a2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapAtAndCostAPIs(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 1})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if err := th.MmapAt(0x40000000, PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.MmapAt(0x40000000, PageSize, true); err == nil {
+		t.Error("overlapping MmapAt succeeded")
+	}
+	c, err := th.StoreCost(0x40000000)
+	if err != nil || c == 0 {
+		t.Errorf("StoreCost = (%d, %v)", c, err)
+	}
+	c2, err := th.LoadCost(0x40000000)
+	if err != nil || c2 >= c {
+		t.Errorf("warm LoadCost = (%d, %v), want cheaper than cold %d", c2, err, c)
+	}
+	// Mmap rounds odd lengths up to a page.
+	a, err := th.Mmap(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(a + PageSize - 1); err != nil {
+		t.Errorf("rounded-up page not mapped: %v", err)
+	}
+}
+
+func TestSetAssociativeTLBConfig(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 1, TLBEntries: 64, SetAssociativeTLB: true})
+	p := sys.NewProcess(DefaultPolicy())
+	th := p.NewThread(0)
+	if _, err := th.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := th.Mmap(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvancedAccessors(t *testing.T) {
+	sys := NewSystem(Config{Arch: X86, Cores: 1})
+	if sys.Kernel() == nil {
+		t.Error("Kernel nil")
+	}
+	p := sys.NewProcess(DefaultPolicy())
+	if p.Manager() == nil || p.Underlying() == nil {
+		t.Error("process accessors nil")
+	}
+	th := p.NewThread(0)
+	if th.Task() == nil {
+		t.Error("Task nil")
+	}
+	if _, err := th.AllocVDR(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.FreeVDR(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.FreeVDR(); err == nil {
+		t.Error("double FreeVDR succeeded")
+	}
+}
