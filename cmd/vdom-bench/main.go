@@ -6,7 +6,7 @@
 //	vdom-bench [-quick] [experiment]
 //
 // Experiments: fig1, table3, table4, table5, fig5, fig6, fig7, unixbench,
-// ctxswitch, ablation, all (default).
+// ctxswitch, ablation, chaos, all (default).
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast run")
 	format := flag.String("format", "text", "output format: text or csv")
+	seed := flag.Uint64("seed", 42, "PRNG seed for the chaos experiment (replayable)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [-quick] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
@@ -35,6 +36,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  unixbench  kernel impact on non-VDom programs (§7.3)\n")
 		fmt.Fprintf(os.Stderr, "  ctxswitch  context switch costs (§7.5)\n")
 		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
+		fmt.Fprintf(os.Stderr, "  chaos      seeded fault-injection soak with audit summary (-seed to replay)\n")
 		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
 		fmt.Fprintf(os.Stderr, "  all        everything (default)\n")
 	}
@@ -49,6 +51,13 @@ func main() {
 	exp := "all"
 	if flag.NArg() > 0 {
 		exp = flag.Arg(0)
+	}
+	if flag.NArg() > 1 {
+		// Catch `vdom-bench chaos -seed 7`: flag parsing stops at the
+		// first positional argument, so trailing flags would be silently
+		// ignored — fail loudly instead.
+		fmt.Fprintf(os.Stderr, "vdom-bench: unexpected arguments after %q: %v (flags go before the experiment: vdom-bench -seed 7 chaos)\n", exp, flag.Args()[1:])
+		os.Exit(2)
 	}
 	w := os.Stdout
 	switch exp {
@@ -76,6 +85,8 @@ func main() {
 		bench.CtxSwitchOpts(w, o)
 	case "ablation":
 		bench.Ablations(w, o)
+	case "chaos":
+		bench.ChaosSeed(w, o, *seed)
 	case "compare":
 		bench.Compare(w, o)
 	case "all":

@@ -18,7 +18,11 @@ func main() {
 		fmt.Printf("=== %v ===\n", arch)
 		for _, r := range sectest.Run(arch) {
 			status := "BLOCKED"
-			if !r.Blocked {
+			switch {
+			case r.SetupFailed:
+				status = "*** SETUP FAILED ***"
+				failed++
+			case !r.Blocked:
 				status = "*** NOT BLOCKED ***"
 				failed++
 			}

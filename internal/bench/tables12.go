@@ -54,7 +54,10 @@ func Table2(w io.Writer, o Options) {
 	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
 		for _, r := range sectest.Run(arch) {
 			s := "BLOCKED"
-			if !r.Blocked {
+			switch {
+			case r.SetupFailed:
+				s = "SETUP FAILED"
+			case !r.Blocked:
 				s = "NOT BLOCKED"
 			}
 			key := r.Name + "/" + arch.String()

@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/core"
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/sim"
+)
+
+// SoakConfig parameterizes a chaos soak run. Zero fields take defaults.
+type SoakConfig struct {
+	// Chaos selects the fault mix and the seed.
+	Chaos Config
+	// Ops is the number of API/access operations to drive (default 5000).
+	Ops int
+	// Cores is the machine size (default 4).
+	Cores int
+	// Threads is the thread count, round-robin pinned (default 4).
+	Threads int
+	// Vdoms is the number of protected regions cycling through the
+	// working set (default 24).
+	Vdoms int
+	// AuditEvery runs the cross-layer auditor every N ops (default 64;
+	// a final audit always runs).
+	AuditEvery int
+	// Arch selects the cost table (default X86).
+	Arch cycles.Arch
+}
+
+// SoakResult is the outcome of one soak run.
+type SoakResult struct {
+	// Ops is the number of operations driven.
+	Ops int
+	// Cycles is the total cycle cost charged across the run.
+	Cycles cycles.Cost
+	// Injected and Recovered are the injector's per-kind counters.
+	Injected, Recovered map[string]uint64
+	// Events is the deterministic fault/recovery log.
+	Events []Event
+	// Violations collects every auditor finding across all audit passes.
+	Violations []Violation
+	// Unrecovered lists operations that failed in a way no degradation
+	// path absorbed. A healthy run has none.
+	Unrecovered []string
+	// Audits is the number of auditor passes.
+	Audits int
+	// ASIDRollovers is the kernel's generation-rollover count.
+	ASIDRollovers uint64
+	// CoreStats snapshots the VDom manager's operation counters.
+	CoreStats core.Stats
+}
+
+// regionPages is the size of each protected region in the soak workload.
+const regionPages = 4
+
+// Soak boots a machine with the injector attached and drives a randomized
+// (but seed-deterministic) VDom workload through it: grants, accesses,
+// revocations, vdom free/realloc cycles, VDS spreading, VDR churn, and
+// frame reclaim — auditing cross-layer consistency as it goes. The same
+// SoakConfig reproduces the identical event sequence.
+func Soak(cfg SoakConfig) *SoakResult {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 5000
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Vdoms <= 0 {
+		cfg.Vdoms = 24
+	}
+	if cfg.AuditEvery <= 0 {
+		cfg.AuditEvery = 64
+	}
+
+	in := New(cfg.Chaos)
+	machine := hw.NewMachine(hw.Config{Arch: cfg.Arch, NumCores: cfg.Cores})
+	kern := kernel.New(kernel.Config{Machine: machine, VDomEnabled: true})
+	in.AttachMachine(machine)
+	in.AttachKernel(kern)
+	proc := kern.NewProcess()
+	mgr := core.Attach(proc, core.DefaultPolicy())
+	in.AttachManager(mgr)
+
+	res := &SoakResult{Ops: cfg.Ops}
+	var total cycles.Cost
+	fail := func(op int, what string, err error) {
+		res.Unrecovered = append(res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
+	}
+
+	tasks := make([]*kernel.Task, cfg.Threads)
+	for i := range tasks {
+		tasks[i] = proc.NewTask(i % cfg.Cores)
+	}
+
+	// Working set: an unprotected scratch region plus one region per vdom.
+	const plainBase = pagetable.VAddr(0x1000_0000)
+	const plainPages = 64
+	region := func(i int) pagetable.VAddr {
+		return pagetable.VAddr(0x4000_0000 + uint64(i)*0x10_0000)
+	}
+	if _, err := tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
+		fail(0, "setup mmap", err)
+	}
+	vdoms := make([]core.VdomID, cfg.Vdoms)
+	for i := range vdoms {
+		if _, err := tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
+			fail(0, "setup mmap", err)
+		}
+		d, c := mgr.AllocVdom(i%4 == 0)
+		total += c
+		if c, err := mgr.Mprotect(tasks[0], region(i), regionPages*pagetable.PageSize, d); err != nil {
+			fail(0, "setup mprotect", err)
+		} else {
+			total += c
+		}
+		vdoms[i] = d
+	}
+	for _, t := range tasks {
+		c, err := mgr.VdrAlloc(t, 0)
+		total += c
+		if err != nil {
+			fail(0, "setup vdr_alloc", err)
+		}
+	}
+
+	audit := func() {
+		res.Audits++
+		res.Violations = append(res.Violations, Audit(machine, kern, mgr)...)
+	}
+
+	// The op stream draws from its own PRNG so the fault stream (the
+	// injector's) and the workload stream stay independent but both
+	// replay from the seed.
+	r := sim.NewRand(cfg.Chaos.Seed ^ 0x6a09e667f3bcc908)
+	for op := 1; op <= cfg.Ops; op++ {
+		t := tasks[r.Intn(len(tasks))]
+		di := r.Intn(len(vdoms))
+		d := vdoms[di]
+		switch x := r.Intn(100); {
+		case x < 50: // grant, then touch a page of the region
+			perm := core.VPermReadWrite
+			if x < 10 {
+				perm = core.VPermRead
+			}
+			c, err := mgr.WrVdr(t, d, perm)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("wrvdr grant vdom %d", d), err)
+				break
+			}
+			addr := region(di) + pagetable.VAddr(uint64(r.Intn(regionPages))*pagetable.PageSize)
+			write := perm == core.VPermReadWrite && r.Intn(2) == 0
+			c, err = t.Access(addr, write)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("access vdom %d at %#x", d, uint64(addr)), err)
+			}
+		case x < 65: // revoke (sometimes pinning)
+			perm := core.VPermNone
+			if x < 55 {
+				perm = core.VPermPinned
+			}
+			c, err := mgr.WrVdr(t, d, perm)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("wrvdr revoke vdom %d", d), err)
+			}
+		case x < 75: // free the vdom, rebind its region to a fresh one
+			c, err := mgr.FreeVdom(d)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("free vdom %d", d), err)
+				break
+			}
+			nd, c := mgr.AllocVdom(r.Intn(4) == 0)
+			total += c
+			c, err = mgr.Mprotect(t, region(di), regionPages*pagetable.PageSize, nd)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("mprotect vdom %d", nd), err)
+				break
+			}
+			vdoms[di] = nd
+		case x < 83: // spread the thread into a fresh VDS
+			c, err := mgr.PlaceInNewVDS(t)
+			total += c
+			// A typed resource failure here is tolerated: the caller's
+			// recovery is simply staying in its current VDS.
+			if err != nil && !errors.Is(err, core.ErrNoResources) && !errors.Is(err, core.ErrExhausted) {
+				fail(op, "place_in_new_vds", err)
+			}
+		case x < 90: // VDR churn (exercises the base-ASID restore)
+			c, err := mgr.VdrFree(t)
+			total += c
+			if err != nil {
+				fail(op, "vdr_free", err)
+				break
+			}
+			c, err = mgr.VdrAlloc(t, 0)
+			total += c
+			if err != nil {
+				fail(op, "vdr_alloc", err)
+			}
+		case x < 96: // kswapd pressure, plus VDS garbage collection
+			_, c := proc.ReclaimFrames(t.CoreID(), 1+r.Intn(8))
+			total += c
+			mgr.ReapVDSes()
+		default: // unprotected access
+			addr := plainBase + pagetable.VAddr(uint64(r.Intn(plainPages))*pagetable.PageSize)
+			c, err := t.Access(addr, r.Intn(2) == 0)
+			total += c
+			if err != nil {
+				fail(op, fmt.Sprintf("plain access at %#x", uint64(addr)), err)
+			}
+		}
+		if op%cfg.AuditEvery == 0 {
+			audit()
+		}
+	}
+	audit()
+
+	res.Cycles = total
+	res.Injected = in.Injected()
+	res.Recovered = in.Recovered()
+	res.Events = in.Events()
+	res.ASIDRollovers = kern.ASIDRollovers()
+	res.CoreStats = mgr.Stats
+	return res
+}

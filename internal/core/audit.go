@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+)
+
+// AuditInvariants walks the manager's private state and reports every
+// violated invariant as a human-readable string (empty means coherent).
+// It covers the metadata the domain virtualization algorithm must keep in
+// lockstep: VDS domain maps and their inverse, #thread reference counters,
+// thread VDRs and their hardware register images, and the domain tags of
+// every protected page in every table. The chaos auditor calls it after
+// each injected fault; tests call it directly.
+func (m *Manager) AuditInvariants() []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	// Registry coherence: byTable must be the exact inverse of vdses.
+	for _, vds := range m.vdses {
+		if m.byTable[vds.table] != vds {
+			bad("VDS %d: table not registered in byTable", vds.id)
+		}
+	}
+	for _, vds := range m.byTable {
+		if !contains(m.vdses, vds) {
+			bad("byTable holds reaped VDS %d", vds.id)
+		}
+	}
+
+	for _, vds := range m.vdses {
+		m.auditVDS(vds, bad)
+	}
+	for task, vdr := range m.vdrs {
+		m.auditVDR(task, vdr, bad)
+	}
+	m.auditPageTags(bad)
+
+	sort.Strings(v)
+	return v
+}
+
+// auditVDS checks one VDS's domain map, inverse map, eviction records and
+// #thread counters.
+func (m *Manager) auditVDS(vds *VDS, bad func(string, ...any)) {
+	used := 0
+	for p := firstUsablePdom; p < vds.numPdoms; p++ {
+		e := vds.domainMap[p]
+		if !e.used {
+			continue
+		}
+		used++
+		d := e.vdom
+		if got, ok := vds.vdomPdom[d]; !ok || got != pagetable.Pdom(p) {
+			bad("VDS %d: domainMap[%d]=vdom %d but inverse map says pdom %v (ok=%v)",
+				vds.id, p, d, got, ok)
+		}
+		if !m.live[d] {
+			bad("VDS %d: maps dead vdom %d at pdom %d", vds.id, d, p)
+		}
+		if _, evicted := vds.evicted[d]; evicted {
+			bad("VDS %d: vdom %d is both mapped and recorded evicted", vds.id, d)
+		}
+		// Recount the #thread column from the resident threads' VDRs.
+		want := 0
+		for t := range vds.threads {
+			if vdr := m.vdrs[t]; vdr != nil && vdr.perms[d].Accessible() {
+				want++
+			}
+		}
+		if e.threads != want {
+			bad("VDS %d: vdom %d #thread counter is %d, recount says %d",
+				vds.id, d, e.threads, want)
+		}
+		if e.lastUse > vds.clock {
+			bad("VDS %d: vdom %d lastUse %d ahead of clock %d", vds.id, d, e.lastUse, vds.clock)
+		}
+	}
+	if used != len(vds.vdomPdom) {
+		bad("VDS %d: %d used pdoms but %d inverse entries", vds.id, used, len(vds.vdomPdom))
+	}
+	for t := range vds.threads {
+		vdr := m.vdrs[t]
+		if vdr == nil {
+			bad("VDS %d: resident thread %d has no VDR", vds.id, t.TID())
+			continue
+		}
+		if vdr.current != vds {
+			bad("VDS %d: resident thread %d is current in VDS %d", vds.id, t.TID(), vdr.current.id)
+		}
+	}
+}
+
+// auditVDR checks one thread's VDR against its kernel task state and its
+// hardware permission-register image.
+func (m *Manager) auditVDR(task *kernel.Task, vdr *VDR, bad func(string, ...any)) {
+	cur := vdr.current
+	if cur == nil {
+		bad("thread %d: VDR with no current VDS", task.TID())
+		return
+	}
+	if !contains(vdr.vdses, cur) {
+		bad("thread %d: current VDS %d not in attachment list", task.TID(), cur.id)
+	}
+	if !cur.threads[task] {
+		bad("thread %d: not resident in its current VDS %d", task.TID(), cur.id)
+	}
+	if task.Table() != cur.table || task.ASID() != cur.asid {
+		bad("thread %d: task runs (table=%p asid=%d), current VDS %d is (table=%p asid=%d)",
+			task.TID(), task.Table(), task.ASID(), cur.id, cur.table, cur.asid)
+	}
+	for d, perm := range vdr.perms {
+		if !m.live[d] && perm != VPermNone {
+			bad("thread %d: VDR holds %v on dead vdom %d", task.TID(), perm, d)
+		}
+	}
+	// The saved register image must equal a fresh synthesis from the VDR
+	// and the current domain map (what syncRegister maintains).
+	if got, want := task.SavedPerm(), m.registerImage(vdr); got != want {
+		bad("thread %d: saved perm register %#x, VDR+domain map say %#x", task.TID(), got, want)
+	}
+}
+
+// auditPageTags verifies that every page of every live vdom's areas
+// carries the right domain tag in every table: the mapped pdom where the
+// owning vdom is mapped, access-never where it is not (including the
+// shadow table, which must never expose protected memory). Pages evicted
+// through the PMD-disable fast path keep their old tags but are
+// unreachable (the walk stops at the disabled PMD), so they audit clean.
+func (m *Manager) auditPageTags(bad func(string, ...any)) {
+	shadow := m.proc.AS().Shadow()
+	for d := VdomID(1); d < m.nextVdom; d++ {
+		if !m.live[d] {
+			continue
+		}
+		for _, area := range m.vdt.Areas(d) {
+			for off := uint64(0); off < area.Length; off += pagetable.PageSize {
+				addr := area.Start + pagetable.VAddr(off)
+				if wr := shadow.Walk(addr); wr.Present && wr.PTE.Pdom != AccessNeverPdom {
+					bad("shadow: vdom %d page %#x present with pdom %d (want access-never)",
+						d, uint64(addr), wr.PTE.Pdom)
+				}
+				for _, vds := range m.vdses {
+					wr := vds.table.Walk(addr)
+					if !wr.Present {
+						continue // not faulted in, or PMD-disabled
+					}
+					if p, mapped := vds.vdomPdom[d]; mapped {
+						if wr.PTE.Pdom != p {
+							bad("VDS %d: vdom %d page %#x tagged pdom %d, domain map says %d",
+								vds.id, d, uint64(addr), wr.PTE.Pdom, p)
+						}
+					} else if wr.PTE.Pdom != AccessNeverPdom {
+						bad("VDS %d: unmapped vdom %d page %#x reachable with pdom %d",
+							vds.id, d, uint64(addr), wr.PTE.Pdom)
+					}
+				}
+			}
+		}
+	}
+}

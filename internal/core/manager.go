@@ -26,7 +26,34 @@ var (
 	// ErrFreedVdom reports use of a vdom id that was freed or never
 	// allocated.
 	ErrFreedVdom = errors.New("core: vdom not allocated")
+	// ErrNoResources reports that a required resource (a free pdom, an
+	// evictable vdom, a VDS) could not be obtained; callers with a
+	// degradation path retry or fall back before surfacing it.
+	ErrNoResources = errors.New("core: no resources")
+	// ErrExhausted reports that a resource space is exhausted and every
+	// degradation path failed — the terminal form of ErrNoResources.
+	ErrExhausted = errors.New("core: resources exhausted")
+	// ErrDegraded reports that an operation failed even after its degraded
+	// fallback (e.g. a retried allocation failing twice).
+	ErrDegraded = errors.New("core: degraded operation failed")
 )
+
+// Chaos lets a fault-injection layer (internal/chaos) perturb the
+// manager's resource allocation and observe its degradation paths. Hooks
+// are consulted only when a layer is attached, keeping the paths
+// zero-cost when chaos is off.
+type Chaos interface {
+	// InjectVDSAllocFailure reports whether the next VDS allocation should
+	// fail transiently.
+	InjectVDSAllocFailure() bool
+	// InjectPdomExhaustion reports whether the next activation should
+	// behave as if its current VDS had no free pdom, forcing the slow
+	// paths (migrate / switch / evict).
+	InjectPdomExhaustion() bool
+	// NoteDegradedFallback records that a degradation path ran; what names
+	// the path (e.g. "activate:evict-fallback").
+	NoteDegradedFallback(what string)
+}
 
 // Policy selects the optional behaviours of the VDom implementation; the
 // defaults match the paper's system, and the switches exist for the
@@ -119,11 +146,23 @@ type Manager struct {
 	Stats Stats
 
 	tracer Tracer
+	chaos  Chaos
+}
+
+// SetChaos attaches a fault-injection layer. Pass nil to detach.
+func (m *Manager) SetChaos(c Chaos) { m.chaos = c }
+
+// noteDegraded records a degradation-path activation with the chaos layer.
+func (m *Manager) noteDegraded(what string) {
+	if m.chaos != nil {
+		m.chaos.NoteDegradedFallback(what)
+	}
 }
 
 var (
 	_ kernel.FaultHandler = (*Manager)(nil)
 	_ mm.DomainResolver   = (*Manager)(nil)
+	_ kernel.ASIDLister   = (*Manager)(nil)
 )
 
 // Attach initializes VDom for the process (vdom_init): it installs the
@@ -252,6 +291,12 @@ func (m *Manager) FreeVdom(d VdomID) (cycles.Cost, error) {
 	delete(m.live, d)
 	delete(m.freq, d)
 	m.vdt.Clear(d)
+	// Drop the freed vdom from every VDR eagerly: vdom ids are never
+	// reused so stale bits cannot alias, but clearing them here keeps the
+	// VDR state auditable (no permission may reference a dead vdom).
+	for _, vdr := range m.vdrs {
+		delete(vdr.perms, d)
+	}
 	m.trace(Event{Kind: EventFree, Vdom: d, Cost: cost})
 	return cost, nil
 }
@@ -290,8 +335,49 @@ func (m *Manager) Mprotect(task *kernel.Task, addr pagetable.VAddr, length uint6
 	}
 	cost += cycles.Cost(rep.PTEWrites)*m.params.PTEWrite +
 		cycles.Cost(rep.PMDWrites)*m.params.PMDWrite
+	if rep.PagesTouched > 0 {
+		// Already-present pages changed their domain tag: translations
+		// cached under the old tag must not survive, or the old owner
+		// keeps access until an incidental flush.
+		cost += m.flushRetagged(task, start, uint64(end-start))
+	}
 	m.vdt.AddArea(d, start, uint64(end-start))
 	return cost, nil
+}
+
+// flushRetagged invalidates the translations of pages whose domain tag
+// just changed, under every ASID of the process (shadow ASIDs and VDS
+// ASIDs) on every core that may cache them.
+func (m *Manager) flushRetagged(task *kernel.Task, start pagetable.VAddr, length uint64) cycles.Cost {
+	machine := m.proc.Kernel().Machine()
+	pages := length / pagetable.PageSize
+	seen := make(map[tlb.ASID]bool)
+	var asids []tlb.ASID
+	add := func(a tlb.ASID) {
+		if !seen[a] {
+			seen[a] = true
+			asids = append(asids, a)
+		}
+	}
+	set := hw.CPUSet(0).Add(task.CoreID())
+	for _, t := range m.proc.Tasks() {
+		add(t.BaseASID())
+		add(t.ASID())
+		set = set.Add(t.CoreID())
+	}
+	for _, vds := range m.vdses {
+		add(vds.asid)
+		set = set.Union(vds.cachedCores)
+	}
+	rep := machine.ShootdownReliable(task.CoreID(), set, func(tb tlb.Cache) {
+		for _, a := range asids {
+			tb.FlushRange(a, start.VPN(), pages)
+		}
+	}, m.params.TLBFlushLocalPage*cycles.Cost(minU64(pages, 8)))
+	if rep.RemoteCores > 0 {
+		m.Stats.Shootdowns++
+	}
+	return rep.InitiatorCycles
 }
 
 // VdrAlloc gives the thread a permission register and limits the number of
@@ -307,7 +393,17 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
 	cost := m.apiCost() + m.params.SyscallReturn
 	var home *VDS
 	if len(m.vdses) == 0 {
-		home = m.allocVDS()
+		var err error
+		home, err = m.allocVDS()
+		if err != nil {
+			// Degraded path: a transient allocation failure is retried
+			// once before the call fails.
+			m.noteDegraded("vdr_alloc:vds-retry")
+			home, err = m.allocVDS()
+			if err != nil {
+				return cost, fmt.Errorf("core: vdr_alloc failed after retry: %w: %w", ErrDegraded, err)
+			}
+		}
 		cost += m.params.VDSAllocate
 	} else {
 		home = m.vdses[0]
@@ -321,6 +417,7 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
 	}
 	m.vdrs[task] = vdr
 	home.threads[task] = true
+	home.noteCore(task.CoreID())
 	task.SetAddressSpace(home.table, home.asid, true)
 	m.syncRegister(vdr)
 	cost += m.params.PgdSwitch
@@ -336,7 +433,10 @@ func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cycles.Cost, error) {
 	if vdr == nil {
 		return 0, ErrNoVDR
 	}
-	nv := m.allocVDS()
+	nv, err := m.allocVDS()
+	if err != nil {
+		return 0, fmt.Errorf("core: place_in_new_vds: %w", err)
+	}
 	m.Stats.VDSAllocs++
 	vdr.vdses = append(vdr.vdses, nv)
 	cost := m.params.VDSAllocate
@@ -360,7 +460,9 @@ func (m *Manager) VdrFree(task *kernel.Task) (cycles.Cost, error) {
 	vdr.current.addThreadRef(vdr.perms, -1)
 	delete(vdr.current.threads, task)
 	delete(m.vdrs, task)
-	task.SetAddressSpace(m.proc.AS().Shadow(), task.ASID(), false)
+	// Restore the task's own base ASID: keeping the VDS ASID would pair
+	// it with the shadow table and alias the VDS's cached translations.
+	task.SetAddressSpace(m.proc.AS().Shadow(), task.BaseASID(), false)
 	task.SetSavedPerm(hw.DenyAll())
 	m.ReapVDSes()
 	return m.apiCost() + m.params.SyscallReturn, nil
@@ -492,16 +594,20 @@ func (m *Manager) activate(task *kernel.Task, vdr *VDR, d VdomID) (cycles.Cost, 
 		}
 	}
 
-	// ❷→❸: free pdom available.
-	hint, hasHint := vds.lastMapping[d]
-	if m.policy.StrictLRU {
-		hasHint = false
-	}
-	if p, ok := vds.freePdom(hint, hasHint); ok {
-		cost := m.mapVdom(vds, d, p)
-		m.Stats.MapsToFree++
-		m.resyncVDSThreads(vds)
-		return cost, nil
+	// ❷→❸: free pdom available. An injected pdom exhaustion skips the
+	// fast path, steering the activation through the slow paths (migrate,
+	// switch, evict) as if the VDS were full.
+	if m.chaos == nil || !m.chaos.InjectPdomExhaustion() {
+		hint, hasHint := vds.lastMapping[d]
+		if m.policy.StrictLRU {
+			hasHint = false
+		}
+		if p, ok := vds.freePdom(hint, hasHint); ok {
+			cost := m.mapVdom(vds, d, p)
+			m.Stats.MapsToFree++
+			m.resyncVDSThreads(vds)
+			return cost, nil
+		}
 	}
 
 	// ❹: shared VDS → migrate the thread away (❻❼❽).
@@ -534,9 +640,15 @@ func (m *Manager) activate(task *kernel.Task, vdr *VDR, d VdomID) (cycles.Cost, 
 			return cost, nil
 		}
 	}
-	// Attach a new VDS if the thread's nas budget allows.
+	// Attach a new VDS if the thread's nas budget allows. A failed
+	// allocation degrades to eviction in the current VDS instead of
+	// surfacing the transient failure.
 	if len(vdr.vdses) < vdr.nas {
-		nv := m.allocVDS()
+		nv, err := m.allocVDS()
+		if err != nil {
+			m.noteDegraded("activate:evict-fallback")
+			return m.evictAndMap(task, vdr, vds, d)
+		}
 		m.Stats.VDSAllocs++
 		vdr.vdses = append(vdr.vdses, nv)
 		cost := m.params.VDSAllocate
@@ -572,15 +684,34 @@ func (m *Manager) anyAccessibleMapped(vdr *VDR, vds *VDS, d VdomID) bool {
 	return false
 }
 
-// allocVDS creates and registers a new VDS.
-func (m *Manager) allocVDS() *VDS {
-	vds := newVDS(m.nextVDSID, m.proc.Kernel().AllocASID(), m.params.NumPdoms)
+// allocVDS creates and registers a new VDS. It fails transiently when the
+// chaos layer injects an allocation failure, and terminally when the ASID
+// space is exhausted even after a generation rollover.
+func (m *Manager) allocVDS() (*VDS, error) {
+	if m.chaos != nil && m.chaos.InjectVDSAllocFailure() {
+		return nil, fmt.Errorf("core: transient VDS allocation failure: %w", ErrNoResources)
+	}
+	asid, ok := m.proc.Kernel().TryAllocASID()
+	if !ok {
+		return nil, fmt.Errorf("core: VDS allocation: ASID space full: %w", ErrExhausted)
+	}
+	vds := newVDS(m.nextVDSID, asid, m.params.NumPdoms)
 	m.nextVDSID++
 	m.vdses = append(m.vdses, vds)
 	m.byTable[vds.table] = vds
 	m.proc.AS().RegisterTable(vds.table)
 	m.trace(Event{Kind: EventVDSAlloc, VDS: vds.id})
-	return vds
+	return vds, nil
+}
+
+// LiveASIDs implements kernel.ASIDLister: the ASIDs of every live VDS, so
+// kernel revocation paths flush dormant address spaces too.
+func (m *Manager) LiveASIDs() []tlb.ASID {
+	out := make([]tlb.ASID, len(m.vdses))
+	for i, v := range m.vdses {
+		out[i] = v.asid
+	}
+	return out
 }
 
 // mapVdom binds d to pdom p in the VDS and retags d's present pages in the
@@ -633,18 +764,21 @@ func (m *Manager) mapVdom(vds *VDS, d VdomID, p pagetable.Pdom) cycles.Cost {
 	return cost
 }
 
-// flushVdomLocal invalidates d's pages in the current core's TLB for the
-// VDS's ASID, using range flushes below the threshold and an ASID flush
-// above it (§5.5).
+// flushVdomLocal invalidates d's pages under the VDS's ASID, using range
+// flushes below the threshold and an ASID flush above it (§5.5). The flush
+// covers every core whose TLB may cache the ASID — the resident threads'
+// cores plus the cachedCores history (the mm_cpumask analog), so entries
+// left behind by departed threads cannot outlive a revocation. With a
+// single resident thread and no history this is local-only (the paper's
+// key win). Delivery goes through the reliable shootdown path, so injected
+// IPI loss is retried and, failing that, repaired with a full flush.
 func (m *Manager) flushVdomLocal(vds *VDS, d VdomID) cycles.Cost {
 	pages := m.vdt.TotalPages(d)
-	cores := m.proc.Kernel().Machine()
-	// Flush on every core in the VDS CPU set; with a single resident
-	// thread this is local-only (the paper's key win).
-	set := vds.CPUSet()
-	var cost cycles.Cost
+	machine := m.proc.Kernel().Machine()
+	set := vds.CPUSet().Union(vds.cachedCores)
+	useRange := pages <= m.policy.RangeFlushThresholdPages
 	flushOne := func(tb tlb.Cache) {
-		if pages <= m.policy.RangeFlushThresholdPages {
+		if useRange {
 			for _, area := range m.vdt.Areas(d) {
 				tb.FlushRange(vds.asid, area.Start.VPN(), area.Pages())
 			}
@@ -652,25 +786,29 @@ func (m *Manager) flushVdomLocal(vds *VDS, d VdomID) cycles.Cost {
 			tb.FlushASID(vds.asid)
 		}
 	}
-	n := 0
-	for id := 0; id < cores.NumCores(); id++ {
-		if set.Has(id) {
-			flushOne(cores.Core(id).TLB())
-			n++
-		}
-	}
-	if pages <= m.policy.RangeFlushThresholdPages {
+	var cost cycles.Cost
+	if useRange {
 		m.Stats.RangeFlushes++
-		cost += m.params.TLBFlushLocalPage * cycles.Cost(minU64(pages, 8))
+		cost = m.params.TLBFlushLocalPage * cycles.Cost(minU64(pages, 8))
 	} else {
 		m.Stats.ASIDFlushes++
-		cost += m.params.TLBFlushLocalASID
+		cost = m.params.TLBFlushLocalASID
 	}
-	if n > 1 {
+	initiator := set.Lowest()
+	if initiator < 0 {
+		// No core can cache the ASID; charge the local flush as before.
+		return cost
+	}
+	rep := machine.ShootdownReliable(initiator, set, flushOne, cost)
+	if rep.RemoteCores > 0 {
 		m.Stats.Shootdowns++
-		cost += m.params.IPI * cycles.Cost(n-1)
 	}
-	return cost
+	if !useRange {
+		// A full-ASID flush on every caching core clears the history down
+		// to the cores still running in the VDS.
+		vds.cachedCores = vds.CPUSet()
+	}
+	return rep.InitiatorCycles
 }
 
 // evictAndMap chooses a victim vdom in the VDS (HLRU), evicts it, and maps
@@ -678,8 +816,21 @@ func (m *Manager) flushVdomLocal(vds *VDS, d VdomID) cycles.Cost {
 func (m *Manager) evictAndMap(task *kernel.Task, vdr *VDR, vds *VDS, d VdomID) (cycles.Cost, error) {
 	victim, ok := m.chooseVictim(vdr, vds, d)
 	if !ok {
-		return 0, fmt.Errorf("core: vdom %d: no evictable vdom in VDS %d (all %d pdoms accessible)",
-			d, vds.id, vds.numPdoms-firstUsablePdom)
+		// Under injected pdom pressure the eviction path can be entered
+		// while free pdoms remain: map into one rather than failing.
+		hint, hasHint := vds.lastMapping[d]
+		if m.policy.StrictLRU {
+			hasHint = false
+		}
+		if p, ok := vds.freePdom(hint, hasHint); ok {
+			m.noteDegraded("evict:free-pdom-fallback")
+			cost := m.mapVdom(vds, d, p)
+			m.Stats.MapsToFree++
+			m.resyncVDSThreads(vds)
+			return cost, nil
+		}
+		return 0, fmt.Errorf("core: vdom %d: no evictable vdom in VDS %d (all %d pdoms accessible): %w",
+			d, vds.id, vds.numPdoms-firstUsablePdom, ErrNoResources)
 	}
 	cost := m.params.EvictBase
 	m.Stats.Evictions++
@@ -798,6 +949,7 @@ func (m *Manager) switchVDS(task *kernel.Task, vdr *VDR, to *VDS, d VdomID) (cyc
 	from.addThreadRef(vdr.perms, -1)
 	delete(from.threads, task)
 	to.threads[task] = true
+	to.noteCore(task.CoreID())
 	to.addThreadRef(vdr.perms, +1)
 	vdr.current = to
 	to.touch(d)
@@ -826,7 +978,11 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 		}
 	}
 	if target == nil { // ❽: allocate a fresh VDS
-		target = m.allocVDS()
+		nv, err := m.allocVDS()
+		if err != nil {
+			return m.migrateFallback(task, vdr, d, cost, err)
+		}
+		target = nv
 		m.Stats.VDSAllocs++
 		cost += m.params.VDSAllocate
 		vdr.vdses = append(vdr.vdses, target)
@@ -841,7 +997,15 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 		}
 		p, ok := target.freePdom(lookupHint(target, v, m.policy.StrictLRU))
 		if !ok {
-			return cost, fmt.Errorf("core: migration target VDS %d ran out of pdoms", target.id)
+			if v != d {
+				// A non-essential active vdom is shed rather than
+				// failing the migration: it refaults lazily after the
+				// move, exactly like the LRU tail activeVdoms drops.
+				m.noteDegraded("migrate:shed-vdom")
+				continue
+			}
+			return cost, fmt.Errorf("core: migration target VDS %d ran out of pdoms: %w",
+				target.id, ErrNoResources)
 		}
 		cost += m.mapVdom(target, v, p)
 		cost += m.params.MigrationPerVdom
@@ -851,6 +1015,7 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 	from.addThreadRef(vdr.perms, -1)
 	delete(from.threads, task)
 	target.threads[task] = true
+	target.noteCore(task.CoreID())
 	target.addThreadRef(vdr.perms, +1)
 	vdr.current = target
 	task.SetAddressSpace(target.table, target.asid, true)
@@ -866,6 +1031,39 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 		m.ReapVDSes()
 	}
 	m.trace(Event{Kind: EventMigrate, TID: task.TID(), Vdom: d, VDS: target.id, Cost: cost})
+	return cost, nil
+}
+
+// migrateFallback is the degraded path when a migration cannot obtain a
+// target VDS: the thread falls back to a plain VDS switch — to an attached
+// space that already maps d, then to one with a free pdom — and finally
+// to eviction in place. ErrExhausted surfaces only when every path fails.
+func (m *Manager) migrateFallback(task *kernel.Task, vdr *VDR, d VdomID, cost cycles.Cost, cause error) (cycles.Cost, error) {
+	m.noteDegraded("migrate:switch-fallback")
+	for _, o := range vdr.vdses {
+		if o != vdr.current && o.Mapped(d) {
+			c, err := m.switchVDS(task, vdr, o, d)
+			return cost + c, err
+		}
+	}
+	for _, o := range vdr.vdses {
+		if o != vdr.current && o.FreePdoms() > 0 {
+			c, err := m.switchVDS(task, vdr, o, d)
+			cost += c
+			if err != nil {
+				return cost, err
+			}
+			cost += m.mapVdom(o, d, mustFree(o))
+			m.resyncVDSThreads(o)
+			return cost, nil
+		}
+	}
+	c, err := m.evictAndMap(task, vdr, vdr.current, d)
+	cost += c
+	if err != nil {
+		return cost, fmt.Errorf("core: migration of thread %d for vdom %d: every fallback failed (%v): %w",
+			task.TID(), d, cause, ErrExhausted)
+	}
 	return cost, nil
 }
 
@@ -903,6 +1101,10 @@ func (m *Manager) ReapVDSes() int {
 		}
 		delete(m.byTable, vds.table)
 		m.proc.AS().UnregisterTable(vds.table)
+		// The ASID is retired but stays unreusable until the next
+		// generation rollover flushes every TLB, so translations still
+		// cached under it can never alias a new address space.
+		m.proc.Kernel().FreeASID(vds.asid)
 		n++
 	}
 	m.vdses = kept
@@ -976,9 +1178,10 @@ func contains(list []*VDS, v *VDS) bool {
 	return false
 }
 
-// syncRegister rebuilds the thread's hardware permission-register image
-// from its VDR and its current VDS's domain map.
-func (m *Manager) syncRegister(vdr *VDR) {
+// registerImage synthesizes the hardware permission-register image a
+// thread's VDR implies under its current VDS's domain map. The auditor
+// compares it against the saved image syncRegister maintains.
+func (m *Manager) registerImage(vdr *VDR) uint64 {
 	var r hw.PermRegister
 	r.Set(uint8(AccessNeverPdom), hw.PermNone)
 	vds := vdr.current
@@ -990,7 +1193,13 @@ func (m *Manager) syncRegister(vdr *VDR) {
 			r.Set(uint8(p), hw.PermNone)
 		}
 	}
-	vdr.task.SetSavedPerm(r.Raw())
+	return r.Raw()
+}
+
+// syncRegister rebuilds the thread's hardware permission-register image
+// from its VDR and its current VDS's domain map.
+func (m *Manager) syncRegister(vdr *VDR) {
+	vdr.task.SetSavedPerm(m.registerImage(vdr))
 	m.Stats.RegisterSyncs++
 }
 

@@ -67,6 +67,13 @@ type VDS struct {
 	lastMapping map[VdomID]pagetable.Pdom
 	evicted     map[VdomID]evictState
 
+	// cachedCores tracks every core whose TLB may hold translations under
+	// this VDS's ASID — the cores threads ever entered the VDS on since
+	// the last full-set ASID flush (Linux's mm_cpumask analog). It bounds
+	// the shootdowns revocation needs: resident threads alone miss cores
+	// whose thread has since switched away.
+	cachedCores hw.CPUSet
+
 	numPdoms int
 }
 
@@ -105,6 +112,14 @@ func (v *VDS) CPUSet() hw.CPUSet {
 	}
 	return s
 }
+
+// noteCore records that a thread entered the VDS on core id, so its TLB
+// may cache translations under the VDS's ASID from now on.
+func (v *VDS) noteCore(id int) { v.cachedCores = v.cachedCores.Add(id) }
+
+// CachedCores returns the cores whose TLBs may hold translations under
+// this VDS's ASID (a superset of CPUSet).
+func (v *VDS) CachedCores() hw.CPUSet { return v.cachedCores.Union(v.CPUSet()) }
 
 // PdomOf returns the pdom v is mapped to, if any.
 func (v *VDS) PdomOf(d VdomID) (pagetable.Pdom, bool) {

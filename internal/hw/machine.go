@@ -32,11 +32,46 @@ type Config struct {
 	SetAssociative bool
 }
 
+// IPIFate is an injector's verdict on one inter-processor interrupt.
+type IPIFate int
+
+const (
+	// IPIDelivered means the interrupt arrives and is serviced normally.
+	IPIDelivered IPIFate = iota
+	// IPIDropped means the interrupt is lost: the target neither flushes
+	// nor acknowledges.
+	IPIDropped
+	// IPIDelayed means the interrupt is serviced late; the initiator
+	// stalls for the extra cycles while waiting for the acknowledgement.
+	IPIDelayed
+)
+
+// Injector lets a fault-injection layer (internal/chaos) perturb the
+// machine deterministically. All hooks are consulted only when an injector
+// is attached; the nil checks keep the fault paths zero-cost when chaos is
+// off.
+type Injector interface {
+	// IPIFate decides the fate of the shootdown IPI from initiator to
+	// target; delay is the extra initiator stall when fate is IPIDelayed.
+	IPIFate(initiator, target int) (fate IPIFate, delay cycles.Cost)
+	// SpuriousDomainFault reports whether an access that would succeed on
+	// core should instead raise a domain-permission fault (a stale
+	// micro-architectural permission check).
+	SpuriousDomainFault(core int) bool
+	// NoteIPIRetry records that the initiator re-sent an IPI to target
+	// (attempt counts from 1).
+	NoteIPIRetry(target, attempt int)
+	// NoteIPIFallback records that the initiator gave up on IPIs to
+	// target and fell back to a guaranteed full flush of its TLB.
+	NoteIPIFallback(target int)
+}
+
 // Machine is the simulated hardware platform.
 type Machine struct {
 	params *cycles.Params
 	cores  []*Core
 	noASID bool
+	inj    Injector
 
 	nextFrame pagetable.Frame
 }
@@ -72,6 +107,12 @@ func NewMachine(cfg Config) *Machine {
 	return m
 }
 
+// SetInjector attaches (or, with nil, detaches) a fault injector.
+func (m *Machine) SetInjector(inj Injector) { m.inj = inj }
+
+// Injector returns the attached fault injector, or nil.
+func (m *Machine) Injector() Injector { return m.inj }
+
 // Params returns the machine's cycle cost table.
 func (m *Machine) Params() *cycles.Params { return m.params }
 
@@ -91,7 +132,8 @@ func (m *Machine) AllocFrames(n int) pagetable.Frame {
 	return f
 }
 
-// ShootdownReport describes the cost of one TLB shootdown.
+// ShootdownReport describes the cost and delivery outcome of one TLB
+// shootdown.
 type ShootdownReport struct {
 	// InitiatorCycles is charged to the core that issued the IPIs
 	// (send cost per target plus waiting for acknowledgements).
@@ -99,26 +141,115 @@ type ShootdownReport struct {
 	// ReceiverCycles is charged to EACH remote core that serviced the
 	// interrupt.
 	ReceiverCycles cycles.Cost
-	// RemoteCores is the number of cores that received an IPI.
+	// RemoteCores is the number of cores that were sent an IPI.
 	RemoteCores int
+	// Acked is the set of remote targets that serviced the interrupt and
+	// acknowledged. Without a fault injector every target acks.
+	Acked CPUSet
+	// Dropped is the set of remote targets whose IPI was lost; their TLBs
+	// were NOT flushed and the caller must retry or fall back.
+	Dropped CPUSet
+	// Attempts is the number of IPI rounds sent (1 without faults;
+	// ShootdownReliable retries raise it).
+	Attempts int
+	// FullFlushFallbacks counts targets that never acknowledged and were
+	// recovered with a guaranteed broadcast full flush
+	// (ShootdownReliable only).
+	FullFlushFallbacks int
 }
+
+// Delivered reports whether every targeted remote core serviced the IPI.
+func (r ShootdownReport) Delivered() bool { return r.Dropped == 0 }
 
 // Shootdown invalidates TLB state on the given remote cores (identified by
 // a bitmap of core ids) and on the initiator, using flush to perform the
-// invalidation on each core's TLB. It returns the cost split. The initiator
-// core's own TLB is flushed locally at localCost.
+// invalidation on each core's TLB. It returns the cost split and, per
+// remote target, whether its IPI was actually delivered and acknowledged —
+// with a fault injector attached IPIs may be dropped or delayed, and
+// callers that need guaranteed invalidation must inspect Acked/Dropped (or
+// use ShootdownReliable). The initiator core's own TLB is flushed locally
+// at localCost.
 func (m *Machine) Shootdown(initiator int, targets CPUSet, flush func(tlb.Cache), localCost cycles.Cost) ShootdownReport {
-	r := ShootdownReport{}
+	r := ShootdownReport{Attempts: 1}
+	var delayed cycles.Cost
 	for id := range m.cores {
 		if id == initiator || !targets.Has(id) {
 			continue
 		}
-		flush(m.cores[id].tlb)
 		r.RemoteCores++
+		if m.inj != nil {
+			fate, delay := m.inj.IPIFate(initiator, id)
+			switch fate {
+			case IPIDropped:
+				r.Dropped = r.Dropped.Add(id)
+				continue
+			case IPIDelayed:
+				delayed += delay
+			}
+		}
+		flush(m.cores[id].tlb)
+		r.Acked = r.Acked.Add(id)
 	}
 	flush(m.cores[initiator].tlb)
-	r.InitiatorCycles = localCost + cycles.Cost(r.RemoteCores)*m.params.IPI
+	r.InitiatorCycles = localCost + cycles.Cost(r.RemoteCores)*m.params.IPI + delayed
 	r.ReceiverCycles = m.params.IPIReceive
+	return r
+}
+
+// shootdownMaxRetries bounds the IPI retransmissions of ShootdownReliable
+// before it falls back to a guaranteed full flush of the unresponsive
+// target.
+const shootdownMaxRetries = 3
+
+// ShootdownReliable is Shootdown with acknowledgement tracking and
+// recovery: targets that fail to ack are retried with a linear backoff (one
+// extra IPI send cost per attempt), and a target that never acks within
+// shootdownMaxRetries is recovered with a broadcast full flush of its TLB
+// (the INVLPGB-style global invalidation real hardware guarantees), so the
+// invalidation ALWAYS completes. Without a fault injector it is
+// cycle-identical to Shootdown.
+func (m *Machine) ShootdownReliable(initiator int, targets CPUSet, flush func(tlb.Cache), localCost cycles.Cost) ShootdownReport {
+	r := m.Shootdown(initiator, targets, flush, localCost)
+	for attempt := 1; r.Dropped != 0 && attempt <= shootdownMaxRetries; attempt++ {
+		retrying := r.Dropped
+		for id := range m.cores {
+			if !retrying.Has(id) {
+				continue
+			}
+			if m.inj != nil {
+				m.inj.NoteIPIRetry(id, attempt)
+			}
+			// Resend cost plus linear backoff while waiting again.
+			r.InitiatorCycles += m.params.IPI * cycles.Cost(1+attempt)
+			fate, delay := IPIDelivered, cycles.Cost(0)
+			if m.inj != nil {
+				fate, delay = m.inj.IPIFate(initiator, id)
+			}
+			if fate == IPIDropped {
+				continue
+			}
+			r.InitiatorCycles += delay
+			flush(m.cores[id].tlb)
+			r.Acked = r.Acked.Add(id)
+			r.Dropped = r.Dropped.Remove(id)
+		}
+		r.Attempts++
+	}
+	// Full-flush fallback: the target never acked; invalidate its whole
+	// TLB through the guaranteed broadcast path.
+	for id := range m.cores {
+		if !r.Dropped.Has(id) {
+			continue
+		}
+		if m.inj != nil {
+			m.inj.NoteIPIFallback(id)
+		}
+		m.cores[id].tlb.FlushAll()
+		r.InitiatorCycles += m.params.TLBFlushLocalAll + m.params.IPI
+		r.FullFlushFallbacks++
+		r.Acked = r.Acked.Add(id)
+		r.Dropped = r.Dropped.Remove(id)
+	}
 	return r
 }
 
@@ -133,6 +264,19 @@ func (s CPUSet) Add(id int) CPUSet { return s | 1<<uint(id) }
 
 // Remove returns the set without core id.
 func (s CPUSet) Remove(id int) CPUSet { return s &^ (1 << uint(id)) }
+
+// Union returns the cores present in either set.
+func (s CPUSet) Union(o CPUSet) CPUSet { return s | o }
+
+// Lowest returns the smallest core id in the set (-1 when empty).
+func (s CPUSet) Lowest() int {
+	for id := 0; s != 0; id++ {
+		if s.Has(id) {
+			return id
+		}
+	}
+	return -1
+}
 
 // Count returns the number of cores in the set.
 func (s CPUSet) Count() int {
@@ -217,6 +361,13 @@ func (c *Core) ID() int { return c.id }
 // TLB exposes the core's TLB (for kernel flush operations and tests).
 func (c *Core) TLB() tlb.Cache { return c.tlb }
 
+// InterposeTLB replaces the core's TLB with wrap(current). Fault-injection
+// layers use it to interpose on invalidation operations; the wrapper must
+// preserve Cache semantics apart from the faults it models.
+func (c *Core) InterposeTLB(wrap func(tlb.Cache) tlb.Cache) {
+	c.tlb = wrap(c.tlb)
+}
+
 // Perm exposes the core's permission register.
 func (c *Core) Perm() *PermRegister { return &c.perm }
 
@@ -254,6 +405,9 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 	if e, ok := c.tlb.Lookup(c.asid, vpn); ok {
 		res := AccessResult{Pdom: e.Pdom, TLBHit: true, Cost: p.TLBHit}
 		res.Kind = c.check(e.Pdom, e.Writable, write)
+		if res.Kind == AccessOK && c.machine.inj != nil && c.machine.inj.SpuriousDomainFault(c.id) {
+			res.Kind = FaultDomainPerm
+		}
 		return res
 	}
 	wr := c.table.Walk(addr)
@@ -273,6 +427,9 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 	})
 	res := AccessResult{Pdom: wr.PTE.Pdom, Cost: cost}
 	res.Kind = c.check(wr.PTE.Pdom, wr.PTE.Writable, write)
+	if res.Kind == AccessOK && c.machine.inj != nil && c.machine.inj.SpuriousDomainFault(c.id) {
+		res.Kind = FaultDomainPerm
+	}
 	return res
 }
 

@@ -1,0 +1,109 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/mm"
+	"vdom/internal/tlb"
+)
+
+func bootKernel(t *testing.T) (*kernel.Kernel, *kernel.Task) {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{NumCores: 2})
+	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: true})
+	return k, k.NewProcess().NewTask(0)
+}
+
+// Every syscall-layer failure must surface a typed sentinel checkable
+// with errors.Is, never a bare string error.
+
+func TestMmapOverlapTyped(t *testing.T) {
+	_, task := bootKernel(t)
+	if _, err := task.Mmap(0x1000_0000, 8*4096, true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := task.Mmap(0x1000_0000+4*4096, 8*4096, true)
+	if !errors.Is(err, mm.ErrOverlap) {
+		t.Fatalf("overlapping mmap returned %v, want mm.ErrOverlap", err)
+	}
+}
+
+func TestMunmapBadRangeTyped(t *testing.T) {
+	_, task := bootKernel(t)
+	_, err := task.Munmap(0x2000_0123, 4096) // misaligned (EINVAL)
+	if !errors.Is(err, mm.ErrBadRange) {
+		t.Fatalf("misaligned munmap returned %v, want mm.ErrBadRange", err)
+	}
+	// POSIX munmap of an unmapped-but-valid range succeeds silently.
+	if _, err := task.Munmap(0x2000_0000, 4096); err != nil {
+		t.Fatalf("munmap of unmapped range returned %v, want nil", err)
+	}
+}
+
+func TestMprotectUnmappedTyped(t *testing.T) {
+	_, task := bootKernel(t)
+	_, err := task.Mprotect(0x3000_0000, 4096, false)
+	if !errors.Is(err, mm.ErrNoMapping) {
+		t.Fatalf("mprotect of unmapped range returned %v, want mm.ErrNoMapping", err)
+	}
+}
+
+func TestFilteredSyscallTyped(t *testing.T) {
+	k, task := bootKernel(t)
+	k.RegisterSyscallFilter(func(_ *kernel.Task, sc kernel.Syscall, _ kernel.SyscallArgs) error {
+		if sc == kernel.SysMmap {
+			return errors.New("nope")
+		}
+		return nil
+	})
+	_, err := task.Mmap(0x4000_0000, 4096, true)
+	if !errors.Is(err, kernel.ErrBlocked) {
+		t.Fatalf("filtered mmap returned %v, want kernel.ErrBlocked", err)
+	}
+}
+
+// TestASIDExhaustionAndRollover drives the allocator through a shrunken
+// ASID space: exhaustion with live holders must fail cleanly (no wrap, no
+// reuse), and a rollover after a release must recycle the retired ASID in
+// a new generation.
+func TestASIDExhaustionAndRollover(t *testing.T) {
+	k, _ := bootKernel(t) // the process's base ASID is live
+	k.SetASIDLimit(4)
+	var got []tlb.ASID
+	for {
+		a, ok := k.TryAllocASID()
+		if !ok {
+			break
+		}
+		got = append(got, a)
+		if len(got) > 16 {
+			t.Fatal("allocator never reported exhaustion with every ASID live")
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no ASIDs allocated before exhaustion")
+	}
+	gen := k.ASIDGeneration()
+	if k.ASIDRollovers() == 0 {
+		t.Error("exhaustion did not attempt a generation rollover")
+	}
+
+	// Release one and allocate again: the rollover path must hand the
+	// retired ASID back in a fresh generation instead of failing.
+	k.FreeASID(got[0])
+	a, ok := k.TryAllocASID()
+	if !ok {
+		t.Fatal("allocation failed even after an ASID was released")
+	}
+	if a != got[0] {
+		// Any free ASID is acceptable, but with all others live it must
+		// be the released one.
+		t.Errorf("rollover reallocated ASID %d, want released %d", a, got[0])
+	}
+	if k.ASIDGeneration() == gen {
+		t.Error("recycling a retired ASID did not bump the generation")
+	}
+}

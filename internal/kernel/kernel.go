@@ -33,14 +33,48 @@ type Config struct {
 	VDomEnabled bool
 }
 
+// Chaos lets a fault-injection layer (internal/chaos) perturb kernel-level
+// resource management and observe the recovery paths. All hooks are
+// consulted only when a hook is attached, keeping the fault paths
+// zero-cost when chaos is off.
+type Chaos interface {
+	// InjectASIDExhaustion reports whether the next ASID allocation
+	// should behave as if the generation's ASID space were exhausted,
+	// forcing an early rollover.
+	InjectASIDExhaustion() bool
+	// NoteASIDRollover records a completed generation rollover.
+	NoteASIDRollover(gen uint64)
+	// NoteSpuriousFaultRepaired records that the kernel detected a domain
+	// fault that disagreed with the live PTE and permission register, and
+	// repaired it by flushing the stale translation.
+	NoteSpuriousFaultRepaired(core int)
+}
+
+// ASIDLister is implemented by fault handlers (the VDom core) that maintain
+// additional address spaces under their own ASIDs; kernel revocation paths
+// (munmap, frame reclaim) include these ASIDs in their shootdowns so no
+// stale translation survives in a currently-dormant address space.
+type ASIDLister interface {
+	LiveASIDs() []tlb.ASID
+}
+
+// maxASIDDefault is the architectural ASID space (16-bit PCID/ASID); the
+// zero ASID is reserved.
+const maxASIDDefault = tlb.ASID(0xFFFF)
+
 // Kernel is the simulated OS instance.
 type Kernel struct {
 	machine *hw.Machine
 	params  *cycles.Params
 	vdom    bool
+	chaos   Chaos
 
-	nextASID tlb.ASID
-	nextPID  int
+	nextASID  tlb.ASID
+	maxASID   tlb.ASID
+	asidGen   uint64
+	rollovers uint64
+	liveASIDs map[tlb.ASID]bool
+	nextPID   int
 
 	// lastTask tracks, per core, which task's state is loaded.
 	lastTask []*Task
@@ -77,10 +111,15 @@ func New(cfg Config) *Kernel {
 		params:     cfg.Machine.Params(),
 		vdom:       cfg.VDomEnabled,
 		nextASID:   1,
+		maxASID:    maxASIDDefault,
+		liveASIDs:  make(map[tlb.ASID]bool),
 		lastTask:   make([]*Task, cfg.Machine.NumCores()),
 		pendingIRQ: make([]cycles.Cost, cfg.Machine.NumCores()),
 	}
 }
+
+// SetChaos attaches a fault-injection layer. Pass nil to detach.
+func (k *Kernel) SetChaos(c Chaos) { k.chaos = c }
 
 // Machine returns the underlying hardware.
 func (k *Kernel) Machine() *hw.Machine { return k.machine }
@@ -91,12 +130,87 @@ func (k *Kernel) Params() *cycles.Params { return k.params }
 // VDomEnabled reports whether the kernel carries the VDom patches.
 func (k *Kernel) VDomEnabled() bool { return k.vdom }
 
-// AllocASID hands out a fresh address-space identifier.
+// AllocASID hands out a fresh address-space identifier, rolling the
+// generation over (with a machine-wide TLB flush) when the space is
+// exhausted. It panics only if the live set itself fills the entire ASID
+// space, which no realistic workload reaches.
 func (k *Kernel) AllocASID() tlb.ASID {
-	a := k.nextASID
-	k.nextASID++
+	a, ok := k.TryAllocASID()
+	if !ok {
+		panic(fmt.Sprintf("kernel: all %d ASIDs live", k.maxASID))
+	}
 	return a
 }
+
+// TryAllocASID hands out a fresh address-space identifier. The cursor is
+// monotonic within a generation — freed ASIDs are not reused until a
+// rollover has flushed every TLB, so a stale entry under a freed ASID can
+// never alias a new address space. Exhaustion triggers the rollover
+// degradation path (generation bump + machine-wide flush) rather than
+// wrapping silently; false is returned only when every ASID is live.
+func (k *Kernel) TryAllocASID() (tlb.ASID, bool) {
+	if k.chaos != nil && k.chaos.InjectASIDExhaustion() {
+		k.rolloverASIDs()
+	}
+	for rolled := false; ; rolled = true {
+		for k.nextASID != 0 && k.nextASID <= k.maxASID {
+			a := k.nextASID
+			k.nextASID++
+			if !k.liveASIDs[a] {
+				k.liveASIDs[a] = true
+				return a, true
+			}
+		}
+		if rolled {
+			return 0, false
+		}
+		k.rolloverASIDs()
+	}
+}
+
+// rolloverASIDs starts a new ASID generation: every core's TLB is flushed
+// (and charged as pending interrupt work), making translations under any
+// retired ASID unreachable before the cursor restarts.
+func (k *Kernel) rolloverASIDs() {
+	k.asidGen++
+	k.rollovers++
+	k.nextASID = 1
+	for id := 0; id < k.machine.NumCores(); id++ {
+		k.machine.Core(id).TLB().FlushAll()
+		k.AddPendingInterrupt(id, k.params.TLBFlushLocalAll+k.params.IPI)
+	}
+	if k.chaos != nil {
+		k.chaos.NoteASIDRollover(k.asidGen)
+	}
+}
+
+// FreeASID retires an ASID. The identifier stays unreusable until the next
+// generation rollover flushes the TLBs.
+func (k *Kernel) FreeASID(a tlb.ASID) { delete(k.liveASIDs, a) }
+
+// SetASIDLimit shrinks (or restores) the usable ASID space — chiefly for
+// exhaustion tests and chaos runs; real hardware fixes it at 16 bits.
+func (k *Kernel) SetASIDLimit(max tlb.ASID) {
+	if max == 0 {
+		panic("kernel: ASID limit must be positive")
+	}
+	k.maxASID = max
+}
+
+// ASIDGeneration returns the current ASID generation (0 until the first
+// rollover).
+func (k *Kernel) ASIDGeneration() uint64 { return k.asidGen }
+
+// ASIDRollovers returns how many generation rollovers have occurred.
+func (k *Kernel) ASIDRollovers() uint64 { return k.rollovers }
+
+// LiveASIDCount returns the number of ASIDs currently handed out.
+func (k *Kernel) LiveASIDCount() int { return len(k.liveASIDs) }
+
+// ASIDLive reports whether a is currently handed out. Auditors use it to
+// distinguish zombie TLB entries (retired ASID, unreachable until reuse,
+// harmless) from live-ASID incoherence.
+func (k *Kernel) ASIDLive(a tlb.ASID) bool { return k.liveASIDs[a] }
 
 // FaultHandler lets a subsystem (the VDom core, libmpk) intercept domain
 // and PMD-disabled faults before the kernel's default SIGSEGV. Handled
@@ -156,6 +270,11 @@ type Task struct {
 	table *pagetable.Table
 	asid  tlb.ASID
 
+	// baseASID is the ASID allocated at task creation for the shadow
+	// table; restored when the task leaves VDom mode so the shadow table
+	// never shares an ASID with a VDS.
+	baseASID tlb.ASID
+
 	// savedPerm is the task's domain permission register image, restored
 	// on context switch.
 	savedPerm uint64
@@ -174,12 +293,14 @@ func (p *Process) NewTask(core int) *Task {
 	if core < 0 || core >= p.kernel.machine.NumCores() {
 		panic(fmt.Sprintf("kernel: bad core %d", core))
 	}
+	asid := p.kernel.AllocASID()
 	t := &Task{
-		proc:  p,
-		tid:   len(p.tasks) + 1,
-		core:  core,
-		table: p.as.Shadow(),
-		asid:  p.kernel.AllocASID(),
+		proc:     p,
+		tid:      len(p.tasks) + 1,
+		core:     core,
+		table:    p.as.Shadow(),
+		asid:     asid,
+		baseASID: asid,
 		// Like Linux's init_pkru, threads start with access to the
 		// default domain only.
 		savedPerm: hw.DenyAll(),
@@ -203,6 +324,10 @@ func (t *Task) Core() *hw.Core { return t.proc.kernel.machine.Core(t.core) }
 
 // ASID returns the task's current address-space identifier.
 func (t *Task) ASID() tlb.ASID { return t.asid }
+
+// BaseASID returns the ASID allocated for the task's shadow-table address
+// space at creation time.
+func (t *Task) BaseASID() tlb.ASID { return t.baseASID }
 
 // Table returns the page table the task currently runs on.
 func (t *Task) Table() *pagetable.Table { return t.table }
@@ -311,6 +436,10 @@ func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 		case hw.FaultDomainPerm, hw.FaultPMDDisabled:
 			total += k.params.FaultEntry
 			if t.proc.handler == nil {
+				if c, ok := t.repairSpuriousFault(core, addr, write, res.Kind); ok {
+					total += c + k.params.FaultExit
+					continue
+				}
 				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
 			}
 			c, handled, err := t.proc.handler.HandleDomainFault(t, addr, write, res.Kind)
@@ -319,6 +448,10 @@ func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 				return total, err
 			}
 			if !handled {
+				if c, ok := t.repairSpuriousFault(core, addr, write, res.Kind); ok {
+					total += c + k.params.FaultExit
+					continue
+				}
 				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
 			}
 			total += k.params.FaultExit
@@ -330,4 +463,35 @@ func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 		}
 	}
 	return total, fmt.Errorf("%w: fault loop at %#x", ErrSigsegv, uint64(addr))
+}
+
+// repairSpuriousFault is the last resort of the domain-fault path: before
+// delivering SIGSEGV for a fault nobody claimed, the kernel re-walks the
+// live PTE and compares it with the live permission register. If both
+// agree the access is legal, the fault was spurious — stale TLB
+// micro-state, exactly what the chaos layer injects — and flushing the
+// translation and retrying recovers it. Genuine violations (or any
+// disagreement) return false so the SIGSEGV stands.
+func (t *Task) repairSpuriousFault(core *hw.Core, addr pagetable.VAddr, write bool, kind hw.FaultKind) (cycles.Cost, bool) {
+	if kind != hw.FaultDomainPerm {
+		return 0, false
+	}
+	k := t.proc.kernel
+	cost := k.params.PageWalk
+	wr := t.table.Walk(addr)
+	if !wr.Present || wr.PMDDisabled {
+		return cost, false
+	}
+	if write && !wr.PTE.Writable {
+		return cost, false
+	}
+	if !core.Perm().Allows(uint8(wr.PTE.Pdom), write) {
+		return cost, false
+	}
+	core.TLB().FlushPage(t.asid, addr.VPN())
+	cost += k.params.TLBFlushLocalPage
+	if k.chaos != nil {
+		k.chaos.NoteSpuriousFaultRepaired(t.core)
+	}
+	return cost, true
 }

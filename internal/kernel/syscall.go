@@ -131,20 +131,49 @@ func (t *Task) Mprotect(addr pagetable.VAddr, length uint64, writable bool) (cyc
 
 // chargeSync converts a sync report into cycles and performs the TLB
 // shootdown revocation requires: every core that may cache translations of
-// this process flushes the affected range.
+// this process flushes the affected range under every ASID the process's
+// address spaces use. The shootdown is the reliable variant — a dropped
+// IPI is retried and, failing that, repaired with a full flush, so
+// revocation never leaves a stale translation behind.
 func (t *Task) chargeSync(rep mm.SyncReport, addr pagetable.VAddr, length uint64) cycles.Cost {
 	k := t.proc.kernel
 	cost := cycles.Cost(rep.PTEWrites)*k.params.PTEWrite +
 		cycles.Cost(rep.PMDWrites)*k.params.PMDWrite
 	targets := t.proc.RunningCores()
 	pages := length / pagetable.PageSize
-	rep2 := k.machine.Shootdown(t.core, targets, func(tb tlb.Cache) {
-		for _, task := range t.proc.tasks {
-			tb.FlushRange(task.asid, addr.VPN(), pages)
+	asids := t.proc.flushASIDs()
+	rep2 := k.machine.ShootdownReliable(t.core, targets, func(tb tlb.Cache) {
+		for _, a := range asids {
+			tb.FlushRange(a, addr.VPN(), pages)
 		}
 	}, k.params.TLBFlushLocalPage*cycles.Cost(min64(pages, 16)))
 	cost += rep2.InitiatorCycles
 	return cost
+}
+
+// flushASIDs returns every ASID under which a translation of this process
+// may be cached: each task's base (shadow-table) ASID and current ASID,
+// plus any extra address spaces a VDom-style fault handler maintains
+// (dormant VDSes whose ASIDs no task currently runs under).
+func (p *Process) flushASIDs() []tlb.ASID {
+	seen := make(map[tlb.ASID]bool, 2*len(p.tasks))
+	out := make([]tlb.ASID, 0, 2*len(p.tasks))
+	add := func(a tlb.ASID) {
+		if a != 0 && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, t := range p.tasks {
+		add(t.baseASID)
+		add(t.asid)
+	}
+	if l, ok := p.handler.(ASIDLister); ok {
+		for _, a := range l.LiveASIDs() {
+			add(a)
+		}
+	}
+	return out
 }
 
 // RunningCores returns the set of cores any task of the process is
@@ -204,11 +233,8 @@ func (p *Process) ReclaimFrames(initiatorCore int, max int) (int, cycles.Cost) {
 	cost := cycles.Cost(rep.PTEWrites)*k.params.PTEWrite +
 		cycles.Cost(rep.PMDWrites)*k.params.PMDWrite
 	targets := p.RunningCores()
-	asids := make([]tlb.ASID, 0, len(p.tasks))
-	for _, t := range p.tasks {
-		asids = append(asids, t.asid)
-	}
-	sd := k.machine.Shootdown(initiatorCore, targets, func(tb tlb.Cache) {
+	asids := p.flushASIDs()
+	sd := k.machine.ShootdownReliable(initiatorCore, targets, func(tb tlb.Cache) {
 		for _, a := range asids {
 			tb.FlushASID(a)
 		}

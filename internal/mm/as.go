@@ -13,6 +13,8 @@ var (
 	ErrOverlap   = errors.New("mm: mapping overlaps an existing area")
 	ErrNoMapping = errors.New("mm: address not mapped")
 	ErrSegfault  = errors.New("mm: segmentation fault")
+	// ErrBadRange marks a misaligned or empty address range (EINVAL).
+	ErrBadRange = errors.New("mm: bad range")
 )
 
 // DomainResolver tells the memory manager which hardware domain a tagged
@@ -173,7 +175,9 @@ func (as *AddressSpace) Mprotect(start pagetable.VAddr, length uint64, writable 
 	as.splitAt(start)
 	as.splitAt(end)
 	var rep SyncReport
+	found := false
 	as.vmas.Range(start, end, func(v *VMA) bool {
+		found = true
 		if v.Writable == writable {
 			return true
 		}
@@ -192,6 +196,11 @@ func (as *AddressSpace) Mprotect(start pagetable.VAddr, length uint64, writable 
 		}
 		return true
 	})
+	if !found {
+		// Linux mprotect(2) returns ENOMEM when the range contains no
+		// mapping; the typed sentinel keeps the failure checkable.
+		return rep, ErrNoMapping
+	}
 	return rep, nil
 }
 
@@ -346,7 +355,7 @@ func (as *AddressSpace) Populate(t *pagetable.Table, start pagetable.VAddr, leng
 
 func checkRange(start pagetable.VAddr, length uint64) error {
 	if uint64(start)%pagetable.PageSize != 0 || length%pagetable.PageSize != 0 || length == 0 {
-		return fmt.Errorf("mm: bad range [%#x, +%#x): must be page-aligned and non-empty", uint64(start), length)
+		return fmt.Errorf("%w [%#x, +%#x): must be page-aligned and non-empty", ErrBadRange, uint64(start), length)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ package sectest
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"vdom/internal/core"
 	"vdom/internal/cycles"
@@ -22,10 +23,23 @@ type Result struct {
 	// Blocked reports that the attack was stopped (the expected
 	// outcome).
 	Blocked bool
-	Detail  string
+	// SetupFailed reports that the scenario could not even be built; the
+	// attack verdict is then meaningless and Detail carries the error.
+	SetupFailed bool
+	Detail      string
 }
 
-// Run executes the full battery on one architecture.
+// setupErr marks a Result whose scenario never ran.
+var setupErr = errors.New("sectest: setup failed")
+
+// setup produces the structured failure for a broken scenario.
+func setup(stage string, err error) (bool, string) {
+	return false, fmt.Sprintf("%v: %s: %v", setupErr, stage, err)
+}
+
+// Run executes the full battery on one architecture. Every attack yields
+// a Result — setup problems are reported per attack instead of panicking
+// the battery.
 func Run(arch cycles.Arch) []Result {
 	tests := []struct {
 		name string
@@ -49,7 +63,12 @@ func Run(arch cycles.Arch) []Result {
 	var out []Result
 	for _, t := range tests {
 		blocked, detail := t.run(arch)
-		out = append(out, Result{Name: t.name, Blocked: blocked, Detail: detail})
+		out = append(out, Result{
+			Name:        t.name,
+			Blocked:     blocked,
+			SetupFailed: !blocked && strings.HasPrefix(detail, setupErr.Error()),
+			Detail:      detail,
+		})
 	}
 	return out
 }
@@ -72,17 +91,20 @@ func newEnv(arch cycles.Arch) *env {
 	}
 }
 
-func (e *env) region(task *kernel.Task, pages int) (core.VdomID, pagetable.VAddr) {
+// region maps a fresh protected area for task and returns its vdom and
+// base; errors are returned, not panicked, so attacks can surface them as
+// structured setup failures.
+func (e *env) region(task *kernel.Task, pages int) (core.VdomID, pagetable.VAddr, error) {
 	base := e.next
 	e.next += pagetable.VAddr(pages)*pagetable.PageSize + 4*pagetable.PMDSize
 	if _, err := task.Mmap(base, uint64(pages)*pagetable.PageSize, true); err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("mmap: %w", err)
 	}
 	d, _ := e.mgr.AllocVdom(false)
 	if _, err := e.mgr.Mprotect(task, base, uint64(pages)*pagetable.PageSize, d); err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("mprotect: %w", err)
 	}
-	return d, base
+	return d, base, nil
 }
 
 func sigsegv(err error) bool { return errors.Is(err, kernel.ErrSigsegv) }
@@ -91,11 +113,13 @@ func inThreadReadAD(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	d, base := e.region(t, 1)
-	_ = d // permission stays AD
-	_, err := t.Access(base, false)
+	_, base, err := e.region(t, 1) // permission stays AD
+	if err != nil {
+		return setup("region", err)
+	}
+	_, err = t.Access(base, false)
 	return sigsegv(err), fmt.Sprintf("read with AD: %v", err)
 }
 
@@ -103,16 +127,19 @@ func inThreadWriteWD(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	d, base := e.region(t, 1)
+	d, base, err := e.region(t, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(t, d, core.VPermRead); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := t.Access(base, false); err != nil {
 		return false, fmt.Sprintf("legitimate read failed: %v", err)
 	}
-	_, err := t.Access(base, true)
+	_, err = t.Access(base, true)
 	return sigsegv(err), fmt.Sprintf("write with WD: %v", err)
 }
 
@@ -122,17 +149,20 @@ func crossThread(arch cycles.Arch) (bool, string) {
 	attacker := e.proc.NewTask(1)
 	for _, t := range []*kernel.Task{owner, attacker} {
 		if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-			panic(err)
+			return setup("vdr_alloc", err)
 		}
 	}
-	d, base := e.region(owner, 1)
+	d, base, err := e.region(owner, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(owner, d, core.VPermReadWrite); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := owner.Access(base, true); err != nil {
 		return false, fmt.Sprintf("owner lost access: %v", err)
 	}
-	_, err := attacker.Access(base, false)
+	_, err = attacker.Access(base, false)
 	return sigsegv(err), fmt.Sprintf("attacker read: %v", err)
 }
 
@@ -140,17 +170,20 @@ func noVDR(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	owner := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(owner, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	d, base := e.region(owner, 1)
+	d, base, err := e.region(owner, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(owner, d, core.VPermReadWrite); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := owner.Access(base, true); err != nil {
-		panic(err)
+		return setup("owner access", err)
 	}
 	stranger := e.proc.NewTask(2)
-	_, err := stranger.Access(base, false)
+	_, err = stranger.Access(base, false)
 	return sigsegv(err), fmt.Sprintf("no-VDR access: %v", err)
 }
 
@@ -162,7 +195,7 @@ func fuzzRandom(arch cycles.Arch) (bool, string) {
 	t2 := e.proc.NewTask(1)
 	for _, t := range []*kernel.Task{t1, t2} {
 		if _, err := e.mgr.VdrAlloc(t, 3); err != nil {
-			panic(err)
+			return setup("vdr_alloc", err)
 		}
 	}
 	const n = 40
@@ -174,16 +207,20 @@ func fuzzRandom(arch cycles.Arch) (bool, string) {
 		if i%2 == 1 {
 			owner = t2
 		}
-		doms[i], bases[i] = e.region(owner, 1)
+		var err error
+		doms[i], bases[i], err = e.region(owner, 1)
+		if err != nil {
+			return setup("region", err)
+		}
 		owners[i] = owner
 		if _, err := e.mgr.WrVdr(owner, doms[i], core.VPermReadWrite); err != nil {
-			panic(err)
+			return setup("wrvdr open", err)
 		}
 		if _, err := owner.Access(bases[i], true); err != nil {
-			panic(err)
+			return setup("owner access", err)
 		}
 		if _, err := e.mgr.WrVdr(owner, doms[i], core.VPermNone); err != nil {
-			panic(err)
+			return setup("wrvdr close", err)
 		}
 	}
 	rng := sim.NewRand(0x5ec)
@@ -208,22 +245,26 @@ func staleEvicted(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 1); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
 	n := core.UsablePdomsPerVDS + 2
 	doms := make([]core.VdomID, n)
 	bases := make([]pagetable.VAddr, n)
 	for i := 0; i < n; i++ {
-		doms[i], bases[i] = e.region(t, 1)
+		var err error
+		doms[i], bases[i], err = e.region(t, 1)
+		if err != nil {
+			return setup("region", err)
+		}
 		if _, err := e.mgr.WrVdr(t, doms[i], core.VPermReadWrite); err != nil {
-			panic(err)
+			return setup("wrvdr open", err)
 		}
 		if _, err := t.Access(bases[i], true); err != nil {
-			panic(err)
+			return setup("access", err)
 		}
 		if i != 0 {
 			if _, err := e.mgr.WrVdr(t, doms[i], core.VPermNone); err != nil {
-				panic(err)
+				return setup("wrvdr close", err)
 			}
 		}
 	}
@@ -231,7 +272,7 @@ func staleEvicted(arch cycles.Arch) (bool, string) {
 	// Close it now and probe: the pages must not be readable via any
 	// stale state.
 	if _, err := e.mgr.WrVdr(t, doms[0], core.VPermNone); err != nil {
-		panic(err)
+		return setup("wrvdr close", err)
 	}
 	_, err := t.Access(bases[0], false)
 	return sigsegv(err), fmt.Sprintf("stale access: %v", err)
@@ -241,11 +282,14 @@ func reassign(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	_, base := e.region(t, 4)
+	_, base, err := e.region(t, 4)
+	if err != nil {
+		return setup("region", err)
+	}
 	evil, _ := e.mgr.AllocVdom(false)
-	_, err := e.mgr.Mprotect(t, base, pagetable.PageSize, evil)
+	_, err = e.mgr.Mprotect(t, base, pagetable.PageSize, evil)
 	return errors.Is(err, core.ErrReassign), fmt.Sprintf("reassign: %v", err)
 }
 
@@ -256,22 +300,28 @@ func useAfterFree(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	dOld, baseOld := e.region(t, 2)
+	dOld, baseOld, err := e.region(t, 2)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(t, dOld, core.VPermRead); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := t.Access(baseOld, false); err != nil {
 		return false, fmt.Sprintf("setup read failed: %v", err)
 	}
 	if _, err := e.mgr.FreeVdom(dOld); err != nil {
-		panic(err)
+		return setup("free", err)
 	}
 	// Recycle the hardware domain with a new trust domain.
-	dNew, baseNew := e.region(t, 1)
+	dNew, baseNew, err := e.region(t, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(t, dNew, core.VPermReadWrite); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := t.Access(baseNew, true); err != nil {
 		return false, fmt.Sprintf("new domain unusable: %v", err)
@@ -288,15 +338,15 @@ func vdrCorruption(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
 	g, err := core.NewGate(e.mgr)
 	if err != nil {
-		panic(err)
+		return setup("gate", err)
 	}
 	page, err := g.SealVDRPage(t)
 	if err != nil {
-		panic(err)
+		return setup("seal", err)
 	}
 	if _, err := t.Access(page, true); !sigsegv(err) {
 		return false, fmt.Sprintf("direct VDR write: %v", err)
@@ -311,15 +361,15 @@ func vdrRetag(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
 	g, err := core.NewGate(e.mgr)
 	if err != nil {
-		panic(err)
+		return setup("gate", err)
 	}
 	page, err := g.SealVDRPage(t)
 	if err != nil {
-		panic(err)
+		return setup("seal", err)
 	}
 	evil, _ := e.mgr.AllocVdom(false)
 	_, err = e.mgr.Mprotect(t, page, pagetable.PageSize, evil)
@@ -335,12 +385,12 @@ func pkruHijack(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
 	e.k.Dispatch(t)
 	g, err := core.NewGate(e.mgr)
 	if err != nil {
-		panic(err)
+		return setup("gate", err)
 	}
 	g.Enter(t)
 	var evil hw.PermRegister // all-access, including pdom1
@@ -363,18 +413,21 @@ func gateCheck(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
 	g, err := core.NewGate(e.mgr)
 	if err != nil {
-		panic(err)
+		return setup("gate", err)
 	}
-	d, base := e.region(t, 1)
+	d, base, err := e.region(t, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	if _, err := e.mgr.WrVdr(t, d, core.VPermReadWrite); err != nil {
-		panic(err)
+		return setup("wrvdr", err)
 	}
 	if _, err := t.Access(base, true); err != nil {
-		panic(err)
+		return setup("access", err)
 	}
 	if !g.ValidateRegister(t, t.SavedPerm()) {
 		return false, "legal register rejected"
@@ -389,9 +442,12 @@ func deputyFilter(arch cycles.Arch) (bool, string) {
 	e := newEnv(arch)
 	t := e.proc.NewTask(0)
 	if _, err := e.mgr.VdrAlloc(t, 2); err != nil {
-		panic(err)
+		return setup("vdr_alloc", err)
 	}
-	_, base := e.region(t, 1)
+	_, base, err := e.region(t, 1)
+	if err != nil {
+		return setup("region", err)
+	}
 	// Without the filter the kernel deputy leaks the page.
 	if _, _, err := t.ProcessVMReadv(base); err != nil {
 		return false, fmt.Sprintf("baseline deputy read failed: %v", err)
@@ -405,6 +461,6 @@ func deputyFilter(arch cycles.Arch) (bool, string) {
 		}
 		return nil
 	})
-	_, _, err := t.ProcessVMReadv(base)
+	_, _, err = t.ProcessVMReadv(base)
 	return errors.Is(err, kernel.ErrBlocked), fmt.Sprintf("filtered deputy read: %v", err)
 }

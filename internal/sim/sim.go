@@ -11,8 +11,15 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 )
+
+// ErrDeadlock is the sentinel carried by the panic Run raises when
+// processes remain blocked with an empty event queue. The panic value is
+// an error, so a recover handler can classify it with
+// errors.Is(v.(error), ErrDeadlock).
+var ErrDeadlock = errors.New("sim: deadlock")
 
 // Time is a point in virtual time, measured in cycles.
 type Time uint64
@@ -145,7 +152,7 @@ func (p *Proc) yield() {
 // Run executes events until the queue is empty. It returns the final
 // virtual time. Run panics if processes remain blocked with no pending
 // events (a simulation deadlock), since that always indicates a bug in the
-// modeled system.
+// modeled system; the panic value is an error wrapping ErrDeadlock.
 func (e *Env) Run() Time {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
@@ -159,7 +166,7 @@ func (e *Env) Run() Time {
 		e.current = nil
 	}
 	if e.blocked > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with an empty event queue", e.blocked))
+		panic(fmt.Errorf("%w: %d process(es) blocked with an empty event queue", ErrDeadlock, e.blocked))
 	}
 	return e.now
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -234,8 +235,19 @@ func TestSignalWaitReportsDuration(t *testing.T) {
 
 func TestDeadlockPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		v := recover()
+		if v == nil {
 			t.Error("Run did not panic on deadlock")
+			return
+		}
+		// The panic value is a typed error so supervisors can classify
+		// the failure without string matching.
+		err, ok := v.(error)
+		if !ok {
+			t.Fatalf("panic value is %T, want error", v)
+		}
+		if !errors.Is(err, ErrDeadlock) {
+			t.Errorf("panic error %v does not wrap ErrDeadlock", err)
 		}
 	}()
 	env := NewEnv()

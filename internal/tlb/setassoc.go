@@ -135,6 +135,18 @@ func (t *SetAssoc) FlushAll() {
 	t.index = make(map[key]int)
 }
 
+// Each calls fn for every valid entry, in set-then-way order
+// (introspection for consistency auditors and tests).
+func (t *SetAssoc) Each(fn func(Entry)) {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid {
+				fn(t.sets[s][w].entry)
+			}
+		}
+	}
+}
+
 // CountASID returns resident entries tagged asid (introspection).
 func (t *SetAssoc) CountASID(asid ASID) int {
 	n := 0

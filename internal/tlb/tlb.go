@@ -173,6 +173,17 @@ func (t *TLB) FlushAll() {
 	t.hand = 0
 }
 
+// Each calls fn for every valid entry, in slot order. It is an
+// introspection helper for consistency auditors and tests, not a hardware
+// operation.
+func (t *TLB) Each(fn func(Entry)) {
+	for i := range t.slots {
+		if t.slots[i].valid {
+			fn(t.slots[i].entry)
+		}
+	}
+}
+
 // CountASID returns the number of resident entries tagged with asid.
 // It is an introspection helper for tests and experiments, not a hardware
 // operation.
@@ -201,6 +212,7 @@ type Cache interface {
 	Stats() Stats
 	ResetStats()
 	CountASID(asid ASID) int
+	Each(fn func(Entry))
 }
 
 var (

@@ -38,6 +38,7 @@ package vdom
 import (
 	"fmt"
 
+	"vdom/internal/chaos"
 	"vdom/internal/core"
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
@@ -94,9 +95,32 @@ type Policy = core.Policy
 // with the PMD fast path, 64-page range-flush threshold, nas budget 4.
 func DefaultPolicy() Policy { return core.DefaultPolicy() }
 
-// ErrSigsegv is returned by Load/Store when the simulated hardware denies
-// the access; it aliases the kernel's signal for errors.Is tests.
-var ErrSigsegv = kernel.ErrSigsegv
+// Error taxonomy: every failure the library returns wraps one of these
+// sentinels, so callers branch with errors.Is instead of string matching.
+var (
+	// ErrSigsegv is returned by Load/Store when the simulated hardware
+	// denies the access; it aliases the kernel's signal for errors.Is
+	// tests.
+	ErrSigsegv = kernel.ErrSigsegv
+	// ErrNoResources marks a failed resource acquisition (no evictable
+	// domain, transient VDS allocation failure). Degradation paths retry
+	// around it; when it reaches the caller the operation can simply be
+	// retried later.
+	ErrNoResources = core.ErrNoResources
+	// ErrExhausted marks terminal resource exhaustion: every fallback was
+	// tried and the underlying space (ASIDs, pdoms) is genuinely full.
+	ErrExhausted = core.ErrExhausted
+	// ErrDegraded marks an operation that failed even after its degraded
+	// fallback ran.
+	ErrDegraded = core.ErrDegraded
+)
+
+// ChaosConfig configures the deterministic fault-injection layer; see
+// Config.Chaos. The zero value injects nothing.
+type ChaosConfig = chaos.Config
+
+// ChaosViolation is one cross-layer incoherence found by System.Audit.
+type ChaosViolation = chaos.Violation
 
 // Config describes the simulated platform.
 type Config struct {
@@ -115,12 +139,18 @@ type Config struct {
 	// VanillaKernel boots the kernel without the VDom patches; only
 	// useful for baseline measurements.
 	VanillaKernel bool
+	// Chaos, when non-nil, attaches the deterministic fault-injection
+	// layer with the given per-fault probabilities and seed. The fault
+	// hooks are zero-cost when Chaos is nil.
+	Chaos *ChaosConfig
 }
 
 // System is one simulated machine plus its booted kernel.
 type System struct {
-	machine *hw.Machine
-	kernel  *kernel.Kernel
+	machine  *hw.Machine
+	kernel   *kernel.Kernel
+	injector *chaos.Injector
+	procs    []*Process
 }
 
 // NewSystem boots a simulated machine.
@@ -136,7 +166,29 @@ func NewSystem(cfg Config) *System {
 		SetAssociative: cfg.SetAssociativeTLB,
 	})
 	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: !cfg.VanillaKernel})
-	return &System{machine: m, kernel: k}
+	s := &System{machine: m, kernel: k}
+	if cfg.Chaos != nil {
+		s.injector = chaos.New(*cfg.Chaos)
+		s.injector.AttachMachine(m)
+		s.injector.AttachKernel(k)
+	}
+	return s
+}
+
+// Injector returns the fault-injection layer, or nil when Config.Chaos
+// was nil (advanced use: event log, per-fault counters).
+func (s *System) Injector() *chaos.Injector { return s.injector }
+
+// Audit runs the cross-layer consistency auditor over every core's TLB,
+// the kernel's ASID state and every process's domain metadata. An empty
+// result means the machine is coherent — even under active fault
+// injection, thanks to the degradation paths.
+func (s *System) Audit() []ChaosViolation {
+	mgrs := make([]*core.Manager, len(s.procs))
+	for i, p := range s.procs {
+		mgrs[i] = p.mgr
+	}
+	return chaos.Audit(s.machine, s.kernel, mgrs...)
 }
 
 // Kernel exposes the simulated kernel (advanced use: scheduler bridges,
@@ -157,12 +209,17 @@ type Process struct {
 // NewProcess creates a process with VDom initialized (vdom_init).
 func (s *System) NewProcess(policy Policy) *Process {
 	proc := s.kernel.NewProcess()
-	return &Process{
+	p := &Process{
 		sys:  s,
 		proc: proc,
 		mgr:  core.Attach(proc, policy),
 		next: 0x10_0000_0000,
 	}
+	if s.injector != nil {
+		s.injector.AttachManager(p.mgr)
+	}
+	s.procs = append(s.procs, p)
+	return p
 }
 
 // Manager exposes the underlying domain manager (advanced use: stats,
