@@ -1,0 +1,206 @@
+// Command docslint enforces the repository's documentation floor in CI.
+//
+// It checks two things, chosen to keep the public surface and the
+// module map (DESIGN.md §3) self-describing:
+//
+//  1. Every exported identifier in the root vdom package (the public
+//     API) must carry a doc comment.
+//  2. Every package under internal/ must have a package comment.
+//
+// Usage:
+//
+//	go run ./cmd/docslint [root]
+//
+// root defaults to the current directory. Exit status is non-zero if
+// any violation is found; each violation is printed as file:line.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+
+	problems = append(problems, lintExported(root)...)
+
+	pkgDirs, err := internalPackageDirs(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docslint:", err)
+		os.Exit(2)
+	}
+	for _, dir := range pkgDirs {
+		problems = append(problems, lintPackageComment(dir)...)
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docslint: ok")
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(dir string) (*token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	return fset, files, nil
+}
+
+// lintExported reports exported identifiers without doc comments in the
+// package rooted at dir (the public vdom package).
+func lintExported(dir string) []string {
+	fset, files, err := parseDir(dir)
+	if err != nil {
+		return []string{fmt.Sprintf("docslint: %v", err)}
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				// Methods on unexported receivers are not public API.
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Name.Pos(), kind, d.Name.Name)
+			case *ast.GenDecl:
+				lintGenDecl(d, report)
+			}
+		}
+	}
+	return out
+}
+
+// lintGenDecl checks const/var/type declarations. A doc comment on the
+// grouped declaration covers its members; otherwise each exported spec
+// needs its own.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Name.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// lintPackageComment reports a package under internal/ whose non-test
+// files carry no package comment at all.
+func lintPackageComment(dir string) []string {
+	fset, files, err := parseDir(dir)
+	if err != nil {
+		return []string{fmt.Sprintf("docslint: %v", err)}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	for _, f := range files {
+		if f.Doc != nil {
+			return nil
+		}
+	}
+	p := fset.Position(files[0].Package)
+	return []string{fmt.Sprintf("%s:%d: package %s has no package comment", p.Filename, p.Line, files[0].Name.Name)}
+}
+
+// internalPackageDirs lists every directory under root/internal that
+// contains at least one non-test Go file.
+func internalPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	base := filepath.Join(root, "internal")
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

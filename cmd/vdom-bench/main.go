@@ -3,27 +3,43 @@
 //
 // Usage:
 //
-//	vdom-bench [-quick] [experiment]
+//	vdom-bench [-quick] [-format text|csv] [-seed N]
+//	           [-metrics out.json] [-trace-out out.trace.json] [experiment]
 //
-// Experiments: fig1, table3, table4, table5, fig5, fig6, fig7, unixbench,
-// ctxswitch, ablation, chaos, all (default).
+// Experiments: fig1, table1, table2, table3, table4, table5, fig5, fig6,
+// fig7, unixbench, ctxswitch, ablation, chaos, compare, all (default).
+//
+// With -metrics, the instrumented experiments (table4, chaos) publish
+// their counters, per-(layer, operation) cycle attribution, and
+// domain-activation cost histograms into a registry written as JSON when
+// the run finishes. With -trace-out, the same experiments emit a Chrome
+// trace-event file loadable in Perfetto (https://ui.perfetto.dev). Both
+// flags are observation-only: the rendered tables are byte-identical with
+// or without them. See OBSERVABILITY.md for the metric catalogue and the
+// snapshot schema.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vdom/internal/bench"
+	"vdom/internal/metrics"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast run")
 	format := flag.String("format", "text", "output format: text or csv")
 	seed := flag.Uint64("seed", 42, "PRNG seed for the chaos experiment (replayable)")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, cycle attribution, histograms) to this JSON file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev) to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vdom-bench [-quick] [experiment]\n\n")
-		fmt.Fprintf(os.Stderr, "experiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
+		fmt.Fprintf(os.Stderr, "flags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
 		fmt.Fprintf(os.Stderr, "  fig1       libmpk overhead breakdown on httpd (Figure 1)\n")
 		fmt.Fprintf(os.Stderr, "  table1     the VDom API surface (Table 1)\n")
 		fmt.Fprintf(os.Stderr, "  table2     ported sandbox defenses (Table 2)\n")
@@ -48,6 +64,12 @@ func main() {
 		os.Exit(2)
 	}
 	o := bench.Options{Quick: *quick, Format: f}
+	if *metricsOut != "" {
+		o.Metrics = metrics.New()
+	}
+	if *traceOut != "" {
+		o.Trace = metrics.NewTrace()
+	}
 	exp := "all"
 	if flag.NArg() > 0 {
 		exp = flag.Arg(0)
@@ -96,4 +118,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, o.Metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: writing metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, o.Trace.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: writing trace:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile streams write(f) into path, creating or truncating it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -107,3 +107,31 @@ func ExampleProcess_Trace() {
 	// vds-alloc
 	// map
 }
+
+// ExampleSystem_Metrics reads the unified observability layer: per-layer
+// cycle attribution that sums exactly to the cycles the system spent.
+func ExampleSystem_Metrics() {
+	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 2, Metrics: true})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+	t := p.NewThread(0)
+
+	buf, _ := t.Mmap(4 * vdom.PageSize)
+	t.AllocVDR(2)
+	d, _ := p.AllocDomain(false)
+	p.ProtectRange(t, buf, vdom.PageSize, d)
+	t.WriteVDR(d, vdom.ReadWrite)
+	t.Store(buf)
+	t.WriteVDR(d, vdom.NoAccess)
+
+	snap := sys.MetricsSnapshot()
+	fmt.Println("consistent:", snap.CheckConsistency() == nil)
+	for _, l := range snap.LayerTotals() {
+		fmt.Println("layer:", l.Layer)
+	}
+	// Output:
+	// consistent: true
+	// layer: core
+	// layer: hw
+	// layer: kernel
+	// layer: pagetable
+}

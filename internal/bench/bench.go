@@ -5,6 +5,11 @@
 // comparison (§7.3), and the context-switch measurements (§7.5), plus
 // ablation sweeps over VDom's design choices. Results render as aligned
 // text or CSV.
+//
+// It covers the paper's §7 (evaluation) tables and figures and is the
+// "Bench harness" row of the DESIGN.md §3 module map. Options.Metrics and
+// Options.Trace thread the unified observability layer through the
+// instrumented experiments (Table 4, chaos soak); see OBSERVABILITY.md.
 package bench
 
 import (
@@ -12,6 +17,7 @@ import (
 	"io"
 
 	"vdom/internal/cycles"
+	"vdom/internal/metrics"
 	"vdom/internal/workload"
 )
 
@@ -22,6 +28,19 @@ type Options struct {
 	Quick bool
 	// Format selects text (default) or CSV rendering.
 	Format Format
+
+	// Metrics, when non-nil, accumulates every instrumented cell's
+	// counters and cycle attribution across the run (Table 4 and the
+	// chaos soak are instrumented today). The rendered tables are
+	// byte-identical with or without it: metrics observe costs, they
+	// never change them. The harness also maintains the
+	// "bench/total-cycles" counter — the sum of every cell's
+	// independently measured grand total — which equals the registry's
+	// attributed TotalCycles when attribution is exact.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, collects Chrome-trace decision spans from
+	// instrumented experiments for Perfetto (see OBSERVABILITY.md).
+	Trace *metrics.Trace
 }
 
 func (o Options) httpdRequests() int {
@@ -124,8 +143,10 @@ func Table4(w io.Writer, o Options) {
 		for _, n := range table4Counts {
 			r := workload.RunPattern(workload.PatternConfig{
 				Arch: arch, System: sys, Pattern: pat, NumVdoms: n,
-				Rounds: o.patternRounds(),
+				Rounds:  o.patternRounds(),
+				Metrics: o.Metrics, Trace: o.Trace,
 			})
+			o.Metrics.Add("bench/total-cycles", r.TotalCycles)
 			cells = append(cells, f0(r.AvgCycles))
 		}
 		t.Row(cells...)

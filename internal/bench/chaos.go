@@ -38,8 +38,11 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) {
 			PdomExhaustion: 0.05,
 			SpuriousFault:  0.02,
 		},
-		Ops: o.chaosSoakOps(),
+		Ops:     o.chaosSoakOps(),
+		Metrics: o.Metrics,
+		Trace:   o.Trace,
 	})
+	o.Metrics.Add("bench/total-cycles", uint64(res.Cycles))
 
 	t := &Table{
 		Title: fmt.Sprintf("Chaos soak: %d ops, seed %d (replayable), all fault classes enabled",

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"vdom/internal/metrics"
+)
+
+// TestObservabilityDeterminism is the same-seed determinism guarantee of
+// OBSERVABILITY.md: running an instrumented experiment twice — Table 4
+// and the chaos soak — produces byte-identical table output, metrics
+// snapshots, and Chrome traces.
+func TestObservabilityDeterminism(t *testing.T) {
+	type experiment struct {
+		name string
+		run  func(w io.Writer, o Options)
+	}
+	for _, exp := range []experiment{
+		{"table4", Table4},
+		{"chaos", func(w io.Writer, o Options) { ChaosSeed(w, o, 42) }},
+	} {
+		run := func() (table, snap, trace []byte) {
+			o := Options{Quick: true, Metrics: metrics.New(), Trace: metrics.NewTrace()}
+			var tb, mb, jb bytes.Buffer
+			exp.run(&tb, o)
+			if err := o.Metrics.WriteJSON(&mb); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.Trace.WriteJSON(&jb); err != nil {
+				t.Fatal(err)
+			}
+			return tb.Bytes(), mb.Bytes(), jb.Bytes()
+		}
+		t1, m1, j1 := run()
+		t2, m2, j2 := run()
+		if !bytes.Equal(t1, t2) {
+			t.Errorf("%s: table output differs between identical runs", exp.name)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Errorf("%s: metrics snapshots differ between identical runs", exp.name)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Errorf("%s: traces differ between identical runs", exp.name)
+		}
+		if len(j1) == 0 || !bytes.Contains(j1, []byte("traceEvents")) {
+			t.Errorf("%s: trace output empty or malformed", exp.name)
+		}
+	}
+}
+
+// TestTable4MetricsSumsToBenchTotal checks the acceptance invariant end
+// to end at the bench layer: the registry's attributed TotalCycles
+// equals the sum of every cell's independently measured grand total
+// (the "bench/total-cycles" counter), and the snapshot is internally
+// consistent.
+func TestTable4MetricsSumsToBenchTotal(t *testing.T) {
+	o := Options{Quick: true, Metrics: metrics.New()}
+	var tb bytes.Buffer
+	Table4(&tb, o)
+	snap := o.Metrics.Snapshot()
+	if err := snap.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalCycles == 0 {
+		t.Fatal("no cycles attributed")
+	}
+	if got, want := snap.TotalCycles, snap.Counters["bench/total-cycles"]; got != want {
+		t.Errorf("attributed %d cycles, cells measured %d (diff %d)",
+			got, want, int64(got)-int64(want))
+	}
+}
+
+// TestTable4OutputUnchangedByMetrics: the -metrics/-trace-out flags are
+// observation-only — the rendered table is byte-identical either way.
+func TestTable4OutputUnchangedByMetrics(t *testing.T) {
+	var off, on bytes.Buffer
+	Table4(&off, Options{Quick: true})
+	Table4(&on, Options{Quick: true, Metrics: metrics.New(), Trace: metrics.NewTrace()})
+	if !bytes.Equal(off.Bytes(), on.Bytes()) {
+		t.Error("enabling metrics changed the rendered table")
+	}
+}

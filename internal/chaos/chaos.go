@@ -145,6 +145,21 @@ func (in *Injector) TotalInjected() uint64 { return sum(in.injected) }
 // TotalRecovered sums every recovery counter.
 func (in *Injector) TotalRecovered() uint64 { return sum(in.recovered) }
 
+// EmitMetrics publishes the injector's counters under the chaos/ prefix:
+// totals plus one counter per fault kind and recovery path (see
+// OBSERVABILITY.md for the catalogue).
+func (in *Injector) EmitMetrics(emit func(name string, v uint64)) {
+	emit("chaos/injected", in.TotalInjected())
+	emit("chaos/recovered", in.TotalRecovered())
+	emit("chaos/events", uint64(len(in.events)))
+	for kind, n := range in.injected {
+		emit("chaos/"+kind, n)
+	}
+	for path, n := range in.recovered {
+		emit("chaos/"+path, n)
+	}
+}
+
 func sum(m map[string]uint64) uint64 {
 	var n uint64
 	for _, v := range m {

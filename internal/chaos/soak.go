@@ -8,6 +8,7 @@ import (
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
+	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
 	"vdom/internal/sim"
 )
@@ -30,6 +31,16 @@ type SoakConfig struct {
 	AuditEvery int
 	// Arch selects the cost table (default X86).
 	Arch cycles.Arch
+
+	// Metrics, when non-nil, is attached to the kernel and the VDom
+	// manager; the run's per-(layer, op) cycle attribution then sums to
+	// exactly SoakResult.Cycles, and the injector's and layers' event
+	// counters are harvested when the soak finishes.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives one Chrome-trace decision span per
+	// domain-virtualization event, timestamped on the run's cumulative
+	// cycle clock.
+	Trace *metrics.Trace
 }
 
 // SoakResult is the outcome of one soak run.
@@ -91,6 +102,15 @@ func Soak(cfg SoakConfig) *SoakResult {
 
 	res := &SoakResult{Ops: cfg.Ops}
 	var total cycles.Cost
+	kern.SetMetrics(cfg.Metrics)
+	mgr.SetMetrics(cfg.Metrics)
+	if cfg.Trace != nil {
+		mgr.SetTracer(func(e core.Event) {
+			cfg.Trace.Decision(e.Kind.String(), e.TID, uint64(total), uint64(e.Cost), map[string]uint64{
+				"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
+			})
+		})
+	}
 	fail := func(op int, what string, err error) {
 		res.Unrecovered = append(res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
 	}
@@ -106,13 +126,17 @@ func Soak(cfg SoakConfig) *SoakResult {
 	region := func(i int) pagetable.VAddr {
 		return pagetable.VAddr(0x4000_0000 + uint64(i)*0x10_0000)
 	}
-	if _, err := tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
+	if c, err := tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
 		fail(0, "setup mmap", err)
+	} else {
+		total += c
 	}
 	vdoms := make([]core.VdomID, cfg.Vdoms)
 	for i := range vdoms {
-		if _, err := tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
+		if c, err := tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
 			fail(0, "setup mmap", err)
+		} else {
+			total += c
 		}
 		d, c := mgr.AllocVdom(i%4 == 0)
 		total += c
@@ -134,6 +158,19 @@ func Soak(cfg SoakConfig) *SoakResult {
 	audit := func() {
 		res.Audits++
 		res.Violations = append(res.Violations, Audit(machine, kern, mgr)...)
+	}
+
+	// Each injected fault and recovery becomes a trace instant at the
+	// cycle position of the op that triggered it.
+	tracedEvents := 0
+	traceEvents := func() {
+		if cfg.Trace == nil {
+			return
+		}
+		evs := in.Events()
+		for ; tracedEvents < len(evs); tracedEvents++ {
+			cfg.Trace.Instant("chaos", evs[tracedEvents].Kind, 0, uint64(total))
+		}
 	}
 
 	// The op stream draws from its own PRNG so the fault stream (the
@@ -221,6 +258,7 @@ func Soak(cfg SoakConfig) *SoakResult {
 				fail(op, fmt.Sprintf("plain access at %#x", uint64(addr)), err)
 			}
 		}
+		traceEvents()
 		if op%cfg.AuditEvery == 0 {
 			audit()
 		}
@@ -233,5 +271,8 @@ func Soak(cfg SoakConfig) *SoakResult {
 	res.Events = in.Events()
 	res.ASIDRollovers = kern.ASIDRollovers()
 	res.CoreStats = mgr.Stats
+	if cfg.Metrics != nil {
+		cfg.Metrics.Accumulate(in, machine, proc.AS(), kern)
+	}
 	return res
 }

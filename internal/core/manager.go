@@ -7,6 +7,7 @@ import (
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
+	"vdom/internal/metrics"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/tlb"
@@ -103,6 +104,25 @@ type Stats struct {
 	HLRUHits      uint64 // remaps that reused the last pdom cheaply
 }
 
+// Emit publishes the stats as named metrics counters under the core/
+// prefix (see OBSERVABILITY.md for the catalogue).
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("core/wrvdr-calls", s.WrVdrCalls)
+	emit("core/maps-to-free", s.MapsToFree)
+	emit("core/migrations", s.Migrations)
+	emit("core/vds-allocs", s.VDSAllocs)
+	emit("core/vds-switches", s.VDSSwitches)
+	emit("core/evictions", s.Evictions)
+	emit("core/evicted-pages", s.EvictedPages)
+	emit("core/pmd-fast-evicts", s.PMDFastEvicts)
+	emit("core/range-flushes", s.RangeFlushes)
+	emit("core/asid-flushes", s.ASIDFlushes)
+	emit("core/shootdowns", s.Shootdowns)
+	emit("core/domain-faults", s.DomainFaults)
+	emit("core/register-syncs", s.RegisterSyncs)
+	emit("core/hlru-hits", s.HLRUHits)
+}
+
 // VDR is a thread's virtual domain register: its permissions on every vdom
 // plus its address-space attachments (§5.2).
 type VDR struct {
@@ -147,10 +167,49 @@ type Manager struct {
 
 	tracer Tracer
 	chaos  Chaos
+
+	metrics *metrics.Registry
+	// charged accumulates, within one public API call, the cycles inner
+	// helpers already attributed to specific (layer, op) accounts; endOp
+	// attributes only the uncovered remainder, so the registry's total
+	// always equals the sum of the costs returned to callers.
+	charged uint64
 }
 
 // SetChaos attaches a fault-injection layer. Pass nil to detach.
 func (m *Manager) SetChaos(c Chaos) { m.chaos = c }
+
+// SetMetrics attaches a metrics registry; the manager then attributes
+// every cycle its API returns by (layer, operation) and feeds the
+// domain-activation histograms. Pass nil (the default) to detach.
+func (m *Manager) SetMetrics(r *metrics.Registry) { m.metrics = r }
+
+// Metrics returns the attached registry, or nil.
+func (m *Manager) Metrics() *metrics.Registry { return m.metrics }
+
+// attr charges c cycles to the (layer, op) account and records them as
+// covered for the public call in flight.
+func (m *Manager) attr(layer, op string, c cycles.Cost) {
+	if m.metrics == nil {
+		return
+	}
+	m.metrics.Attribute(layer, op, uint64(c))
+	m.charged += uint64(c)
+}
+
+// endOp closes a public API call by attributing the portion of its
+// returned cost that no inner helper claimed to ("core", op). Deferred
+// with a named cost return, it makes attribution self-correcting: the
+// per-layer breakdown sums to the exact cost the caller was charged.
+func (m *Manager) endOp(op string, cost *cycles.Cost) {
+	if m.metrics == nil {
+		return
+	}
+	if total := uint64(*cost); total >= m.charged {
+		m.metrics.Attribute("core", op, total-m.charged)
+	}
+	m.charged = 0
+}
 
 // noteDegraded records a degradation-path activation with the chaos layer.
 func (m *Manager) noteDegraded(what string) {
@@ -245,24 +304,27 @@ func (m *Manager) apiCost() cycles.Cost {
 // AllocVdom allocates a fresh vdom (vdom_alloc). freq marks the domain as
 // frequently-accessed, biasing the algorithm toward eviction-in-place over
 // VDS switches when it must be activated (§5.4).
-func (m *Manager) AllocVdom(freqAccessed bool) (VdomID, cycles.Cost) {
-	d := m.nextVdom
+func (m *Manager) AllocVdom(freqAccessed bool) (d VdomID, cost cycles.Cost) {
+	defer m.endOp("vdom-alloc", &cost)
+	d = m.nextVdom
 	m.nextVdom++
 	m.live[d] = true
 	if freqAccessed {
 		m.freq[d] = true
 	}
-	return d, m.apiCost() + m.params.SyscallReturn
+	cost = m.apiCost() + m.params.SyscallReturn
+	return d, cost
 }
 
 // FreeVdom releases a vdom (vdom_free): it unbinds the vdom from every VDS
 // (freeing the pdoms), clears its VDT chain, and forgets per-thread
 // permissions lazily.
-func (m *Manager) FreeVdom(d VdomID) (cycles.Cost, error) {
+func (m *Manager) FreeVdom(d VdomID) (cost cycles.Cost, err error) {
+	defer m.endOp("vdom-free", &cost)
 	if !m.live[d] {
 		return m.apiCost(), ErrFreedVdom
 	}
-	cost := m.apiCost() + m.params.SyscallReturn
+	cost = m.apiCost() + m.params.SyscallReturn
 	for _, vds := range m.vdses {
 		if !vds.Mapped(d) {
 			continue
@@ -281,6 +343,8 @@ func (m *Manager) FreeVdom(d VdomID) (cycles.Cost, error) {
 		}
 		cost += cycles.Cost(pteWrites)*m.params.PTEWrite +
 			cycles.Cost(pmdWrites)*m.params.PMDWrite
+		m.attr("pagetable", "pte-write", cycles.Cost(pteWrites)*m.params.PTEWrite)
+		m.attr("pagetable", "pmd-write", cycles.Cost(pmdWrites)*m.params.PMDWrite)
 		cost += m.flushVdomLocal(vds, d)
 		vds.uninstall(d, false)
 		delete(vds.evicted, d)
@@ -304,8 +368,9 @@ func (m *Manager) FreeVdom(d VdomID) (cycles.Cost, error) {
 // Mprotect assigns the pages containing [addr, addr+length) to vdom d
 // (vdom_mprotect). Reassigning memory that already belongs to a different
 // vdom is rejected to preserve address-space integrity.
-func (m *Manager) Mprotect(task *kernel.Task, addr pagetable.VAddr, length uint64, d VdomID) (cycles.Cost, error) {
-	cost := m.apiCost() + m.params.SyscallReturn
+func (m *Manager) Mprotect(task *kernel.Task, addr pagetable.VAddr, length uint64, d VdomID) (cost cycles.Cost, err error) {
+	defer m.endOp("mprotect", &cost)
+	cost = m.apiCost() + m.params.SyscallReturn
 	if !m.live[d] {
 		return cost, ErrFreedVdom
 	}
@@ -335,6 +400,8 @@ func (m *Manager) Mprotect(task *kernel.Task, addr pagetable.VAddr, length uint6
 	}
 	cost += cycles.Cost(rep.PTEWrites)*m.params.PTEWrite +
 		cycles.Cost(rep.PMDWrites)*m.params.PMDWrite
+	m.attr("pagetable", "pte-write", cycles.Cost(rep.PTEWrites)*m.params.PTEWrite)
+	m.attr("pagetable", "pmd-write", cycles.Cost(rep.PMDWrites)*m.params.PMDWrite)
 	if rep.PagesTouched > 0 {
 		// Already-present pages changed their domain tag: translations
 		// cached under the old tag must not survive, or the old owner
@@ -369,31 +436,34 @@ func (m *Manager) flushRetagged(task *kernel.Task, start pagetable.VAddr, length
 		add(vds.asid)
 		set = set.Union(vds.cachedCores)
 	}
+	local := m.params.TLBFlushLocalPage * cycles.Cost(minU64(pages, 8))
 	rep := machine.ShootdownReliable(task.CoreID(), set, func(tb tlb.Cache) {
 		for _, a := range asids {
 			tb.FlushRange(a, start.VPN(), pages)
 		}
-	}, m.params.TLBFlushLocalPage*cycles.Cost(minU64(pages, 8)))
+	}, local)
 	if rep.RemoteCores > 0 {
 		m.Stats.Shootdowns++
 	}
+	m.attr("tlb", "flush", local)
+	m.attr("hw", "ipi", rep.InitiatorCycles-local)
 	return rep.InitiatorCycles
 }
 
 // VdrAlloc gives the thread a permission register and limits the number of
 // address spaces it can efficiently switch between (vdr_alloc). The thread
 // joins the process's first VDS (created on demand).
-func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
+func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cost cycles.Cost, err error) {
+	defer m.endOp("vdr-alloc", &cost)
 	if m.vdrs[task] != nil {
 		return m.apiCost(), fmt.Errorf("core: thread %d already has a VDR", task.TID())
 	}
 	if nas <= 0 {
 		nas = m.policy.DefaultNas
 	}
-	cost := m.apiCost() + m.params.SyscallReturn
+	cost = m.apiCost() + m.params.SyscallReturn
 	var home *VDS
 	if len(m.vdses) == 0 {
-		var err error
 		home, err = m.allocVDS()
 		if err != nil {
 			// Degraded path: a transient allocation failure is retried
@@ -405,6 +475,7 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
 			}
 		}
 		cost += m.params.VDSAllocate
+		m.attr("core", "vds-alloc", m.params.VDSAllocate)
 	} else {
 		home = m.vdses[0]
 	}
@@ -421,6 +492,7 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
 	task.SetAddressSpace(home.table, home.asid, true)
 	m.syncRegister(vdr)
 	cost += m.params.PgdSwitch
+	m.attr("hw", "pgd-switch", m.params.PgdSwitch)
 	return cost, nil
 }
 
@@ -428,7 +500,8 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cycles.Cost, error) {
 // empty VDS. Multi-address-space applications (and the Table 5 memory
 // synchronization experiment) use it to pin threads to distinct address
 // spaces explicitly instead of waiting for the algorithm to spread them.
-func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cycles.Cost, error) {
+func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cost cycles.Cost, err error) {
+	defer m.endOp("place-in-new-vds", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
 		return 0, ErrNoVDR
@@ -439,7 +512,8 @@ func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cycles.Cost, error) {
 	}
 	m.Stats.VDSAllocs++
 	vdr.vdses = append(vdr.vdses, nv)
-	cost := m.params.VDSAllocate
+	cost = m.params.VDSAllocate
+	m.attr("core", "vds-alloc", m.params.VDSAllocate)
 	c, err := m.switchVDS(task, vdr, nv, 0)
 	cost += c
 	if err != nil {
@@ -452,7 +526,8 @@ func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cycles.Cost, error) {
 }
 
 // VdrFree releases the thread's VDR (vdr_free).
-func (m *Manager) VdrFree(task *kernel.Task) (cycles.Cost, error) {
+func (m *Manager) VdrFree(task *kernel.Task) (cost cycles.Cost, err error) {
+	defer m.endOp("vdr-free", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
 		return m.apiCost(), ErrNoVDR
@@ -469,7 +544,8 @@ func (m *Manager) VdrFree(task *kernel.Task) (cycles.Cost, error) {
 }
 
 // RdVdr reads the calling thread's permission on d (rdvdr).
-func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (VPerm, cycles.Cost, error) {
+func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (perm VPerm, cost cycles.Cost, err error) {
+	defer m.endOp("rdvdr", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
 		return VPermNone, m.apiCost(), ErrNoVDR
@@ -483,7 +559,8 @@ func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (VPerm, cycles.Cost, error)
 // a free pdom, migrating the thread, switching VDSes, or evicting an old
 // vdom, whichever is cheapest under §5.4's rules. The returned cost covers
 // the whole operation.
-func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cycles.Cost, error) {
+func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cost cycles.Cost, err error) {
+	defer m.endOp("wrvdr", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
 		return m.apiCost(), ErrNoVDR
@@ -492,7 +569,7 @@ func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cycles.Cost, e
 		return m.apiCost(), ErrFreedVdom
 	}
 	m.Stats.WrVdrCalls++
-	cost := m.apiCost() + m.params.VDRUpdate
+	cost = m.apiCost() + m.params.VDRUpdate
 
 	old := vdr.perms[d]
 	vdr.perms[d] = perm
@@ -517,6 +594,7 @@ func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cycles.Cost, e
 		// merged wrpkru of the call gate).
 		m.syncRegister(vdr)
 		cost += m.params.PermRegWrite
+		m.attr("hw", "perm-reg-write", m.params.PermRegWrite)
 	}
 	return cost, nil
 }
@@ -527,7 +605,8 @@ func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cycles.Cost, e
 // thread's VDR for the vdom protecting the faulting page and, if the
 // permission allows the access, runs the domain virtualization algorithm
 // to make the vdom reachable, then lets the kernel retry.
-func (m *Manager) HandleDomainFault(task *kernel.Task, addr pagetable.VAddr, write bool, kind hw.FaultKind) (cycles.Cost, bool, error) {
+func (m *Manager) HandleDomainFault(task *kernel.Task, addr pagetable.VAddr, write bool, kind hw.FaultKind) (cost cycles.Cost, handled bool, err error) {
+	defer m.endOp("fault", &cost)
 	m.Stats.DomainFaults++
 	vma := m.proc.AS().FindVMA(addr)
 	if vma == nil || vma.Tag == 0 {
@@ -554,21 +633,22 @@ func (m *Manager) HandleDomainFault(task *kernel.Task, addr pagetable.VAddr, wri
 		return 0, false, fmt.Errorf("%w: %v of vdom %d denied (VDR=%v): %v",
 			kernel.ErrSigsegv, op, d, perm, ErrDenied)
 	}
-	var cost cycles.Cost
 	if !vdr.current.Mapped(d) {
-		c, err := m.activate(task, vdr, d)
+		c, aerr := m.activate(task, vdr, d)
 		cost += c
-		if err != nil {
-			return cost, false, err
+		if aerr != nil {
+			return cost, false, aerr
 		}
 	} else {
 		// Mapped but the access faulted: a stale translation (old tag)
 		// survived in the TLB, or the register image was stale.
 		m.syncRegister(vdr)
 		cost += m.params.PermRegWrite
+		m.attr("hw", "perm-reg-write", m.params.PermRegWrite)
 	}
 	task.Core().TLB().FlushPage(vdr.current.asid, addr.VPN())
 	cost += m.params.TLBFlushLocalPage
+	m.attr("tlb", "flush", m.params.TLBFlushLocalPage)
 	return cost, true, nil
 }
 
@@ -652,6 +732,7 @@ func (m *Manager) activate(task *kernel.Task, vdr *VDR, d VdomID) (cycles.Cost, 
 		m.Stats.VDSAllocs++
 		vdr.vdses = append(vdr.vdses, nv)
 		cost := m.params.VDSAllocate
+		m.attr("core", "vds-alloc", m.params.VDSAllocate)
 		c, err := m.switchVDS(task, vdr, nv, d)
 		cost += c
 		if err != nil {
@@ -731,6 +812,7 @@ func (m *Manager) mapVdom(vds *VDS, d VdomID, p pagetable.Pdom) cycles.Cost {
 		}
 	}
 	cost := m.params.DomainMapUpdate
+	walk := cycles.Cost(0)
 
 	var pteWrites, pmdWrites uint64
 	pagesTouched := uint64(0)
@@ -739,7 +821,7 @@ func (m *Manager) mapVdom(vds *VDS, d VdomID, p pagetable.Pdom) cycles.Cost {
 		m.Stats.HLRUHits++
 	}
 	for _, area := range m.vdt.Areas(d) {
-		cost += m.params.VDTWalkPerArea
+		walk += m.params.VDTWalkPerArea
 		vds.table.ResetCounts()
 		if fastRemap {
 			// Full chunks come back via PMD enables; only the
@@ -753,7 +835,11 @@ func (m *Manager) mapVdom(vds *VDS, d VdomID, p pagetable.Pdom) cycles.Cost {
 		pteWrites += vds.table.PTEWrites
 		pmdWrites += vds.table.PMDWrites
 	}
+	cost += walk
 	cost += cycles.Cost(pteWrites)*m.params.PTEWrite + cycles.Cost(pmdWrites)*m.params.PMDWrite
+	m.attr("core", "map", m.params.DomainMapUpdate+walk)
+	m.attr("pagetable", "pte-write", cycles.Cost(pteWrites)*m.params.PTEWrite)
+	m.attr("pagetable", "pmd-write", cycles.Cost(pmdWrites)*m.params.PMDWrite)
 
 	// Pages that were present under the access-never tag may be cached;
 	// flush them for this ASID on the local core.
@@ -797,6 +883,7 @@ func (m *Manager) flushVdomLocal(vds *VDS, d VdomID) cycles.Cost {
 	initiator := set.Lowest()
 	if initiator < 0 {
 		// No core can cache the ASID; charge the local flush as before.
+		m.attr("tlb", "flush", cost)
 		return cost
 	}
 	rep := machine.ShootdownReliable(initiator, set, flushOne, cost)
@@ -808,6 +895,8 @@ func (m *Manager) flushVdomLocal(vds *VDS, d VdomID) cycles.Cost {
 		// to the cores still running in the VDS.
 		vds.cachedCores = vds.CPUSet()
 	}
+	m.attr("tlb", "flush", cost)
+	m.attr("hw", "ipi", rep.InitiatorCycles-cost)
 	return rep.InitiatorCycles
 }
 
@@ -833,6 +922,7 @@ func (m *Manager) evictAndMap(task *kernel.Task, vdr *VDR, vds *VDS, d VdomID) (
 			d, vds.id, vds.numPdoms-firstUsablePdom, ErrNoResources)
 	}
 	cost := m.params.EvictBase
+	walk := cycles.Cost(0)
 	m.Stats.Evictions++
 
 	// Disable the victim's pages: PMD fast path for 2 MiB-spanning
@@ -840,7 +930,7 @@ func (m *Manager) evictAndMap(task *kernel.Task, vdr *VDR, vds *VDS, d VdomID) (
 	var pteWrites, pmdWrites uint64
 	totalPMDs, totalPTEs := 0, 0
 	for _, area := range m.vdt.Areas(victim) {
-		cost += m.params.VDTWalkPerArea
+		walk += m.params.VDTWalkPerArea
 		vds.table.ResetCounts()
 		if m.policy.NoPMDOpt {
 			totalPTEs += vds.table.RetagRange(area.Start, area.Length, AccessNeverPdom)
@@ -852,7 +942,11 @@ func (m *Manager) evictAndMap(task *kernel.Task, vdr *VDR, vds *VDS, d VdomID) (
 		pteWrites += vds.table.PTEWrites
 		pmdWrites += vds.table.PMDWrites
 	}
+	cost += walk
 	cost += cycles.Cost(pteWrites)*m.params.PTEWrite + cycles.Cost(pmdWrites)*m.params.PMDWrite
+	m.attr("core", "evict", m.params.EvictBase+walk)
+	m.attr("pagetable", "pte-write", cycles.Cost(pteWrites)*m.params.PTEWrite)
+	m.attr("pagetable", "pmd-write", cycles.Cost(pmdWrites)*m.params.PMDWrite)
 	viaPMD := totalPMDs > 0 && totalPTEs == 0
 	if totalPMDs > 0 {
 		m.Stats.PMDFastEvicts++
@@ -957,6 +1051,9 @@ func (m *Manager) switchVDS(task *kernel.Task, vdr *VDR, to *VDS, d VdomID) (cyc
 	m.syncRegister(vdr)
 	m.Stats.VDSSwitches++
 	cost := m.params.PgdSwitch + m.params.VDSMetadataSwitch + m.params.PermRegWrite
+	m.attr("hw", "pgd-switch", m.params.PgdSwitch)
+	m.attr("core", "switch", m.params.VDSMetadataSwitch)
+	m.attr("hw", "perm-reg-write", m.params.PermRegWrite)
 	m.trace(Event{Kind: EventSwitch, TID: task.TID(), Vdom: d, VDS: to.id, Cost: cost})
 	return cost, nil
 }
@@ -985,6 +1082,7 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 		target = nv
 		m.Stats.VDSAllocs++
 		cost += m.params.VDSAllocate
+		m.attr("core", "vds-alloc", m.params.VDSAllocate)
 		vdr.vdses = append(vdr.vdses, target)
 	} else if !contains(vdr.vdses, target) {
 		vdr.vdses = append(vdr.vdses, target)
@@ -1009,6 +1107,7 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 		}
 		cost += m.mapVdom(target, v, p)
 		cost += m.params.MigrationPerVdom
+		m.attr("core", "migrate", m.params.MigrationPerVdom)
 	}
 	// Move the thread.
 	from := vdr.current
@@ -1023,6 +1122,8 @@ func (m *Manager) migrateThread(task *kernel.Task, vdr *VDR, d VdomID) (cycles.C
 	m.resyncVDSThreads(target)
 	m.Stats.Migrations++
 	cost += m.params.PgdSwitch + m.params.VDSMetadataSwitch
+	m.attr("hw", "pgd-switch", m.params.PgdSwitch)
+	m.attr("core", "migrate", m.params.VDSMetadataSwitch)
 	// Honour the thread's nas budget: a migration may not leave the
 	// thread attached to more address spaces than vdr_alloc allowed, so
 	// the departed VDS is dropped first.

@@ -78,6 +78,14 @@ type Tracer func(Event)
 func (m *Manager) SetTracer(t Tracer) { m.tracer = t }
 
 func (m *Manager) trace(e Event) {
+	if m.metrics != nil {
+		// Feed the domain-activation outcome histograms (§5.4 flowchart
+		// ①–⑧): one observation per map/evict/switch/migrate decision.
+		switch e.Kind {
+		case EventMap, EventEvict, EventSwitch, EventMigrate:
+			m.metrics.Observe("core/activation/"+e.Kind.String(), uint64(e.Cost))
+		}
+	}
 	if m.tracer != nil {
 		m.tracer(e)
 	}

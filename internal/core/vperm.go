@@ -3,6 +3,12 @@
 // virtual domain spaces (VDS), per-thread virtual domain registers (VDR),
 // and the domain virtualization algorithm of §5.4 with the TLB and page
 // table optimizations of §5.5.
+//
+// It covers the paper's §5 (design) and is the "VDom core" row of the
+// DESIGN.md §3 module map. When a metrics.Registry is attached (see
+// SetMetrics), every public operation's cycle cost is attributed exactly
+// across (layer, operation) accounts, and each map/evict/switch/migrate
+// outcome feeds a cost histogram (OBSERVABILITY.md).
 package core
 
 import (

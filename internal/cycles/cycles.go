@@ -364,6 +364,16 @@ func (k *Counter) Reset() {
 	k.accounts = make(map[string]Cost)
 }
 
+// Emit publishes the counter's per-account totals as named metrics
+// counters under the cycles/ prefix (see OBSERVABILITY.md for the
+// catalogue).
+func (k *Counter) Emit(emit func(name string, v uint64)) {
+	emit("cycles/total", uint64(k.total))
+	for name, c := range k.accounts {
+		emit("cycles/"+name, uint64(c))
+	}
+}
+
 // Well-known accounting buckets used across the repository. Keeping them
 // here avoids typo-fragmented accounts in experiment breakdowns.
 const (

@@ -10,6 +10,10 @@
 // within the current EPT group, VMFUNC across groups, slower as the total
 // EPT count grows) plus a VM tax that scales kernel-bound work (syscalls,
 // faults, IO) and — mildly — user-bound work (nested-paging TLB misses).
+//
+// It covers the paper's §7.4 comparison and is the "Baseline: EPK" row of
+// the DESIGN.md §3 module map. Stats.Emit publishes the switch counters
+// under the epk/ metric prefix (OBSERVABILITY.md).
 package epk
 
 import (
@@ -75,6 +79,13 @@ func (t VMTax) Apply(user, kern cycles.Cost) cycles.Cost {
 type Stats struct {
 	MPKSwitches    uint64
 	VMFuncSwitches uint64
+}
+
+// Emit publishes the stats as named metrics counters under the epk/
+// prefix (see OBSERVABILITY.md for the catalogue).
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("epk/mpk-switches", s.MPKSwitches)
+	emit("epk/vmfunc-switches", s.VMFuncSwitches)
 }
 
 // System is one EPK-protected process: a set of domains spread over EPT

@@ -132,6 +132,18 @@ func (m *Machine) AllocFrames(n int) pagetable.Frame {
 	return f
 }
 
+// EmitMetrics publishes machine-wide counters: TLB stats summed across
+// cores (tlb/ prefix) plus frame allocation (hw/ prefix). See
+// OBSERVABILITY.md for the catalogue.
+func (m *Machine) EmitMetrics(emit func(name string, v uint64)) {
+	var agg tlb.Stats
+	for _, c := range m.cores {
+		agg.Add(c.tlb.Stats())
+	}
+	agg.Emit(emit)
+	emit("hw/frames-allocated", uint64(m.nextFrame))
+}
+
 // ShootdownReport describes the cost and delivery outcome of one TLB
 // shootdown.
 type ShootdownReport struct {

@@ -14,6 +14,7 @@ import (
 
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
+	"vdom/internal/metrics"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/tlb"
@@ -68,6 +69,7 @@ type Kernel struct {
 	params  *cycles.Params
 	vdom    bool
 	chaos   Chaos
+	metrics *metrics.Registry
 
 	nextASID  tlb.ASID
 	maxASID   tlb.ASID
@@ -120,6 +122,24 @@ func New(cfg Config) *Kernel {
 
 // SetChaos attaches a fault-injection layer. Pass nil to detach.
 func (k *Kernel) SetChaos(c Chaos) { k.chaos = c }
+
+// SetMetrics attaches a metrics registry; the kernel then attributes the
+// cycles of its dispatch, fault, and syscall paths by (layer, operation).
+// Pass nil (the default) to detach; a nil registry costs one branch per
+// attribution site.
+func (k *Kernel) SetMetrics(r *metrics.Registry) { k.metrics = r }
+
+// Metrics returns the attached registry, or nil.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// EmitMetrics publishes kernel-level counters under the kernel/ prefix
+// (see OBSERVABILITY.md for the catalogue).
+func (k *Kernel) EmitMetrics(emit func(name string, v uint64)) {
+	emit("kernel/asid-rollovers", k.rollovers)
+	emit("kernel/asid-generation", k.asidGen)
+	emit("kernel/live-asids", uint64(len(k.liveASIDs)))
+	emit("kernel/processes", uint64(k.nextPID))
+}
 
 // Machine returns the underlying hardware.
 func (k *Kernel) Machine() *hw.Machine { return k.machine }
@@ -383,13 +403,18 @@ func (k *Kernel) Dispatch(t *Task) cycles.Cost {
 	core := k.machine.Core(t.core)
 	var cost cycles.Cost
 	if k.lastTask[t.core] != t {
-		cost = k.SwitchMMCost(t) + core.SwitchPgd(t.table, t.asid)
+		mmCost := k.SwitchMMCost(t)
+		pgd := core.SwitchPgd(t.table, t.asid)
 		core.Perm().SetRaw(t.savedPerm)
 		k.lastTask[t.core] = t
+		k.metrics.Attribute("kernel", "ctx-switch", uint64(mmCost))
+		k.metrics.Attribute("hw", "pgd-switch", uint64(pgd))
+		cost = mmCost + pgd
 	} else if core.Table() != t.table || core.ASID() != t.asid {
 		// Same task, new address space (VDS switch already charged by
 		// the core layer): just reload the pgd.
 		cost = core.SwitchPgd(t.table, t.asid)
+		k.metrics.Attribute("hw", "pgd-switch", uint64(cost))
 	}
 	return cost
 }
@@ -408,23 +433,33 @@ const maxFaultRetries = 8
 // (possibly wrapped) for violations.
 func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 	k := t.proc.kernel
+	// Attribution invariant: every component added to total is charged to
+	// exactly one (layer, op) account — Dispatch and the fault handler
+	// attribute their own returns, everything else is attributed here — so
+	// with a registry attached the returned cost decomposes without
+	// residue.
 	total := k.Dispatch(t)
 	core := k.machine.Core(t.core)
 	for try := 0; try < maxFaultRetries; try++ {
 		res := core.Access(addr, write)
 		total += res.Cost
+		k.metrics.Attribute("hw", "access", uint64(res.Cost))
 		switch res.Kind {
 		case hw.AccessOK:
 			return total, nil
 		case hw.FaultNotPresent:
 			total += k.params.FaultEntry
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultEntry))
 			fix, err := t.proc.as.HandleFault(t.table, addr, write)
 			if err != nil {
 				return total, fmt.Errorf("%w: %v at %#x", ErrSigsegv, err, uint64(addr))
 			}
 			total += cycles.Cost(fix.PTEWrites)*k.params.PTEWrite + k.params.FaultExit
+			k.metrics.Attribute("pagetable", "pte-write", uint64(cycles.Cost(fix.PTEWrites)*k.params.PTEWrite))
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultExit))
 		case hw.FaultWriteProtect:
 			total += k.params.FaultEntry
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultEntry))
 			fix, err := t.proc.as.HandleFault(t.table, addr, write)
 			if err != nil || fix.PTEWrites == 0 {
 				return total, fmt.Errorf("%w: write to read-only page %#x", ErrSigsegv, uint64(addr))
@@ -433,15 +468,23 @@ func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 			core.TLB().FlushPage(t.asid, addr.VPN())
 			total += cycles.Cost(fix.PTEWrites)*k.params.PTEWrite +
 				k.params.TLBFlushLocalPage + k.params.FaultExit
+			k.metrics.Attribute("pagetable", "pte-write", uint64(cycles.Cost(fix.PTEWrites)*k.params.PTEWrite))
+			k.metrics.Attribute("tlb", "flush", uint64(k.params.TLBFlushLocalPage))
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultExit))
 		case hw.FaultDomainPerm, hw.FaultPMDDisabled:
 			total += k.params.FaultEntry
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultEntry))
 			if t.proc.handler == nil {
 				if c, ok := t.repairSpuriousFault(core, addr, write, res.Kind); ok {
 					total += c + k.params.FaultExit
+					k.metrics.Attribute("kernel", "fault", uint64(c+k.params.FaultExit))
 					continue
 				}
 				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
 			}
+			// The handler attributes its own cost (the VDom core charges
+			// its activation machinery per layer), so c is not
+			// re-attributed here.
 			c, handled, err := t.proc.handler.HandleDomainFault(t, addr, write, res.Kind)
 			total += c
 			if err != nil {
@@ -450,11 +493,13 @@ func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 			if !handled {
 				if c, ok := t.repairSpuriousFault(core, addr, write, res.Kind); ok {
 					total += c + k.params.FaultExit
+					k.metrics.Attribute("kernel", "fault", uint64(c+k.params.FaultExit))
 					continue
 				}
 				return total, fmt.Errorf("%w: domain fault at %#x", ErrSigsegv, uint64(addr))
 			}
 			total += k.params.FaultExit
+			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultExit))
 			// The handler may have switched the task's address space;
 			// reload core state before retrying.
 			total += k.Dispatch(t)

@@ -86,6 +86,7 @@ func (k *Kernel) checkFilters(t *Task, sc Syscall, args SyscallArgs) error {
 func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
 	k := t.proc.kernel
 	cost := k.params.SyscallReturn
+	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMmap, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
 		return cost, err
 	}
@@ -100,6 +101,7 @@ func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cycles.
 func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cycles.Cost, error) {
 	k := t.proc.kernel
 	cost := k.params.SyscallReturn
+	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMunmap, SyscallArgs{Addr: addr, Length: length}); err != nil {
 		return cost, err
 	}
@@ -116,6 +118,7 @@ func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cycles.Cost, error) 
 func (t *Task) Mprotect(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
 	k := t.proc.kernel
 	cost := k.params.SyscallReturn
+	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMprotect, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
 		return cost, err
 	}
@@ -147,6 +150,8 @@ func (t *Task) chargeSync(rep mm.SyncReport, addr pagetable.VAddr, length uint64
 			tb.FlushRange(a, addr.VPN(), pages)
 		}
 	}, k.params.TLBFlushLocalPage*cycles.Cost(min64(pages, 16)))
+	k.metrics.Attribute("pagetable", "sync", uint64(cost))
+	k.metrics.Attribute("hw", "ipi", uint64(rep2.InitiatorCycles))
 	cost += rep2.InitiatorCycles
 	return cost
 }
@@ -244,5 +249,7 @@ func (p *Process) ReclaimFrames(initiatorCore int, max int) (int, cycles.Cost) {
 			k.AddPendingInterrupt(id, sd.ReceiverCycles)
 		}
 	}
+	k.metrics.Attribute("pagetable", "sync", uint64(cost))
+	k.metrics.Attribute("hw", "ipi", uint64(sd.InitiatorCycles))
 	return n, cost + sd.InitiatorCycles
 }

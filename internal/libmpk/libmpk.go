@@ -20,6 +20,7 @@ import (
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
+	"vdom/internal/metrics"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/sim"
@@ -58,6 +59,17 @@ type Stats struct {
 	BusyWaitCycles  uint64 // virtual time spent waiting for a free key
 	ShootdownCycles uint64 // initiator + receiver IPI/flush cycles
 	MgmtCycles      uint64 // syscalls, per-page mprotect, cache metadata
+}
+
+// Emit publishes the stats as named metrics counters under the libmpk/
+// prefix (see OBSERVABILITY.md for the catalogue).
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("libmpk/evictions", s.Evictions)
+	emit("libmpk/shootdowns", s.Shootdowns)
+	emit("libmpk/busy-waits", s.BusyWaits)
+	emit("libmpk/busy-wait-cycles", s.BusyWaitCycles)
+	emit("libmpk/shootdown-cycles", s.ShootdownCycles)
+	emit("libmpk/mgmt-cycles", s.MgmtCycles)
 }
 
 type area struct {
@@ -111,9 +123,19 @@ type Manager struct {
 
 	mode PageMode
 
+	// metrics, when non-nil, receives cycle attribution for every public
+	// operation under the "libmpk" layer.
+	metrics *metrics.Registry
+
 	// Stats is exported for the experiment harness.
 	Stats Stats
 }
+
+// SetMetrics installs (or, with nil, removes) the registry that receives
+// per-operation cycle attribution. libmpk attributes the full returned
+// cost of each public call to ("libmpk", op); none of its costs route
+// through the instrumented kernel paths, so there is no double counting.
+func (m *Manager) SetMetrics(r *metrics.Registry) { m.metrics = r }
 
 var _ mm.DomainResolver = (*Manager)(nil)
 
@@ -186,23 +208,25 @@ func (m *Manager) apiCost() cycles.Cost {
 }
 
 // PkeyAlloc allocates a virtual key.
-func (m *Manager) PkeyAlloc() (Vkey, cycles.Cost) {
-	v := m.nextVkey
+func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
+	defer func() { m.metrics.Attribute("libmpk", "pkey-alloc", uint64(cost)) }()
+	v = m.nextVkey
 	m.nextVkey++
 	m.keys[v] = &keyMeta{perms: make(map[*kernel.Task]hw.Perm)}
-	cost := m.apiCost() + m.params.SyscallReturn
+	cost = m.apiCost() + m.params.SyscallReturn
 	m.Stats.MgmtCycles += uint64(cost)
 	return v, cost
 }
 
 // PkeyFree releases a virtual key called by task (its pages stay
 // disabled).
-func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cycles.Cost, error) {
+func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err error) {
+	defer func() { m.metrics.Attribute("libmpk", "pkey-free", uint64(cost)) }()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey
 	}
-	cost := m.apiCost()
+	cost = m.apiCost()
 	if k.mapped {
 		m.pkeys[k.pkey] = pkeySlot{}
 		k.mapped = false
@@ -216,12 +240,13 @@ func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cycles.Cost, error) {
 // PkeyMprotect assigns [addr, addr+length) to vkey v. The pages stay
 // disabled until the vkey is activated by a pkey_set; activation binds the
 // vkey to a hardware key, evicting or busy-waiting as needed.
-func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VAddr, length uint64, v Vkey) (cycles.Cost, error) {
+func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VAddr, length uint64, v Vkey) (cost cycles.Cost, err error) {
+	defer func() { m.metrics.Attribute("libmpk", "pkey-mprotect", uint64(cost)) }()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey
 	}
-	cost := m.apiCost() + m.params.SyscallReturn
+	cost = m.apiCost() + m.params.SyscallReturn
 	start := addr.PageAlign()
 	end := (addr + pagetable.VAddr(length) + pagetable.PageSize - 1).PageAlign()
 	if _, err := m.proc.AS().SetTag(addr, length, mm.Tag(v)); err != nil {
@@ -237,12 +262,13 @@ func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VA
 // PkeySet changes the calling thread's permission on v (pkey_set). If the
 // vkey is not resident, the cache maps it, evicting an unused key or
 // busy-waiting for one.
-func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) (cycles.Cost, error) {
+func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) (cost cycles.Cost, err error) {
+	defer func() { m.metrics.Attribute("libmpk", "pkey-set", uint64(cost)) }()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey
 	}
-	cost := m.apiCost()
+	cost = m.apiCost()
 	m.Stats.MgmtCycles += uint64(cost)
 
 	old, hadOld := k.perms[task]

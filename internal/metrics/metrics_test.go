@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilRegistryNoops: every method of a nil registry and a nil trace
+// must be a safe no-op — that is the whole disabled-mode contract.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	r.Set("x", 1)
+	r.Attribute("l", "op", 7)
+	r.Observe("h", 9)
+	r.Reset()
+	r.Harvest()
+	r.Accumulate()
+	if r.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	if r.Counter("x") != 0 || r.TotalCycles() != 0 || r.Cycles("l", "op") != 0 {
+		t.Error("nil registry returned non-zero readings")
+	}
+	s := r.Snapshot()
+	if s == nil || s.Schema != SnapshotSchema {
+		t.Fatalf("nil registry snapshot: %+v", s)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Errorf("nil snapshot inconsistent: %v", err)
+	}
+
+	var tr *Trace
+	tr.Span("p", 0, 0, 5)
+	tr.Instant("c", "n", 0, 1)
+	tr.Decision("map", 1, 2, 3, nil)
+	if tr.Enabled() || tr.Len() != 0 {
+		t.Error("nil trace reports content")
+	}
+}
+
+func TestCountersAndAttribution(t *testing.T) {
+	r := New()
+	r.Add("tlb/hits", 3)
+	r.Add("tlb/hits", 4)
+	r.Set("tlb/hits", 10)
+	if got := r.Counter("tlb/hits"); got != 10 {
+		t.Errorf("Set semantics: got %d, want 10", got)
+	}
+	r.Attribute("core", "wrvdr", 100)
+	r.Attribute("core", "wrvdr", 50)
+	r.Attribute("tlb", "flush", 25)
+	if r.TotalCycles() != 175 {
+		t.Errorf("TotalCycles = %d, want 175", r.TotalCycles())
+	}
+	if r.Cycles("core", "wrvdr") != 150 {
+		t.Errorf("Cycles(core,wrvdr) = %d, want 150", r.Cycles("core", "wrvdr"))
+	}
+	if r.LayerCycles("core") != 150 || r.LayerCycles("tlb") != 25 {
+		t.Error("LayerCycles mismatch")
+	}
+
+	s := r.Snapshot()
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent snapshot: %v", err)
+	}
+	lt := s.LayerTotals()
+	if len(lt) != 2 || lt[0].Layer != "core" || lt[0].Cycles != 150 {
+		t.Errorf("LayerTotals = %+v", lt)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	for _, v := range []uint64{0, 1, 2, 3, 127, 128, 1 << 40} {
+		r.Observe("core/activation/map", v)
+	}
+	s := r.Snapshot()
+	h, ok := s.Histograms["core/activation/map"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 7 || h.Min != 0 || h.Max != 1<<40 {
+		t.Errorf("hist summary: %+v", h)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Errorf("inconsistent: %v", err)
+	}
+}
+
+// TestSnapshotJSONDeterministic: equal registries must serialize to
+// identical bytes — the foundation of the same-seed determinism tests.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	mk := func() *Registry {
+		r := New()
+		r.Add("b/two", 2)
+		r.Add("a/one", 1)
+		r.Attribute("tlb", "flush", 5)
+		r.Attribute("core", "map", 9)
+		r.Observe("h", 3)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := mk().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("equal registries produced different JSON")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if s.Schema != SnapshotSchema {
+		t.Errorf("schema = %q", s.Schema)
+	}
+}
+
+type fakeSource map[string]uint64
+
+func (f fakeSource) EmitMetrics(emit func(string, uint64)) {
+	emit("fake/n", f["n"])
+}
+
+func TestHarvestVsAccumulate(t *testing.T) {
+	r := New()
+	src := fakeSource{"n": 5}
+	r.Harvest(src)
+	r.Harvest(src) // Set semantics: repeated harvests don't double count.
+	if got := r.Counter("fake/n"); got != 5 {
+		t.Errorf("Harvest: got %d, want 5", got)
+	}
+	r.Accumulate(src) // Add semantics: aggregating a fresh sub-experiment.
+	if got := r.Counter("fake/n"); got != 10 {
+		t.Errorf("Accumulate: got %d, want 10", got)
+	}
+	r.Harvest(nil, src) // nil sources are skipped
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.Span("worker-0", 0, 100, 50)
+	tr.Instant("chaos", "inject:drop-ipi", 1, 120)
+	tr.Decision("map", 2, 130, 40, map[string]uint64{"vdom": 7})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.Unit != "ms" {
+		t.Errorf("trace doc: %d events, unit %q", len(doc.TraceEvents), doc.Unit)
+	}
+	if ph := doc.TraceEvents[0]["ph"]; ph != "X" {
+		t.Errorf("span ph = %v", ph)
+	}
+	if ph := doc.TraceEvents[1]["ph"]; ph != "i" {
+		t.Errorf("instant ph = %v", ph)
+	}
+	if !strings.Contains(b.String(), "inject:drop-ipi") {
+		t.Error("instant name missing from JSON")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Add("x", 1)
+	r.Attribute("l", "op", 2)
+	r.Observe("h", 3)
+	r.Reset()
+	if r.Counter("x") != 0 || r.TotalCycles() != 0 {
+		t.Error("Reset left data behind")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Cycles) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("post-reset snapshot not empty: %+v", s)
+	}
+}

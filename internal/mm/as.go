@@ -111,6 +111,26 @@ func (as *AddressSpace) VMAs(fn func(*VMA) bool) { as.vmas.All(fn) }
 // NumVMAs returns the number of areas.
 func (as *AddressSpace) NumVMAs() int { return as.vmas.Len() }
 
+// EmitMetrics publishes address-space counters: lifetime PTE/PMD writes
+// summed over the shadow and every registered VDS table (pagetable/
+// prefix) plus area and table population (mm/ prefix). See
+// OBSERVABILITY.md for the catalogue.
+func (as *AddressSpace) EmitMetrics(emit func(name string, v uint64)) {
+	pte := as.shadow.CumulativePTEWrites()
+	pmd := as.shadow.CumulativePMDWrites()
+	var present uint64
+	for _, t := range as.tables {
+		pte += t.CumulativePTEWrites()
+		pmd += t.CumulativePMDWrites()
+		present += uint64(t.Present())
+	}
+	emit("pagetable/pte-writes", pte)
+	emit("pagetable/pmd-writes", pmd)
+	emit("mm/vmas", uint64(as.NumVMAs()))
+	emit("mm/vds-tables", uint64(as.NumTables()))
+	emit("mm/pages-present", present)
+}
+
 // Mmap creates a new anonymous area. start and length must be
 // page-aligned, and the range must not overlap an existing area. Pages are
 // not populated: first touch faults them in (demand paging).

@@ -91,6 +91,11 @@ type Table struct {
 	// ResetCounts. The memory-management layer converts them to cycles.
 	PTEWrites uint64
 	PMDWrites uint64
+
+	// retiredPTE/retiredPMD accumulate counts cleared by ResetCounts, so
+	// cumulative totals survive the per-operation reset protocol.
+	retiredPTE uint64
+	retiredPMD uint64
 }
 
 // New returns an empty page table.
@@ -103,9 +108,19 @@ func (t *Table) Present() int { return t.present }
 
 // ResetCounts zeroes the PTE/PMD write counters.
 func (t *Table) ResetCounts() {
+	t.retiredPTE += t.PTEWrites
+	t.retiredPMD += t.PMDWrites
 	t.PTEWrites = 0
 	t.PMDWrites = 0
 }
+
+// CumulativePTEWrites returns the table's lifetime PTE write count,
+// unaffected by ResetCounts.
+func (t *Table) CumulativePTEWrites() uint64 { return t.retiredPTE + t.PTEWrites }
+
+// CumulativePMDWrites returns the table's lifetime PMD write count,
+// unaffected by ResetCounts.
+func (t *Table) CumulativePMDWrites() uint64 { return t.retiredPMD + t.PMDWrites }
 
 // WalkResult describes the outcome of a page walk.
 type WalkResult struct {

@@ -24,14 +24,23 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // Time is a point in virtual time, measured in cycles.
 type Time uint64
 
+// Tracer receives the simulator's event stream: one span per completed
+// Delay, on the track of the delaying process. metrics.Trace satisfies
+// this interface, rendering the stream as Chrome trace-event JSON.
+type Tracer interface {
+	Span(name string, tid int, start, dur uint64)
+}
+
 // Env is a discrete-event simulation environment.
 type Env struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
 	procs   int // live (spawned, not yet finished) processes
+	spawned int // total processes ever spawned (assigns Proc ids)
 	blocked int // processes blocked on a resource/signal (no pending event)
 	current *Proc
+	tracer  Tracer
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -41,6 +50,11 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// SetTracer installs a sink for the environment's event stream. A nil
+// tracer (the default) disables tracing at the cost of one branch per
+// Delay.
+func (e *Env) SetTracer(t Tracer) { e.tracer = t }
 
 type event struct {
 	at   Time
@@ -78,6 +92,7 @@ func (e *Env) schedule(p *Proc, at Time) {
 type Proc struct {
 	env    *Env
 	name   string
+	id     int
 	resume chan struct{}
 	parked chan struct{} // signaled by the proc when it blocks or finishes
 	done   bool
@@ -85,6 +100,10 @@ type Proc struct {
 
 // Name returns the process name given at spawn.
 func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn-order index, used as the thread id on
+// trace timelines.
+func (p *Proc) ID() int { return p.id }
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
@@ -108,10 +127,12 @@ func (e *Env) GoAt(at Time, name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		env:    e,
 		name:   name,
+		id:     e.spawned,
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
 	e.procs++
+	e.spawned++
 	go func() {
 		<-p.resume // wait for first dispatch
 		body(p)
@@ -125,6 +146,9 @@ func (e *Env) GoAt(at Time, name string, body func(p *Proc)) *Proc {
 
 // Delay advances the process by d cycles of virtual time.
 func (p *Proc) Delay(d uint64) {
+	if t := p.env.tracer; t != nil {
+		t.Span(p.name, p.id, uint64(p.env.now), d)
+	}
 	p.env.schedule(p, p.env.now+Time(d))
 	p.yield()
 }

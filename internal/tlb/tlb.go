@@ -47,6 +47,31 @@ type Stats struct {
 	Invalidated  uint64 // entries removed by any flush
 }
 
+// Add accumulates another core's stats into s, for machine-wide totals.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.PageFlushes += o.PageFlushes
+	s.ASIDFlushes += o.ASIDFlushes
+	s.FullFlushes += o.FullFlushes
+	s.RangeFlushes += o.RangeFlushes
+	s.Invalidated += o.Invalidated
+}
+
+// Emit publishes the stats as named metrics counters under the tlb/
+// prefix (see OBSERVABILITY.md for the catalogue).
+func (s Stats) Emit(emit func(name string, v uint64)) {
+	emit("tlb/hits", s.Hits)
+	emit("tlb/misses", s.Misses)
+	emit("tlb/inserts", s.Inserts)
+	emit("tlb/flush-page", s.PageFlushes)
+	emit("tlb/flush-asid", s.ASIDFlushes)
+	emit("tlb/flush-full", s.FullFlushes)
+	emit("tlb/flush-range", s.RangeFlushes)
+	emit("tlb/invalidated", s.Invalidated)
+}
+
 // TLB is one core's translation cache.
 type TLB struct {
 	slots []slot

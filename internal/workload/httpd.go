@@ -9,6 +9,7 @@ import (
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
+	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
 	"vdom/internal/sim"
 )
@@ -42,6 +43,12 @@ type HttpdConfig struct {
 	// connections.
 	KeepAlive bool
 	Seed      uint64
+
+	// Trace, when non-nil, receives the discrete-event simulator's
+	// timeline — one Chrome-trace span per scheduled burst of every sim
+	// process (workers, clients), timestamped on virtual time — for
+	// inspection in Perfetto (see OBSERVABILITY.md).
+	Trace *metrics.Trace
 }
 
 func (c *HttpdConfig) defaults() {
@@ -119,6 +126,9 @@ func httpdCostsFor(arch cycles.Arch) httpdCosts {
 func RunHttpd(cfg HttpdConfig) HttpdResult {
 	cfg.defaults()
 	pl := newPlatform(cfg.Arch, cfg.Cores, cfg.System == VDom || cfg.System == VDomLowerbound, cfg.Seed)
+	if cfg.Trace != nil {
+		pl.env.SetTracer(cfg.Trace)
+	}
 	costs := httpdCostsFor(cfg.Arch)
 
 	active := cfg.Workers

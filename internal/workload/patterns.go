@@ -9,6 +9,7 @@ import (
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
+	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
 )
 
@@ -90,6 +91,21 @@ type PatternConfig struct {
 	NoPMDOpt bool
 	// FlushThresholdPages overrides the range-flush/ASID-flush cutoff.
 	FlushThresholdPages uint64
+
+	// Observability (both optional; nil costs nothing).
+
+	// Metrics, when non-nil, is attached to every instrumented layer of
+	// the cell's system. The runner additionally attributes
+	// harness-level costs the layers do not cover (EPK switches) so the
+	// registry's cycle attribution sums to exactly the cell's
+	// TotalCycles, and harvests each layer's event counters when the
+	// cell finishes.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives one Chrome-trace decision span per
+	// domain-activation outcome (map/evict/switch/migrate for VDom
+	// rows, pkey-set / ept-switch for the baselines), timestamped on
+	// the cell's cumulative cycle clock.
+	Trace *metrics.Trace
 }
 
 // PatternResult is the measured average.
@@ -103,6 +119,11 @@ type PatternResult struct {
 	// ablation).
 	AvgTouchCycles float64
 	Activations    int
+	// TotalCycles is the harness's independent grand total: every cycle
+	// cost the runner observed, including setup, warm-up, and
+	// deactivations. When PatternConfig.Metrics is set, the registry's
+	// per-(layer, op) cycle attribution sums to exactly this value.
+	TotalCycles uint64
 }
 
 // pmPages is the page count of each 2 MiB benchmark vdom.
@@ -164,6 +185,21 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 	proc := k.NewProcess()
 	mgr := core.Attach(proc, pol)
 	task := proc.NewTask(0)
+	k.SetMetrics(cfg.Metrics)
+	mgr.SetMetrics(cfg.Metrics)
+
+	// grand is the cell's cumulative cycle clock; every observed cost is
+	// funnelled through add so PatternResult.TotalCycles and the trace
+	// timestamps agree.
+	var grand uint64
+	add := func(c cycles.Cost) cycles.Cost { grand += uint64(c); return c }
+	if cfg.Trace != nil {
+		mgr.SetTracer(func(e core.Event) {
+			cfg.Trace.Decision(e.Kind.String(), e.TID, grand, uint64(e.Cost), map[string]uint64{
+				"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
+			})
+		})
+	}
 
 	nas := 0
 	if cfg.System == PatternVDomEvict {
@@ -171,8 +207,18 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 	} else {
 		nas = (cfg.NumVdoms+core.UsablePdomsPerVDS-1)/core.UsablePdomsPerVDS + 1
 	}
-	if _, err := mgr.VdrAlloc(task, nas); err != nil {
+	if c, err := mgr.VdrAlloc(task, nas); err != nil {
 		panic(err)
+	} else {
+		add(c)
+	}
+
+	// populate pre-faults a domain's pages; it returns a page count, not
+	// a cycle cost, so nothing is charged.
+	populate := func(t *pagetable.Table, base pagetable.VAddr) {
+		if _, err := proc.AS().Populate(t, base, pagetable.PMDSize); err != nil {
+			panic(err)
+		}
 	}
 
 	doms := make([]core.VdomID, cfg.NumVdoms)
@@ -181,32 +227,40 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 	for i := range doms {
 		base := next
 		next += pagetable.PMDSize * 4
-		if _, err := task.Mmap(base, pagetable.PMDSize, true); err != nil {
+		if c, err := task.Mmap(base, pagetable.PMDSize, true); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
-		doms[i], _ = mgr.AllocVdom(false)
+		var c cycles.Cost
+		doms[i], c = mgr.AllocVdom(false)
+		add(c)
 		bases[i] = base
-		if _, err := mgr.Mprotect(task, base, pagetable.PMDSize, doms[i]); err != nil {
+		if c, err := mgr.Mprotect(task, base, pagetable.PMDSize, doms[i]); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
 		// Populate the pages in the shadow so evictions work on fully
 		// present 512-page domains, as the paper's benchmark does.
-		if _, err := proc.AS().Populate(proc.AS().Shadow(), base, pagetable.PMDSize); err != nil {
-			panic(err)
-		}
+		populate(proc.AS().Shadow(), base)
 		// Activate once and populate the domain's home VDS so later
 		// evictions disable all 512 pages.
-		if _, err := mgr.WrVdr(task, doms[i], core.VPermReadWrite); err != nil {
+		if c, err := mgr.WrVdr(task, doms[i], core.VPermReadWrite); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
-		if _, err := proc.AS().Populate(mgr.VDROf(task).Current().Table(), base, pagetable.PMDSize); err != nil {
+		populate(mgr.VDROf(task).Current().Table(), base)
+		if c, err := task.Access(base, true); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
-		if _, err := task.Access(base, true); err != nil {
+		if c, err := mgr.WrVdr(task, doms[i], core.VPermNone); err != nil {
 			panic(err)
-		}
-		if _, err := mgr.WrVdr(task, doms[i], core.VPermNone); err != nil {
-			panic(err)
+		} else {
+			add(c)
 		}
 	}
 
@@ -222,6 +276,7 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 			if err != nil {
 				panic(err)
 			}
+			add(c)
 			var tc cycles.Cost
 			for k := 0; k < touches; k++ {
 				step := pagetable.VAddr(k) * (pagetable.PMDSize / touches)
@@ -229,6 +284,7 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 				if err != nil {
 					panic(err)
 				}
+				add(a)
 				tc += a
 			}
 			if r >= warmup {
@@ -236,16 +292,22 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 				touchTotal += tc
 				activations++
 			}
-			if _, err := mgr.WrVdr(task, doms[i], core.VPermNone); err != nil {
+			if c, err := mgr.WrVdr(task, doms[i], core.VPermNone); err != nil {
 				panic(err)
+			} else {
+				add(c)
 			}
 		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Accumulate(mach, proc.AS(), k)
 	}
 	return PatternResult{
 		Config:         cfg,
 		AvgCycles:      float64(total) / float64(activations),
 		AvgTouchCycles: float64(touchTotal) / float64(activations),
 		Activations:    activations,
+		TotalCycles:    grand,
 	}
 }
 
@@ -255,18 +317,29 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 	proc := k.NewProcess()
 	m := libmpk.Attach(proc, nil)
 	task := proc.NewTask(0)
+	k.SetMetrics(cfg.Metrics)
+	m.SetMetrics(cfg.Metrics)
+
+	var grand uint64
+	add := func(c cycles.Cost) cycles.Cost { grand += uint64(c); return c }
 
 	keys := make([]libmpk.Vkey, cfg.NumVdoms)
 	next := pagetable.VAddr(0x30_0000_0000)
 	for i := range keys {
 		base := next
 		next += pagetable.PMDSize * 4
-		if _, err := task.Mmap(base, pagetable.PMDSize, true); err != nil {
+		if c, err := task.Mmap(base, pagetable.PMDSize, true); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
-		keys[i], _ = m.PkeyAlloc()
-		if _, err := m.PkeyMprotect(nil, task, base, pagetable.PMDSize, keys[i]); err != nil {
+		var c cycles.Cost
+		keys[i], c = m.PkeyAlloc()
+		add(c)
+		if c, err := m.PkeyMprotect(nil, task, base, pagetable.PMDSize, keys[i]); err != nil {
 			panic(err)
+		} else {
+			add(c)
 		}
 		if _, err := proc.AS().Populate(proc.AS().Shadow(), base, pagetable.PMDSize); err != nil {
 			panic(err)
@@ -284,31 +357,50 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 			if err != nil {
 				panic(err)
 			}
+			if cfg.Trace != nil {
+				cfg.Trace.Decision("pkey-set", 0, grand, uint64(c), map[string]uint64{"vkey": uint64(keys[i])})
+			}
+			add(c)
 			if r >= warmup {
 				total += c
 				activations++
 			}
-			if _, err := m.PkeySet(nil, task, keys[i], hw.PermNone); err != nil {
+			if c, err := m.PkeySet(nil, task, keys[i], hw.PermNone); err != nil {
 				panic(err)
+			} else {
+				add(c)
 			}
 		}
 	}
-	return PatternResult{Config: cfg, AvgCycles: float64(total) / float64(activations), Activations: activations}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Accumulate(mach, proc.AS(), k)
+		m.Stats.Emit(cfg.Metrics.Add)
+	}
+	return PatternResult{Config: cfg, AvgCycles: float64(total) / float64(activations), Activations: activations, TotalCycles: grand}
 }
 
 func runPatternEPK(cfg PatternConfig, warmup int) PatternResult {
 	sys := epk.New(cfg.NumVdoms, epk.DefaultVMTax())
 	idx := order(cfg.Pattern, cfg.NumVdoms)
+	var grand uint64
 	var total cycles.Cost
 	activations := 0
 	for r := 0; r < warmup+cfg.Rounds; r++ {
 		for _, i := range idx {
 			c := sys.Switch(0, i)
+			if cfg.Trace != nil {
+				cfg.Trace.Decision("ept-switch", 0, grand, uint64(c), map[string]uint64{"domain": uint64(i)})
+			}
+			cfg.Metrics.Attribute("epk", "switch", uint64(c))
+			grand += uint64(c)
 			if r >= warmup {
 				total += c
 				activations++
 			}
 		}
 	}
-	return PatternResult{Config: cfg, AvgCycles: float64(total) / float64(activations), Activations: activations}
+	if cfg.Metrics != nil {
+		sys.Stats.Emit(cfg.Metrics.Add)
+	}
+	return PatternResult{Config: cfg, AvgCycles: float64(total) / float64(activations), Activations: activations, TotalCycles: grand}
 }

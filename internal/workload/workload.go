@@ -9,6 +9,12 @@
 // paper's applications, on top of the simulated substrate; baseline work
 // amounts are calibrated to the paper's absolute throughputs so that
 // relative overheads are comparable.
+//
+// It covers the paper's §7 (evaluation) workloads and is the "Workloads"
+// row of the DESIGN.md §3 module map. The Table 4 pattern runners accept
+// a metrics.Registry and a metrics.Trace (PatternConfig) whose cycle
+// attribution sums exactly to each cell's measured total
+// (OBSERVABILITY.md).
 package workload
 
 import (

@@ -43,6 +43,7 @@ import (
 	"vdom/internal/cycles"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
+	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
 )
 
@@ -143,6 +144,13 @@ type Config struct {
 	// layer with the given per-fault probabilities and seed. The fault
 	// hooks are zero-cost when Chaos is nil.
 	Chaos *ChaosConfig
+	// Metrics enables the unified observability layer: every layer of
+	// the system (kernel, domain manager, libmpk when attached)
+	// publishes named counters, per-(layer, operation) cycle
+	// attribution, and domain-activation cost histograms into one
+	// registry, read through System.Metrics or System.MetricsSnapshot.
+	// When false the hooks are nil-receiver no-ops and cost nothing.
+	Metrics bool
 }
 
 // System is one simulated machine plus its booted kernel.
@@ -150,6 +158,7 @@ type System struct {
 	machine  *hw.Machine
 	kernel   *kernel.Kernel
 	injector *chaos.Injector
+	metrics  *MetricsRegistry
 	procs    []*Process
 }
 
@@ -167,6 +176,10 @@ func NewSystem(cfg Config) *System {
 	})
 	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: !cfg.VanillaKernel})
 	s := &System{machine: m, kernel: k}
+	if cfg.Metrics {
+		s.metrics = metrics.New()
+		k.SetMetrics(s.metrics)
+	}
 	if cfg.Chaos != nil {
 		s.injector = chaos.New(*cfg.Chaos)
 		s.injector.AttachMachine(m)
@@ -178,6 +191,40 @@ func NewSystem(cfg Config) *System {
 // Injector returns the fault-injection layer, or nil when Config.Chaos
 // was nil (advanced use: event log, per-fault counters).
 func (s *System) Injector() *chaos.Injector { return s.injector }
+
+// MetricsRegistry is the live metrics registry of the unified
+// observability layer: named counters, per-(layer, operation) cycle
+// attribution, and cost histograms. A nil registry no-ops on every
+// method, so code can publish unconditionally.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a consistent point-in-time copy of a registry,
+// serializable as the "vdom-metrics/v1" JSON schema (OBSERVABILITY.md).
+type MetricsSnapshot = metrics.Snapshot
+
+// Metrics returns the live registry, or nil when Config.Metrics was
+// false. The registry is shared by the kernel and every process created
+// on the system.
+func (s *System) Metrics() *MetricsRegistry { return s.metrics }
+
+// MetricsSnapshot harvests the pull-based layer counters (TLB, frame
+// allocator, page tables, ASID allocator, chaos injector when attached)
+// into the registry and returns a consistent snapshot. It returns an
+// empty (but valid) snapshot when Config.Metrics was false.
+func (s *System) MetricsSnapshot() *MetricsSnapshot {
+	if s.metrics == nil {
+		return (*MetricsRegistry)(nil).Snapshot()
+	}
+	sources := []metrics.Source{s.machine, s.kernel}
+	for _, p := range s.procs {
+		sources = append(sources, p.proc.AS())
+	}
+	if s.injector != nil {
+		sources = append(sources, s.injector)
+	}
+	s.metrics.Harvest(sources...)
+	return s.metrics.Snapshot()
+}
 
 // Audit runs the cross-layer consistency auditor over every core's TLB,
 // the kernel's ASID state and every process's domain metadata. An empty
@@ -218,6 +265,7 @@ func (s *System) NewProcess(policy Policy) *Process {
 	if s.injector != nil {
 		s.injector.AttachManager(p.mgr)
 	}
+	p.mgr.SetMetrics(s.metrics)
 	s.procs = append(s.procs, p)
 	return p
 }
