@@ -1,0 +1,32 @@
+package vdom_test
+
+// Exported-API conformance test: the root package's exported surface must
+// match the committed golden file, so an accidental API break (removed
+// identifier, changed signature, renamed field) fails `go test` as well as
+// the standalone `go run ./cmd/apilint` CI step. After an intentional API
+// change, regenerate with `go run ./cmd/apilint -write`.
+
+import (
+	"os"
+	"testing"
+
+	"vdom/internal/apisurface"
+)
+
+func TestExportedAPISurfaceMatchesGolden(t *testing.T) {
+	entries, err := apisurface.Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := apisurface.Render(entries)
+
+	want, err := os.ReadFile("testdata/api/vdom.golden")
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go run ./cmd/apilint -write`)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from testdata/api/vdom.golden (%d declarations extracted);\n"+
+			"run `go run ./cmd/apilint` for a diff, or `go run ./cmd/apilint -write` if the change is intentional",
+			len(entries))
+	}
+}

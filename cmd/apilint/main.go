@@ -1,0 +1,88 @@
+// Command apilint guards the public API surface: it extracts the exported
+// declarations of the root vdom package (via internal/apisurface) and
+// diffs them against the committed golden file. An accidental API break —
+// a removed identifier, a changed signature, a renamed exported field —
+// makes it exit non-zero, so CI catches the break before users do.
+//
+// Usage:
+//
+//	go run ./cmd/apilint          # verify against testdata/api/vdom.golden
+//	go run ./cmd/apilint -write   # regenerate the golden after an intended change
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdom/internal/apisurface"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to extract the API surface from")
+	golden := flag.String("golden", "testdata/api/vdom.golden", "golden file recording the blessed API surface")
+	write := flag.Bool("write", false, "rewrite the golden file instead of verifying (for intended API changes)")
+	flag.Parse()
+
+	entries, err := apisurface.Surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apilint:", err)
+		os.Exit(1)
+	}
+	got := apisurface.Render(entries)
+
+	if *write {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apilint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apilint: wrote %s (%d exported declarations)\n", *golden, len(entries))
+		return
+	}
+
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apilint: %v (run `go run ./cmd/apilint -write` to create it)\n", err)
+		os.Exit(1)
+	}
+	if got == string(want) {
+		fmt.Printf("apilint: ok (%d exported declarations)\n", len(entries))
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "apilint: exported API surface differs from", *golden)
+	diff(strings.Split(string(want), "\n\n"), strings.Split(got, "\n\n"))
+	fmt.Fprintln(os.Stderr, "\nif the change is intentional, regenerate with: go run ./cmd/apilint -write")
+	os.Exit(1)
+}
+
+// diff prints declarations present on only one side. Entries are sorted,
+// so a set difference reads as a usable change summary.
+func diff(want, got []string) {
+	wantSet := map[string]bool{}
+	for _, e := range want {
+		wantSet[e] = true
+	}
+	gotSet := map[string]bool{}
+	for _, e := range got {
+		gotSet[e] = true
+	}
+	for _, e := range want {
+		if !gotSet[e] {
+			fmt.Fprintf(os.Stderr, "  - %s\n", firstLine(e))
+		}
+	}
+	for _, e := range got {
+		if !wantSet[e] {
+			fmt.Fprintf(os.Stderr, "  + %s\n", firstLine(e))
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
+}

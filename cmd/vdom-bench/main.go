@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	vdom-bench [-quick] [-format text|csv] [-seed N]
+//	vdom-bench [-quick] [-format text|csv] [-seed N] [-parallel N]
 //	           [-metrics out.json] [-trace-out out.trace.json] [experiment]
 //
-// Experiments: fig1, table1, table2, table3, table4, table5, fig5, fig6,
-// fig7, unixbench, ctxswitch, ablation, chaos, compare, all (default).
+// Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
+// fig6, fig7, unixbench, ctxswitch, ablation, chaos, compare, all (default).
+//
+// -parallel N fans the experiment grids out across N worker goroutines,
+// one isolated simulated System per cell; it defaults to runtime.NumCPU().
+// Output is byte-identical for every -parallel value — the flag trades
+// wall-clock time only.
 //
 // With -metrics, the instrumented experiments (table4, chaos) publish
 // their counters, per-(layer, operation) cycle attribution, and
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"vdom/internal/bench"
 	"vdom/internal/metrics"
@@ -35,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "PRNG seed for the chaos experiment (replayable)")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, cycle attribution, histograms) to this JSON file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev) to this path")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the experiment grids (output is byte-identical for any value)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
@@ -46,6 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  table3     cycles of common operations (Table 3)\n")
 		fmt.Fprintf(os.Stderr, "  table4     domain access patterns (Table 4)\n")
 		fmt.Fprintf(os.Stderr, "  table5     memory synchronization across VDSes (Table 5)\n")
+		fmt.Fprintf(os.Stderr, "  tables     the full table grid: Tables 3, 4, and 5\n")
 		fmt.Fprintf(os.Stderr, "  fig5       httpd throughput (Figure 5)\n")
 		fmt.Fprintf(os.Stderr, "  fig6       MySQL throughput (Figure 6)\n")
 		fmt.Fprintf(os.Stderr, "  fig7       PMO String Replace overheads (Figure 7)\n")
@@ -63,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vdom-bench:", err)
 		os.Exit(2)
 	}
-	o := bench.Options{Quick: *quick, Format: f}
+	o := bench.Options{Quick: *quick, Format: f, Parallel: *parallel}
 	if *metricsOut != "" {
 		o.Metrics = metrics.New()
 	}
@@ -95,6 +103,8 @@ func main() {
 		bench.Table4(w, o)
 	case "table5":
 		bench.Table5Opts(w, o)
+	case "tables":
+		bench.Tables(w, o)
 	case "fig5":
 		bench.Fig5(w, o)
 	case "fig6":

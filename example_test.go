@@ -14,6 +14,8 @@ import (
 
 // Example shows the library's core loop: protect memory under a virtual
 // domain, open it for the duration of one operation, and seal it again.
+// Every operation reports its simulated cycle cost; LoadCost/StoreCost
+// are the primary access API, with Load/Store as error-only conveniences.
 func Example() {
 	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 2})
 	p := sys.NewProcess(vdom.DefaultPolicy())
@@ -26,13 +28,49 @@ func Example() {
 	p.ProtectRange(t, buf, vdom.PageSize, secret)
 
 	t.WriteVDR(secret, vdom.ReadWrite)
-	fmt.Println("open:", t.Store(buf) == nil)
+	cost, err := t.StoreCost(buf)
+	fmt.Println("open:", err == nil, "charged:", cost > 0)
 
 	t.WriteVDR(secret, vdom.NoAccess)
-	fmt.Println("sealed:", errors.Is(t.Load(buf), vdom.ErrSigsegv))
+	_, err = t.LoadCost(buf)
+	fmt.Println("sealed:", errors.Is(err, vdom.ErrSigsegv))
 	// Output:
-	// open: true
+	// open: true charged: true
 	// sealed: true
+}
+
+// ExampleNewSystemWith boots a platform through functional options — the
+// error-returning sibling of NewSystem for configs built at run time.
+func ExampleNewSystemWith() {
+	sys, err := vdom.NewSystemWith(vdom.WithArch(vdom.ARM), vdom.WithCores(8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cores:", sys.Cores())
+
+	_, err = vdom.NewSystemWith(vdom.WithCores(-1))
+	fmt.Println("rejected:", err != nil)
+	// Output:
+	// cores: 8
+	// rejected: true
+}
+
+// ExampleProcess_NewThreadOn validates thread placement at the API
+// boundary, returning a typed error instead of NewThread's panic.
+func ExampleProcess_NewThreadOn() {
+	sys := vdom.NewSystem(vdom.Config{Arch: vdom.X86, Cores: 2})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+
+	if _, err := p.NewThreadOn(1); err == nil {
+		fmt.Println("core 1: ok")
+	}
+	var cre *vdom.CoreRangeError
+	if _, err := p.NewThreadOn(7); errors.As(err, &cre) {
+		fmt.Println("core 7:", cre)
+	}
+	// Output:
+	// core 1: ok
+	// core 7: core 7 out of range [0, 2)
 }
 
 // ExampleProcess_AllocDomain demonstrates that domains are unlimited: the

@@ -1,0 +1,185 @@
+// Package apisurface extracts the exported API surface of a Go package as
+// a stable, printer-normalized text form. cmd/apilint diffs it against a
+// committed golden file (testdata/api/vdom.golden) so accidental breaks of
+// the public API — removed identifiers, changed signatures, renamed struct
+// fields — fail CI instead of reaching users.
+package apisurface
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Surface parses the Go package in dir (tests excluded) and returns one
+// entry per exported declaration: functions and methods with bodies
+// stripped, types with unexported fields and methods filtered out, and
+// exported consts and vars. Entries are sorted, so the output is a stable
+// fingerprint of the package's API.
+func Surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	emit := func(node any) error {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			return err
+		}
+		entries = append(entries, buf.String())
+		return nil
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !exportedFunc(d) {
+						continue
+					}
+					fn := *d
+					fn.Body = nil
+					fn.Doc = nil
+					if err := emit(&fn); err != nil {
+						return nil, err
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						entry, ok := exportedSpec(d.Tok, spec)
+						if !ok {
+							continue
+						}
+						if err := emit(entry); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// Render joins a surface into the golden-file text form.
+func Render(entries []string) string {
+	return strings.Join(entries, "\n\n") + "\n"
+}
+
+// exportedFunc reports whether the function or method is part of the
+// exported API: exported name, and for methods an exported receiver type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverTypeName(d.Recv.List[0].Type))
+}
+
+// receiverTypeName unwraps a receiver type expression to its base type
+// name ("*Thread" → "Thread").
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// exportedSpec filters one spec of a const/var/type declaration down to
+// its exported parts, returning a standalone single-spec declaration for
+// printing (so "const X = 1" keeps its keyword) and whether anything
+// exported remains.
+func exportedSpec(tok token.Token, spec ast.Spec) (ast.Node, bool) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if !s.Name.IsExported() {
+			return nil, false
+		}
+		ts := *s
+		ts.Doc, ts.Comment = nil, nil
+		ts.Type = filterType(s.Type)
+		return &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}}, true
+	case *ast.ValueSpec:
+		exported := false
+		for _, n := range s.Names {
+			if n.IsExported() {
+				exported = true
+			}
+		}
+		if !exported {
+			return nil, false
+		}
+		vs := *s
+		vs.Doc, vs.Comment = nil, nil
+		return &ast.GenDecl{Tok: tok, Specs: []ast.Spec{&vs}}, true
+	}
+	return nil, false
+}
+
+// filterType removes unexported members from struct and interface types;
+// other type expressions pass through unchanged.
+func filterType(expr ast.Expr) ast.Expr {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		st := *t
+		st.Fields = filterFields(t.Fields)
+		return &st
+	case *ast.InterfaceType:
+		it := *t
+		it.Methods = filterFields(t.Methods)
+		return &it
+	}
+	return expr
+}
+
+// filterFields keeps exported named fields/methods and exported embedded
+// types; unexported members are dropped (internal layout is not API).
+func filterFields(fields *ast.FieldList) *ast.FieldList {
+	if fields == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fields.List {
+		if len(f.Names) == 0 {
+			if ast.IsExported(receiverTypeName(f.Type)) {
+				out.List = append(out.List, f)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			nf := *f
+			nf.Doc, nf.Comment = nil, nil
+			nf.Names = names
+			out.List = append(out.List, &nf)
+		}
+	}
+	return out
+}

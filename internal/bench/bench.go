@@ -18,6 +18,7 @@ import (
 
 	"vdom/internal/cycles"
 	"vdom/internal/metrics"
+	"vdom/internal/par"
 	"vdom/internal/workload"
 )
 
@@ -41,6 +42,49 @@ type Options struct {
 	// Trace, when non-nil, collects Chrome-trace decision spans from
 	// instrumented experiments for Perfetto (see OBSERVABILITY.md).
 	Trace *metrics.Trace
+
+	// Parallel is the worker-pool width for the experiment grids: every
+	// grid cell (one isolated System each) is fanned out across at most
+	// this many goroutines, and results are collected in cell order, so
+	// the rendered output — including metrics snapshots and traces — is
+	// byte-identical for every value. 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces the sequential reference execution.
+	Parallel int
+}
+
+// workers resolves Parallel to a concrete pool width.
+func (o Options) workers() int { return par.Workers(o.Parallel) }
+
+// cell is one grid cell's harvested result: its rendered value plus the
+// observability state the cell collected privately. Each parallel worker
+// fills cells for disjoint indices; the collector merges them in index
+// order so worker count never reaches the output.
+type cell struct {
+	text  string
+	total uint64
+	reg   *metrics.Registry
+	tr    *metrics.Trace
+}
+
+// newCellSinks returns fresh per-cell observability sinks mirroring which
+// of the run-wide sinks are enabled.
+func (o Options) newCellSinks() (*metrics.Registry, *metrics.Trace) {
+	var reg *metrics.Registry
+	var tr *metrics.Trace
+	if o.Metrics.Enabled() {
+		reg = metrics.New()
+	}
+	if o.Trace.Enabled() {
+		tr = metrics.NewTrace()
+	}
+	return reg, tr
+}
+
+// collect folds one cell's observability state into the run-wide sinks.
+func (o Options) collect(c cell) {
+	o.Metrics.Add("bench/total-cycles", c.total)
+	o.Metrics.Merge(c.reg)
+	o.Trace.Append(c.tr)
 }
 
 func (o Options) httpdRequests() int {
@@ -79,28 +123,36 @@ func Fig1(w io.Writer, o Options) {
 		Title:   "Figure 1: overhead breakdown of libmpk on httpd (25 threads, 16KB)",
 		Columns: []string{"clients", "total ovh", "busy waiting", "TLB shootdown", "memory+metadata mgmt"},
 	}
-	for _, clients := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
-		mk := func(sys workload.System) workload.HttpdResult {
-			return workload.RunHttpd(workload.HttpdConfig{
-				Arch: cycles.X86, System: sys, Clients: clients,
-				RequestsPerClient: o.httpdRequests(), FileBytes: 16384, Workers: 25,
-			})
-		}
-		base := mk(workload.Original)
-		lm := mk(workload.Libmpk)
-		ov := float64(lm.Makespan)/float64(base.Makespan) - 1
+	clientCounts := []int{4, 8, 12, 16, 20, 24, 28, 32}
+	jobs := make([]func() []string, len(clientCounts))
+	for i := range jobs {
+		clients := clientCounts[i]
+		jobs[i] = func() []string {
+			mk := func(sys workload.System) workload.HttpdResult {
+				return workload.RunHttpd(workload.HttpdConfig{
+					Arch: cycles.X86, System: sys, Clients: clients,
+					RequestsPerClient: o.httpdRequests(), FileBytes: 16384, Workers: 25,
+				})
+			}
+			base := mk(workload.Original)
+			lm := mk(workload.Libmpk)
+			ov := float64(lm.Makespan)/float64(base.Makespan) - 1
 
-		// Attribute the overhead to the Figure 1 buckets by each
-		// bucket's share of the extra cycles.
-		st := lm.LibmpkStats
-		bw := float64(st.BusyWaitCycles)
-		sd := float64(st.ShootdownCycles)
-		mg := float64(st.MgmtCycles)
-		sum := bw + sd + mg
-		if sum == 0 {
-			sum = 1
+			// Attribute the overhead to the Figure 1 buckets by each
+			// bucket's share of the extra cycles.
+			st := lm.LibmpkStats
+			bw := float64(st.BusyWaitCycles)
+			sd := float64(st.ShootdownCycles)
+			mg := float64(st.MgmtCycles)
+			sum := bw + sd + mg
+			if sum == 0 {
+				sum = 1
+			}
+			return []string{fmt.Sprint(clients), pct(ov), pct(ov * bw / sum), pct(ov * sd / sum), pct(ov * mg / sum)}
 		}
-		t.Row(fmt.Sprint(clients), pct(ov), pct(ov*bw/sum), pct(ov*sd/sum), pct(ov*mg/sum))
+	}
+	for _, row := range par.Map(o.workers(), jobs) {
+		t.Row(row...)
 	}
 	o.Render(w, t)
 }
@@ -114,7 +166,7 @@ func Table3Opts(w io.Writer, o Options) {
 		Title:   "Table 3: average cycles of common operations",
 		Columns: []string{"Operation", "X86 Cycles", "ARM Cycles"},
 	}
-	for _, r := range workload.Table3() {
+	for _, r := range workload.Table3Parallel(o.workers()) {
 		arm := "undefined"
 		if r.ARMDefined {
 			arm = f1(r.ARM)
@@ -138,30 +190,51 @@ func Table4(w io.Writer, o Options) {
 		Title:   "Table 4: average cycles per activation, 2MB (512-page) vdoms",
 		Columns: cols,
 	}
-	row := func(label string, arch cycles.Arch, sys workload.PatternSystem, pat workload.Pattern) {
-		cells := []string{label}
-		for _, n := range table4Counts {
-			r := workload.RunPattern(workload.PatternConfig{
-				Arch: arch, System: sys, Pattern: pat, NumVdoms: n,
-				Rounds:  o.patternRounds(),
-				Metrics: o.Metrics, Trace: o.Trace,
-			})
-			o.Metrics.Add("bench/total-cycles", r.TotalCycles)
-			cells = append(cells, f0(r.AvgCycles))
-		}
-		t.Row(cells...)
+	type rowSpec struct {
+		label string
+		arch  cycles.Arch
+		sys   workload.PatternSystem
+		pat   workload.Pattern
 	}
-	row("VDom X86f seq", cycles.X86, workload.PatternVDomFast, workload.Sequential)
-	row("VDom X86f trig", cycles.X86, workload.PatternVDomFast, workload.SwitchTriggering)
-	row("VDom X86s seq", cycles.X86, workload.PatternVDomSecure, workload.Sequential)
-	row("VDom X86s trig", cycles.X86, workload.PatternVDomSecure, workload.SwitchTriggering)
-	row("VDom X86e seq", cycles.X86, workload.PatternVDomEvict, workload.Sequential)
-	row("libmpk seq", cycles.X86, workload.PatternLibmpk, workload.Sequential)
-	row("EPK seq", cycles.X86, workload.PatternEPK, workload.Sequential)
-	row("EPK trig", cycles.X86, workload.PatternEPK, workload.SwitchTriggering)
-	row("VDom ARM seq", cycles.ARM, workload.PatternVDomSecure, workload.Sequential)
-	row("VDom ARM trig", cycles.ARM, workload.PatternVDomSecure, workload.SwitchTriggering)
-	row("VDom ARMe seq", cycles.ARM, workload.PatternVDomEvict, workload.Sequential)
+	specs := []rowSpec{
+		{"VDom X86f seq", cycles.X86, workload.PatternVDomFast, workload.Sequential},
+		{"VDom X86f trig", cycles.X86, workload.PatternVDomFast, workload.SwitchTriggering},
+		{"VDom X86s seq", cycles.X86, workload.PatternVDomSecure, workload.Sequential},
+		{"VDom X86s trig", cycles.X86, workload.PatternVDomSecure, workload.SwitchTriggering},
+		{"VDom X86e seq", cycles.X86, workload.PatternVDomEvict, workload.Sequential},
+		{"libmpk seq", cycles.X86, workload.PatternLibmpk, workload.Sequential},
+		{"EPK seq", cycles.X86, workload.PatternEPK, workload.Sequential},
+		{"EPK trig", cycles.X86, workload.PatternEPK, workload.SwitchTriggering},
+		{"VDom ARM seq", cycles.ARM, workload.PatternVDomSecure, workload.Sequential},
+		{"VDom ARM trig", cycles.ARM, workload.PatternVDomSecure, workload.SwitchTriggering},
+		{"VDom ARMe seq", cycles.ARM, workload.PatternVDomEvict, workload.Sequential},
+	}
+	// One job per (row, vdom count) cell; every cell builds an isolated
+	// System and collects into private sinks, merged below in cell order.
+	nc := len(table4Counts)
+	jobs := make([]func() cell, len(specs)*nc)
+	for i := range jobs {
+		s, n := specs[i/nc], table4Counts[i%nc]
+		jobs[i] = func() cell {
+			reg, tr := o.newCellSinks()
+			r := workload.RunPattern(workload.PatternConfig{
+				Arch: s.arch, System: s.sys, Pattern: s.pat, NumVdoms: n,
+				Rounds:  o.patternRounds(),
+				Metrics: reg, Trace: tr,
+			})
+			return cell{text: f0(r.AvgCycles), total: r.TotalCycles, reg: reg, tr: tr}
+		}
+	}
+	results := par.Map(o.workers(), jobs)
+	for ri, s := range specs {
+		row := []string{s.label}
+		for ci := range table4Counts {
+			c := results[ri*nc+ci]
+			o.collect(c)
+			row = append(row, c.text)
+		}
+		t.Row(row...)
+	}
 	o.Render(w, t)
 }
 
@@ -175,16 +248,23 @@ func Table5Opts(w io.Writer, o Options) {
 		Title:   "Table 5: alloc+sync overhead across numbers of VDSes",
 		Columns: []string{"# of VDSes", "2", "4", "8", "16", "32"},
 	}
-	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
-		cells := []string{fmt.Sprintf("%v overhead (%%)", arch)}
-		for _, n := range []int{2, 4, 8, 16, 32} {
+	vdsCounts := []int{2, 4, 8, 16, 32}
+	arches := []cycles.Arch{cycles.X86, cycles.ARM}
+	jobs := make([]func() string, len(arches)*len(vdsCounts))
+	for i := range jobs {
+		arch, n := arches[i/len(vdsCounts)], vdsCounts[i%len(vdsCounts)]
+		jobs[i] = func() string {
 			ov, ok := workload.MemSyncOverhead(arch, n)
 			if !ok {
-				cells = append(cells, "undefined")
-				continue
+				return "undefined"
 			}
-			cells = append(cells, f1(ov*100))
+			return f1(ov * 100)
 		}
+	}
+	results := par.Map(o.workers(), jobs)
+	for ai, arch := range arches {
+		cells := append([]string{fmt.Sprintf("%v overhead (%%)", arch)},
+			results[ai*len(vdsCounts):(ai+1)*len(vdsCounts)]...)
 		t.Row(cells...)
 	}
 	o.Render(w, t)
@@ -216,15 +296,21 @@ func Fig5(w io.Writer, o Options) {
 				Title:   fmt.Sprintf("%v %dKB", arch, size/1024),
 				Columns: cols,
 			}
-			for _, c := range clientCounts {
-				cells := []string{fmt.Sprint(c)}
-				for _, sys := range fig5Systems {
+			jobs := make([]func() string, len(clientCounts)*len(fig5Systems))
+			for i := range jobs {
+				c, sys := clientCounts[i/len(fig5Systems)], fig5Systems[i%len(fig5Systems)]
+				jobs[i] = func() string {
 					r := workload.RunHttpd(workload.HttpdConfig{
 						Arch: arch, System: sys, Clients: c,
 						RequestsPerClient: o.httpdRequests(), FileBytes: size,
 					})
-					cells = append(cells, f0(r.ReqPerSec))
+					return f0(r.ReqPerSec)
 				}
+			}
+			results := par.Map(o.workers(), jobs)
+			for ci, c := range clientCounts {
+				cells := append([]string{fmt.Sprint(c)},
+					results[ci*len(fig5Systems):(ci+1)*len(fig5Systems)]...)
 				t.Row(cells...)
 			}
 			fmt.Fprintln(w)
@@ -247,19 +333,24 @@ func Fig6(w io.Writer, o Options) {
 			cols = append(cols, s.String())
 		}
 		t := &Table{Title: arch.String(), Columns: cols}
-		for _, c := range clientCounts {
-			cells := []string{fmt.Sprint(c)}
-			for _, sys := range systems {
+		jobs := make([]func() string, len(clientCounts)*len(systems))
+		for i := range jobs {
+			c, sys := clientCounts[i/len(systems)], systems[i%len(systems)]
+			jobs[i] = func() string {
 				r := workload.RunMySQL(workload.MySQLConfig{
 					Arch: arch, System: sys, Clients: c,
 					QueriesPerClient: o.mysqlQueries(),
 				})
 				if !r.Supported {
-					cells = append(cells, "DNF")
-					continue
+					return "DNF"
 				}
-				cells = append(cells, f0(r.QueriesPerS))
+				return f0(r.QueriesPerS)
 			}
+		}
+		results := par.Map(o.workers(), jobs)
+		for ci, c := range clientCounts {
+			cells := append([]string{fmt.Sprint(c)},
+				results[ci*len(systems):(ci+1)*len(systems)]...)
 			t.Row(cells...)
 		}
 		fmt.Fprintln(w)
@@ -305,17 +396,23 @@ func Fig7(w io.Writer, o Options) {
 			cols = append(cols, fmt.Sprint(th))
 		}
 		t := &Table{Title: arch.String(), Columns: cols}
-		for _, v := range variants {
-			cells := []string{v.name}
-			for _, th := range threads {
+		jobs := make([]func() string, len(variants)*len(threads))
+		for i := range jobs {
+			v, th := variants[i/len(threads)], threads[i%len(threads)]
+			jobs[i] = func() string {
 				cfg := v.cfg(arch, th)
 				cfg.OpsPerThread = o.pmoOps()
 				base := cfg
 				base.System = workload.Original
 				b := workload.RunPMO(base)
 				r := workload.RunPMO(cfg)
-				cells = append(cells, pct(float64(r.Makespan)/float64(b.Makespan)-1))
+				return pct(float64(r.Makespan)/float64(b.Makespan) - 1)
 			}
+		}
+		results := par.Map(o.workers(), jobs)
+		for vi, v := range variants {
+			cells := append([]string{v.name},
+				results[vi*len(threads):(vi+1)*len(threads)]...)
 			t.Row(cells...)
 		}
 		fmt.Fprintln(w)
@@ -332,22 +429,35 @@ func UnixBenchOpts(w io.Writer, o Options) {
 		Title:   "UnixBench (§7.3): VDom kernel score relative to vanilla (100% = equal)",
 		Columns: []string{"arch", "suite", "index", "worst test"},
 	}
-	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
-		for _, parallel := range []bool{false, true} {
+	type ubCase struct {
+		arch     cycles.Arch
+		parallel bool
+	}
+	cases := []ubCase{
+		{cycles.X86, false}, {cycles.X86, true},
+		{cycles.ARM, false}, {cycles.ARM, true},
+	}
+	jobs := make([]func() []string, len(cases))
+	for i := range jobs {
+		c := cases[i]
+		jobs[i] = func() []string {
 			suite := "single-thread"
-			if parallel {
+			if c.parallel {
 				suite = "parallel"
 			}
-			r := workload.RunUnixBench(arch, parallel)
+			r := workload.RunUnixBench(c.arch, c.parallel)
 			worst := r.Scores[0]
 			for _, s := range r.Scores {
 				if s.Relative < worst.Relative {
 					worst = s
 				}
 			}
-			t.Row(arch.String(), suite, f1(r.Index)+"%",
-				fmt.Sprintf("%s (%.1f%%)", worst.Test, worst.Relative))
+			return []string{c.arch.String(), suite, f1(r.Index) + "%",
+				fmt.Sprintf("%s (%.1f%%)", worst.Test, worst.Relative)}
 		}
+	}
+	for _, row := range par.Map(o.workers(), jobs) {
+		t.Row(row...)
 	}
 	o.Render(w, t)
 }
@@ -368,6 +478,17 @@ func CtxSwitchOpts(w io.Writer, o Options) {
 			fmt.Sprintf("%.2f%%", (vdomProc/vanilla-1)*100), f1(vds))
 	}
 	o.Render(w, t)
+}
+
+// Tables runs the full table grid (Tables 3, 4, and 5) — the workhorse
+// experiment the parallel engine targets: ~110 isolated cells fanned out
+// across o.Parallel workers with byte-identical output for any width.
+func Tables(w io.Writer, o Options) {
+	Table3Opts(w, o)
+	fmt.Fprintln(w)
+	Table4(w, o)
+	fmt.Fprintln(w)
+	Table5Opts(w, o)
 }
 
 // All runs every experiment in order.

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"vdom/internal/chaos"
+	"vdom/internal/metrics"
+	"vdom/internal/par"
 )
 
 // chaosSoakOps returns the soak length for the chaos report.
@@ -16,6 +18,13 @@ func (o Options) chaosSoakOps() int {
 	return 10000
 }
 
+// chaosShards is the fixed number of independent soak shards the chaos
+// experiment runs. It is a property of the experiment, not of the worker
+// pool: shard seeds and lengths are derived from (seed, shard index)
+// alone, so the aggregated report is byte-identical for every -parallel
+// value.
+const chaosShards = 8
+
 // Chaos runs the deterministic fault-injection soak and reports the
 // injected faults, the recovery paths that absorbed them, and the
 // cross-layer audit verdict. The run replays exactly from its seed.
@@ -24,52 +33,83 @@ func Chaos(w io.Writer, o Options) {
 }
 
 // ChaosSeed is Chaos with a caller-chosen seed, for replaying a specific
-// fault sequence.
+// fault sequence. The soak is split into chaosShards independent shards,
+// each a fully isolated machine soaked under its own derived seed; shard
+// results are aggregated in shard order.
 func ChaosSeed(w io.Writer, o Options, seed uint64) {
-	res := chaos.Soak(chaos.SoakConfig{
-		Chaos: chaos.Config{
-			Seed:           seed,
-			DropIPI:        0.05,
-			DelayIPI:       0.05,
-			StaleTLB:       0.03,
-			ASIDExhaustion: 0.02,
-			ASIDLimit:      24,
-			VDSAllocFail:   0.10,
-			PdomExhaustion: 0.05,
-			SpuriousFault:  0.02,
-		},
-		Ops:     o.chaosSoakOps(),
-		Metrics: o.Metrics,
-		Trace:   o.Trace,
-	})
-	o.Metrics.Add("bench/total-cycles", uint64(res.Cycles))
+	totalOps := o.chaosSoakOps()
+	type shard struct {
+		res *chaos.SoakResult
+		reg *metrics.Registry
+		tr  *metrics.Trace
+	}
+	jobs := make([]func() shard, chaosShards)
+	for i := range jobs {
+		i := i
+		ops := totalOps / chaosShards
+		if i < totalOps%chaosShards {
+			ops++
+		}
+		jobs[i] = func() shard {
+			reg, tr := o.newCellSinks()
+			res := chaos.Soak(chaos.SoakConfig{
+				Chaos: chaos.Config{
+					Seed:           seed + uint64(i),
+					DropIPI:        0.05,
+					DelayIPI:       0.05,
+					StaleTLB:       0.03,
+					ASIDExhaustion: 0.02,
+					ASIDLimit:      24,
+					VDSAllocFail:   0.10,
+					PdomExhaustion: 0.05,
+					SpuriousFault:  0.02,
+				},
+				Ops:     ops,
+				Metrics: reg,
+				Trace:   tr,
+			})
+			return shard{res: res, reg: reg, tr: tr}
+		}
+	}
+	shards := par.Map(o.workers(), jobs)
+
+	// Aggregate in shard order: sums are order-insensitive, but the
+	// violation/unrecovered listings below keep shard order for stable
+	// replayable output.
+	var agg chaos.SoakResult
+	for _, s := range shards {
+		agg.Merge(s.res)
+		o.Metrics.Add("bench/total-cycles", uint64(s.res.Cycles))
+		o.Metrics.Merge(s.reg)
+		o.Trace.Append(s.tr)
+	}
 
 	t := &Table{
-		Title: fmt.Sprintf("Chaos soak: %d ops, seed %d (replayable), all fault classes enabled",
-			res.Ops, seed),
+		Title: fmt.Sprintf("Chaos soak: %d ops over %d shards, seed %d (replayable), all fault classes enabled",
+			agg.Ops, chaosShards, seed),
 		Columns: []string{"event", "count"},
 	}
-	for _, k := range sortedKeys(res.Injected) {
-		t.Row(k, fmt.Sprintf("%d", res.Injected[k]))
+	for _, k := range sortedKeys(agg.Injected) {
+		t.Row(k, fmt.Sprintf("%d", agg.Injected[k]))
 	}
-	for _, k := range sortedKeys(res.Recovered) {
-		t.Row(k, fmt.Sprintf("%d", res.Recovered[k]))
+	for _, k := range sortedKeys(agg.Recovered) {
+		t.Row(k, fmt.Sprintf("%d", agg.Recovered[k]))
 	}
-	t.Row("asid generation rollovers", fmt.Sprintf("%d", res.ASIDRollovers))
-	t.Row("audit passes", fmt.Sprintf("%d", res.Audits))
-	t.Row("audit violations", fmt.Sprintf("%d", len(res.Violations)))
-	t.Row("unrecovered faults", fmt.Sprintf("%d", len(res.Unrecovered)))
-	t.Row("total cycles", fmt.Sprintf("%d", res.Cycles))
+	t.Row("asid generation rollovers", fmt.Sprintf("%d", agg.ASIDRollovers))
+	t.Row("audit passes", fmt.Sprintf("%d", agg.Audits))
+	t.Row("audit violations", fmt.Sprintf("%d", len(agg.Violations)))
+	t.Row("unrecovered faults", fmt.Sprintf("%d", len(agg.Unrecovered)))
+	t.Row("total cycles", fmt.Sprintf("%d", agg.Cycles))
 	o.Render(w, t)
 
-	if len(res.Violations) == 0 && len(res.Unrecovered) == 0 {
+	if len(agg.Violations) == 0 && len(agg.Unrecovered) == 0 {
 		fmt.Fprintf(w, "\nverdict: COHERENT — every injected fault was absorbed by a degradation path\n")
 	} else {
 		fmt.Fprintf(w, "\nverdict: INCOHERENT\n")
-		for _, v := range res.Violations {
+		for _, v := range agg.Violations {
 			fmt.Fprintf(w, "  violation: %s\n", v)
 		}
-		for _, u := range res.Unrecovered {
+		for _, u := range agg.Unrecovered {
 			fmt.Fprintf(w, "  unrecovered: %s\n", u)
 		}
 	}

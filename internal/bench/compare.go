@@ -7,6 +7,7 @@ import (
 
 	"vdom/internal/cycles"
 	"vdom/internal/libmpk"
+	"vdom/internal/par"
 	"vdom/internal/workload"
 )
 
@@ -27,7 +28,7 @@ func Compare(w io.Writer, o Options) {
 		Columns: []string{"operation", "X86 ours", "X86 paper", "dev", "ARM ours", "ARM paper", "dev"},
 	}
 	var worstT3 float64
-	for _, r := range workload.Table3() {
+	for _, r := range workload.Table3Parallel(o.workers()) {
 		ref, ok := PaperTable3[r.Operation]
 		if !ok {
 			continue
@@ -50,14 +51,16 @@ func Compare(w io.Writer, o Options) {
 		Title:   "Compare: Table 4 headline cells (cycles per activation)",
 		Columns: []string{"cell", "ours", "paper", "dev"},
 	}
-	cell := func(sys workload.PatternSystem, pat workload.Pattern, n int, arch cycles.Arch) float64 {
-		return workload.RunPattern(workload.PatternConfig{
-			Arch: arch, System: sys, Pattern: pat, NumVdoms: n,
-			Rounds: o.patternRounds()}).AvgCycles
+	cell := func(sys workload.PatternSystem, pat workload.Pattern, n int, arch cycles.Arch) func() float64 {
+		return func() float64 {
+			return workload.RunPattern(workload.PatternConfig{
+				Arch: arch, System: sys, Pattern: pat, NumVdoms: n,
+				Rounds: o.patternRounds()}).AvgCycles
+		}
 	}
-	for _, c := range []struct {
+	t4cases := []struct {
 		name  string
-		ours  float64
+		ours  func() float64
 		paper float64
 	}{
 		{"X86s seq, 3 vdoms", cell(workload.PatternVDomSecure, workload.Sequential, 3, cycles.X86), PaperTable4["VDom X86s seq"][0]},
@@ -66,8 +69,14 @@ func Compare(w io.Writer, o Options) {
 		{"libmpk seq, 64 vdoms", cell(workload.PatternLibmpk, workload.Sequential, 64, cycles.X86), PaperTable4["libmpk seq"][6]},
 		{"EPK trig, 64 vdoms", cell(workload.PatternEPK, workload.SwitchTriggering, 64, cycles.X86), PaperTable4["EPK trig"][6]},
 		{"ARMe seq, 32 vdoms", cell(workload.PatternVDomEvict, workload.Sequential, 32, cycles.ARM), PaperTable4["VDom ARMe seq"][5]},
-	} {
-		t4.Row(c.name, f0(c.ours), f0(c.paper), dev(c.ours, c.paper))
+	}
+	t4jobs := make([]func() float64, len(t4cases))
+	for i := range t4cases {
+		t4jobs[i] = t4cases[i].ours
+	}
+	for i, ours := range par.Map(o.workers(), t4jobs) {
+		c := t4cases[i]
+		t4.Row(c.name, f0(ours), f0(c.paper), dev(ours, c.paper))
 	}
 	o.Render(w, t4)
 	fmt.Fprintln(w)
@@ -100,18 +109,23 @@ func Compare(w io.Writer, o Options) {
 	}
 	rows := []struct {
 		name  string
-		ours  float64
+		ours  func() float64
 		paper float64
 	}{
-		{"httpd VDom X86 128KB", httpdOv(cycles.X86, 128<<10), 2.18},
-		{"MySQL VDom X86", mysqlOv(workload.VDom), 0.47},
-		{"MySQL EPK X86", mysqlOv(workload.EPK), 7.33},
-		{"PMO VDS switch (4 thr)", pmoOv(workload.VDom, workload.PMOSwitch, libmpk.Page4K, 4), 7.03},
-		{"PMO eviction (4 thr)", pmoOv(workload.VDom, workload.PMOEvict, libmpk.Page4K, 4), 16.21},
-		{"PMO libmpk 2MB (8 thr)", pmoOv(workload.Libmpk, workload.PMOSwitch, libmpk.Huge2M, 8), 977.77},
+		{"httpd VDom X86 128KB", func() float64 { return httpdOv(cycles.X86, 128<<10) }, 2.18},
+		{"MySQL VDom X86", func() float64 { return mysqlOv(workload.VDom) }, 0.47},
+		{"MySQL EPK X86", func() float64 { return mysqlOv(workload.EPK) }, 7.33},
+		{"PMO VDS switch (4 thr)", func() float64 { return pmoOv(workload.VDom, workload.PMOSwitch, libmpk.Page4K, 4) }, 7.03},
+		{"PMO eviction (4 thr)", func() float64 { return pmoOv(workload.VDom, workload.PMOEvict, libmpk.Page4K, 4) }, 16.21},
+		{"PMO libmpk 2MB (8 thr)", func() float64 { return pmoOv(workload.Libmpk, workload.PMOSwitch, libmpk.Huge2M, 8) }, 977.77},
 	}
-	for _, r := range rows {
-		th.Row(r.name, f1(r.ours), f1(r.paper), dev(r.ours, r.paper))
+	appJobs := make([]func() float64, len(rows))
+	for i := range rows {
+		appJobs[i] = rows[i].ours
+	}
+	for i, ours := range par.Map(o.workers(), appJobs) {
+		r := rows[i]
+		th.Row(r.name, f1(ours), f1(r.paper), dev(ours, r.paper))
 	}
 	o.Render(w, th)
 	fmt.Fprintln(w)

@@ -240,3 +240,42 @@ func TestAuditCatchesIncoherence(t *testing.T) {
 		t.Fatalf("zombie ASID entry changed the verdict: %v", after)
 	}
 }
+
+// TestSoakResultMerge checks that merging two shard soaks in shard order
+// reproduces the counters of one run covering both shards' work: sums,
+// key-wise map addition, ordered listing append, and CoreStats addition.
+func TestSoakResultMerge(t *testing.T) {
+	run := func(seed uint64, ops int) *SoakResult {
+		return Soak(SoakConfig{
+			Chaos: Config{Seed: seed, DropIPI: 0.1, StaleTLB: 0.05, VDSAllocFail: 0.2},
+			Ops:   ops,
+		})
+	}
+	a, b := run(1, 300), run(2, 300)
+
+	var agg SoakResult
+	agg.Merge(a)
+	agg.Merge(b)
+	agg.Merge(nil) // must be a no-op
+
+	if agg.Ops != a.Ops+b.Ops || agg.Cycles != a.Cycles+b.Cycles ||
+		agg.Audits != a.Audits+b.Audits {
+		t.Errorf("scalar sums wrong: agg=%+v", agg)
+	}
+	for k, v := range a.Injected {
+		if agg.Injected[k] != v+b.Injected[k] {
+			t.Errorf("Injected[%q] = %d, want %d", k, agg.Injected[k], v+b.Injected[k])
+		}
+	}
+	if len(agg.Events) != len(a.Events)+len(b.Events) {
+		t.Errorf("Events len = %d, want %d", len(agg.Events), len(a.Events)+len(b.Events))
+	}
+	if n := len(a.Events); n > 0 && len(b.Events) > 0 {
+		if !reflect.DeepEqual(agg.Events[n], b.Events[0]) {
+			t.Error("Merge did not append b's events after a's")
+		}
+	}
+	if got, want := agg.CoreStats, a.CoreStats.Add(b.CoreStats); got != want {
+		t.Errorf("CoreStats = %+v, want %+v", got, want)
+	}
+}

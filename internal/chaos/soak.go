@@ -66,6 +66,37 @@ type SoakResult struct {
 	CoreStats core.Stats
 }
 
+// Merge folds another shard's result into r: counters and cycle totals
+// are summed, per-kind maps are added key-wise, and the event, violation,
+// and unrecovered listings are appended in call order. Merging shards of
+// a sharded soak in shard-index order therefore yields the same aggregate
+// regardless of which worker ran which shard.
+func (r *SoakResult) Merge(o *SoakResult) {
+	if o == nil {
+		return
+	}
+	r.Ops += o.Ops
+	r.Cycles += o.Cycles
+	r.Audits += o.Audits
+	r.ASIDRollovers += o.ASIDRollovers
+	if r.Injected == nil {
+		r.Injected = map[string]uint64{}
+	}
+	for k, v := range o.Injected {
+		r.Injected[k] += v
+	}
+	if r.Recovered == nil {
+		r.Recovered = map[string]uint64{}
+	}
+	for k, v := range o.Recovered {
+		r.Recovered[k] += v
+	}
+	r.Events = append(r.Events, o.Events...)
+	r.Violations = append(r.Violations, o.Violations...)
+	r.Unrecovered = append(r.Unrecovered, o.Unrecovered...)
+	r.CoreStats = r.CoreStats.Add(o.CoreStats)
+}
+
 // regionPages is the size of each protected region in the soak workload.
 const regionPages = 4
 

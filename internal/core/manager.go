@@ -123,6 +123,26 @@ func (s Stats) Emit(emit func(name string, v uint64)) {
 	emit("core/hlru-hits", s.HLRUHits)
 }
 
+// Add returns the field-wise sum of two stats snapshots, for aggregating
+// counters across independent machines (e.g. chaos soak shards).
+func (s Stats) Add(o Stats) Stats {
+	s.WrVdrCalls += o.WrVdrCalls
+	s.MapsToFree += o.MapsToFree
+	s.Migrations += o.Migrations
+	s.VDSAllocs += o.VDSAllocs
+	s.VDSSwitches += o.VDSSwitches
+	s.Evictions += o.Evictions
+	s.EvictedPages += o.EvictedPages
+	s.PMDFastEvicts += o.PMDFastEvicts
+	s.RangeFlushes += o.RangeFlushes
+	s.ASIDFlushes += o.ASIDFlushes
+	s.Shootdowns += o.Shootdowns
+	s.DomainFaults += o.DomainFaults
+	s.RegisterSyncs += o.RegisterSyncs
+	s.HLRUHits += o.HLRUHits
+	return s
+}
+
 // VDR is a thread's virtual domain register: its permissions on every vdom
 // plus its address-space attachments (§5.2).
 type VDR struct {

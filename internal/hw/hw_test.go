@@ -349,3 +349,86 @@ func TestSetAssociativeMachine(t *testing.T) {
 		t.Error("conflict-evicted entry still hits (set-associativity not modeled)")
 	}
 }
+
+// TestWalkCacheTransparent drives the same deterministic access/mutation
+// script against a machine with the walk cache enabled and one with it
+// disabled: every AccessResult (kind, pdom, hit flag, and cost) must be
+// identical, because the cache is a host-side optimization charged zero
+// simulated cycles.
+func TestWalkCacheTransparent(t *testing.T) {
+	script := func(cfg Config) ([]AccessResult, tlb.Stats) {
+		m := NewMachine(cfg)
+		c := m.Core(0)
+		pt := pagetable.New()
+		c.SwitchPgd(pt, 1)
+		var out []AccessResult
+		rnd := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 4000; i++ {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			page := pagetable.VAddr((rnd >> 33) % 64 * pagetable.PageSize)
+			switch rnd % 11 {
+			case 0:
+				pt.Map(page, pagetable.Frame(i), rnd%3 != 0, pagetable.Pdom(rnd%8))
+			case 1:
+				pt.Unmap(page)
+			case 2:
+				pt.SetPdom(page, pagetable.Pdom(rnd%8))
+			case 3:
+				pt.DisablePMD(page)
+			case 4:
+				pt.EnablePMD(page)
+			case 5:
+				c.TLB().FlushPage(1, page.VPN())
+			default:
+				out = append(out, c.Access(page, rnd%2 == 0))
+			}
+		}
+		return out, c.TLB().Stats()
+	}
+	base := Config{Arch: cycles.X86, NumCores: 1, TLBCapacity: 16}
+	on, onStats := script(base)
+	offCfg := base
+	offCfg.NoWalkCache = true
+	off, offStats := script(offCfg)
+	if len(on) != len(off) {
+		t.Fatalf("result counts differ: %d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("access %d diverged: cache-on %+v, cache-off %+v", i, on[i], off[i])
+		}
+	}
+	if onStats != offStats {
+		t.Errorf("TLB stats diverged: cache-on %+v, cache-off %+v", onStats, offStats)
+	}
+}
+
+// TestWalkCacheCountsHits verifies the cache actually engages (repeated
+// faulting accesses to one unmapped page replay the memoized walk) and
+// that its counters reach the metrics catalogue.
+func TestWalkCacheCountsHits(t *testing.T) {
+	m := newX86(1)
+	c := m.Core(0)
+	pt := pagetable.New()
+	c.SwitchPgd(pt, 1)
+	for i := 0; i < 10; i++ {
+		if res := c.Access(0x4000, false); res.Kind != FaultNotPresent {
+			t.Fatalf("access %d = %v, want not-present", i, res.Kind)
+		}
+	}
+	got := map[string]uint64{}
+	m.EmitMetrics(func(name string, v uint64) { got[name] = v })
+	if got["hw/walk-cache-hits"] != 9 || got["hw/walk-cache-misses"] != 1 {
+		t.Errorf("walk cache counters = hits %d misses %d, want 9/1",
+			got["hw/walk-cache-hits"], got["hw/walk-cache-misses"])
+	}
+	// A table mutation must invalidate the memo via the generation check.
+	pt.Map(0x4000, 7, true, 2)
+	if res := c.Access(0x4000, false); res.Kind != AccessOK || res.TLBHit {
+		t.Fatalf("post-map access = %+v, want cold ok", res)
+	}
+	m.EmitMetrics(func(name string, v uint64) { got[name] = v })
+	if got["hw/walk-cache-misses"] != 2 {
+		t.Errorf("post-map misses = %d, want 2", got["hw/walk-cache-misses"])
+	}
+}

@@ -30,6 +30,12 @@ type Config struct {
 	// SetAssociative organizes each TLB as 8-way set-associative
 	// (modelling conflict misses) instead of fully associative.
 	SetAssociative bool
+	// NoWalkCache disables the per-core page-walk cache (ablation and
+	// equivalence testing). The cache is a host-side wall-clock
+	// optimization only: it is charged zero simulated cycles and never
+	// changes an access outcome, so this knob must not affect any
+	// simulated result.
+	NoWalkCache bool
 }
 
 // IPIFate is an injector's verdict on one inter-processor interrupt.
@@ -68,10 +74,11 @@ type Injector interface {
 
 // Machine is the simulated hardware platform.
 type Machine struct {
-	params *cycles.Params
-	cores  []*Core
-	noASID bool
-	inj    Injector
+	params      *cycles.Params
+	cores       []*Core
+	noASID      bool
+	noWalkCache bool
+	inj         Injector
 
 	nextFrame pagetable.Frame
 }
@@ -85,7 +92,11 @@ func NewMachine(cfg Config) *Machine {
 	if capacity == 0 {
 		capacity = tlb.DefaultCapacity
 	}
-	m := &Machine{params: cycles.ParamsFor(cfg.Arch), noASID: cfg.NoASID}
+	m := &Machine{
+		params:      cycles.ParamsFor(cfg.Arch),
+		noASID:      cfg.NoASID,
+		noWalkCache: cfg.NoWalkCache,
+	}
 	for i := 0; i < cfg.NumCores; i++ {
 		var cache tlb.Cache
 		if cfg.SetAssociative {
@@ -137,11 +148,16 @@ func (m *Machine) AllocFrames(n int) pagetable.Frame {
 // OBSERVABILITY.md for the catalogue.
 func (m *Machine) EmitMetrics(emit func(name string, v uint64)) {
 	var agg tlb.Stats
+	var wcHits, wcMisses uint64
 	for _, c := range m.cores {
 		agg.Add(c.tlb.Stats())
+		wcHits += c.walkHits
+		wcMisses += c.walkMisses
 	}
 	agg.Emit(emit)
 	emit("hw/frames-allocated", uint64(m.nextFrame))
+	emit("hw/walk-cache-hits", wcHits)
+	emit("hw/walk-cache-misses", wcMisses)
 }
 
 // ShootdownReport describes the cost and delivery outcome of one TLB
@@ -365,6 +381,21 @@ type Core struct {
 	perm  PermRegister
 	table *pagetable.Table
 	asid  tlb.ASID
+
+	// Page-walk cache: the last Walk outcome, reusable while the source
+	// table's mutation generation is unchanged. Walk is pure, so replaying
+	// its memoized result is observationally identical to re-walking; the
+	// simulated cost still charges wr.LevelsVisited as if the walker ran.
+	// Hits avoid the 4-level radix descent per faulting access in walk-
+	// heavy workloads (demand-paging storms, eviction sweeps).
+	walkTable *pagetable.Table
+	walkGen   uint64
+	walkVPN   uint64
+	walkValid bool
+	walkRes   pagetable.WalkResult
+
+	walkHits   uint64
+	walkMisses uint64
 }
 
 // ID returns the core id.
@@ -422,7 +453,7 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 		}
 		return res
 	}
-	wr := c.table.Walk(addr)
+	wr := c.walk(addr, vpn)
 	cost := p.TLBHit + p.PageWalk*cycles.Cost(wr.LevelsVisited)/cycles.Cost(pagetable.Levels)
 	switch {
 	case wr.PMDDisabled:
@@ -443,6 +474,28 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 		res.Kind = FaultDomainPerm
 	}
 	return res
+}
+
+// walk resolves addr through the page-walk cache: when the loaded table's
+// generation matches the memoized walk of the same VPN, the cached result
+// is replayed instead of descending the radix tree. Walk outcomes depend
+// only on the VPN and the table's contents, so a generation match makes
+// the replay exact — same WalkResult, same LevelsVisited, same charged
+// cycles. The cache self-invalidates via the generation check; no flush
+// hook is needed.
+func (c *Core) walk(addr pagetable.VAddr, vpn uint64) pagetable.WalkResult {
+	if c.machine.noWalkCache {
+		return c.table.Walk(addr)
+	}
+	gen := c.table.Gen()
+	if c.walkValid && c.walkTable == c.table && c.walkGen == gen && c.walkVPN == vpn {
+		c.walkHits++
+		return c.walkRes
+	}
+	wr := c.table.Walk(addr)
+	c.walkTable, c.walkGen, c.walkVPN, c.walkRes, c.walkValid = c.table, gen, vpn, wr, true
+	c.walkMisses++
+	return wr
 }
 
 func (c *Core) check(pdom pagetable.Pdom, writable, write bool) FaultKind {

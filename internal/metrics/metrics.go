@@ -174,6 +174,45 @@ func (r *Registry) Reset() {
 	r.total = 0
 }
 
+// Merge folds another registry's counters, cycle attributions, and
+// histograms into r with Add semantics. The parallel experiment engine
+// uses it to aggregate per-cell registries — each worker publishes into
+// its own private registry, and the collector merges them in cell order
+// once the fan-out completes, so no registry is ever written from two
+// goroutines. Merging is commutative, so the resulting snapshot is
+// byte-identical for every worker count. A nil receiver or nil argument
+// is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for name, v := range o.counters {
+		r.counters[name] += v
+	}
+	for k, v := range o.cycles {
+		r.cycles[k] += v
+	}
+	r.total += o.total
+	for name, oh := range o.hists {
+		h := r.hists[name]
+		if h == nil {
+			h = &histogram{min: ^uint64(0)}
+			r.hists[name] = h
+		}
+		h.count += oh.count
+		h.sum += oh.sum
+		if oh.count > 0 && oh.min < h.min {
+			h.min = oh.min
+		}
+		if oh.max > h.max {
+			h.max = oh.max
+		}
+		for i, c := range oh.buckets {
+			h.buckets[i] += c
+		}
+	}
+}
+
 // CycleEntry is one (layer, operation) line of a snapshot's cycle
 // breakdown.
 type CycleEntry struct {

@@ -189,3 +189,89 @@ func TestReset(t *testing.T) {
 		t.Errorf("post-reset snapshot not empty: %+v", s)
 	}
 }
+
+// TestMerge: merging per-cell registries in any grouping must equal
+// publishing everything into one registry — the property the parallel
+// experiment engine's byte-identical-output guarantee rests on.
+func TestMerge(t *testing.T) {
+	build := func(vals []uint64) *Registry {
+		r := New()
+		for _, v := range vals {
+			r.Add("tlb/hits", v)
+			r.Attribute("core", "wrvdr", v)
+			r.Observe("activation", v)
+		}
+		return r
+	}
+	all := []uint64{1, 9, 300, 2, 70000, 5}
+	want := build(all)
+
+	merged := New()
+	merged.Merge(build(all[:2]))
+	merged.Merge(build(all[2:4]))
+	merged.Merge(build(all[4:]))
+	merged.Merge(New()) // empty registry contributes nothing
+
+	var wb, mb bytes.Buffer
+	if err := want.WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if wb.String() != mb.String() {
+		t.Errorf("merged snapshot differs from direct snapshot:\n--- direct\n%s\n--- merged\n%s", wb.String(), mb.String())
+	}
+	if err := merged.Snapshot().CheckConsistency(); err != nil {
+		t.Errorf("merged snapshot inconsistent: %v", err)
+	}
+}
+
+// TestMergeNil: nil receiver and nil argument are no-ops in both
+// directions, matching the rest of the nil-safe contract.
+func TestMergeNil(t *testing.T) {
+	var nilr *Registry
+	nilr.Merge(New())
+	r := New()
+	r.Add("x", 1)
+	r.Merge(nil)
+	if r.Counter("x") != 1 {
+		t.Errorf("Merge(nil) mutated registry: %d", r.Counter("x"))
+	}
+}
+
+// TestTraceAppend: appending per-cell traces in cell order must yield
+// the same JSON as recording the events into one trace sequentially.
+func TestTraceAppend(t *testing.T) {
+	direct := NewTrace()
+	direct.Span("a", 0, 0, 5)
+	direct.Instant("cat", "b", 1, 7)
+	direct.Decision("map", 2, 9, 3, map[string]uint64{"vdom": 4})
+
+	c1 := NewTrace()
+	c1.Span("a", 0, 0, 5)
+	c2 := NewTrace()
+	c2.Instant("cat", "b", 1, 7)
+	c2.Decision("map", 2, 9, 3, map[string]uint64{"vdom": 4})
+
+	merged := NewTrace()
+	merged.Append(c1)
+	merged.Append(c2)
+	merged.Append(nil)
+	var nilt *Trace
+	nilt.Append(c1) // no-op, must not panic
+
+	var db, mb bytes.Buffer
+	if err := direct.WriteJSON(&db); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if db.String() != mb.String() {
+		t.Errorf("appended trace differs:\n--- direct\n%s\n--- merged\n%s", db.String(), mb.String())
+	}
+	if merged.Len() != 3 {
+		t.Errorf("merged Len = %d, want 3", merged.Len())
+	}
+}

@@ -73,6 +73,19 @@ func (t *Trace) Decision(name string, tid int, ts, dur uint64, args map[string]u
 	})
 }
 
+// Append transfers another trace's events to the end of t, preserving
+// their order. The parallel experiment engine collects per-cell traces
+// (each timestamped on its own cell's cycle clock, exactly as a shared
+// sink would record them) and appends them in cell order, so the merged
+// trace is byte-identical to a sequential run's. A nil receiver or nil
+// argument is a no-op.
+func (t *Trace) Append(o *Trace) {
+	if t == nil || o == nil {
+		return
+	}
+	t.events = append(t.events, o.events...)
+}
+
 // Len returns the number of recorded events.
 func (t *Trace) Len() int {
 	if t == nil {

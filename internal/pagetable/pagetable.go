@@ -96,7 +96,18 @@ type Table struct {
 	// cumulative totals survive the per-operation reset protocol.
 	retiredPTE uint64
 	retiredPMD uint64
+
+	// gen increments on every structural mutation (Map, Unmap, SetPdom,
+	// SetWritable, DisablePMD, EnablePMD, and the range operations built
+	// on them). Translation caches key their validity on it: a cached
+	// Walk result is reusable iff the table's generation is unchanged.
+	gen uint64
 }
+
+// Gen returns the table's mutation generation. It changes whenever any
+// operation that could alter a Walk outcome runs, so callers may reuse a
+// cached WalkResult as long as Gen is unchanged.
+func (t *Table) Gen() uint64 { return t.gen }
 
 // New returns an empty page table.
 func New() *Table {
@@ -187,6 +198,7 @@ func (t *Table) ensurePT(a VAddr) (*ptTable, *pmdTable, int) {
 // under a disabled PMD re-enables that PMD entry (one PMD write), matching
 // the remap path of VDom's HLRU policy.
 func (t *Table) Map(a VAddr, f Frame, writable bool, d Pdom) {
+	t.gen++
 	pt, pmd, i1 := t.ensurePT(a)
 	if pmd.disabled[i1] {
 		pmd.disabled[i1] = false
@@ -204,6 +216,7 @@ func (t *Table) Map(a VAddr, f Frame, writable bool, d Pdom) {
 // Unmap removes the translation for the page containing a. It reports
 // whether a present mapping existed.
 func (t *Table) Unmap(a VAddr) bool {
+	t.gen++
 	i3, i2, i1, i0 := indices(a)
 	pud := t.pgd[i3]
 	if pud == nil {
@@ -231,6 +244,7 @@ func (t *Table) Unmap(a VAddr) bool {
 // present mapping existed. Retagging a page under a disabled PMD re-enables
 // the PMD entry.
 func (t *Table) SetPdom(a VAddr, d Pdom) bool {
+	t.gen++
 	i3, i2, i1, i0 := indices(a)
 	pud := t.pgd[i3]
 	if pud == nil {
@@ -255,6 +269,7 @@ func (t *Table) SetPdom(a VAddr, d Pdom) bool {
 
 // SetWritable flips the writable bit of the page containing a.
 func (t *Table) SetWritable(a VAddr, w bool) bool {
+	t.gen++
 	wr := t.Walk(a)
 	if !wr.Present {
 		return false
@@ -268,6 +283,7 @@ func (t *Table) SetWritable(a VAddr, w bool) bool {
 // DisablePMD marks the 2 MiB PMD entry covering a as access-never without
 // touching its PTEs. It reports whether the entry existed and was enabled.
 func (t *Table) DisablePMD(a VAddr) bool {
+	t.gen++
 	i3, i2, i1, _ := indices(a)
 	pud := t.pgd[i3]
 	if pud == nil {
@@ -284,6 +300,7 @@ func (t *Table) DisablePMD(a VAddr) bool {
 
 // EnablePMD clears the disabled mark on the PMD entry covering a.
 func (t *Table) EnablePMD(a VAddr) bool {
+	t.gen++
 	i3, i2, i1, _ := indices(a)
 	pud := t.pgd[i3]
 	if pud == nil {

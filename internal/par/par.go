@@ -1,0 +1,104 @@
+// Package par is the worker-pool fan-out engine behind the parallel
+// experiment harness (vdom-bench -parallel N).
+//
+// The paper's evaluation is an embarrassingly parallel grid of independent
+// deterministic cells: every Table 3/4/5 measurement, every figure row,
+// and every chaos-soak shard boots its own isolated simulated machine.
+// par schedules those cells across OS threads while keeping the work
+// product bit-for-bit identical to a sequential run: jobs are indexed,
+// each job writes only to its own result slot, and callers assemble
+// results in index order. Worker count therefore affects wall-clock time
+// only, never output — the property the bench layer's byte-identical
+// output guarantee rests on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a -parallel flag value: n > 0 is used as-is, while
+// n <= 0 selects runtime.GOMAXPROCS(0) (one worker per schedulable CPU).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs job(0), ..., job(n-1) across at most `workers` goroutines and
+// returns when all have finished. workers <= 1 (or n <= 1) runs strictly
+// sequentially on the calling goroutine, in index order, with no
+// goroutines spawned — the reference execution parallel runs must match.
+//
+// Jobs must be independent: they may not share mutable state, and each
+// must confine its writes to its own result slot. A panicking job stops
+// the pool and the panic value is re-raised on the calling goroutine once
+// every in-flight job has returned, mirroring sequential behaviour.
+func Do(workers, n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				stop := func() (stop bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+								// Park the index cursor past the end so
+								// idle workers drain instead of starting
+								// doomed work.
+								next.Store(int64(n))
+							}
+							panicMu.Unlock()
+							stop = true
+						}
+					}()
+					job(i)
+					return false
+				}()
+				if stop {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs the jobs concurrently on at most `workers` goroutines and
+// returns their results in input order, regardless of completion order.
+// It is Do with a result slot per job.
+func Map[T any](workers int, jobs []func() T) []T {
+	out := make([]T, len(jobs))
+	Do(workers, len(jobs), func(i int) { out[i] = jobs[i]() })
+	return out
+}

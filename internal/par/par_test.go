@@ -1,0 +1,80 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int64
+		Do(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSequentialOrder(t *testing.T) {
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("sequential Do out of order: %v", order)
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(4, 0, func(int) { t.Fatal("job ran for n=0") })
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		jobs := make([]func() string, 20)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() string { return fmt.Sprint(i * i) }
+		}
+		got := Map(workers, jobs)
+		for i, v := range got {
+			if want := fmt.Sprint(i * i); v != want {
+				t.Fatalf("workers=%d: Map[%d] = %q, want %q", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			Do(workers, 10, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

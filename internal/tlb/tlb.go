@@ -78,6 +78,15 @@ type TLB struct {
 	index map[key]int
 	hand  int
 	stats Stats
+
+	// lastIdx memoizes the slot of the most recent hit (-1 when unset), a
+	// host-side fast path that skips the map hash when the same page is hit
+	// repeatedly. The memo self-validates against the slot's live content —
+	// flushes invalidate the slot and evictions overwrite it, so a stale
+	// memo simply fails the content check — and its hit path performs the
+	// exact side effects of an indexed hit (reference bit, Hits counter),
+	// keeping clock replacement and stats bit-identical.
+	lastIdx int
 }
 
 // DefaultCapacity approximates a unified second-level TLB.
@@ -89,8 +98,9 @@ func New(capacity int) *TLB {
 		panic("tlb: capacity must be positive")
 	}
 	return &TLB{
-		slots: make([]slot, capacity),
-		index: make(map[key]int, capacity),
+		slots:   make([]slot, capacity),
+		index:   make(map[key]int, capacity),
+		lastIdx: -1,
 	}
 }
 
@@ -109,9 +119,17 @@ func (t *TLB) ResetStats() { t.stats = Stats{} }
 // Lookup searches for (asid, vpn). A hit refreshes the entry's reference
 // bit.
 func (t *TLB) Lookup(asid ASID, vpn uint64) (Entry, bool) {
+	if i := t.lastIdx; i >= 0 {
+		if s := &t.slots[i]; s.valid && s.entry.ASID == asid && s.entry.VPN == vpn {
+			s.referenced = true
+			t.stats.Hits++
+			return s.entry, true
+		}
+	}
 	if i, ok := t.index[key{asid, vpn}]; ok {
 		t.slots[i].referenced = true
 		t.stats.Hits++
+		t.lastIdx = i
 		return t.slots[i].entry, true
 	}
 	t.stats.Misses++

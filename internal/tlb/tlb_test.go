@@ -249,3 +249,62 @@ func TestFlushASIDProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLookupMemoStaleness exercises the last-hit memo's self-validation:
+// after the memoized slot is flushed, evicted, or reused for a different
+// key, a lookup must fall back to the index and never return stale data.
+func TestLookupMemoStaleness(t *testing.T) {
+	tl := New(2)
+	e1 := Entry{ASID: 1, VPN: 10, Frame: 100}
+	e2 := Entry{ASID: 1, VPN: 20, Frame: 200}
+	tl.Insert(e1)
+	if got, ok := tl.Lookup(1, 10); !ok || got != e1 {
+		t.Fatalf("warm lookup = %+v, %v", got, ok)
+	}
+
+	// Flush the memoized page: the memo's slot is invalid now.
+	tl.FlushPage(1, 10)
+	if _, ok := tl.Lookup(1, 10); ok {
+		t.Fatal("lookup hit a flushed page via the memo")
+	}
+
+	// Reuse the memoized slot for a different translation: content check
+	// must reject the memo and the index must resolve the new key.
+	tl.Insert(e2)
+	if got, ok := tl.Lookup(1, 20); !ok || got != e2 {
+		t.Fatalf("lookup after slot reuse = %+v, %v", got, ok)
+	}
+	if _, ok := tl.Lookup(1, 10); ok {
+		t.Fatal("stale key still resolves")
+	}
+
+	// FlushAll clears every slot; the memo must not resurrect anything.
+	tl.Insert(e1)
+	tl.Lookup(1, 10)
+	tl.FlushAll()
+	if _, ok := tl.Lookup(1, 10); ok {
+		t.Fatal("lookup hit after FlushAll")
+	}
+}
+
+// TestLookupMemoSideEffects: a memo hit must be indistinguishable from an
+// indexed hit — same Hits counter, same reference-bit refresh (observable
+// through clock replacement ordering).
+func TestLookupMemoSideEffects(t *testing.T) {
+	tl := New(2)
+	tl.Insert(Entry{ASID: 1, VPN: 1})
+	tl.Insert(Entry{ASID: 1, VPN: 2})
+	// Two consecutive hits on VPN 1: the second goes through the memo.
+	tl.Lookup(1, 1)
+	tl.Lookup(1, 1)
+	if s := tl.Stats(); s.Hits != 2 {
+		t.Fatalf("Hits = %d, want 2", s.Hits)
+	}
+	// Both slots referenced → clock sweeps hand over slot 0 (clearing its
+	// bit), then slot 1, then evicts slot 0. The memo hit on VPN 1 must
+	// have set the reference bit for this to hold.
+	tl.Insert(Entry{ASID: 1, VPN: 3})
+	if _, ok := tl.Lookup(1, 2); !ok {
+		t.Error("VPN 2 evicted; memo hit failed to set reference bit ordering")
+	}
+}

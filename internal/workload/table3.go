@@ -7,6 +7,7 @@ import (
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/pagetable"
+	"vdom/internal/par"
 )
 
 // Table3Row is one measured row of Table 3 ("Average cycles of common
@@ -21,6 +22,14 @@ type Table3Row struct {
 
 // Table3 measures every row of Table 3 on both simulated architectures.
 func Table3() []Table3Row {
+	return Table3Parallel(1)
+}
+
+// Table3Parallel is Table3 with the measured cells (each an isolated
+// machine/kernel fixture) fanned out across at most `workers` goroutines.
+// Cells write disjoint row fields and the parameter-table rows are filled
+// inline, so the result is identical for every worker count.
+func Table3Parallel(workers int) []Table3Row {
 	rows := []Table3Row{
 		{Operation: "empty API call return", ARMDefined: true},
 		{Operation: "empty syscall return", ARMDefined: true},
@@ -33,7 +42,14 @@ func Table3() []Table3Row {
 		{Operation: "secure wrvdr with 64MB eviction", ARMDefined: true},
 		{Operation: "secure wrvdr with VDS switch", ARMDefined: true},
 	}
+	type cell struct {
+		row     int
+		arch    cycles.Arch
+		measure func() float64
+	}
+	var cells []cell
 	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
+		arch := arch
 		p := cycles.ParamsFor(arch)
 		set := func(i int, v float64) {
 			if arch == cycles.X86 {
@@ -48,13 +64,23 @@ func Table3() []Table3Row {
 		if arch == cycles.X86 {
 			set(3, float64(epk.VMFuncCycles(1)))
 		}
-		set(4, measureWrvdr(arch, false))
-		set(5, measureWrvdr(arch, true))
-		set(6, measureEviction(arch, pagetable.PageSize))
-		set(7, measureEviction(arch, pagetable.PMDSize))
-		set(8, measureEviction(arch, 64<<20))
-		set(9, measureVDSSwitch(arch))
+		cells = append(cells,
+			cell{4, arch, func() float64 { return measureWrvdr(arch, false) }},
+			cell{5, arch, func() float64 { return measureWrvdr(arch, true) }},
+			cell{6, arch, func() float64 { return measureEviction(arch, pagetable.PageSize) }},
+			cell{7, arch, func() float64 { return measureEviction(arch, pagetable.PMDSize) }},
+			cell{8, arch, func() float64 { return measureEviction(arch, 64<<20) }},
+			cell{9, arch, func() float64 { return measureVDSSwitch(arch) }},
+		)
 	}
+	par.Do(workers, len(cells), func(i int) {
+		v := cells[i].measure()
+		if cells[i].arch == cycles.X86 {
+			rows[cells[i].row].X86 = v
+		} else {
+			rows[cells[i].row].ARM = v
+		}
+	})
 	return rows
 }
 

@@ -1,0 +1,94 @@
+package vdom
+
+import "fmt"
+
+// maxCores is the most hardware threads one System supports; the machine
+// addresses cores through a 64-bit CPU bitmap.
+const maxCores = 64
+
+// Validate reports whether the config describes a buildable platform.
+// Zero values are valid — they select documented defaults (X86, 4 cores,
+// 1536 TLB entries) — but nonsense is rejected: negative Cores or
+// TLBEntries, more than 64 cores (the CPU-bitmap limit), or an unknown
+// Arch. NewSystem panics on exactly the errors returned here;
+// NewSystemWith returns them.
+func (cfg Config) Validate() error {
+	if cfg.Arch < X86 || cfg.Arch > Power {
+		return fmt.Errorf("unknown architecture %d", int(cfg.Arch))
+	}
+	if cfg.Cores < 0 {
+		return fmt.Errorf("negative core count %d", cfg.Cores)
+	}
+	if cfg.Cores > maxCores {
+		return fmt.Errorf("core count %d exceeds the %d-core limit", cfg.Cores, maxCores)
+	}
+	if cfg.TLBEntries < 0 {
+		return fmt.Errorf("negative TLB capacity %d", cfg.TLBEntries)
+	}
+	return nil
+}
+
+// Option is a functional configuration knob for NewSystemWith, layered
+// over Config: each option sets one field, and unset fields keep their
+// documented defaults.
+type Option func(*Config)
+
+// WithArch selects the simulated architecture (default X86).
+func WithArch(a Arch) Option { return func(c *Config) { c.Arch = a } }
+
+// WithCores sets the number of hardware threads (default 4, max 64).
+func WithCores(n int) Option { return func(c *Config) { c.Cores = n } }
+
+// WithTLBEntries sets the per-core TLB capacity (default 1536).
+func WithTLBEntries(n int) Option { return func(c *Config) { c.TLBEntries = n } }
+
+// WithNoASID disables ASID tagging, forcing a full TLB flush on every
+// address-space switch (ablation only).
+func WithNoASID() Option { return func(c *Config) { c.NoASID = true } }
+
+// WithSetAssociativeTLB models 8-way set-associative TLBs (conflict
+// misses) instead of fully associative ones.
+func WithSetAssociativeTLB() Option { return func(c *Config) { c.SetAssociativeTLB = true } }
+
+// WithVanillaKernel boots the kernel without the VDom patches (baseline
+// measurements only).
+func WithVanillaKernel() Option { return func(c *Config) { c.VanillaKernel = true } }
+
+// WithChaos attaches the deterministic fault-injection layer.
+func WithChaos(cc ChaosConfig) Option { return func(c *Config) { c.Chaos = &cc } }
+
+// WithMetrics enables the unified observability layer (System.Metrics,
+// System.MetricsSnapshot).
+func WithMetrics() Option { return func(c *Config) { c.Metrics = true } }
+
+// NewSystemWith boots a simulated machine configured by options, the
+// error-returning sibling of NewSystem:
+//
+//	sys, err := vdom.NewSystemWith(vdom.WithArch(vdom.ARM), vdom.WithCores(8))
+//
+// With no options it boots the default platform (X86, 4 cores). The error
+// is non-nil exactly when Config.Validate rejects the assembled config.
+func NewSystemWith(opts ...Option) (*System, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("vdom: %w", err)
+	}
+	return newSystem(cfg), nil
+}
+
+// CoreRangeError reports a thread-placement request naming a core the
+// system does not have.
+type CoreRangeError struct {
+	// Core is the requested core id.
+	Core int
+	// Cores is the system's core count; valid ids are [0, Cores).
+	Cores int
+}
+
+// Error implements the error interface.
+func (e *CoreRangeError) Error() string {
+	return fmt.Sprintf("core %d out of range [0, %d)", e.Core, e.Cores)
+}

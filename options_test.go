@@ -1,0 +1,111 @@
+package vdom_test
+
+import (
+	"errors"
+	"testing"
+
+	"vdom"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := []vdom.Config{
+		{},
+		{Arch: vdom.ARM, Cores: 64},
+		{Arch: vdom.Power, TLBEntries: 8},
+	}
+	for _, cfg := range valid {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+	invalid := []vdom.Config{
+		{Cores: -1},
+		{Cores: 65},
+		{TLBEntries: -5},
+		{Arch: vdom.Arch(99)},
+		{Arch: vdom.Arch(-1)},
+	}
+	for _, cfg := range invalid {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+}
+
+func TestNewSystemPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSystem(Cores: -3) did not panic")
+		}
+	}()
+	vdom.NewSystem(vdom.Config{Cores: -3})
+}
+
+func TestNewSystemWith(t *testing.T) {
+	sys, err := vdom.NewSystemWith(
+		vdom.WithArch(vdom.ARM),
+		vdom.WithCores(6),
+		vdom.WithTLBEntries(128),
+		vdom.WithNoASID(),
+		vdom.WithSetAssociativeTLB(),
+		vdom.WithMetrics(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cores() != 6 {
+		t.Errorf("Cores = %d, want 6", sys.Cores())
+	}
+	if sys.Metrics() == nil {
+		t.Error("WithMetrics did not enable the registry")
+	}
+
+	if sys, err := vdom.NewSystemWith(); err != nil || sys.Cores() != 4 {
+		t.Errorf("no-option system = %v cores, err %v; want default 4", sys.Cores(), err)
+	}
+
+	if _, err := vdom.NewSystemWith(vdom.WithCores(65)); err == nil {
+		t.Error("WithCores(65) accepted; CPU bitmap supports 64")
+	}
+}
+
+func TestNewSystemWithChaos(t *testing.T) {
+	sys, err := vdom.NewSystemWith(vdom.WithChaos(vdom.ChaosConfig{Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Injector() == nil {
+		t.Error("WithChaos did not attach the injector")
+	}
+}
+
+func TestNewThreadOn(t *testing.T) {
+	sys := vdom.NewSystem(vdom.Config{Cores: 2})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+
+	if _, err := p.NewThreadOn(1); err != nil {
+		t.Errorf("NewThreadOn(1) on a 2-core system: %v", err)
+	}
+	for _, core := range []int{-1, 2, 100} {
+		_, err := p.NewThreadOn(core)
+		var cre *vdom.CoreRangeError
+		if !errors.As(err, &cre) {
+			t.Errorf("NewThreadOn(%d) = %v, want *CoreRangeError", core, err)
+			continue
+		}
+		if cre.Core != core || cre.Cores != 2 {
+			t.Errorf("CoreRangeError = %+v, want {Core: %d, Cores: 2}", cre, core)
+		}
+	}
+}
+
+func TestNewThreadPanicsOutOfRange(t *testing.T) {
+	sys := vdom.NewSystem(vdom.Config{Cores: 2})
+	p := sys.NewProcess(vdom.DefaultPolicy())
+	defer func() {
+		if recover() == nil {
+			t.Error("NewThread(9) did not panic")
+		}
+	}()
+	p.NewThread(9)
+}

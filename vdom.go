@@ -162,9 +162,20 @@ type System struct {
 	procs    []*Process
 }
 
-// NewSystem boots a simulated machine.
+// NewSystem boots a simulated machine. The zero Config is valid (X86,
+// 4 cores, default TLB); an invalid Config — anything Config.Validate
+// rejects — panics. Use NewSystemWith to get the validation failure as an
+// error instead.
 func NewSystem(cfg Config) *System {
-	if cfg.Cores <= 0 {
+	if err := cfg.Validate(); err != nil {
+		panic("vdom: " + err.Error())
+	}
+	return newSystem(cfg)
+}
+
+// newSystem builds a system from a validated config, applying defaults.
+func newSystem(cfg Config) *System {
+	if cfg.Cores == 0 {
 		cfg.Cores = 4
 	}
 	m := hw.NewMachine(hw.Config{
@@ -331,9 +342,25 @@ type Thread struct {
 	task *kernel.Task
 }
 
-// NewThread spawns a thread pinned to the given core.
+// NewThread spawns a thread pinned to the given core. An out-of-range
+// coreID panics (deep in the simulated kernel); use NewThreadOn to get a
+// typed error validated at the API boundary instead.
 func (p *Process) NewThread(coreID int) *Thread {
-	return &Thread{proc: p, task: p.proc.NewTask(coreID)}
+	t, err := p.NewThreadOn(coreID)
+	if err != nil {
+		panic("vdom: " + err.Error())
+	}
+	return t
+}
+
+// NewThreadOn spawns a thread pinned to the given core, returning a
+// *CoreRangeError (matchable with errors.As) when coreID is not a valid
+// core of the system.
+func (p *Process) NewThreadOn(coreID int) (*Thread, error) {
+	if n := p.sys.Cores(); coreID < 0 || coreID >= n {
+		return nil, &CoreRangeError{Core: coreID, Cores: n}
+	}
+	return &Thread{proc: p, task: p.proc.NewTask(coreID)}, nil
 }
 
 // Task exposes the kernel task (advanced use: scheduler bridges).
@@ -385,25 +412,35 @@ func (t *Thread) ReadVDR(d Domain) (Perm, Cycles, error) {
 	return t.proc.mgr.RdVdr(t.task, d)
 }
 
-// Load performs a read at addr; the simulated MMU enforces domain
-// permissions and returns ErrSigsegv on violations.
-func (t *Thread) Load(addr Addr) error {
-	_, err := t.task.Access(addr, false)
-	return err
-}
-
-// Store performs a write at addr.
-func (t *Thread) Store(addr Addr) error {
-	_, err := t.task.Access(addr, true)
-	return err
-}
-
-// LoadCost is Load returning the cycle cost as well.
+// LoadCost performs a read at addr and reports its simulated cycle cost.
+// It is the primary memory-access API: every Thread operation reports
+// (Cycles, error), and LoadCost/StoreCost complete that contract for the
+// access path. The simulated MMU enforces domain permissions — TLB
+// lookup, page walk on a miss, then the domain check — and the error is
+// ErrSigsegv (under errors.Is) when the hardware would deny the access;
+// the returned cycles cover the attempt and any fault handling the kernel
+// performed.
 func (t *Thread) LoadCost(addr Addr) (Cycles, error) {
 	return t.task.Access(addr, false)
 }
 
-// StoreCost is Store returning the cycle cost as well.
+// StoreCost performs a write at addr and reports its simulated cycle
+// cost; see LoadCost for the access and error semantics. Writes
+// additionally require the page to be mapped writable and the domain
+// open for writing.
 func (t *Thread) StoreCost(addr Addr) (Cycles, error) {
 	return t.task.Access(addr, true)
+}
+
+// Load is a convenience wrapper around LoadCost for callers that only
+// care whether the access was permitted, not what it cost.
+func (t *Thread) Load(addr Addr) error {
+	_, err := t.LoadCost(addr)
+	return err
+}
+
+// Store is a convenience wrapper around StoreCost; see Load.
+func (t *Thread) Store(addr Addr) error {
+	_, err := t.StoreCost(addr)
+	return err
 }
