@@ -4,10 +4,20 @@
 // Usage:
 //
 //	vdom-bench [-quick] [-format text|csv] [-seed N] [-parallel N]
-//	           [-metrics out.json] [-trace-out out.trace.json] [experiment]
+//	           [-metrics out.json] [-trace-out out.trace.json]
+//	           [-trace-dir DIR] [-divergence-out out.json]
+//	           [-soak-report out.json] [-trace-dump DIR] [experiment]
 //
 // Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
-// fig6, fig7, unixbench, ctxswitch, ablation, chaos, compare, all (default).
+// fig6, fig7, unixbench, ctxswitch, ablation, chaos, record, replay,
+// compare, all (default).
+//
+// `record` re-records the domain-op trace corpus (one scaled-down run per
+// paper workload and kernel kind, see REPLAY.md) into -trace-dir; `replay`
+// re-executes every trace there and verifies the runs are bit-identical
+// to their recordings, exiting non-zero on divergence. The chaos
+// experiment accepts -soak-report and -trace-dump to archive a JSON soak
+// report and failing shards' replayable trace dumps.
 //
 // -parallel N fans the experiment grids out across N worker goroutines,
 // one isolated simulated System per cell; it defaults to runtime.NumCPU().
@@ -42,6 +52,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, cycle attribution, histograms) to this JSON file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev) to this path")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the experiment grids (output is byte-identical for any value)")
+	traceDir := flag.String("trace-dir", "", "trace corpus directory for record/replay (default testdata/traces)")
+	divergenceOut := flag.String("divergence-out", "", "replay: write a JSON divergence report to this file")
+	soakReport := flag.String("soak-report", "", "chaos: write a machine-readable JSON soak report to this file")
+	traceDump := flag.String("trace-dump", "", "chaos: record each shard and dump failing shards' replayable traces into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
@@ -61,6 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  ctxswitch  context switch costs (§7.5)\n")
 		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
 		fmt.Fprintf(os.Stderr, "  chaos      seeded fault-injection soak with audit summary (-seed to replay)\n")
+		fmt.Fprintf(os.Stderr, "  record     record the domain-op trace corpus to -trace-dir\n")
+		fmt.Fprintf(os.Stderr, "  replay     replay every trace under -trace-dir, verifying bit-identical behaviour\n")
 		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
 		fmt.Fprintf(os.Stderr, "  all        everything (default)\n")
 	}
@@ -71,7 +87,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vdom-bench:", err)
 		os.Exit(2)
 	}
-	o := bench.Options{Quick: *quick, Format: f, Parallel: *parallel}
+	o := bench.Options{
+		Quick: *quick, Format: f, Parallel: *parallel,
+		TraceDir: *traceDir, DivergenceOut: *divergenceOut,
+		SoakReport: *soakReport, TraceDump: *traceDump,
+	}
 	if *metricsOut != "" {
 		o.Metrics = metrics.New()
 	}
@@ -118,7 +138,24 @@ func main() {
 	case "ablation":
 		bench.Ablations(w, o)
 	case "chaos":
-		bench.ChaosSeed(w, o, *seed)
+		if err := bench.ChaosSeed(w, o, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: chaos artifacts:", err)
+			os.Exit(1)
+		}
+	case "record":
+		if err := bench.Record(w, o); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: record:", err)
+			os.Exit(1)
+		}
+	case "replay":
+		diverged, err := bench.Replay(w, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: replay:", err)
+			os.Exit(1)
+		}
+		if diverged > 0 {
+			os.Exit(1)
+		}
 	case "compare":
 		bench.Compare(w, o)
 	case "all":

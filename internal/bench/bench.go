@@ -50,6 +50,20 @@ type Options struct {
 	// byte-identical for every value. 0 selects runtime.GOMAXPROCS(0);
 	// 1 forces the sequential reference execution.
 	Parallel int
+
+	// TraceDir is where Record writes and Replay reads the domain-op
+	// trace corpus (default testdata/traces, the golden corpus).
+	TraceDir string
+	// DivergenceOut, when set, makes Replay write a JSON divergence
+	// report (empty list for a clean run) to this path.
+	DivergenceOut string
+	// SoakReport, when set, makes the chaos experiment write a
+	// machine-readable JSON soak report to this path.
+	SoakReport string
+	// TraceDump, when set, turns on soak recording and dumps each
+	// failing chaos shard's minimal replayable trace into this
+	// directory.
+	TraceDump string
 }
 
 // workers resolves Parallel to a concrete pool width.

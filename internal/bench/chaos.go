@@ -3,11 +3,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"vdom/internal/chaos"
 	"vdom/internal/metrics"
 	"vdom/internal/par"
+	"vdom/internal/replay"
 )
 
 // chaosSoakOps returns the soak length for the chaos report.
@@ -28,15 +31,21 @@ const chaosShards = 8
 // Chaos runs the deterministic fault-injection soak and reports the
 // injected faults, the recovery paths that absorbed them, and the
 // cross-layer audit verdict. The run replays exactly from its seed.
-func Chaos(w io.Writer, o Options) {
-	ChaosSeed(w, o, 42)
+func Chaos(w io.Writer, o Options) error {
+	return ChaosSeed(w, o, 42)
 }
 
 // ChaosSeed is Chaos with a caller-chosen seed, for replaying a specific
 // fault sequence. The soak is split into chaosShards independent shards,
 // each a fully isolated machine soaked under its own derived seed; shard
 // results are aggregated in shard order.
-func ChaosSeed(w io.Writer, o Options, seed uint64) {
+//
+// With Options.TraceDump set, every shard records its domain-op stream
+// and any failing shard dumps a minimal replayable trace there; with
+// Options.SoakReport set, a machine-readable JSON report of all shards
+// is written too. The returned error covers artifact writing only — the
+// soak verdict is in the rendered output (and the report).
+func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 	totalOps := o.chaosSoakOps()
 	type shard struct {
 		res *chaos.SoakResult
@@ -67,11 +76,31 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) {
 				Ops:     ops,
 				Metrics: reg,
 				Trace:   tr,
+				Record:  o.TraceDump != "",
 			})
 			return shard{res: res, reg: reg, tr: tr}
 		}
 	}
 	shards := par.Map(o.workers(), jobs)
+
+	// Dump failing shards' minimal reproducer traces before aggregating,
+	// so each shard's TracePath lands in the report.
+	if o.TraceDump != "" {
+		if err := os.MkdirAll(o.TraceDump, 0o755); err != nil {
+			return err
+		}
+		for i, s := range shards {
+			ft := s.res.FailTrace()
+			if ft == nil {
+				continue
+			}
+			path := filepath.Join(o.TraceDump, fmt.Sprintf("chaos-soak-shard%d.trace", i))
+			if err := os.WriteFile(path, replay.Encode(ft), 0o644); err != nil {
+				return err
+			}
+			s.res.TracePath = path
+		}
+	}
 
 	// Aggregate in shard order: sums are order-insensitive, but the
 	// violation/unrecovered listings below keep shard order for stable
@@ -113,6 +142,23 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) {
 			fmt.Fprintf(w, "  unrecovered: %s\n", u)
 		}
 	}
+
+	if o.SoakReport != "" {
+		srs := make([]chaos.ShardReport, len(shards))
+		for i, s := range shards {
+			srs[i] = chaos.NewShardReport(i, seed+uint64(i), s.res)
+		}
+		f, err := os.Create(o.SoakReport)
+		if err != nil {
+			return err
+		}
+		if err := chaos.NewReport(seed, srs).WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // sortedKeys returns the map's keys in lexical order for stable output.

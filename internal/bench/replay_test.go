@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdom/internal/chaos"
+	"vdom/internal/metrics"
+	"vdom/internal/replay"
+)
+
+// goldenDir is the checked-in corpus, relative to this package.
+const goldenDir = "../../testdata/traces"
+
+// TestReplayParallelByteIdentical extends the engine guarantee to the
+// replay experiment: replaying the golden corpus renders byte-identical
+// output — table, metrics snapshot, Chrome trace — at any pool width,
+// and reports zero divergences.
+func TestReplayParallelByteIdentical(t *testing.T) {
+	run := func(workers int) (table, snap, trace []byte) {
+		o := Options{Parallel: workers, TraceDir: goldenDir,
+			Metrics: metrics.New(), Trace: metrics.NewTrace()}
+		var tb, mb, jb bytes.Buffer
+		bad, err := Replay(&tb, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Fatalf("golden corpus reported %d divergences:\n%s", bad, tb.Bytes())
+		}
+		if err := o.Metrics.WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Trace.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes(), jb.Bytes()
+	}
+	t1, m1, j1 := run(1)
+	t3, m3, j3 := run(3)
+	if !bytes.Equal(t1, t3) {
+		t.Errorf("replay output differs between -parallel 1 and 3:\n--- p1\n%s\n--- p3\n%s", t1, t3)
+	}
+	if !bytes.Equal(m1, m3) {
+		t.Error("replay metrics snapshots differ between -parallel 1 and 3")
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Error("replay traces differ between -parallel 1 and 3")
+	}
+}
+
+// TestRecordParallelByteIdentical checks that Record writes the same
+// trace files and renders the same table at any pool width — and that
+// they match the checked-in golden corpus exactly.
+func TestRecordParallelByteIdentical(t *testing.T) {
+	run := func(workers int) (string, []byte) {
+		dir := t.TempDir()
+		var tb bytes.Buffer
+		if err := Record(&tb, Options{Parallel: workers, TraceDir: dir}); err != nil {
+			t.Fatal(err)
+		}
+		return dir, tb.Bytes()
+	}
+	d1, t1 := run(1)
+	d3, t3 := run(3)
+	if !bytes.Equal(t1, t3) {
+		t.Errorf("record output differs between -parallel 1 and 3:\n--- p1\n%s\n--- p3\n%s", t1, t3)
+	}
+	golden, err := filepath.Glob(filepath.Join(goldenDir, "*.trace"))
+	if err != nil || len(golden) == 0 {
+		t.Fatalf("no golden corpus at %s: %v", goldenDir, err)
+	}
+	for _, g := range golden {
+		want, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []string{d1, d3} {
+			got, err := os.ReadFile(filepath.Join(dir, filepath.Base(g)))
+			if err != nil {
+				t.Fatalf("Record did not write %s: %v", filepath.Base(g), err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s: recorded trace differs from the golden corpus", filepath.Base(g))
+			}
+		}
+	}
+}
+
+// TestReplayDetectsCorruption corrupts one recorded cost and checks the
+// divergence is caught, rendered, counted, and written to the JSON
+// divergence report.
+func TestReplayDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	data, err := os.ReadFile(filepath.Join(goldenDir, "table4-vdom-x86.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Events[len(tr.Events)/2].Cost += 7
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.trace"), replay.Encode(tr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "divergence.json")
+	var tb bytes.Buffer
+	bad, err := Replay(&tb, Options{TraceDir: dir, DivergenceOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 1 {
+		t.Fatalf("bad = %d, want 1\n%s", bad, tb.Bytes())
+	}
+	if !bytes.Contains(tb.Bytes(), []byte("DIVERGED")) {
+		t.Errorf("rendered output does not flag the divergence:\n%s", tb.Bytes())
+	}
+	rep, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(rep, &entries); err != nil {
+		t.Fatalf("divergence report is not valid JSON: %v", err)
+	}
+	if len(entries) != 1 || entries[0]["trace"] != "corrupt" {
+		t.Fatalf("divergence report = %s", rep)
+	}
+}
+
+// TestChaosArtifacts runs the sharded soak with recording on and checks
+// the machine-readable report; a healthy run must dump no traces.
+func TestChaosArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "soak.json")
+	dumps := filepath.Join(dir, "dumps")
+	var tb bytes.Buffer
+	if err := ChaosSeed(&tb, Options{Quick: true, SoakReport: report, TraceDump: dumps}, 42); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("soak report is not valid JSON: %v", err)
+	}
+	if len(rep.Shards) != chaosShards {
+		t.Fatalf("report has %d shards, want %d", len(rep.Shards), chaosShards)
+	}
+	if !rep.Healthy {
+		t.Fatalf("soak unexpectedly unhealthy:\n%s", data)
+	}
+	for i, s := range rep.Shards {
+		if s.TraceEvents == 0 {
+			t.Errorf("shard %d recorded no events despite TraceDump", i)
+		}
+		if s.TracePath != "" {
+			t.Errorf("healthy shard %d has a trace dump: %s", i, s.TracePath)
+		}
+	}
+	if files, _ := filepath.Glob(filepath.Join(dumps, "*")); len(files) != 0 {
+		t.Errorf("healthy soak dumped traces: %v", files)
+	}
+}

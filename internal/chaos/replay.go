@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"vdom/internal/core"
+	"vdom/internal/replay"
+	"vdom/internal/tlb"
+)
+
+// SoakWorkload is the Header.Workload name of chaos-soak recordings;
+// replay tooling keys on it to re-attach the injector before replaying.
+const SoakWorkload = "chaos-soak"
+
+// Extra keys carrying the injector configuration in a soak trace header.
+// Probabilities are stored as math.Float64bits so the header stays a
+// pure uint64 map.
+const (
+	extraSeed           = "chaos/seed"
+	extraDropIPI        = "chaos/drop-ipi"
+	extraDelayIPI       = "chaos/delay-ipi"
+	extraStaleTLB       = "chaos/stale-tlb"
+	extraASIDExhaustion = "chaos/asid-exhaustion"
+	extraASIDLimit      = "chaos/asid-limit"
+	extraVDSAllocFail   = "chaos/vds-alloc-fail"
+	extraPdomExhaustion = "chaos/pdom-exhaustion"
+	extraSpuriousFault  = "chaos/spurious-fault"
+)
+
+// soakHeader describes a soak run's platform: the standard VDom boot of
+// Soak plus the injector configuration in Extra, so ReplayTrace can
+// rebuild the identical fault stream.
+func soakHeader(cfg SoakConfig) replay.Header {
+	pol := core.DefaultPolicy()
+	h := replay.Header{
+		Kernel:         replay.KernelVDom,
+		Arch:           replay.ArchName(cfg.Arch),
+		Cores:          cfg.Cores,
+		Seed:           cfg.Chaos.Seed,
+		Workload:       SoakWorkload,
+		Flags:          replay.HdrVDomKernel,
+		FlushThreshold: pol.RangeFlushThresholdPages,
+		Nas:            pol.DefaultNas,
+		ConfigDigest: replay.DigestString(fmt.Sprintf(
+			"chaos-soak|arch=%s|cores=%d|threads=%d|vdoms=%d|ops=%d|chaos=%+v",
+			replay.ArchName(cfg.Arch), cfg.Cores, cfg.Threads, cfg.Vdoms, cfg.Ops, cfg.Chaos)),
+		Extra: map[string]uint64{
+			extraSeed:           cfg.Chaos.Seed,
+			extraDropIPI:        math.Float64bits(cfg.Chaos.DropIPI),
+			extraDelayIPI:       math.Float64bits(cfg.Chaos.DelayIPI),
+			extraStaleTLB:       math.Float64bits(cfg.Chaos.StaleTLB),
+			extraASIDExhaustion: math.Float64bits(cfg.Chaos.ASIDExhaustion),
+			extraASIDLimit:      uint64(cfg.Chaos.ASIDLimit),
+			extraVDSAllocFail:   math.Float64bits(cfg.Chaos.VDSAllocFail),
+			extraPdomExhaustion: math.Float64bits(cfg.Chaos.PdomExhaustion),
+			extraSpuriousFault:  math.Float64bits(cfg.Chaos.SpuriousFault),
+		},
+	}
+	if pol.SecureGate {
+		h.Flags |= replay.HdrSecureGate
+	}
+	return h
+}
+
+// configFromHeader rebuilds the injector configuration a soak trace was
+// recorded under.
+func configFromHeader(h replay.Header) (Config, error) {
+	if h.Workload != SoakWorkload {
+		return Config{}, fmt.Errorf("%w: workload %q is not a chaos-soak trace", replay.ErrBadRecord, h.Workload)
+	}
+	if h.Extra == nil {
+		return Config{}, fmt.Errorf("%w: chaos-soak trace carries no injector config", replay.ErrBadRecord)
+	}
+	return Config{
+		Seed:           h.Extra[extraSeed],
+		DropIPI:        math.Float64frombits(h.Extra[extraDropIPI]),
+		DelayIPI:       math.Float64frombits(h.Extra[extraDelayIPI]),
+		StaleTLB:       math.Float64frombits(h.Extra[extraStaleTLB]),
+		ASIDExhaustion: math.Float64frombits(h.Extra[extraASIDExhaustion]),
+		ASIDLimit:      tlb.ASID(h.Extra[extraASIDLimit]),
+		VDSAllocFail:   math.Float64frombits(h.Extra[extraVDSAllocFail]),
+		PdomExhaustion: math.Float64frombits(h.Extra[extraPdomExhaustion]),
+		SpuriousFault:  math.Float64frombits(h.Extra[extraSpuriousFault]),
+	}, nil
+}
+
+// ReplayTrace replays a chaos-soak recording: it rebuilds the injector
+// from the trace header and attaches it to the freshly booted system
+// before the first event runs, so the replay experiences the identical
+// fault stream the recording did. Any Options.Setup the caller supplied
+// runs after the injector is attached.
+func ReplayTrace(t *replay.Trace, opt replay.Options) (*replay.Result, error) {
+	cfg, err := configFromHeader(t.Header)
+	if err != nil {
+		return nil, err
+	}
+	inner := opt.Setup
+	opt.Setup = func(sys *replay.System) {
+		in := New(cfg)
+		if sys.Machine != nil {
+			in.AttachMachine(sys.Machine)
+		}
+		if sys.Kernel != nil {
+			in.AttachKernel(sys.Kernel)
+		}
+		if sys.Manager != nil {
+			in.AttachManager(sys.Manager)
+		}
+		if inner != nil {
+			inner(sys)
+		}
+	}
+	return replay.Run(t, opt)
+}

@@ -10,6 +10,7 @@ import (
 	"vdom/internal/kernel"
 	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 	"vdom/internal/sim"
 )
 
@@ -41,6 +42,10 @@ type SoakConfig struct {
 	// domain-virtualization event, timestamped on the run's cumulative
 	// cycle clock.
 	Trace *metrics.Trace
+	// Record captures the soak's domain-op stream as a replayable trace
+	// (SoakResult.Trace); failing runs can then be shrunk to a minimal
+	// reproducer with SoakResult.FailTrace.
+	Record bool
 }
 
 // SoakResult is the outcome of one soak run.
@@ -64,6 +69,33 @@ type SoakResult struct {
 	ASIDRollovers uint64
 	// CoreStats snapshots the VDom manager's operation counters.
 	CoreStats core.Stats
+	// Trace is the full replayable recording (nil unless
+	// SoakConfig.Record was set).
+	Trace *replay.Trace
+	// FirstFailEvent is the trace position just past the first
+	// unrecovered failure, or -1 when the run was healthy. FailTrace
+	// truncates the recording there.
+	FirstFailEvent int
+	// TracePath is where a harness persisted the (fail) trace, when it
+	// did; informational only.
+	TracePath string
+}
+
+// FailTrace returns the minimal replayable reproducer for an unhealthy
+// run: the recording truncated just past the first unrecovered failure,
+// or the full recording when only audit violations were found. It
+// returns nil for healthy or unrecorded runs.
+func (r *SoakResult) FailTrace() *replay.Trace {
+	if r.Trace == nil || (len(r.Unrecovered) == 0 && len(r.Violations) == 0) {
+		return nil
+	}
+	if r.FirstFailEvent < 0 || r.FirstFailEvent >= len(r.Trace.Events) {
+		return r.Trace
+	}
+	return &replay.Trace{
+		Header: r.Trace.Header,
+		Events: r.Trace.Events[:r.FirstFailEvent:r.FirstFailEvent],
+	}
 }
 
 // Merge folds another shard's result into r: counters and cycle totals
@@ -95,6 +127,11 @@ func (r *SoakResult) Merge(o *SoakResult) {
 	r.Violations = append(r.Violations, o.Violations...)
 	r.Unrecovered = append(r.Unrecovered, o.Unrecovered...)
 	r.CoreStats = r.CoreStats.Add(o.CoreStats)
+	// Traces do not merge; keep the first shard's recording (shards that
+	// need theirs kept dump them before merging).
+	if r.Trace == nil {
+		r.Trace, r.FirstFailEvent, r.TracePath = o.Trace, o.FirstFailEvent, o.TracePath
+	}
 }
 
 // regionPages is the size of each protected region in the soak workload.
@@ -130,8 +167,14 @@ func Soak(cfg SoakConfig) *SoakResult {
 	proc := kern.NewProcess()
 	mgr := core.Attach(proc, core.DefaultPolicy())
 	in.AttachManager(mgr)
+	var rec *replay.Recorder
+	if cfg.Record {
+		rec = replay.NewRecorder(soakHeader(cfg))
+		rec.AttachKernel(kern)
+		rec.AttachManager(mgr)
+	}
 
-	res := &SoakResult{Ops: cfg.Ops}
+	res := &SoakResult{Ops: cfg.Ops, FirstFailEvent: -1}
 	var total cycles.Cost
 	kern.SetMetrics(cfg.Metrics)
 	mgr.SetMetrics(cfg.Metrics)
@@ -143,12 +186,20 @@ func Soak(cfg SoakConfig) *SoakResult {
 		})
 	}
 	fail := func(op int, what string, err error) {
+		if rec != nil && res.FirstFailEvent < 0 {
+			// The failing op's events are already recorded (taps fire at
+			// completion), so the prefix up to here is the reproducer.
+			res.FirstFailEvent = rec.Len()
+		}
 		res.Unrecovered = append(res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
 	}
 
 	tasks := make([]*kernel.Task, cfg.Threads)
 	for i := range tasks {
 		tasks[i] = proc.NewTask(i % cfg.Cores)
+		if rec != nil {
+			rec.Spawn(tasks[i])
+		}
 	}
 
 	// Working set: an unprotected scratch region plus one region per vdom.
@@ -278,9 +329,14 @@ func Soak(cfg SoakConfig) *SoakResult {
 				fail(op, "vdr_alloc", err)
 			}
 		case x < 96: // kswapd pressure, plus VDS garbage collection
-			_, c := proc.ReclaimFrames(t.CoreID(), 1+r.Intn(8))
+			max := 1 + r.Intn(8)
+			n, c := proc.ReclaimFrames(t.CoreID(), max)
 			total += c
-			mgr.ReapVDSes()
+			reaped := mgr.ReapVDSes()
+			if rec != nil {
+				rec.Reclaim(t.CoreID(), max, n, c)
+				rec.Reap(reaped)
+			}
 		default: // unprotected access
 			addr := plainBase + pagetable.VAddr(uint64(r.Intn(plainPages))*pagetable.PageSize)
 			c, err := t.Access(addr, r.Intn(2) == 0)
@@ -302,6 +358,9 @@ func Soak(cfg SoakConfig) *SoakResult {
 	res.Events = in.Events()
 	res.ASIDRollovers = kern.ASIDRollovers()
 	res.CoreStats = mgr.Stats
+	if rec != nil {
+		res.Trace = rec.Finish()
+	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Accumulate(in, machine, proc.AS(), kern)
 	}

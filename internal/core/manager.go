@@ -187,6 +187,7 @@ type Manager struct {
 
 	tracer Tracer
 	chaos  Chaos
+	apiTap APITap
 
 	metrics *metrics.Registry
 	// charged accumulates, within one public API call, the cycles inner
@@ -325,6 +326,7 @@ func (m *Manager) apiCost() cycles.Cost {
 // frequently-accessed, biasing the algorithm toward eviction-in-place over
 // VDS switches when it must be activated (§5.4).
 func (m *Manager) AllocVdom(freqAccessed bool) (d VdomID, cost cycles.Cost) {
+	defer func() { m.tapAPI(APICall{Op: APIAllocVdom, Vdom: d, Freq: freqAccessed, Cost: cost}) }()
 	defer m.endOp("vdom-alloc", &cost)
 	d = m.nextVdom
 	m.nextVdom++
@@ -340,6 +342,7 @@ func (m *Manager) AllocVdom(freqAccessed bool) (d VdomID, cost cycles.Cost) {
 // (freeing the pdoms), clears its VDT chain, and forgets per-thread
 // permissions lazily.
 func (m *Manager) FreeVdom(d VdomID) (cost cycles.Cost, err error) {
+	defer func() { m.tapAPI(APICall{Op: APIFreeVdom, Vdom: d, Cost: cost, Err: err}) }()
 	defer m.endOp("vdom-free", &cost)
 	if !m.live[d] {
 		return m.apiCost(), ErrFreedVdom
@@ -389,6 +392,9 @@ func (m *Manager) FreeVdom(d VdomID) (cost cycles.Cost, err error) {
 // (vdom_mprotect). Reassigning memory that already belongs to a different
 // vdom is rejected to preserve address-space integrity.
 func (m *Manager) Mprotect(task *kernel.Task, addr pagetable.VAddr, length uint64, d VdomID) (cost cycles.Cost, err error) {
+	defer func() {
+		m.tapAPI(APICall{Op: APIMprotect, TID: tapTID(task), Vdom: d, Addr: addr, Len: length, Cost: cost, Err: err})
+	}()
 	defer m.endOp("mprotect", &cost)
 	cost = m.apiCost() + m.params.SyscallReturn
 	if !m.live[d] {
@@ -474,6 +480,11 @@ func (m *Manager) flushRetagged(task *kernel.Task, start pagetable.VAddr, length
 // address spaces it can efficiently switch between (vdr_alloc). The thread
 // joins the process's first VDS (created on demand).
 func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cost cycles.Cost, err error) {
+	// The defer captures the caller's nas before the default is applied
+	// below, so the trace records the argument as passed.
+	defer func(argNas int) {
+		m.tapAPI(APICall{Op: APIVdrAlloc, TID: tapTID(task), Nas: argNas, Cost: cost, Err: err})
+	}(nas)
 	defer m.endOp("vdr-alloc", &cost)
 	if m.vdrs[task] != nil {
 		return m.apiCost(), fmt.Errorf("core: thread %d already has a VDR", task.TID())
@@ -521,6 +532,7 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cost cycles.Cost, err er
 // synchronization experiment) use it to pin threads to distinct address
 // spaces explicitly instead of waiting for the algorithm to spread them.
 func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cost cycles.Cost, err error) {
+	defer func() { m.tapAPI(APICall{Op: APINewVDS, TID: tapTID(task), Cost: cost, Err: err}) }()
 	defer m.endOp("place-in-new-vds", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
@@ -547,6 +559,7 @@ func (m *Manager) PlaceInNewVDS(task *kernel.Task) (cost cycles.Cost, err error)
 
 // VdrFree releases the thread's VDR (vdr_free).
 func (m *Manager) VdrFree(task *kernel.Task) (cost cycles.Cost, err error) {
+	defer func() { m.tapAPI(APICall{Op: APIVdrFree, TID: tapTID(task), Cost: cost, Err: err}) }()
 	defer m.endOp("vdr-free", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
@@ -565,6 +578,7 @@ func (m *Manager) VdrFree(task *kernel.Task) (cost cycles.Cost, err error) {
 
 // RdVdr reads the calling thread's permission on d (rdvdr).
 func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (perm VPerm, cost cycles.Cost, err error) {
+	defer func() { m.tapAPI(APICall{Op: APIRdVdr, TID: tapTID(task), Vdom: d, Perm: perm, Cost: cost, Err: err}) }()
 	defer m.endOp("rdvdr", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {
@@ -580,6 +594,7 @@ func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (perm VPerm, cost cycles.Co
 // vdom, whichever is cheapest under §5.4's rules. The returned cost covers
 // the whole operation.
 func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cost cycles.Cost, err error) {
+	defer func() { m.tapAPI(APICall{Op: APIWrVdr, TID: tapTID(task), Vdom: d, Perm: perm, Cost: cost, Err: err}) }()
 	defer m.endOp("wrvdr", &cost)
 	vdr := m.vdrs[task]
 	if vdr == nil {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"vdom/internal/cycles"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+)
+
+// APIOp identifies one public Manager API call for trace recording.
+type APIOp int
+
+// The tapped API operations, one per public syscall-shaped entry point.
+const (
+	APIAllocVdom APIOp = iota
+	APIFreeVdom
+	APIMprotect
+	APIVdrAlloc
+	APIVdrFree
+	APIRdVdr
+	APIWrVdr
+	APINewVDS
+)
+
+// APICall describes one completed Manager API call: the identifying
+// arguments, the returned cost, and the outcome. Fields an op does not
+// use stay zero.
+type APICall struct {
+	// Op is the API entry point.
+	Op APIOp
+	// TID is the calling thread (0 for process-level ops).
+	TID int
+	// Vdom is the domain argument, or AllocVdom's returned id.
+	Vdom VdomID
+	// Addr and Len are Mprotect's range.
+	Addr pagetable.VAddr
+	Len  uint64
+	// Nas is VdrAlloc's requested address-space count, as passed.
+	Nas int
+	// Freq is AllocVdom's frequently-accessed hint.
+	Freq bool
+	// Perm is WrVdr's argument or RdVdr's result.
+	Perm VPerm
+	// Cost is the cycles the call returned.
+	Cost cycles.Cost
+	// Err is the call's error, nil on success.
+	Err error
+}
+
+// APITap observes completed Manager API calls for trace recording
+// (internal/replay). Calls arrive in execution order; the simulation is
+// cooperatively scheduled, so no locking is needed.
+type APITap func(APICall)
+
+// SetAPITap attaches a trace recorder to the Manager's public API. Pass
+// nil (the default) to detach; when detached each call pays one nil
+// check.
+func (m *Manager) SetAPITap(tap APITap) { m.apiTap = tap }
+
+// tapAPI forwards a completed call to the attached tap, if any.
+func (m *Manager) tapAPI(c APICall) {
+	if m.apiTap != nil {
+		m.apiTap(c)
+	}
+}
+
+// tapTID extracts the thread id, tolerating process-level (nil-task) ops.
+func tapTID(t *kernel.Task) int {
+	if t == nil {
+		return 0
+	}
+	return t.TID()
+}

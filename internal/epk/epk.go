@@ -95,10 +95,21 @@ type System struct {
 	numEPTs    int
 	current    map[int]int // threadID → EPT group
 	tax        VMTax
+	tap        Tap
 
 	// Stats is exported for the experiment harness.
 	Stats Stats
 }
+
+// Tap observes completed domain switches for trace recording
+// (internal/replay); calls arrive in execution order.
+type Tap func(threadID, domain int, cost cycles.Cost)
+
+// SetTap attaches a trace recorder. Pass nil (the default) to detach.
+func (s *System) SetTap(t Tap) { s.tap = t }
+
+// NumDomains returns the domain capacity the system was created with.
+func (s *System) NumDomains() int { return s.numDomains }
 
 // New creates an EPK system able to host numDomains domains.
 func New(numDomains int, tax VMTax) *System {
@@ -126,7 +137,12 @@ func groupOf(domain int) int { return domain / KeysPerEPT }
 // Switch performs one domain switch for the thread and returns the
 // inserted cycles: an MPK register write when the target domain lives in
 // the thread's current EPT group, a VMFUNC switch otherwise.
-func (s *System) Switch(threadID, domain int) cycles.Cost {
+func (s *System) Switch(threadID, domain int) (cost cycles.Cost) {
+	defer func() {
+		if s.tap != nil {
+			s.tap(threadID, domain, cost)
+		}
+	}()
 	g := groupOf(domain)
 	if cur, ok := s.current[threadID]; ok && cur == g {
 		s.Stats.MPKSwitches++

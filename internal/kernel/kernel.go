@@ -51,6 +51,22 @@ type Chaos interface {
 	NoteSpuriousFaultRepaired(core int)
 }
 
+// OpTap observes the kernel's syscall boundary for trace recording
+// (internal/replay). Like Chaos, it is consulted only when attached, so
+// the hot paths pay one nil check when recording is off. Taps fire after
+// the operation completes, in execution order — the simulation is
+// cooperatively scheduled, so tap invocations are strictly sequential.
+type OpTap interface {
+	// TapSyscall observes one completed memory-management syscall.
+	TapSyscall(t *Task, sc Syscall, args SyscallArgs, cost cycles.Cost, err error)
+	// TapAccess observes one completed memory access, fault handling
+	// included.
+	TapAccess(t *Task, addr pagetable.VAddr, write bool, cost cycles.Cost, err error)
+	// TapDispatch observes a scheduler burst prologue (pending-interrupt
+	// drain plus context switch) with its total cost.
+	TapDispatch(t *Task, cost cycles.Cost)
+}
+
 // ASIDLister is implemented by fault handlers (the VDom core) that maintain
 // additional address spaces under their own ASIDs; kernel revocation paths
 // (munmap, frame reclaim) include these ASIDs in their shootdowns so no
@@ -69,6 +85,7 @@ type Kernel struct {
 	params  *cycles.Params
 	vdom    bool
 	chaos   Chaos
+	opTap   OpTap
 	metrics *metrics.Registry
 
 	nextASID  tlb.ASID
@@ -122,6 +139,10 @@ func New(cfg Config) *Kernel {
 
 // SetChaos attaches a fault-injection layer. Pass nil to detach.
 func (k *Kernel) SetChaos(c Chaos) { k.chaos = c }
+
+// SetOpTap attaches a trace recorder to the syscall boundary. Pass nil
+// (the default) to detach.
+func (k *Kernel) SetOpTap(tap OpTap) { k.opTap = tap }
 
 // SetMetrics attaches a metrics registry; the kernel then attributes the
 // cycles of its dispatch, fault, and syscall paths by (layer, operation).
@@ -432,6 +453,15 @@ const maxFaultRetries = 8
 // returns the total cycle cost including fault handling, and ErrSigsegv
 // (possibly wrapped) for violations.
 func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
+	cost, err := t.access(addr, write)
+	if tap := t.proc.kernel.opTap; tap != nil {
+		tap.TapAccess(t, addr, write, cost, err)
+	}
+	return cost, err
+}
+
+// access is the untapped body of Access.
+func (t *Task) access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 	k := t.proc.kernel
 	// Attribution invariant: every component added to total is charged to
 	// exactly one (layer, op) account — Dispatch and the fault handler

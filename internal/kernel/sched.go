@@ -43,6 +43,11 @@ func (s *Sched) Run(p *sim.Proc, t *Task, body func() cycles.Cost) cycles.Cost {
 	core.Acquire(p, 1)
 	cost := s.kernel.TakePendingInterrupts(t.CoreID())
 	cost += s.kernel.Dispatch(t)
+	// The prologue is tapped before body so recorded events keep
+	// execution order.
+	if tap := s.kernel.opTap; tap != nil {
+		tap.TapDispatch(t, cost)
+	}
 	cost += body()
 	p.Delay(uint64(cost))
 	core.Release(1)

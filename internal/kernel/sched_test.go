@@ -1,0 +1,193 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"vdom/internal/core"
+	"vdom/internal/cycles"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/sim"
+)
+
+const pg = pagetable.PageSize
+
+// bootVDom builds a machine + VDom kernel + process + manager for
+// scheduler tests that need the core layer (which the in-package kernel
+// tests cannot import).
+func bootVDom(t *testing.T, cores int) (*kernel.Kernel, *kernel.Process, *core.Manager) {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{Arch: cycles.X86, NumCores: cores, TLBCapacity: 256})
+	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: true})
+	p := k.NewProcess()
+	return k, p, core.Attach(p, core.DefaultPolicy())
+}
+
+// TestSchedThreadExitWhileResident exercises a thread releasing its VDR
+// — leaving its VDS — while it is still the task resident on its core:
+// the next dispatch of another thread, and a later re-dispatch of the
+// exited thread against the base address space, must both work, and the
+// emptied VDS must be reapable.
+func TestSchedThreadExitWhileResident(t *testing.T) {
+	k, p, mgr := bootVDom(t, 1)
+	env := sim.NewEnv()
+	sched := kernel.NewSched(env, k)
+
+	t1 := p.NewTask(0)
+	t2 := p.NewTask(0)
+	const plain = pagetable.VAddr(0x10_0000)
+	if _, err := t1.Mmap(plain, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	const guarded = pagetable.VAddr(0x20_0000)
+	if _, err := t1.Mmap(guarded, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.VdrAlloc(t1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Move t1 out of the process's home VDS, so its exit empties a
+	// reclaimable one.
+	if _, err := mgr.PlaceInNewVDS(t1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mgr.VDSes()); got != 2 {
+		t.Fatalf("expected 2 VDSes after the spread, have %d", got)
+	}
+	d, _ := mgr.AllocVdom(false)
+	if _, err := mgr.Mprotect(t1, guarded, 4*pg, d); err != nil {
+		t.Fatal(err)
+	}
+
+	env.Go("t1", func(proc *sim.Proc) {
+		// Open the domain and touch it, so t1 is resident in its VDS and
+		// is the core's last-dispatched task...
+		sched.Run(proc, t1, func() cycles.Cost {
+			c, err := mgr.WrVdr(t1, d, core.VPermReadWrite)
+			if err != nil {
+				t.Errorf("wrvdr: %v", err)
+			}
+			a, err := t1.Access(guarded, true)
+			if err != nil {
+				t.Errorf("guarded access: %v", err)
+			}
+			return c + a
+		})
+		// ... then exit: the VDR is released while t1 is still resident.
+		sched.Run(proc, t1, func() cycles.Cost {
+			c, err := mgr.VdrFree(t1)
+			if err != nil {
+				t.Errorf("vdr_free: %v", err)
+			}
+			return c
+		})
+	})
+	env.Go("t2", func(proc *sim.Proc) {
+		sched.Run(proc, t2, func() cycles.Cost {
+			c, err := t2.Access(plain, false)
+			if err != nil {
+				t.Errorf("t2 access after t1 exit: %v", err)
+			}
+			return c
+		})
+	})
+	env.Run()
+
+	if got := mgr.VDROf(t1); got != nil {
+		t.Fatalf("t1 still has a VDR after exit: %v", got)
+	}
+	// VdrFree reaps on the way out: only the home VDS remains.
+	if got := len(mgr.VDSes()); got != 1 {
+		t.Fatalf("the VDS t1 exited from was not reclaimed: %d VDSes remain", got)
+	}
+	// The exited thread can still run plain bursts on the base address
+	// space.
+	env2 := sim.NewEnv()
+	sched2 := kernel.NewSched(env2, k)
+	env2.Go("t1-again", func(proc *sim.Proc) {
+		sched2.Run(proc, t1, func() cycles.Cost {
+			c, err := t1.Access(plain, true)
+			if err != nil {
+				t.Errorf("t1 access after its VDS was reaped: %v", err)
+			}
+			return c
+		})
+	})
+	env2.Run()
+}
+
+// TestSchedVDSSwitchUnderContention pins two threads, each in its own
+// VDS, onto one capacity-1 core: their bursts serialize (queue wait
+// accrues) and every alternation forces the dispatcher to reload the
+// other thread's address space, so VDS/pgd switches accumulate.
+func TestSchedVDSSwitchUnderContention(t *testing.T) {
+	k, p, mgr := bootVDom(t, 1)
+	env := sim.NewEnv()
+	sched := kernel.NewSched(env, k)
+
+	const rounds = 6
+	tasks := make([]*kernel.Task, 2)
+	doms := make([]core.VdomID, 2)
+	for i := range tasks {
+		tasks[i] = p.NewTask(0)
+		base := pagetable.VAddr(0x40_0000 + uint64(i)*0x10_0000)
+		if _, err := tasks[i].Mmap(base, 4*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.VdrAlloc(tasks[i], 1); err != nil {
+			t.Fatal(err)
+		}
+		doms[i], _ = mgr.AllocVdom(false)
+		if _, err := mgr.Mprotect(tasks[i], base, 4*pg, doms[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Separate the threads into distinct VDSes so re-dispatch means a
+	// full address-space change, not just a permission update.
+	if _, err := mgr.PlaceInNewVDS(tasks[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	var busy [2]cycles.Cost
+	for i := range tasks {
+		i := i
+		tk := tasks[i]
+		base := pagetable.VAddr(0x40_0000 + uint64(i)*0x10_0000)
+		env.Go([]string{"a", "b"}[i], func(proc *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				busy[i] += sched.Run(proc, tk, func() cycles.Cost {
+					c, err := mgr.WrVdr(tk, doms[i], core.VPermReadWrite)
+					if err != nil {
+						t.Errorf("wrvdr: %v", err)
+					}
+					a, err := tk.Access(base, true)
+					if err != nil {
+						t.Errorf("access: %v", err)
+					}
+					c2, err := mgr.WrVdr(tk, doms[i], core.VPermNone)
+					if err != nil {
+						t.Errorf("wrvdr close: %v", err)
+					}
+					return c + a + c2
+				})
+			}
+		})
+	}
+	makespan := env.Run()
+
+	if sched.QueueWait(0) == 0 {
+		t.Error("two threads on one core accrued no queue wait")
+	}
+	if got := mgr.Stats.VDSSwitches; got == 0 {
+		t.Error("alternating threads in distinct VDSes recorded no VDS switches")
+	}
+	// One core serializes everything: the makespan is exactly the busy
+	// cycles, queueing excluded.
+	if want := uint64(busy[0] + busy[1]); uint64(makespan) != want {
+		t.Errorf("makespan %d != total on-core cycles %d", makespan, want)
+	}
+	if cur := k.CurrentOn(0); cur != tasks[0] && cur != tasks[1] {
+		t.Errorf("core 0 resident task is %v", cur)
+	}
+}

@@ -82,10 +82,18 @@ func (k *Kernel) checkFilters(t *Task, sc Syscall, args SyscallArgs) error {
 	return nil
 }
 
+// tapSyscall forwards a completed syscall to the attached OpTap, if any.
+func (t *Task) tapSyscall(sc Syscall, args SyscallArgs, cost cycles.Cost, err error) {
+	if tap := t.proc.kernel.opTap; tap != nil {
+		tap.TapSyscall(t, sc, args, cost, err)
+	}
+}
+
 // Mmap is the mmap(2) analog. It returns the syscall's cycle cost.
-func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
+func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cost cycles.Cost, err error) {
+	defer func() { t.tapSyscall(SysMmap, SyscallArgs{Addr: addr, Length: length, Write: writable}, cost, err) }()
 	k := t.proc.kernel
-	cost := k.params.SyscallReturn
+	cost = k.params.SyscallReturn
 	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMmap, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
 		return cost, err
@@ -98,9 +106,10 @@ func (t *Task) Mmap(addr pagetable.VAddr, length uint64, writable bool) (cycles.
 
 // Munmap is the munmap(2) analog. Revocation is eager across every VDS
 // table and requires a shootdown on all cores running the process.
-func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cycles.Cost, error) {
+func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cost cycles.Cost, err error) {
+	defer func() { t.tapSyscall(SysMunmap, SyscallArgs{Addr: addr, Length: length}, cost, err) }()
 	k := t.proc.kernel
-	cost := k.params.SyscallReturn
+	cost = k.params.SyscallReturn
 	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMunmap, SyscallArgs{Addr: addr, Length: length}); err != nil {
 		return cost, err
@@ -115,9 +124,10 @@ func (t *Task) Munmap(addr pagetable.VAddr, length uint64) (cycles.Cost, error) 
 
 // Mprotect is the mprotect(2) analog (writability only; domains are
 // assigned through PkeyMprotect).
-func (t *Task) Mprotect(addr pagetable.VAddr, length uint64, writable bool) (cycles.Cost, error) {
+func (t *Task) Mprotect(addr pagetable.VAddr, length uint64, writable bool) (cost cycles.Cost, err error) {
+	defer func() { t.tapSyscall(SysMprotect, SyscallArgs{Addr: addr, Length: length, Write: writable}, cost, err) }()
 	k := t.proc.kernel
-	cost := k.params.SyscallReturn
+	cost = k.params.SyscallReturn
 	k.metrics.Attribute("kernel", "syscall", uint64(cost))
 	if err := k.checkFilters(t, SysMprotect, SyscallArgs{Addr: addr, Length: length, Write: writable}); err != nil {
 		return cost, err

@@ -126,9 +126,62 @@ type Manager struct {
 	// metrics, when non-nil, receives cycle attribution for every public
 	// operation under the "libmpk" layer.
 	metrics *metrics.Registry
+	tap     Tap
 
 	// Stats is exported for the experiment harness.
 	Stats Stats
+}
+
+// Op identifies one public libmpk API call for trace recording.
+type Op int
+
+// The tapped libmpk operations.
+const (
+	OpAlloc Op = iota
+	OpFree
+	OpMprotect
+	OpSet
+)
+
+// TapEvent describes one completed libmpk API call.
+type TapEvent struct {
+	// Op is the API entry point.
+	Op Op
+	// TID is the calling thread (0 for PkeyAlloc and nil-task calls).
+	TID int
+	// Vkey is the virtual key involved (PkeyAlloc's returned key).
+	Vkey Vkey
+	// Addr and Len are PkeyMprotect's range.
+	Addr pagetable.VAddr
+	Len  uint64
+	// Perm is PkeySet's permission argument.
+	Perm hw.Perm
+	// Cost is the cycles the call returned.
+	Cost cycles.Cost
+	// Err is the call's error, nil on success.
+	Err error
+}
+
+// Tap observes completed libmpk API calls for trace recording
+// (internal/replay); calls arrive in execution order.
+type Tap func(TapEvent)
+
+// SetTap attaches a trace recorder. Pass nil (the default) to detach.
+func (m *Manager) SetTap(t Tap) { m.tap = t }
+
+// tapOp forwards a completed call to the attached tap, if any.
+func (m *Manager) tapOp(e TapEvent) {
+	if m.tap != nil {
+		m.tap(e)
+	}
+}
+
+// tapTID extracts a task's id, tolerating the nil task direct mode uses.
+func tapTID(t *kernel.Task) int {
+	if t == nil {
+		return 0
+	}
+	return t.TID()
 }
 
 // SetMetrics installs (or, with nil, removes) the registry that receives
@@ -209,7 +262,10 @@ func (m *Manager) apiCost() cycles.Cost {
 
 // PkeyAlloc allocates a virtual key.
 func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
-	defer func() { m.metrics.Attribute("libmpk", "pkey-alloc", uint64(cost)) }()
+	defer func() {
+		m.metrics.Attribute("libmpk", "pkey-alloc", uint64(cost))
+		m.tapOp(TapEvent{Op: OpAlloc, Vkey: v, Cost: cost})
+	}()
 	v = m.nextVkey
 	m.nextVkey++
 	m.keys[v] = &keyMeta{perms: make(map[*kernel.Task]hw.Perm)}
@@ -221,7 +277,10 @@ func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
 // PkeyFree releases a virtual key called by task (its pages stay
 // disabled).
 func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err error) {
-	defer func() { m.metrics.Attribute("libmpk", "pkey-free", uint64(cost)) }()
+	defer func() {
+		m.metrics.Attribute("libmpk", "pkey-free", uint64(cost))
+		m.tapOp(TapEvent{Op: OpFree, TID: tapTID(task), Vkey: v, Cost: cost, Err: err})
+	}()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey
@@ -241,7 +300,10 @@ func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err err
 // disabled until the vkey is activated by a pkey_set; activation binds the
 // vkey to a hardware key, evicting or busy-waiting as needed.
 func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VAddr, length uint64, v Vkey) (cost cycles.Cost, err error) {
-	defer func() { m.metrics.Attribute("libmpk", "pkey-mprotect", uint64(cost)) }()
+	defer func() {
+		m.metrics.Attribute("libmpk", "pkey-mprotect", uint64(cost))
+		m.tapOp(TapEvent{Op: OpMprotect, TID: tapTID(task), Vkey: v, Addr: addr, Len: length, Cost: cost, Err: err})
+	}()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey
@@ -263,7 +325,10 @@ func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VA
 // vkey is not resident, the cache maps it, evicting an unused key or
 // busy-waiting for one.
 func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) (cost cycles.Cost, err error) {
-	defer func() { m.metrics.Attribute("libmpk", "pkey-set", uint64(cost)) }()
+	defer func() {
+		m.metrics.Attribute("libmpk", "pkey-set", uint64(cost))
+		m.tapOp(TapEvent{Op: OpSet, TID: tapTID(task), Vkey: v, Perm: perm, Cost: cost, Err: err})
+	}()
 	k, ok := m.keys[v]
 	if !ok {
 		return m.apiCost(), ErrUnknownKey

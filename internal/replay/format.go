@@ -1,0 +1,397 @@
+// Package replay implements the vdom-trace/v1 domain-op trace format: a
+// versioned record of every protection event a workload issues at the
+// syscall boundary of one of the three kernels (VDom core, libmpk, EPK),
+// with thread ids, logical cycle timestamps, and per-event outcomes.
+//
+// A Recorder taps the instrumented layers (kernel.OpTap, core.APITap,
+// libmpk.Tap, epk tap) and appends one Event per observed operation; a
+// Replayer re-executes a Trace against a freshly booted system of the
+// same configuration and reports the first Divergence — mismatching
+// cost, error, or returned id — plus an end-state diff. Traces encode to
+// a compact uvarint binary (Encode/Decode) and to JSONL (WriteJSONL /
+// ReadJSONL) for line-oriented diffing. See REPLAY.md for the format
+// specification and the record/replay how-to.
+package replay
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"vdom/internal/core"
+	"vdom/internal/cycles"
+	"vdom/internal/kernel"
+	"vdom/internal/libmpk"
+	"vdom/internal/mm"
+)
+
+// FormatVersion is the trace format version this package reads and writes.
+const FormatVersion = 1
+
+// FormatName is the format identifier carried by the JSONL header line.
+const FormatName = "vdom-trace/v1"
+
+// Kernel kinds a trace can target.
+const (
+	// KernelVDom replays against the VDom core on the VDom-patched kernel.
+	KernelVDom = "vdom"
+	// KernelLibmpk replays against the libmpk baseline on a vanilla kernel.
+	KernelLibmpk = "libmpk"
+	// KernelEPK replays against the EPK cycle model (no machine).
+	KernelEPK = "epk"
+)
+
+// Typed decode errors. The decoder never panics on malformed input; it
+// returns one of these (possibly wrapped with positional context).
+var (
+	// ErrBadMagic reports input that does not start with the VDTR magic.
+	ErrBadMagic = errors.New("replay: bad trace magic")
+	// ErrBadVersion reports a trace written by an unknown format version.
+	ErrBadVersion = errors.New("replay: unsupported trace version")
+	// ErrTruncated reports input that ends inside a header, event, or
+	// end-state record.
+	ErrTruncated = errors.New("replay: truncated trace")
+	// ErrBadRecord reports a structurally invalid record (unknown op,
+	// field out of range, malformed varint).
+	ErrBadRecord = errors.New("replay: malformed trace record")
+)
+
+// Op identifies one recorded domain operation.
+type Op uint8
+
+// The recorded operations. Field usage per op is documented in REPLAY.md;
+// in short: Addr/Len carry the memory range, Dom the vdom/vkey/EPK-domain,
+// Perm the permission argument (or RdVdr's result), Cost the op's returned
+// cycle cost, and Err the outcome code.
+const (
+	opInvalid Op = iota
+	// OpSpawn: a task was created (TID = new task id, Len = core id).
+	OpSpawn
+	// OpMmap: kernel mmap (FlagWrite selects writability).
+	OpMmap
+	// OpMunmap: kernel munmap.
+	OpMunmap
+	// OpMprotect: kernel mprotect (writability only).
+	OpMprotect
+	// OpAccess: one memory access, including any fault handling.
+	OpAccess
+	// OpDispatch: scheduler burst prologue — pending-interrupt drain plus
+	// context switch. Recorded only when the cost is non-zero.
+	OpDispatch
+	// OpPopulate: demand-paging pre-fault of a range (FlagVDSTable: the
+	// thread's current VDS table rather than the process shadow).
+	OpPopulate
+	// OpReclaim: kswapd frame reclaim (Addr = initiator core, Len = max
+	// frames requested, Dom = frames actually reclaimed).
+	OpReclaim
+	// OpReap: VDS garbage collection (Dom = VDSes reaped).
+	OpReap
+	// OpVdomAlloc: core vdom_alloc (Dom = returned vdom, FlagFreq).
+	OpVdomAlloc
+	// OpVdomFree: core vdom_free.
+	OpVdomFree
+	// OpVdomMprotect: core vdom_mprotect (assign range to vdom Dom).
+	OpVdomMprotect
+	// OpVdrAlloc: core vdr_alloc (Len = nas argument).
+	OpVdrAlloc
+	// OpVdrFree: core vdr_free.
+	OpVdrFree
+	// OpVdrRead: core rdvdr (Perm = returned VPerm).
+	OpVdrRead
+	// OpVdrWrite: core wrvdr (Perm = VPerm argument).
+	OpVdrWrite
+	// OpNewVDS: core place_in_new_vds.
+	OpNewVDS
+	// OpPkeyAlloc: libmpk pkey_alloc (Dom = returned vkey).
+	OpPkeyAlloc
+	// OpPkeyFree: libmpk pkey_free.
+	OpPkeyFree
+	// OpPkeyMprotect: libmpk pkey_mprotect.
+	OpPkeyMprotect
+	// OpPkeySet: libmpk pkey_set (Perm = hw.Perm argument).
+	OpPkeySet
+	// OpEpkSwitch: EPK domain switch (Dom = domain id).
+	OpEpkSwitch
+
+	opMax = OpEpkSwitch
+)
+
+// opNames maps ops to their stable JSONL names.
+var opNames = [...]string{
+	OpSpawn:        "spawn",
+	OpMmap:         "mmap",
+	OpMunmap:       "munmap",
+	OpMprotect:     "mprotect",
+	OpAccess:       "access",
+	OpDispatch:     "dispatch",
+	OpPopulate:     "populate",
+	OpReclaim:      "reclaim",
+	OpReap:         "reap",
+	OpVdomAlloc:    "vdom-alloc",
+	OpVdomFree:     "vdom-free",
+	OpVdomMprotect: "vdom-mprotect",
+	OpVdrAlloc:     "vdr-alloc",
+	OpVdrFree:      "vdr-free",
+	OpVdrRead:      "rdvdr",
+	OpVdrWrite:     "wrvdr",
+	OpNewVDS:       "new-vds",
+	OpPkeyAlloc:    "pkey-alloc",
+	OpPkeyFree:     "pkey-free",
+	OpPkeyMprotect: "pkey-mprotect",
+	OpPkeySet:      "pkey-set",
+	OpEpkSwitch:    "epk-switch",
+}
+
+// String names the op as the JSONL encoding does.
+func (o Op) String() string {
+	if o > opInvalid && o <= opMax {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// opFromName inverts String for the JSONL decoder.
+func opFromName(s string) (Op, bool) {
+	for o := OpSpawn; o <= opMax; o++ {
+		if opNames[o] == s {
+			return o, true
+		}
+	}
+	return opInvalid, false
+}
+
+// Event flag bits.
+const (
+	// FlagWrite marks a write access / writable mapping.
+	FlagWrite uint8 = 1 << 0
+	// FlagVDSTable marks a populate into the thread's current VDS table.
+	FlagVDSTable uint8 = 1 << 1
+	// FlagFreq marks a frequently-accessed vdom allocation.
+	FlagFreq uint8 = 1 << 2
+)
+
+// ErrCode is the compact encoding of an operation's error outcome. Replay
+// compares codes, not messages, so error text can evolve without breaking
+// golden traces.
+type ErrCode uint8
+
+// The error codes of vdom-trace/v1.
+const (
+	CodeOK ErrCode = iota
+	CodeSigsegv
+	CodeBlocked
+	CodeNoVDR
+	CodeDenied
+	CodeReassign
+	CodeFreedVdom
+	CodeNoResources
+	CodeExhausted
+	CodeDegraded
+	CodeNoFreeKey
+	CodeUnknownKey
+	CodeBadRange
+	CodeNoMapping
+
+	// CodeOther is any error not covered by a dedicated code.
+	CodeOther ErrCode = 255
+)
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeSigsegv:
+		return "sigsegv"
+	case CodeBlocked:
+		return "blocked"
+	case CodeNoVDR:
+		return "no-vdr"
+	case CodeDenied:
+		return "denied"
+	case CodeReassign:
+		return "reassign"
+	case CodeFreedVdom:
+		return "freed-vdom"
+	case CodeNoResources:
+		return "no-resources"
+	case CodeExhausted:
+		return "exhausted"
+	case CodeDegraded:
+		return "degraded"
+	case CodeNoFreeKey:
+		return "no-free-key"
+	case CodeUnknownKey:
+		return "unknown-vkey"
+	case CodeBadRange:
+		return "bad-range"
+	case CodeNoMapping:
+		return "no-mapping"
+	default:
+		return "other"
+	}
+}
+
+// CodeOf maps an error to its trace code. Both the Recorder and the
+// Replayer use it, so a replayed failure matches its recording as long as
+// the failure class is the same. Specific sentinels are checked before the
+// generic SIGSEGV wrapper so "denied" and "freed vdom" keep their identity.
+func CodeOf(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, core.ErrDenied):
+		return CodeDenied
+	case errors.Is(err, core.ErrNoVDR):
+		return CodeNoVDR
+	case errors.Is(err, core.ErrReassign):
+		return CodeReassign
+	case errors.Is(err, core.ErrFreedVdom):
+		return CodeFreedVdom
+	case errors.Is(err, core.ErrDegraded):
+		return CodeDegraded
+	case errors.Is(err, core.ErrExhausted):
+		return CodeExhausted
+	case errors.Is(err, core.ErrNoResources):
+		return CodeNoResources
+	case errors.Is(err, libmpk.ErrNoFreeKey):
+		return CodeNoFreeKey
+	case errors.Is(err, libmpk.ErrUnknownKey):
+		return CodeUnknownKey
+	case errors.Is(err, kernel.ErrBlocked):
+		return CodeBlocked
+	case errors.Is(err, mm.ErrBadRange):
+		return CodeBadRange
+	case errors.Is(err, mm.ErrNoMapping):
+		return CodeNoMapping
+	case errors.Is(err, kernel.ErrSigsegv):
+		return CodeSigsegv
+	default:
+		return CodeOther
+	}
+}
+
+// Event is one recorded domain operation.
+type Event struct {
+	// Time is the trace's logical cycle clock when the op started: the
+	// sum of the Cost of every earlier event. The binary encoding stores
+	// deltas, so the clock must be non-decreasing (it is, by
+	// construction).
+	Time uint64
+	// TID is the acting thread id (0 for process-level ops and for EPK,
+	// whose thread ids are the workload's own 0-based worker ids).
+	TID uint64
+	// Op is the operation.
+	Op Op
+	// Addr and Len are the affected virtual range, when meaningful.
+	Addr uint64
+	Len  uint64
+	// Dom is the vdom / vkey / EPK domain involved — the returned id for
+	// the alloc ops, the argument otherwise.
+	Dom uint64
+	// Perm is the permission argument (core.VPerm or hw.Perm numeric
+	// value), or RdVdr's returned permission.
+	Perm uint8
+	// Flags carries the Flag* bits.
+	Flags uint8
+	// Cost is the cycle cost the operation returned.
+	Cost uint64
+	// Err is the operation's outcome code (CodeOK on success).
+	Err ErrCode
+}
+
+// Header flag bits (Header.Flags) — the configuration knobs a replayed
+// system must reproduce.
+const (
+	// HdrSecureGate: core.Policy.SecureGate.
+	HdrSecureGate uint32 = 1 << 0
+	// HdrNoPMDOpt: core.Policy.NoPMDOpt.
+	HdrNoPMDOpt uint32 = 1 << 1
+	// HdrStrictLRU: core.Policy.StrictLRU.
+	HdrStrictLRU uint32 = 1 << 2
+	// HdrNoASID: hw.Config.NoASID.
+	HdrNoASID uint32 = 1 << 3
+	// HdrVDomKernel: kernel.Config.VDomEnabled.
+	HdrVDomKernel uint32 = 1 << 4
+	// HdrHugePages: libmpk.Huge2M page mode.
+	HdrHugePages uint32 = 1 << 5
+)
+
+// Header describes the system a trace was recorded on; the Replayer boots
+// an identical one from it.
+type Header struct {
+	// Version is the format version (FormatVersion).
+	Version int
+	// Kernel is the kernel kind (KernelVDom, KernelLibmpk, KernelEPK).
+	Kernel string
+	// Arch names the cost table (see ArchName).
+	Arch string
+	// Cores is the machine size (ignored for EPK).
+	Cores int
+	// TLBCap is hw.Config.TLBCapacity (0 = unlimited).
+	TLBCap int
+	// Seed is the workload's PRNG seed, for provenance.
+	Seed uint64
+	// Workload names the recorded workload.
+	Workload string
+	// ConfigDigest fingerprints the full workload configuration
+	// (DigestString), so replays against a differently parameterized
+	// recording are detectable.
+	ConfigDigest uint64
+	// Flags carries the Hdr* configuration bits.
+	Flags uint32
+	// FlushThreshold is core.Policy.RangeFlushThresholdPages.
+	FlushThreshold uint64
+	// Nas is core.Policy.DefaultNas.
+	Nas int
+	// Domains is the EPK domain capacity (epk.New's numDomains).
+	Domains int
+	// Extra carries layer-specific configuration a wrapper needs to
+	// rebuild the recorded environment (the chaos layer stores its fault
+	// mix here). Encoded sorted by key.
+	Extra map[string]uint64
+}
+
+// Trace is one recorded run: header, event stream, and the end-state
+// summary used for final-state verification. A truncated failure dump has
+// End == nil, which skips the end-state check on replay.
+type Trace struct {
+	Header Header
+	Events []Event
+	// End maps end-state keys (layer counters, the final clock, the
+	// domain-map digest) to values; see EndState in replay.go.
+	End map[string]uint64
+}
+
+// ArchName returns the header encoding of an architecture.
+func ArchName(a cycles.Arch) string {
+	switch a {
+	case cycles.ARM:
+		return "arm"
+	case cycles.Power:
+		return "power"
+	default:
+		return "x86"
+	}
+}
+
+// ArchFromName inverts ArchName.
+func ArchFromName(s string) (cycles.Arch, error) {
+	switch s {
+	case "x86":
+		return cycles.X86, nil
+	case "arm":
+		return cycles.ARM, nil
+	case "power":
+		return cycles.Power, nil
+	default:
+		return 0, errors.New("replay: unknown arch " + s)
+	}
+}
+
+// DigestString returns the FNV-1a fingerprint used for
+// Header.ConfigDigest.
+func DigestString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

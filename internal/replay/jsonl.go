@@ -1,0 +1,173 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonHeader is the first JSONL line: the format tag plus the header.
+type jsonHeader struct {
+	Format         string            `json:"format"`
+	Kernel         string            `json:"kernel"`
+	Arch           string            `json:"arch"`
+	Cores          int               `json:"cores,omitempty"`
+	TLBCap         int               `json:"tlb_cap,omitempty"`
+	Seed           uint64            `json:"seed"`
+	Workload       string            `json:"workload"`
+	ConfigDigest   uint64            `json:"config_digest"`
+	Flags          uint32            `json:"flags,omitempty"`
+	FlushThreshold uint64            `json:"flush_threshold,omitempty"`
+	Nas            int               `json:"nas,omitempty"`
+	Domains        int               `json:"domains,omitempty"`
+	Extra          map[string]uint64 `json:"extra,omitempty"`
+}
+
+// jsonEvent is one JSONL event line. Fields are omitted when zero so a
+// line diff highlights only the fields an op actually uses.
+type jsonEvent struct {
+	Time  uint64 `json:"t"`
+	TID   uint64 `json:"tid,omitempty"`
+	Op    string `json:"op"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Len   uint64 `json:"len,omitempty"`
+	Dom   uint64 `json:"dom,omitempty"`
+	Perm  uint8  `json:"perm,omitempty"`
+	Flags uint8  `json:"flags,omitempty"`
+	Cost  uint64 `json:"cost,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// jsonEnd is the final JSONL line carrying the end-state map.
+type jsonEnd struct {
+	End map[string]uint64 `json:"end"`
+}
+
+// WriteJSONL writes the trace in the line-oriented JSON form: one header
+// line, one line per event, and (when present) one end-state line. The
+// output diffs cleanly line-by-line between two recordings.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := t.Header
+	if err := enc.Encode(jsonHeader{
+		Format:         FormatName,
+		Kernel:         h.Kernel,
+		Arch:           h.Arch,
+		Cores:          h.Cores,
+		TLBCap:         h.TLBCap,
+		Seed:           h.Seed,
+		Workload:       h.Workload,
+		ConfigDigest:   h.ConfigDigest,
+		Flags:          h.Flags,
+		FlushThreshold: h.FlushThreshold,
+		Nas:            h.Nas,
+		Domains:        h.Domains,
+		Extra:          h.Extra,
+	}); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		je := jsonEvent{
+			Time: e.Time, TID: e.TID, Op: e.Op.String(),
+			Addr: e.Addr, Len: e.Len, Dom: e.Dom,
+			Perm: e.Perm, Flags: e.Flags, Cost: e.Cost,
+		}
+		if e.Err != CodeOK {
+			je.Err = e.Err.String()
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	if t.End != nil {
+		if err := enc.Encode(jsonEnd{End: t.End}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses the JSONL form back into a Trace. It accepts exactly
+// what WriteJSONL emits; malformed lines yield ErrBadRecord-wrapped
+// errors.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrTruncated
+	}
+	var jh jsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &jh); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadRecord, err)
+	}
+	if jh.Format != FormatName {
+		return nil, fmt.Errorf("%w: format %q", ErrBadVersion, jh.Format)
+	}
+	t := &Trace{Header: Header{
+		Version:        FormatVersion,
+		Kernel:         jh.Kernel,
+		Arch:           jh.Arch,
+		Cores:          jh.Cores,
+		TLBCap:         jh.TLBCap,
+		Seed:           jh.Seed,
+		Workload:       jh.Workload,
+		ConfigDigest:   jh.ConfigDigest,
+		Flags:          jh.Flags,
+		FlushThreshold: jh.FlushThreshold,
+		Nas:            jh.Nas,
+		Domains:        jh.Domains,
+		Extra:          jh.Extra,
+	}}
+	line := 1
+	for sc.Scan() {
+		line++
+		// Peek for the end-state line: it has an "end" key and no "op".
+		var je jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+		}
+		if je.Op == "" {
+			var end jsonEnd
+			if err := json.Unmarshal(sc.Bytes(), &end); err != nil || end.End == nil {
+				return nil, fmt.Errorf("%w: line %d: neither event nor end state", ErrBadRecord, line)
+			}
+			t.End = end.End
+			if sc.Scan() {
+				return nil, fmt.Errorf("%w: line %d: content after end state", ErrBadRecord, line+1)
+			}
+			break
+		}
+		op, ok := opFromName(je.Op)
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: unknown op %q", ErrBadRecord, line, je.Op)
+		}
+		e := Event{
+			Time: je.Time, TID: je.TID, Op: op,
+			Addr: je.Addr, Len: je.Len, Dom: je.Dom,
+			Perm: je.Perm, Flags: je.Flags, Cost: je.Cost,
+		}
+		if je.Err != "" {
+			e.Err = errCodeFromName(je.Err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// errCodeFromName inverts ErrCode.String for the JSONL decoder.
+func errCodeFromName(s string) ErrCode {
+	for c := CodeOK; c <= CodeNoMapping; c++ {
+		if c.String() == s {
+			return c
+		}
+	}
+	return CodeOther
+}

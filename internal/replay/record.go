@@ -1,0 +1,235 @@
+package replay
+
+import (
+	"vdom/internal/core"
+	"vdom/internal/cycles"
+	"vdom/internal/epk"
+	"vdom/internal/kernel"
+	"vdom/internal/libmpk"
+	"vdom/internal/pagetable"
+)
+
+// Recorder captures a domain-op trace by tapping the instrumented layers.
+// Attach it to whichever layers the workload uses (a VDom run attaches
+// kernel + manager; a libmpk run kernel + libmpk; an EPK run only the EPK
+// system), then drive the workload and call Finish.
+//
+// The simulation is cooperatively scheduled — exactly one simulated
+// process runs at a time — so taps fire strictly sequentially and the
+// Recorder needs no locking.
+type Recorder struct {
+	hdr    Header
+	events []Event
+	clock  uint64
+
+	kern *kernel.Kernel
+	mgr  *core.Manager
+	lbm  *libmpk.Manager
+	esys *epk.System
+}
+
+// NewRecorder starts a recording described by hdr (Version is forced to
+// FormatVersion).
+func NewRecorder(hdr Header) *Recorder {
+	hdr.Version = FormatVersion
+	return &Recorder{hdr: hdr}
+}
+
+// Len returns the number of events recorded so far.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Clock returns the recording's logical cycle clock: the summed cost of
+// every recorded event.
+func (r *Recorder) Clock() uint64 { return r.clock }
+
+// add appends one event stamped at the current clock, then advances the
+// clock by its cost.
+func (r *Recorder) add(e Event) {
+	e.Time = r.clock
+	r.clock += e.Cost
+	r.events = append(r.events, e)
+}
+
+// AttachKernel taps the kernel's syscall boundary (mmap/munmap/mprotect,
+// accesses, scheduler dispatch).
+func (r *Recorder) AttachKernel(k *kernel.Kernel) {
+	r.kern = k
+	k.SetOpTap(r)
+}
+
+// AttachManager taps the VDom core's public API.
+func (r *Recorder) AttachManager(m *core.Manager) {
+	r.mgr = m
+	m.SetAPITap(func(c core.APICall) {
+		e := Event{TID: uint64(c.TID), Cost: uint64(c.Cost), Err: CodeOf(c.Err)}
+		switch c.Op {
+		case core.APIAllocVdom:
+			e.Op = OpVdomAlloc
+			e.Dom = uint64(c.Vdom)
+			if c.Freq {
+				e.Flags |= FlagFreq
+			}
+		case core.APIFreeVdom:
+			e.Op = OpVdomFree
+			e.Dom = uint64(c.Vdom)
+		case core.APIMprotect:
+			e.Op = OpVdomMprotect
+			e.Addr = uint64(c.Addr)
+			e.Len = c.Len
+			e.Dom = uint64(c.Vdom)
+		case core.APIVdrAlloc:
+			e.Op = OpVdrAlloc
+			e.Len = uint64(c.Nas)
+		case core.APIVdrFree:
+			e.Op = OpVdrFree
+		case core.APIRdVdr:
+			e.Op = OpVdrRead
+			e.Dom = uint64(c.Vdom)
+			e.Perm = uint8(c.Perm)
+		case core.APIWrVdr:
+			e.Op = OpVdrWrite
+			e.Dom = uint64(c.Vdom)
+			e.Perm = uint8(c.Perm)
+		case core.APINewVDS:
+			e.Op = OpNewVDS
+		default:
+			return
+		}
+		r.add(e)
+	})
+}
+
+// AttachLibmpk taps the libmpk baseline's public API.
+func (r *Recorder) AttachLibmpk(m *libmpk.Manager) {
+	r.lbm = m
+	m.SetTap(func(ev libmpk.TapEvent) {
+		e := Event{TID: uint64(ev.TID), Dom: uint64(ev.Vkey), Cost: uint64(ev.Cost), Err: CodeOf(ev.Err)}
+		switch ev.Op {
+		case libmpk.OpAlloc:
+			e.Op = OpPkeyAlloc
+		case libmpk.OpFree:
+			e.Op = OpPkeyFree
+		case libmpk.OpMprotect:
+			e.Op = OpPkeyMprotect
+			e.Addr = uint64(ev.Addr)
+			e.Len = ev.Len
+		case libmpk.OpSet:
+			e.Op = OpPkeySet
+			e.Perm = uint8(ev.Perm)
+		default:
+			return
+		}
+		r.add(e)
+	})
+}
+
+// AttachEPK taps the EPK system's domain switches.
+func (r *Recorder) AttachEPK(s *epk.System) {
+	r.esys = s
+	s.SetTap(func(threadID, domain int, cost cycles.Cost) {
+		r.add(Event{Op: OpEpkSwitch, TID: uint64(threadID), Dom: uint64(domain), Cost: uint64(cost)})
+	})
+}
+
+// TapSyscall implements kernel.OpTap. Only the memory-management calls
+// that shape domain state are recorded.
+func (r *Recorder) TapSyscall(t *kernel.Task, sc kernel.Syscall, args kernel.SyscallArgs, cost cycles.Cost, err error) {
+	e := Event{
+		TID:  uint64(t.TID()),
+		Addr: uint64(args.Addr),
+		Len:  args.Length,
+		Cost: uint64(cost),
+		Err:  CodeOf(err),
+	}
+	if args.Write {
+		e.Flags |= FlagWrite
+	}
+	switch sc {
+	case kernel.SysMmap:
+		e.Op = OpMmap
+	case kernel.SysMunmap:
+		e.Op = OpMunmap
+	case kernel.SysMprotect:
+		e.Op = OpMprotect
+	default:
+		return
+	}
+	r.add(e)
+}
+
+// TapAccess implements kernel.OpTap.
+func (r *Recorder) TapAccess(t *kernel.Task, addr pagetable.VAddr, write bool, cost cycles.Cost, err error) {
+	e := Event{
+		Op:   OpAccess,
+		TID:  uint64(t.TID()),
+		Addr: uint64(addr),
+		Cost: uint64(cost),
+		Err:  CodeOf(err),
+	}
+	if write {
+		e.Flags |= FlagWrite
+	}
+	r.add(e)
+}
+
+// TapDispatch implements kernel.OpTap. Zero-cost dispatches are skipped:
+// a dispatch costs zero exactly when the task was already current with no
+// pending interrupts, i.e. when it mutated nothing.
+func (r *Recorder) TapDispatch(t *kernel.Task, cost cycles.Cost) {
+	if cost == 0 {
+		return
+	}
+	r.add(Event{Op: OpDispatch, TID: uint64(t.TID()), Cost: uint64(cost)})
+}
+
+// Spawn records a task creation. Workloads call it right after NewTask;
+// replay re-creates the task and asserts the kernel hands out the same
+// tid.
+func (r *Recorder) Spawn(t *kernel.Task) {
+	r.add(Event{Op: OpSpawn, TID: uint64(t.TID()), Len: uint64(t.CoreID())})
+}
+
+// Populate records a demand-paging pre-fault of [addr, addr+length) —
+// cost-free address-space setup that replay must repeat to reproduce
+// later fault behaviour. vdsTable selects the thread's current VDS table
+// over the process shadow table.
+func (r *Recorder) Populate(t *kernel.Task, addr pagetable.VAddr, length uint64, vdsTable bool) {
+	e := Event{Op: OpPopulate, TID: uint64(t.TID()), Addr: uint64(addr), Len: length}
+	if vdsTable {
+		e.Flags |= FlagVDSTable
+	}
+	r.add(e)
+}
+
+// Reclaim records a kswapd frame-reclaim call: initiator core, requested
+// maximum, frames actually reclaimed, and the charged cycles.
+func (r *Recorder) Reclaim(initiatorCore, max, got int, cost cycles.Cost) {
+	r.add(Event{Op: OpReclaim, Addr: uint64(initiatorCore), Len: uint64(max), Dom: uint64(got), Cost: uint64(cost)})
+}
+
+// Reap records a VDS garbage-collection pass and how many VDSes it freed.
+func (r *Recorder) Reap(n int) {
+	r.add(Event{Op: OpReap, Dom: uint64(n)})
+}
+
+// Finish detaches nothing (taps stay live) but seals the trace: it
+// snapshots the end state of every attached layer and returns the
+// completed Trace.
+func (r *Recorder) Finish() *Trace {
+	return &Trace{
+		Header: r.hdr,
+		Events: r.events,
+		End:    EndState(r.clock, r.kern, r.mgr, r.lbm, r.esys),
+	}
+}
+
+// Partial returns the trace recorded so far truncated to the first n
+// events, with no end-state section (replay of a partial trace skips the
+// end-state check). The chaos layer uses it to dump the minimal prefix
+// that reproduces a soak failure.
+func (r *Recorder) Partial(n int) *Trace {
+	if n < 0 || n > len(r.events) {
+		n = len(r.events)
+	}
+	return &Trace{Header: r.hdr, Events: r.events[:n:n]}
+}

@@ -1,0 +1,57 @@
+package replay_test
+
+import (
+	"testing"
+
+	"vdom/internal/replay"
+	"vdom/internal/workload"
+)
+
+// corpusTrace records one corpus workload by name.
+func corpusTrace(b *testing.B, name string) *replay.Trace {
+	b.Helper()
+	for _, spec := range workload.TraceCorpus() {
+		if spec.Name == name {
+			return spec.Record()
+		}
+	}
+	b.Fatalf("no corpus spec named %q", name)
+	return nil
+}
+
+// BenchmarkReplay measures replay throughput — how many recorded
+// domain-op events per wall-clock second a fresh system re-executes and
+// verifies — over representative corpus traces of each kernel kind.
+func BenchmarkReplay(b *testing.B) {
+	for _, name := range []string{"table4-vdom-x86", "httpd-libmpk-x86", "pmo-vdom-x86"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			tr := corpusTrace(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := replay.Run(tr, replay.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Divergence != nil {
+					b.Fatalf("diverged: %s", res.Divergence)
+				}
+			}
+			b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkDecode measures binary decode throughput in events/sec.
+func BenchmarkDecode(b *testing.B) {
+	tr := corpusTrace(b, "table4-vdom-x86")
+	enc := replay.Encode(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.SetBytes(int64(len(enc)))
+}

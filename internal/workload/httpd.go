@@ -11,6 +11,7 @@ import (
 	"vdom/internal/libmpk"
 	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 	"vdom/internal/sim"
 )
 
@@ -49,6 +50,9 @@ type HttpdConfig struct {
 	// process (workers, clients), timestamped on virtual time — for
 	// inspection in Perfetto (see OBSERVABILITY.md).
 	Trace *metrics.Trace
+	// Record, when non-nil, captures the run's domain-op stream
+	// (internal/replay).
+	Record *replay.Recorder
 }
 
 func (c *HttpdConfig) defaults() {
@@ -157,6 +161,18 @@ func RunHttpd(cfg HttpdConfig) HttpdResult {
 		esys = epk.New(epk.KeysPerEPT*5, epk.DefaultVMTax())
 		edoms = newEPKDomains(esys)
 	}
+	if rec := cfg.Record; rec != nil {
+		rec.AttachKernel(pl.kernel)
+		if mgr != nil {
+			rec.AttachManager(mgr)
+		}
+		if lbm != nil {
+			rec.AttachLibmpk(lbm)
+		}
+		if esys != nil {
+			rec.AttachEPK(esys)
+		}
+	}
 
 	// Spawn workers, round-robin over cores.
 	type worker struct {
@@ -166,6 +182,9 @@ func RunHttpd(cfg HttpdConfig) HttpdResult {
 	workers := make([]*worker, active)
 	for i := range workers {
 		workers[i] = &worker{task: pl.proc.NewTask(i % cfg.Cores), id: i}
+		if cfg.Record != nil {
+			cfg.Record.Spawn(workers[i].task)
+		}
 	}
 	if cfg.System == VDom || cfg.System == VDomLowerbound {
 		for _, w := range workers {

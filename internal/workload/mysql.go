@@ -10,6 +10,7 @@ import (
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 	"vdom/internal/sim"
 )
 
@@ -33,6 +34,9 @@ type MySQLConfig struct {
 	// for incoming connections, which recycles the stack's domain.
 	ChurnEvery int
 	Seed       uint64
+	// Record, when non-nil, captures the run's domain-op stream
+	// (internal/replay).
+	Record *replay.Recorder
 }
 
 func (c *MySQLConfig) defaults() {
@@ -125,7 +129,6 @@ func RunMySQL(cfg MySQLConfig) MySQLResult {
 	)
 	engineLock := pl.env.NewResource(1)
 
-	setupTask := pl.proc.NewTask(0)
 	switch cfg.System {
 	case VDom:
 		mgr = core.Attach(pl.proc, core.DefaultPolicy())
@@ -136,6 +139,23 @@ func RunMySQL(cfg MySQLConfig) MySQLResult {
 		// Domains: one per connection stack + the engine region.
 		esys = epk.New(cfg.Clients+1, epk.DefaultVMTax())
 		engineEPK = 0
+	}
+	if rec := cfg.Record; rec != nil {
+		rec.AttachKernel(pl.kernel)
+		if mgr != nil {
+			rec.AttachManager(mgr)
+		}
+		if lbm != nil {
+			rec.AttachLibmpk(lbm)
+		}
+		if esys != nil {
+			rec.AttachEPK(esys)
+		}
+	}
+
+	setupTask := pl.proc.NewTask(0)
+	if cfg.Record != nil {
+		cfg.Record.Spawn(setupTask)
 	}
 
 	// The engine's in-memory tables.
@@ -159,6 +179,9 @@ func RunMySQL(cfg MySQLConfig) MySQLResult {
 	handlers := make([]*handler, cfg.Clients)
 	for i := range handlers {
 		h := &handler{task: pl.proc.NewTask((i + 1) % cfg.Cores), id: i}
+		if cfg.Record != nil {
+			cfg.Record.Spawn(h.task)
+		}
 		h.stack = pl.mustAlloc(h.task, stackPages*pagetable.PageSize)
 		switch cfg.System {
 		case VDom:

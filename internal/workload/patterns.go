@@ -11,6 +11,7 @@ import (
 	"vdom/internal/libmpk"
 	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 )
 
 // Pattern is a domain access order (Table 4).
@@ -106,6 +107,10 @@ type PatternConfig struct {
 	// rows, pkey-set / ept-switch for the baselines), timestamped on
 	// the cell's cumulative cycle clock.
 	Trace *metrics.Trace
+	// Record, when non-nil, captures the cell's domain-op stream
+	// (internal/replay); the caller attaches it to a header and seals
+	// the trace with Finish.
+	Record *replay.Recorder
 }
 
 // PatternResult is the measured average.
@@ -184,7 +189,15 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 	k := kernel.New(kernel.Config{Machine: mach, VDomEnabled: true})
 	proc := k.NewProcess()
 	mgr := core.Attach(proc, pol)
+	rec := cfg.Record
+	if rec != nil {
+		rec.AttachKernel(k)
+		rec.AttachManager(mgr)
+	}
 	task := proc.NewTask(0)
+	if rec != nil {
+		rec.Spawn(task)
+	}
 	k.SetMetrics(cfg.Metrics)
 	mgr.SetMetrics(cfg.Metrics)
 
@@ -218,6 +231,9 @@ func runPatternVDom(cfg PatternConfig, warmup int) PatternResult {
 	populate := func(t *pagetable.Table, base pagetable.VAddr) {
 		if _, err := proc.AS().Populate(t, base, pagetable.PMDSize); err != nil {
 			panic(err)
+		}
+		if rec != nil {
+			rec.Populate(task, base, pagetable.PMDSize, t != proc.AS().Shadow())
 		}
 	}
 
@@ -316,7 +332,15 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 	k := kernel.New(kernel.Config{Machine: mach, VDomEnabled: false})
 	proc := k.NewProcess()
 	m := libmpk.Attach(proc, nil)
+	rec := cfg.Record
+	if rec != nil {
+		rec.AttachKernel(k)
+		rec.AttachLibmpk(m)
+	}
 	task := proc.NewTask(0)
+	if rec != nil {
+		rec.Spawn(task)
+	}
 	k.SetMetrics(cfg.Metrics)
 	m.SetMetrics(cfg.Metrics)
 
@@ -343,6 +367,9 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 		}
 		if _, err := proc.AS().Populate(proc.AS().Shadow(), base, pagetable.PMDSize); err != nil {
 			panic(err)
+		}
+		if rec != nil {
+			rec.Populate(task, base, pagetable.PMDSize, false)
 		}
 	}
 
@@ -381,6 +408,9 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 
 func runPatternEPK(cfg PatternConfig, warmup int) PatternResult {
 	sys := epk.New(cfg.NumVdoms, epk.DefaultVMTax())
+	if cfg.Record != nil {
+		cfg.Record.AttachEPK(sys)
+	}
 	idx := order(cfg.Pattern, cfg.NumVdoms)
 	var grand uint64
 	var total cycles.Cost

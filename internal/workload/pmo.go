@@ -10,6 +10,7 @@ import (
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 	"vdom/internal/sim"
 )
 
@@ -45,6 +46,9 @@ type PMOConfig struct {
 	// Cores defaults to the platform's hardware-thread count.
 	Cores int
 	Seed  uint64
+	// Record, when non-nil, captures the run's domain-op stream
+	// (internal/replay).
+	Record *replay.Recorder
 }
 
 func (c *PMOConfig) defaults() {
@@ -112,9 +116,24 @@ func RunPMO(cfg PMOConfig) PMOResult {
 	case EPK:
 		esys = epk.New(cfg.NumPMOs, epk.DefaultVMTax())
 	}
+	if rec := cfg.Record; rec != nil {
+		rec.AttachKernel(pl.kernel)
+		if mgr != nil {
+			rec.AttachManager(mgr)
+		}
+		if lbm != nil {
+			rec.AttachLibmpk(lbm)
+		}
+		if esys != nil {
+			rec.AttachEPK(esys)
+		}
+	}
 
 	// Map and protect the PMOs.
 	setup := pl.proc.NewTask(0)
+	if cfg.Record != nil {
+		cfg.Record.Spawn(setup)
+	}
 	bases := make([]pagetable.VAddr, cfg.NumPMOs)
 	doms := make([]core.VdomID, cfg.NumPMOs)
 	keys := make([]libmpk.Vkey, cfg.NumPMOs)
@@ -161,6 +180,9 @@ func RunPMO(cfg PMOConfig) PMOResult {
 	workers := make([]*worker, cfg.Threads)
 	for i := range workers {
 		workers[i] = &worker{task: pl.proc.NewTask((i + 1) % cfg.Cores), id: i}
+		if cfg.Record != nil {
+			cfg.Record.Spawn(workers[i].task)
+		}
 		if cfg.System == VDom || cfg.System == VDomLowerbound {
 			if _, err := mgr.VdrAlloc(workers[i].task, nasFor()); err != nil {
 				panic(err)
