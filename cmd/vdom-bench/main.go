@@ -6,18 +6,22 @@
 //	vdom-bench [-quick] [-format text|csv] [-seed N] [-parallel N]
 //	           [-metrics out.json] [-trace-out out.trace.json]
 //	           [-trace-dir DIR] [-divergence-out out.json]
-//	           [-soak-report out.json] [-trace-dump DIR] [experiment]
+//	           [-soak-report out.json] [-trace-dump DIR]
+//	           [-snap FILE] [-tail FILE] [experiment]
 //
 // Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
-// fig6, fig7, unixbench, ctxswitch, ablation, chaos, record, replay,
-// compare, all (default).
+// fig6, fig7, unixbench, ctxswitch, ablation, chaos, snapshot, recover,
+// record, replay, compare, all (default).
 //
 // `record` re-records the domain-op trace corpus (one scaled-down run per
 // paper workload and kernel kind, see REPLAY.md) into -trace-dir; `replay`
 // re-executes every trace there and verifies the runs are bit-identical
-// to their recordings, exiting non-zero on divergence. The chaos
-// experiment accepts -soak-report and -trace-dump to archive a JSON soak
-// report and failing shards' replayable trace dumps.
+// to their recordings, exiting non-zero on divergence. The chaos and
+// snapshot experiments accept -soak-report and -trace-dump to archive a
+// JSON soak report and failing shards' replayable trace dumps; `snapshot`
+// additionally dumps reproducer checkpoints, and `recover` re-runs a
+// recovery standalone from a -snap checkpoint plus -tail trace (see
+// RECOVERY.md).
 //
 // -parallel N fans the experiment grids out across N worker goroutines,
 // one isolated simulated System per cell; it defaults to runtime.NumCPU().
@@ -48,14 +52,16 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast run")
 	format := flag.String("format", "text", "output format: text or csv")
-	seed := flag.Uint64("seed", 42, "PRNG seed for the chaos experiment (replayable)")
+	seed := flag.Uint64("seed", 42, "PRNG seed for the chaos and snapshot experiments (replayable)")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (counters, cycle attribution, histograms) to this JSON file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev) to this path")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the experiment grids (output is byte-identical for any value)")
 	traceDir := flag.String("trace-dir", "", "trace corpus directory for record/replay (default testdata/traces)")
 	divergenceOut := flag.String("divergence-out", "", "replay: write a JSON divergence report to this file")
-	soakReport := flag.String("soak-report", "", "chaos: write a machine-readable JSON soak report to this file")
-	traceDump := flag.String("trace-dump", "", "chaos: record each shard and dump failing shards' replayable traces into this directory")
+	soakReport := flag.String("soak-report", "", "chaos/snapshot: write a machine-readable JSON soak report to this file")
+	traceDump := flag.String("trace-dump", "", "chaos/snapshot: dump failing shards' replayable traces (and reproducer checkpoints) into this directory")
+	snapPath := flag.String("snap", "", "recover: the vdom-snap/v1 checkpoint to restore")
+	tailPath := flag.String("tail", "", "recover: the recorded trace whose tail rolls the checkpoint forward")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
@@ -75,6 +81,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  ctxswitch  context switch costs (§7.5)\n")
 		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
 		fmt.Fprintf(os.Stderr, "  chaos      seeded fault-injection soak with audit summary (-seed to replay)\n")
+		fmt.Fprintf(os.Stderr, "  snapshot   crash-fault soak: checkpoint, crash, restore + tail replay, bit-identity verdict (-seed)\n")
+		fmt.Fprintf(os.Stderr, "  recover    standalone recovery from a -snap checkpoint and -tail trace reproducer\n")
 		fmt.Fprintf(os.Stderr, "  record     record the domain-op trace corpus to -trace-dir\n")
 		fmt.Fprintf(os.Stderr, "  replay     replay every trace under -trace-dir, verifying bit-identical behaviour\n")
 		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
@@ -91,6 +99,7 @@ func main() {
 		Quick: *quick, Format: f, Parallel: *parallel,
 		TraceDir: *traceDir, DivergenceOut: *divergenceOut,
 		SoakReport: *soakReport, TraceDump: *traceDump,
+		SnapPath: *snapPath, TailPath: *tailPath,
 	}
 	if *metricsOut != "" {
 		o.Metrics = metrics.New()
@@ -140,6 +149,16 @@ func main() {
 	case "chaos":
 		if err := bench.ChaosSeed(w, o, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "vdom-bench: chaos artifacts:", err)
+			os.Exit(1)
+		}
+	case "snapshot":
+		if err := bench.SnapshotSoak(w, o, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: snapshot:", err)
+			os.Exit(1)
+		}
+	case "recover":
+		if err := bench.Recover(w, o); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: recover:", err)
 			os.Exit(1)
 		}
 	case "record":

@@ -62,8 +62,15 @@ type Options struct {
 	SoakReport string
 	// TraceDump, when set, turns on soak recording and dumps each
 	// failing chaos shard's minimal replayable trace into this
-	// directory.
+	// directory. The snapshot experiment also dumps failing shards'
+	// reproducer checkpoints (crash-shardN.snap) there.
 	TraceDump string
+
+	// SnapPath and TailPath point the recover subcommand at a crash
+	// reproducer: an encoded vdom-snap/v1 checkpoint and the recorded
+	// trace whose tail rolls it forward (see RECOVERY.md).
+	SnapPath string
+	TailPath string
 }
 
 // workers resolves Parallel to a concrete pool width.

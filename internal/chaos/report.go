@@ -27,6 +27,29 @@ type ShardReport struct {
 	// TracePath is where the shard's replayable (fail) trace was dumped,
 	// when it was.
 	TracePath string `json:"trace_path,omitempty"`
+	// Crash describes the shard's crash-fault injection and recovery
+	// (crash-soak runs only).
+	Crash *CrashShard `json:"crash,omitempty"`
+}
+
+// CrashShard is the crash-and-recovery slice of a shard report.
+type CrashShard struct {
+	// Kind names the crash fault (CrashKind.String).
+	Kind string `json:"kind"`
+	// CheckpointOp and CrashOp locate the recovery checkpoint and the
+	// crash on the op stream.
+	CheckpointOp int `json:"checkpoint_op"`
+	CrashOp      int `json:"crash_op"`
+	// DetectedBy is "watchdog" or "audit".
+	DetectedBy string `json:"detected_by"`
+	// TailEvents is the number of trace events replayed during recovery.
+	TailEvents int `json:"tail_events"`
+	// Identical reports the recovered run's trace being byte-identical
+	// to the uninterrupted reference run.
+	Identical bool `json:"identical"`
+	// SnapshotPath is where the reproducer checkpoint was dumped, when
+	// it was.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
 }
 
 // NewShardReport summarizes one shard's SoakResult.

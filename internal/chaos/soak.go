@@ -44,7 +44,9 @@ type SoakConfig struct {
 	Trace *metrics.Trace
 	// Record captures the soak's domain-op stream as a replayable trace
 	// (SoakResult.Trace); failing runs can then be shrunk to a minimal
-	// reproducer with SoakResult.FailTrace.
+	// reproducer with SoakResult.FailTrace. Crash-fault recovery
+	// (SoakRun.Checkpoint/Recover) requires it: the trace tail is what
+	// replays the system forward from a checkpoint.
 	Record bool
 }
 
@@ -137,12 +139,48 @@ func (r *SoakResult) Merge(o *SoakResult) {
 // regionPages is the size of each protected region in the soak workload.
 const regionPages = 4
 
+// SoakRun is a soak in progress, steppable one operation at a time so a
+// crash-fault harness can interleave checkpoints, crashes, and recovery
+// with the workload. StartSoak boots it; Step drives one op; Finish
+// seals the result. Soak composes the three for the plain
+// run-to-completion case.
+type SoakRun struct {
+	cfg SoakConfig
+
+	in      *Injector
+	machine *hw.Machine
+	kern    *kernel.Kernel
+	proc    *kernel.Process
+	mgr     *core.Manager
+	rec     *replay.Recorder
+
+	res    *SoakResult
+	total  cycles.Cost
+	tasks  []*kernel.Task
+	vdoms  []core.VdomID
+	r      *sim.Rand
+	nextOp int
+
+	tracedEvents int
+	finished     bool
+}
+
 // Soak boots a machine with the injector attached and drives a randomized
 // (but seed-deterministic) VDom workload through it: grants, accesses,
 // revocations, vdom free/realloc cycles, VDS spreading, VDR churn, and
 // frame reclaim — auditing cross-layer consistency as it goes. The same
 // SoakConfig reproduces the identical event sequence.
 func Soak(cfg SoakConfig) *SoakResult {
+	s := StartSoak(cfg)
+	for s.Step() {
+	}
+	return s.Finish()
+}
+
+// StartSoak boots the soak platform and runs the workload setup (task
+// spawns, region mmaps, initial vdom bindings), leaving the run poised
+// before op 1.
+func StartSoak(cfg SoakConfig) *SoakRun {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 5000
 	}
@@ -159,210 +197,246 @@ func Soak(cfg SoakConfig) *SoakResult {
 		cfg.AuditEvery = 64
 	}
 
-	in := New(cfg.Chaos)
-	machine := hw.NewMachine(hw.Config{Arch: cfg.Arch, NumCores: cfg.Cores})
-	kern := kernel.New(kernel.Config{Machine: machine, VDomEnabled: true})
-	in.AttachMachine(machine)
-	in.AttachKernel(kern)
-	proc := kern.NewProcess()
-	mgr := core.Attach(proc, core.DefaultPolicy())
-	in.AttachManager(mgr)
-	var rec *replay.Recorder
+	s := &SoakRun{cfg: cfg, nextOp: 1}
+	s.in = New(cfg.Chaos)
+	s.machine = hw.NewMachine(hw.Config{Arch: cfg.Arch, NumCores: cfg.Cores})
+	s.kern = kernel.New(kernel.Config{Machine: s.machine, VDomEnabled: true})
+	s.in.AttachMachine(s.machine)
+	s.in.AttachKernel(s.kern)
+	s.proc = s.kern.NewProcess()
+	s.mgr = core.Attach(s.proc, core.DefaultPolicy())
+	s.in.AttachManager(s.mgr)
 	if cfg.Record {
-		rec = replay.NewRecorder(soakHeader(cfg))
-		rec.AttachKernel(kern)
-		rec.AttachManager(mgr)
+		s.rec = replay.NewRecorder(soakHeader(cfg))
+		s.rec.AttachKernel(s.kern)
+		s.rec.AttachManager(s.mgr)
 	}
 
-	res := &SoakResult{Ops: cfg.Ops, FirstFailEvent: -1}
-	var total cycles.Cost
-	kern.SetMetrics(cfg.Metrics)
-	mgr.SetMetrics(cfg.Metrics)
-	if cfg.Trace != nil {
-		mgr.SetTracer(func(e core.Event) {
-			cfg.Trace.Decision(e.Kind.String(), e.TID, uint64(total), uint64(e.Cost), map[string]uint64{
-				"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
-			})
-		})
-	}
-	fail := func(op int, what string, err error) {
-		if rec != nil && res.FirstFailEvent < 0 {
-			// The failing op's events are already recorded (taps fire at
-			// completion), so the prefix up to here is the reproducer.
-			res.FirstFailEvent = rec.Len()
-		}
-		res.Unrecovered = append(res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
-	}
+	s.res = &SoakResult{Ops: cfg.Ops, FirstFailEvent: -1}
+	s.kern.SetMetrics(cfg.Metrics)
+	s.mgr.SetMetrics(cfg.Metrics)
+	s.attachTracer()
 
-	tasks := make([]*kernel.Task, cfg.Threads)
-	for i := range tasks {
-		tasks[i] = proc.NewTask(i % cfg.Cores)
-		if rec != nil {
-			rec.Spawn(tasks[i])
+	s.tasks = make([]*kernel.Task, cfg.Threads)
+	for i := range s.tasks {
+		s.tasks[i] = s.proc.NewTask(i % cfg.Cores)
+		if s.rec != nil {
+			s.rec.Spawn(s.tasks[i])
 		}
 	}
 
-	// Working set: an unprotected scratch region plus one region per vdom.
-	const plainBase = pagetable.VAddr(0x1000_0000)
-	const plainPages = 64
-	region := func(i int) pagetable.VAddr {
-		return pagetable.VAddr(0x4000_0000 + uint64(i)*0x10_0000)
-	}
-	if c, err := tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
-		fail(0, "setup mmap", err)
+	if c, err := s.tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
+		s.fail(0, "setup mmap", err)
 	} else {
-		total += c
+		s.total += c
 	}
-	vdoms := make([]core.VdomID, cfg.Vdoms)
-	for i := range vdoms {
-		if c, err := tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
-			fail(0, "setup mmap", err)
+	s.vdoms = make([]core.VdomID, cfg.Vdoms)
+	for i := range s.vdoms {
+		if c, err := s.tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
+			s.fail(0, "setup mmap", err)
 		} else {
-			total += c
+			s.total += c
 		}
-		d, c := mgr.AllocVdom(i%4 == 0)
-		total += c
-		if c, err := mgr.Mprotect(tasks[0], region(i), regionPages*pagetable.PageSize, d); err != nil {
-			fail(0, "setup mprotect", err)
+		d, c := s.mgr.AllocVdom(i%4 == 0)
+		s.total += c
+		if c, err := s.mgr.Mprotect(s.tasks[0], region(i), regionPages*pagetable.PageSize, d); err != nil {
+			s.fail(0, "setup mprotect", err)
 		} else {
-			total += c
+			s.total += c
 		}
-		vdoms[i] = d
+		s.vdoms[i] = d
 	}
-	for _, t := range tasks {
-		c, err := mgr.VdrAlloc(t, 0)
-		total += c
+	for _, t := range s.tasks {
+		c, err := s.mgr.VdrAlloc(t, 0)
+		s.total += c
 		if err != nil {
-			fail(0, "setup vdr_alloc", err)
-		}
-	}
-
-	audit := func() {
-		res.Audits++
-		res.Violations = append(res.Violations, Audit(machine, kern, mgr)...)
-	}
-
-	// Each injected fault and recovery becomes a trace instant at the
-	// cycle position of the op that triggered it.
-	tracedEvents := 0
-	traceEvents := func() {
-		if cfg.Trace == nil {
-			return
-		}
-		evs := in.Events()
-		for ; tracedEvents < len(evs); tracedEvents++ {
-			cfg.Trace.Instant("chaos", evs[tracedEvents].Kind, 0, uint64(total))
+			s.fail(0, "setup vdr_alloc", err)
 		}
 	}
 
 	// The op stream draws from its own PRNG so the fault stream (the
 	// injector's) and the workload stream stay independent but both
 	// replay from the seed.
-	r := sim.NewRand(cfg.Chaos.Seed ^ 0x6a09e667f3bcc908)
-	for op := 1; op <= cfg.Ops; op++ {
-		t := tasks[r.Intn(len(tasks))]
-		di := r.Intn(len(vdoms))
-		d := vdoms[di]
-		switch x := r.Intn(100); {
-		case x < 50: // grant, then touch a page of the region
-			perm := core.VPermReadWrite
-			if x < 10 {
-				perm = core.VPermRead
-			}
-			c, err := mgr.WrVdr(t, d, perm)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("wrvdr grant vdom %d", d), err)
-				break
-			}
-			addr := region(di) + pagetable.VAddr(uint64(r.Intn(regionPages))*pagetable.PageSize)
-			write := perm == core.VPermReadWrite && r.Intn(2) == 0
-			c, err = t.Access(addr, write)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("access vdom %d at %#x", d, uint64(addr)), err)
-			}
-		case x < 65: // revoke (sometimes pinning)
-			perm := core.VPermNone
-			if x < 55 {
-				perm = core.VPermPinned
-			}
-			c, err := mgr.WrVdr(t, d, perm)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("wrvdr revoke vdom %d", d), err)
-			}
-		case x < 75: // free the vdom, rebind its region to a fresh one
-			c, err := mgr.FreeVdom(d)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("free vdom %d", d), err)
-				break
-			}
-			nd, c := mgr.AllocVdom(r.Intn(4) == 0)
-			total += c
-			c, err = mgr.Mprotect(t, region(di), regionPages*pagetable.PageSize, nd)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("mprotect vdom %d", nd), err)
-				break
-			}
-			vdoms[di] = nd
-		case x < 83: // spread the thread into a fresh VDS
-			c, err := mgr.PlaceInNewVDS(t)
-			total += c
-			// A typed resource failure here is tolerated: the caller's
-			// recovery is simply staying in its current VDS.
-			if err != nil && !errors.Is(err, core.ErrNoResources) && !errors.Is(err, core.ErrExhausted) {
-				fail(op, "place_in_new_vds", err)
-			}
-		case x < 90: // VDR churn (exercises the base-ASID restore)
-			c, err := mgr.VdrFree(t)
-			total += c
-			if err != nil {
-				fail(op, "vdr_free", err)
-				break
-			}
-			c, err = mgr.VdrAlloc(t, 0)
-			total += c
-			if err != nil {
-				fail(op, "vdr_alloc", err)
-			}
-		case x < 96: // kswapd pressure, plus VDS garbage collection
-			max := 1 + r.Intn(8)
-			n, c := proc.ReclaimFrames(t.CoreID(), max)
-			total += c
-			reaped := mgr.ReapVDSes()
-			if rec != nil {
-				rec.Reclaim(t.CoreID(), max, n, c)
-				rec.Reap(reaped)
-			}
-		default: // unprotected access
-			addr := plainBase + pagetable.VAddr(uint64(r.Intn(plainPages))*pagetable.PageSize)
-			c, err := t.Access(addr, r.Intn(2) == 0)
-			total += c
-			if err != nil {
-				fail(op, fmt.Sprintf("plain access at %#x", uint64(addr)), err)
-			}
-		}
-		traceEvents()
-		if op%cfg.AuditEvery == 0 {
-			audit()
-		}
-	}
-	audit()
+	s.r = sim.NewRand(cfg.Chaos.Seed ^ 0x6a09e667f3bcc908)
+	return s
+}
 
-	res.Cycles = total
-	res.Injected = in.Injected()
-	res.Recovered = in.Recovered()
-	res.Events = in.Events()
-	res.ASIDRollovers = kern.ASIDRollovers()
-	res.CoreStats = mgr.Stats
-	if rec != nil {
-		res.Trace = rec.Finish()
+// Working set: an unprotected scratch region plus one region per vdom.
+const (
+	plainBase  = pagetable.VAddr(0x1000_0000)
+	plainPages = 64
+)
+
+func region(i int) pagetable.VAddr {
+	return pagetable.VAddr(0x4000_0000 + uint64(i)*0x10_0000)
+}
+
+// NextOp returns the 1-based index of the op the next Step will run.
+func (s *SoakRun) NextOp() int { return s.nextOp }
+
+// ClockCycles returns the run's cumulative cycle clock.
+func (s *SoakRun) ClockCycles() uint64 { return uint64(s.total) }
+
+// attachTracer (re-)wires the Chrome-trace decision tap onto the current
+// manager instance; recovery calls it again on the restored one.
+func (s *SoakRun) attachTracer() {
+	if s.cfg.Trace == nil {
+		return
 	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.Accumulate(in, machine, proc.AS(), kern)
+	s.mgr.SetTracer(func(e core.Event) {
+		s.cfg.Trace.Decision(e.Kind.String(), e.TID, uint64(s.total), uint64(e.Cost), map[string]uint64{
+			"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
+		})
+	})
+}
+
+func (s *SoakRun) fail(op int, what string, err error) {
+	if s.rec != nil && s.res.FirstFailEvent < 0 {
+		// The failing op's events are already recorded (taps fire at
+		// completion), so the prefix up to here is the reproducer.
+		s.res.FirstFailEvent = s.rec.Len()
 	}
-	return res
+	s.res.Unrecovered = append(s.res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
+}
+
+func (s *SoakRun) audit() {
+	s.res.Audits++
+	s.res.Violations = append(s.res.Violations, Audit(s.machine, s.kern, s.mgr)...)
+}
+
+// traceEvents turns each injected fault and recovery into a trace
+// instant at the cycle position of the op that triggered it.
+func (s *SoakRun) traceEvents() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	evs := s.in.Events()
+	for ; s.tracedEvents < len(evs); s.tracedEvents++ {
+		s.cfg.Trace.Instant("chaos", evs[s.tracedEvents].Kind, 0, uint64(s.total))
+	}
+}
+
+// Step drives one workload op (and the periodic audit that falls on it)
+// and reports whether ops remain.
+func (s *SoakRun) Step() bool {
+	if s.nextOp > s.cfg.Ops {
+		return false
+	}
+	op := s.nextOp
+	s.nextOp++
+
+	t := s.tasks[s.r.Intn(len(s.tasks))]
+	di := s.r.Intn(len(s.vdoms))
+	d := s.vdoms[di]
+	switch x := s.r.Intn(100); {
+	case x < 50: // grant, then touch a page of the region
+		perm := core.VPermReadWrite
+		if x < 10 {
+			perm = core.VPermRead
+		}
+		c, err := s.mgr.WrVdr(t, d, perm)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("wrvdr grant vdom %d", d), err)
+			break
+		}
+		addr := region(di) + pagetable.VAddr(uint64(s.r.Intn(regionPages))*pagetable.PageSize)
+		write := perm == core.VPermReadWrite && s.r.Intn(2) == 0
+		c, err = t.Access(addr, write)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("access vdom %d at %#x", d, uint64(addr)), err)
+		}
+	case x < 65: // revoke (sometimes pinning)
+		perm := core.VPermNone
+		if x < 55 {
+			perm = core.VPermPinned
+		}
+		c, err := s.mgr.WrVdr(t, d, perm)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("wrvdr revoke vdom %d", d), err)
+		}
+	case x < 75: // free the vdom, rebind its region to a fresh one
+		c, err := s.mgr.FreeVdom(d)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("free vdom %d", d), err)
+			break
+		}
+		nd, c := s.mgr.AllocVdom(s.r.Intn(4) == 0)
+		s.total += c
+		c, err = s.mgr.Mprotect(t, region(di), regionPages*pagetable.PageSize, nd)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("mprotect vdom %d", nd), err)
+			break
+		}
+		s.vdoms[di] = nd
+	case x < 83: // spread the thread into a fresh VDS
+		c, err := s.mgr.PlaceInNewVDS(t)
+		s.total += c
+		// A typed resource failure here is tolerated: the caller's
+		// recovery is simply staying in its current VDS.
+		if err != nil && !errors.Is(err, core.ErrNoResources) && !errors.Is(err, core.ErrExhausted) {
+			s.fail(op, "place_in_new_vds", err)
+		}
+	case x < 90: // VDR churn (exercises the base-ASID restore)
+		c, err := s.mgr.VdrFree(t)
+		s.total += c
+		if err != nil {
+			s.fail(op, "vdr_free", err)
+			break
+		}
+		c, err = s.mgr.VdrAlloc(t, 0)
+		s.total += c
+		if err != nil {
+			s.fail(op, "vdr_alloc", err)
+		}
+	case x < 96: // kswapd pressure, plus VDS garbage collection
+		max := 1 + s.r.Intn(8)
+		n, c := s.proc.ReclaimFrames(t.CoreID(), max)
+		s.total += c
+		reaped := s.mgr.ReapVDSes()
+		if s.rec != nil {
+			s.rec.Reclaim(t.CoreID(), max, n, c)
+			s.rec.Reap(reaped)
+		}
+	default: // unprotected access
+		addr := plainBase + pagetable.VAddr(uint64(s.r.Intn(plainPages))*pagetable.PageSize)
+		c, err := t.Access(addr, s.r.Intn(2) == 0)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("plain access at %#x", uint64(addr)), err)
+		}
+	}
+	s.traceEvents()
+	if op%s.cfg.AuditEvery == 0 {
+		s.audit()
+	}
+	return s.nextOp <= s.cfg.Ops
+}
+
+// Finish runs the final audit, harvests every counter, and seals the
+// result. It is idempotent.
+func (s *SoakRun) Finish() *SoakResult {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	s.audit()
+
+	s.res.Cycles = s.total
+	s.res.Injected = s.in.Injected()
+	s.res.Recovered = s.in.Recovered()
+	s.res.Events = s.in.Events()
+	s.res.ASIDRollovers = s.kern.ASIDRollovers()
+	s.res.CoreStats = s.mgr.Stats
+	if s.rec != nil {
+		s.res.Trace = s.rec.Finish()
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Accumulate(s.in, s.machine, s.proc.AS(), s.kern)
+	}
+	return s.res
 }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Checkpoint capture and restore for the VDom core (vdom-snap/v1). The
+// manager's VDSes refer to their page tables through the memory
+// manager's stable ids, and VDRs/thread sets refer to tasks by TID, so a
+// snapshot is free of live pointers.
+
+// MapEntrySnap is one serialized domain-map slot (indexed by pdom).
+type MapEntrySnap struct {
+	Vdom    VdomID
+	Used    bool
+	Threads int
+	LastUse uint64
+}
+
+// VdomPdomSnap is one (vdom → pdom) pair of an HLRU hint map.
+type VdomPdomSnap struct {
+	Vdom VdomID
+	Pdom pagetable.Pdom
+}
+
+// EvictSnap is one remembered eviction (vdom → how it left).
+type EvictSnap struct {
+	Vdom   VdomID
+	Pdom   pagetable.Pdom
+	ViaPMD bool
+}
+
+// VDSSnap is the serializable image of one VDS.
+type VDSSnap struct {
+	ID          int
+	ASID        tlb.ASID
+	TableID     int
+	DomainMap   []MapEntrySnap // full slice, indexed by pdom
+	ThreadTIDs  []int          // ascending
+	Clock       uint64
+	LastMapping []VdomPdomSnap // ascending vdom
+	Evicted     []EvictSnap    // ascending vdom
+	CachedCores hw.CPUSet
+	NumPdoms    int
+}
+
+// VdomAreasSnap is one vdom's VDT area chain.
+type VdomAreasSnap struct {
+	Vdom  VdomID
+	Areas []Area
+}
+
+// PermSnap is one VDR permission entry.
+type PermSnap struct {
+	Vdom VdomID
+	Perm VPerm
+}
+
+// VDRSnap is the serializable image of one thread's VDR.
+type VDRSnap struct {
+	TID       int
+	Nas       int
+	VDSIDs    []int // attach order
+	CurrentID int   // -1 = not resident
+	Perms     []PermSnap
+}
+
+// ManagerSnap is the serializable image of a Manager.
+type ManagerSnap struct {
+	NextVdom VdomID
+	Live     []VdomID // ascending
+	Freq     []VdomID // ascending
+	VDT      []VdomAreasSnap
+
+	NextVDSID int
+	VDSes     []VDSSnap // creation order
+	VDRs      []VDRSnap // ascending TID
+	Stats     Stats
+}
+
+// Snap captures the manager's image. tableID maps each VDS's page table
+// to its stable id (see mm.TableID).
+func (m *Manager) Snap(tableID func(*pagetable.Table) int) ManagerSnap {
+	s := ManagerSnap{
+		NextVdom:  m.nextVdom,
+		NextVDSID: m.nextVDSID,
+		Stats:     m.Stats,
+	}
+	for d := range m.live {
+		s.Live = append(s.Live, d)
+	}
+	for d := range m.freq {
+		s.Freq = append(s.Freq, d)
+	}
+	sortVdoms(s.Live)
+	sortVdoms(s.Freq)
+	s.VDT = m.vdt.snap()
+	for _, v := range m.vdses {
+		s.VDSes = append(s.VDSes, snapVDS(v, tableID))
+	}
+	for t, r := range m.vdrs {
+		rs := VDRSnap{TID: t.TID(), Nas: r.nas, CurrentID: -1}
+		for _, v := range r.vdses {
+			rs.VDSIDs = append(rs.VDSIDs, v.id)
+		}
+		if r.current != nil {
+			rs.CurrentID = r.current.id
+		}
+		for d, p := range r.perms {
+			rs.Perms = append(rs.Perms, PermSnap{Vdom: d, Perm: p})
+		}
+		sort.Slice(rs.Perms, func(i, j int) bool { return rs.Perms[i].Vdom < rs.Perms[j].Vdom })
+		s.VDRs = append(s.VDRs, rs)
+	}
+	sort.Slice(s.VDRs, func(i, j int) bool { return s.VDRs[i].TID < s.VDRs[j].TID })
+	return s
+}
+
+func snapVDS(v *VDS, tableID func(*pagetable.Table) int) VDSSnap {
+	vs := VDSSnap{
+		ID:          v.id,
+		ASID:        v.asid,
+		TableID:     tableID(v.table),
+		DomainMap:   make([]MapEntrySnap, len(v.domainMap)),
+		Clock:       v.clock,
+		CachedCores: v.cachedCores,
+		NumPdoms:    v.numPdoms,
+	}
+	for p, e := range v.domainMap {
+		vs.DomainMap[p] = MapEntrySnap{Vdom: e.vdom, Used: e.used, Threads: e.threads, LastUse: e.lastUse}
+	}
+	for t := range v.threads {
+		vs.ThreadTIDs = append(vs.ThreadTIDs, t.TID())
+	}
+	sort.Ints(vs.ThreadTIDs)
+	for d, p := range v.lastMapping {
+		vs.LastMapping = append(vs.LastMapping, VdomPdomSnap{Vdom: d, Pdom: p})
+	}
+	sort.Slice(vs.LastMapping, func(i, j int) bool { return vs.LastMapping[i].Vdom < vs.LastMapping[j].Vdom })
+	for d, e := range v.evicted {
+		vs.Evicted = append(vs.Evicted, EvictSnap{Vdom: d, Pdom: e.pdom, ViaPMD: e.viaPMD})
+	}
+	sort.Slice(vs.Evicted, func(i, j int) bool { return vs.Evicted[i].Vdom < vs.Evicted[j].Vdom })
+	return vs
+}
+
+// LoadSnap restores the manager's image onto a freshly attached manager
+// (no vdoms, no VDSes beyond none, no VDRs). table resolves the memory
+// manager's stable table ids; task resolves TIDs to restored tasks.
+//
+// VDSes are rebuilt directly — not through allocVDS, which would draw
+// ASIDs and trace events — and VDT chains are reloaded slot-by-slot
+// rather than through AddArea, whose adjacent-area coalescing would
+// merge chains that the live system kept separate (breaking later
+// exact-match RemoveArea calls).
+func (m *Manager) LoadSnap(s ManagerSnap, table func(id int) *pagetable.Table, task func(tid int) *kernel.Task) {
+	if len(m.vdses) != 0 || len(m.vdrs) != 0 || len(m.live) != 0 {
+		panic("core: LoadSnap on a non-fresh manager")
+	}
+	m.nextVdom = s.NextVdom
+	m.live = make(map[VdomID]bool, len(s.Live))
+	for _, d := range s.Live {
+		m.live[d] = true
+	}
+	m.freq = make(map[VdomID]bool, len(s.Freq))
+	for _, d := range s.Freq {
+		m.freq[d] = true
+	}
+	m.vdt.load(s.VDT)
+	m.nextVDSID = s.NextVDSID
+	m.Stats = s.Stats
+
+	byID := make(map[int]*VDS, len(s.VDSes))
+	for _, vs := range s.VDSes {
+		v := loadVDS(vs, table, task)
+		m.vdses = append(m.vdses, v)
+		m.byTable[v.table] = v
+		byID[v.id] = v
+	}
+	for _, rs := range s.VDRs {
+		t := task(rs.TID)
+		if t == nil {
+			panic(fmt.Sprintf("core: VDR snapshot references unknown TID %d", rs.TID))
+		}
+		r := &VDR{task: t, nas: rs.Nas, perms: make(map[VdomID]VPerm, len(rs.Perms))}
+		for _, p := range rs.Perms {
+			r.perms[p.Vdom] = p.Perm
+		}
+		for _, id := range rs.VDSIDs {
+			v, ok := byID[id]
+			if !ok {
+				panic(fmt.Sprintf("core: VDR snapshot references unknown VDS %d", id))
+			}
+			r.vdses = append(r.vdses, v)
+		}
+		if rs.CurrentID != -1 {
+			v, ok := byID[rs.CurrentID]
+			if !ok {
+				panic(fmt.Sprintf("core: VDR snapshot resident in unknown VDS %d", rs.CurrentID))
+			}
+			r.current = v
+		}
+		m.vdrs[t] = r
+	}
+}
+
+func loadVDS(vs VDSSnap, table func(id int) *pagetable.Table, task func(tid int) *kernel.Task) *VDS {
+	v := &VDS{
+		id:          vs.ID,
+		table:       table(vs.TableID),
+		asid:        vs.ASID,
+		domainMap:   make([]mapEntry, len(vs.DomainMap)),
+		vdomPdom:    make(map[VdomID]pagetable.Pdom),
+		threads:     make(map[*kernel.Task]bool),
+		clock:       vs.Clock,
+		lastMapping: make(map[VdomID]pagetable.Pdom, len(vs.LastMapping)),
+		evicted:     make(map[VdomID]evictState, len(vs.Evicted)),
+		cachedCores: vs.CachedCores,
+		numPdoms:    vs.NumPdoms,
+	}
+	if v.table == nil {
+		panic(fmt.Sprintf("core: VDS %d snapshot has no table", vs.ID))
+	}
+	for p, e := range vs.DomainMap {
+		v.domainMap[p] = mapEntry{vdom: e.Vdom, used: e.Used, threads: e.Threads, lastUse: e.LastUse}
+		if e.Used {
+			v.vdomPdom[e.Vdom] = pagetable.Pdom(p)
+		}
+	}
+	for _, tid := range vs.ThreadTIDs {
+		t := task(tid)
+		if t == nil {
+			panic(fmt.Sprintf("core: VDS %d snapshot references unknown TID %d", vs.ID, tid))
+		}
+		v.threads[t] = true
+	}
+	for _, e := range vs.LastMapping {
+		v.lastMapping[e.Vdom] = e.Pdom
+	}
+	for _, e := range vs.Evicted {
+		v.evicted[e.Vdom] = evictState{pdom: e.Pdom, viaPMD: e.ViaPMD}
+	}
+	return v
+}
+
+// snap serializes the VDT's chains, per vdom in ascending id order.
+func (t *VDT) snap() []VdomAreasSnap {
+	var out []VdomAreasSnap
+	for hi, leaf := range t.top {
+		for lo := range leaf.slots {
+			if len(leaf.slots[lo]) == 0 {
+				continue
+			}
+			out = append(out, VdomAreasSnap{
+				Vdom:  VdomID(hi*vdtFanout + uint64(lo)),
+				Areas: append([]Area(nil), leaf.slots[lo]...),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vdom < out[j].Vdom })
+	return out
+}
+
+// load rebuilds the VDT from serialized chains, preserving each chain's
+// exact segmentation (no coalescing).
+func (t *VDT) load(chains []VdomAreasSnap) {
+	t.top = make(map[uint64]*vdtLeaf)
+	t.areas = 0
+	for _, c := range chains {
+		leaf, lo := t.leafFor(c.Vdom, true)
+		leaf.slots[lo] = append([]Area(nil), c.Areas...)
+		t.areas += len(c.Areas)
+	}
+}
+
+// TearDomainMap deterministically corrupts one VDS's domain map the way
+// a crash in the middle of a multi-step map update would: the forward
+// entry (domainMap) survives while its inverse (vdomPdom) is lost. The
+// cross-layer auditor detects the inconsistency, and recovery discards
+// the corrupted instance wholesale. It returns a description of the tear
+// and false when no VDS has a mapped vdom to tear.
+func (m *Manager) TearDomainMap() (string, bool) {
+	for _, v := range m.vdses {
+		for p := firstUsablePdom; p < v.numPdoms; p++ {
+			e := v.domainMap[p]
+			if !e.used {
+				continue
+			}
+			delete(v.vdomPdom, e.vdom)
+			return fmt.Sprintf("vds %d: vdom %d → pdom %d forward entry kept, inverse dropped", v.id, e.vdom, p), true
+		}
+	}
+	return "", false
+}
+
+func sortVdoms(v []VdomID) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

@@ -1,0 +1,42 @@
+package epk
+
+import "sort"
+
+// Checkpoint capture and restore (vdom-snap/v1).
+
+// ThreadGroupSnap is one (thread → current EPT group) binding.
+type ThreadGroupSnap struct {
+	ThreadID int
+	Group    int
+}
+
+// Snap is the serializable image of a System.
+type Snap struct {
+	NumDomains int
+	Current    []ThreadGroupSnap // ascending ThreadID
+	Stats      Stats
+}
+
+// Snap captures the system's image. The VM tax model is configuration,
+// not state: it is rebuilt from the boot header on restore.
+func (s *System) Snap() Snap {
+	st := Snap{NumDomains: s.numDomains, Stats: s.Stats}
+	for tid, g := range s.current {
+		st.Current = append(st.Current, ThreadGroupSnap{ThreadID: tid, Group: g})
+	}
+	sort.Slice(st.Current, func(i, j int) bool { return st.Current[i].ThreadID < st.Current[j].ThreadID })
+	return st
+}
+
+// LoadSnap restores a captured image onto a freshly created System with
+// the same domain capacity.
+func (s *System) LoadSnap(st Snap) {
+	if st.NumDomains != s.numDomains {
+		panic("epk: LoadSnap domain capacity mismatch")
+	}
+	s.current = make(map[int]int, len(st.Current))
+	for _, tg := range st.Current {
+		s.current[tg.ThreadID] = tg.Group
+	}
+	s.Stats = st.Stats
+}

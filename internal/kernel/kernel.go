@@ -482,7 +482,7 @@ func (t *Task) access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 			k.metrics.Attribute("kernel", "fault", uint64(k.params.FaultEntry))
 			fix, err := t.proc.as.HandleFault(t.table, addr, write)
 			if err != nil {
-				return total, fmt.Errorf("%w: %v at %#x", ErrSigsegv, err, uint64(addr))
+				return total, fmt.Errorf("%w: %w at %#x", ErrSigsegv, err, uint64(addr))
 			}
 			total += cycles.Cost(fix.PTEWrites)*k.params.PTEWrite + k.params.FaultExit
 			k.metrics.Attribute("pagetable", "pte-write", uint64(cycles.Cost(fix.PTEWrites)*k.params.PTEWrite))

@@ -8,7 +8,10 @@ import (
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/pagetable"
+	"vdom/internal/replay"
 	"vdom/internal/sim"
+	"vdom/internal/snapshot"
+	"vdom/internal/tlb"
 )
 
 const pg = pagetable.PageSize
@@ -189,5 +192,200 @@ func TestSchedVDSSwitchUnderContention(t *testing.T) {
 	}
 	if cur := k.CurrentOn(0); cur != tasks[0] && cur != tasks[1] {
 		t.Errorf("core 0 resident task is %v", cur)
+	}
+}
+
+// snapHeader describes the bootVDom geometry to the snapshot layer, so
+// Restore boots an identical system.
+func snapHeader(cores int) replay.Header {
+	pol := core.DefaultPolicy()
+	h := replay.Header{
+		Version: replay.FormatVersion, Kernel: replay.KernelVDom,
+		Arch: "x86", Cores: cores, TLBCap: 256, Workload: "sched-test",
+		Flags:          replay.HdrVDomKernel,
+		FlushThreshold: pol.RangeFlushThresholdPages,
+		Nas:            pol.DefaultNas,
+	}
+	if pol.SecureGate {
+		h.Flags |= replay.HdrSecureGate
+	}
+	return h
+}
+
+// checkpoint round-trips the live system through the vdom-snap/v1
+// container and restores it into a fresh System.
+func checkpoint(t *testing.T, k *kernel.Kernel, p *kernel.Process, mgr *core.Manager) (*replay.System, map[uint64]*kernel.Task) {
+	t.Helper()
+	sys := &replay.System{Machine: k.Machine(), Kernel: k, Proc: p, Manager: mgr}
+	st, err := snapshot.Capture(sys, snapHeader(k.Machine().NumCores()), 0, 0)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	st2, err := snapshot.Decode(snapshot.Encode(st))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	sys2, tasks, err := snapshot.Restore(st2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return sys2, tasks
+}
+
+// churnASID burns one ASID: it moves the task into a brand-new VDS
+// (fresh ASID draw) and reaps the VDS it vacated.
+func churnASID(t *testing.T, mgr *core.Manager, tk *kernel.Task) {
+	t.Helper()
+	if _, err := mgr.PlaceInNewVDS(tk); err != nil {
+		t.Fatalf("place in new VDS: %v", err)
+	}
+	mgr.ReapVDSes()
+}
+
+// TestSchedASIDRolloverAcrossCheckpoint drives the ASID allocator to the
+// brink of a generation rollover, checkpoints, and verifies the restored
+// kernel rolls over at exactly the same allocation as the live one: the
+// shrunken ASID limit, the next-ASID cursor, and the generation counters
+// all survive the checkpoint/restore boundary.
+func TestSchedASIDRolloverAcrossCheckpoint(t *testing.T) {
+	const limit = tlb.ASID(6)
+	boot := func() (*kernel.Kernel, *core.Manager, *kernel.Task) {
+		k, p, mgr := bootVDom(t, 1)
+		k.SetASIDLimit(limit)
+		tk := p.NewTask(0)
+		if _, err := tk.Mmap(0x50_0000, 4*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.VdrAlloc(tk, 2); err != nil {
+			t.Fatal(err)
+		}
+		return k, mgr, tk
+	}
+
+	// Probe run: learn how many VDS churns the first rollover takes.
+	// The machine is deterministic, so a second boot replays exactly.
+	pk, pmgr, ptk := boot()
+	churns := 0
+	for pk.ASIDRollovers() == 0 {
+		churnASID(t, pmgr, ptk)
+		churns++
+		if churns > 1000 {
+			t.Fatalf("no ASID rollover after %d churns at limit %d", churns, limit)
+		}
+	}
+
+	// Real run: stop one churn short of the rollover and checkpoint there.
+	k, mgr, tk := boot()
+	p := tk.Process()
+	for i := 0; i < churns-1; i++ {
+		churnASID(t, mgr, tk)
+	}
+	if got := k.ASIDRollovers(); got != 0 {
+		t.Fatalf("rolled over before the checkpoint: %d rollovers", got)
+	}
+	sys2, tasks2 := checkpoint(t, k, p, mgr)
+	k2 := sys2.Kernel
+	tk2 := tasks2[uint64(tk.TID())]
+	if tk2 == nil {
+		t.Fatalf("restored system lost task %d; have %v", tk.TID(), tasks2)
+	}
+
+	// One more churn on each side crosses the generation boundary —
+	// in the live kernel and in the restored one, identically.
+	churnASID(t, mgr, tk)
+	churnASID(t, sys2.Manager, tk2)
+	if k.ASIDRollovers() != 1 {
+		t.Errorf("live kernel: want 1 rollover after the final churn, got %d", k.ASIDRollovers())
+	}
+	if k2.ASIDRollovers() != k.ASIDRollovers() {
+		t.Errorf("restored kernel rolled over %d times, live kernel %d", k2.ASIDRollovers(), k.ASIDRollovers())
+	}
+	if k2.ASIDGeneration() != k.ASIDGeneration() {
+		t.Errorf("ASID generation diverged across restore: %d vs %d", k2.ASIDGeneration(), k.ASIDGeneration())
+	}
+	if k2.LiveASIDCount() != k.LiveASIDCount() {
+		t.Errorf("live-ASID count diverged across restore: %d vs %d", k2.LiveASIDCount(), k.LiveASIDCount())
+	}
+	// The restored task still runs against its post-rollover VDS.
+	if _, err := tk2.Access(0x50_0000, true); err != nil {
+		t.Errorf("restored task access after rollover: %v", err)
+	}
+}
+
+// TestSchedThreadExitWhileCheckpointed checkpoints a system while a
+// thread occupies its own VDS, lets the thread exit (reaping that VDS)
+// on the live system, and then restores the checkpoint: the restored
+// world must still hold the pre-exit state — VDS, VDR, and domain grant
+// intact — and the restored thread must dispatch, run, and exit cleanly.
+func TestSchedThreadExitWhileCheckpointed(t *testing.T) {
+	k, p, mgr := bootVDom(t, 1)
+	t1 := p.NewTask(0)
+	const guarded = pagetable.VAddr(0x60_0000)
+	if _, err := t1.Mmap(guarded, 4*pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.VdrAlloc(t1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.PlaceInNewVDS(t1); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := mgr.AllocVdom(false)
+	if _, err := mgr.Mprotect(t1, guarded, 4*pg, d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint with t1 alive in its own VDS...
+	sys2, tasks2 := checkpoint(t, k, p, mgr)
+
+	// ...then exit the thread on the live system: its VDS is reaped.
+	if _, err := mgr.VdrFree(t1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mgr.VDSes()); got != 1 {
+		t.Fatalf("live system: VDS not reclaimed after exit, %d remain", got)
+	}
+
+	// The checkpoint is unaffected by the later exit: the restored world
+	// still has the thread in its VDS with the VDR held.
+	t1r := tasks2[uint64(t1.TID())]
+	if t1r == nil {
+		t.Fatalf("restored system lost task %d", t1.TID())
+	}
+	mgr2 := sys2.Manager
+	if got := len(mgr2.VDSes()); got != 2 {
+		t.Fatalf("restored system: want the pre-exit 2 VDSes, have %d", got)
+	}
+	if mgr2.VDROf(t1r) == nil {
+		t.Fatal("restored thread lost its VDR")
+	}
+
+	// The restored thread dispatches and runs against its domain grant...
+	env := sim.NewEnv()
+	sched := kernel.NewSched(env, sys2.Kernel)
+	env.Go("t1-restored", func(proc *sim.Proc) {
+		sched.Run(proc, t1r, func() cycles.Cost {
+			c, err := mgr2.WrVdr(t1r, d, core.VPermReadWrite)
+			if err != nil {
+				t.Errorf("restored wrvdr: %v", err)
+			}
+			a, err := t1r.Access(guarded, true)
+			if err != nil {
+				t.Errorf("restored guarded access: %v", err)
+			}
+			return c + a
+		})
+		// ...and exits cleanly in the restored world too.
+		sched.Run(proc, t1r, func() cycles.Cost {
+			c, err := mgr2.VdrFree(t1r)
+			if err != nil {
+				t.Errorf("restored vdr_free: %v", err)
+			}
+			return c
+		})
+	})
+	env.Run()
+	if got := len(mgr2.VDSes()); got != 1 {
+		t.Fatalf("restored system: VDS not reclaimed after the replayed exit, %d remain", got)
 	}
 }

@@ -1,0 +1,165 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"vdom/internal/cycles"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Checkpoint capture and restore for the kernel layer (vdom-snap/v1).
+// Page tables are referred to by the memory manager's stable ids (see
+// mm.TableID); tasks by TID within their process.
+
+// AccountSnap is one named cycle account of a task counter.
+type AccountSnap struct {
+	Name string
+	Cost cycles.Cost
+}
+
+// TaskSnap is the serializable image of one Task.
+type TaskSnap struct {
+	TID       int
+	Core      int
+	TableID   int
+	ASID      tlb.ASID
+	BaseASID  tlb.ASID
+	SavedPerm uint64
+	VDS       bool
+	Total     cycles.Cost
+	Accounts  []AccountSnap
+}
+
+// Snap is the serializable image of a Kernel plus one Process's tasks.
+type Snap struct {
+	NextASID  tlb.ASID
+	MaxASID   tlb.ASID
+	ASIDGen   uint64
+	Rollovers uint64
+	LiveASIDs []tlb.ASID // ascending
+	NextPID   int
+
+	// LastTaskTID records, per core, the TID of the task whose state is
+	// loaded there (0 = none).
+	LastTaskTID []int
+	PendingIRQ  []cycles.Cost
+
+	Tasks []TaskSnap // ascending TID
+}
+
+// Snap captures the kernel's image together with process p's task list.
+// tableID maps each task's live page table to its stable id.
+func (k *Kernel) Snap(p *Process, tableID func(*pagetable.Table) int) Snap {
+	s := Snap{
+		NextASID:    k.nextASID,
+		MaxASID:     k.maxASID,
+		ASIDGen:     k.asidGen,
+		Rollovers:   k.rollovers,
+		NextPID:     k.nextPID,
+		LastTaskTID: make([]int, len(k.lastTask)),
+		PendingIRQ:  append([]cycles.Cost(nil), k.pendingIRQ...),
+	}
+	for a := range k.liveASIDs {
+		s.LiveASIDs = append(s.LiveASIDs, a)
+	}
+	sort.Slice(s.LiveASIDs, func(i, j int) bool { return s.LiveASIDs[i] < s.LiveASIDs[j] })
+	for id, t := range k.lastTask {
+		if t != nil {
+			s.LastTaskTID[id] = t.tid
+		}
+	}
+	for _, t := range p.tasks {
+		ts := TaskSnap{
+			TID:       t.tid,
+			Core:      t.core,
+			TableID:   tableID(t.table),
+			ASID:      t.asid,
+			BaseASID:  t.baseASID,
+			SavedPerm: t.savedPerm,
+			VDS:       t.vds,
+			Total:     t.Counter.Total(),
+		}
+		for name, c := range t.Counter.Accounts() {
+			ts.Accounts = append(ts.Accounts, AccountSnap{Name: name, Cost: c})
+		}
+		sort.Slice(ts.Accounts, func(i, j int) bool { return ts.Accounts[i].Name < ts.Accounts[j].Name })
+		s.Tasks = append(s.Tasks, ts)
+	}
+	sort.Slice(s.Tasks, func(i, j int) bool { return s.Tasks[i].TID < s.Tasks[j].TID })
+	return s
+}
+
+// LoadSnap restores the kernel's image onto a freshly booted kernel and
+// recreates process p's tasks from the snapshot. table is the inverse of
+// the Snap tableID mapping. It returns the restored tasks keyed by TID.
+//
+// The process must be fresh (no tasks): LoadSnap constructs each task
+// directly — NOT through NewTask, which would draw new ASIDs — so the
+// ASID allocator's cursor, generation, and live set land exactly on the
+// checkpointed values.
+func (k *Kernel) LoadSnap(s Snap, p *Process, table func(id int) *pagetable.Table) map[int]*Task {
+	if len(p.tasks) != 0 {
+		panic("kernel: LoadSnap on a process with live tasks")
+	}
+	if len(s.LastTaskTID) != len(k.lastTask) || len(s.PendingIRQ) != len(k.pendingIRQ) {
+		panic(fmt.Sprintf("kernel: LoadSnap core count mismatch (snapshot %d, machine %d)",
+			len(s.LastTaskTID), len(k.lastTask)))
+	}
+	k.nextASID = s.NextASID
+	k.maxASID = s.MaxASID
+	k.asidGen = s.ASIDGen
+	k.rollovers = s.Rollovers
+	k.nextPID = s.NextPID
+	k.liveASIDs = make(map[tlb.ASID]bool, len(s.LiveASIDs))
+	for _, a := range s.LiveASIDs {
+		k.liveASIDs[a] = true
+	}
+	copy(k.pendingIRQ, s.PendingIRQ)
+
+	byTID := make(map[int]*Task, len(s.Tasks))
+	for _, ts := range s.Tasks {
+		t := &Task{
+			proc:      p,
+			tid:       ts.TID,
+			core:      ts.Core,
+			table:     table(ts.TableID),
+			asid:      ts.ASID,
+			baseASID:  ts.BaseASID,
+			savedPerm: ts.SavedPerm,
+			vds:       ts.VDS,
+			Counter:   cycles.NewCounter(),
+		}
+		for _, a := range ts.Accounts {
+			t.Counter.Charge(a.Name, a.Cost)
+		}
+		if got := t.Counter.Total(); got != ts.Total {
+			panic(fmt.Sprintf("kernel: task %d counter total %d != snapshot %d", ts.TID, got, ts.Total))
+		}
+		p.tasks = append(p.tasks, t)
+		byTID[ts.TID] = t
+	}
+	for id, tid := range s.LastTaskTID {
+		if tid == 0 {
+			k.lastTask[id] = nil
+			continue
+		}
+		t, ok := byTID[tid]
+		if !ok {
+			panic(fmt.Sprintf("kernel: LastTask TID %d missing from snapshot tasks", tid))
+		}
+		k.lastTask[id] = t
+	}
+	return byTID
+}
+
+// ClearResidency models the kernel-level effect of a crash: the per-core
+// notion of which task's state is loaded is lost, forcing a full context
+// switch on the next dispatch. The recovery path restores a checkpoint
+// over this, so the cleared state never reaches post-recovery execution.
+func (k *Kernel) ClearResidency() {
+	for i := range k.lastTask {
+		k.lastTask[i] = nil
+	}
+}

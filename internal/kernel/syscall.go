@@ -76,7 +76,7 @@ func (k *Kernel) RegisterSyscallFilter(f SyscallFilter) {
 func (k *Kernel) checkFilters(t *Task, sc Syscall, args SyscallArgs) error {
 	for _, f := range k.syscallFilters {
 		if err := f(t, sc, args); err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrBlocked, sc, err)
+			return fmt.Errorf("%w: %s: %w", ErrBlocked, sc, err)
 		}
 	}
 	return nil
@@ -221,7 +221,7 @@ func (t *Task) ProcessVMReadv(addr pagetable.VAddr) (pagetable.Pdom, cycles.Cost
 	if !wr.Present {
 		// Fault it in through the shadow table as the kernel would.
 		if _, err := t.proc.as.HandleFault(t.proc.as.Shadow(), addr, false); err != nil {
-			return 0, cost, fmt.Errorf("%w: %v", ErrSigsegv, err)
+			return 0, cost, fmt.Errorf("%w: %w", ErrSigsegv, err)
 		}
 		wr = t.proc.as.Shadow().Walk(addr)
 	}

@@ -1,0 +1,113 @@
+package libmpk
+
+import (
+	"fmt"
+	"sort"
+
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+)
+
+// Checkpoint capture and restore (vdom-snap/v1).
+
+// AreaSnap is one serialized protected area.
+type AreaSnap struct {
+	Start  pagetable.VAddr
+	Length uint64
+}
+
+// TaskPermSnap is one per-thread permission on a key (TID 0 = the nil
+// task of direct mode).
+type TaskPermSnap struct {
+	TID  int
+	Perm hw.Perm
+}
+
+// KeySnap is the serializable image of one virtual key's metadata.
+type KeySnap struct {
+	Vkey    Vkey
+	Areas   []AreaSnap
+	Pkey    pagetable.Pdom
+	Mapped  bool
+	Perms   []TaskPermSnap // ascending TID
+	InUse   int
+	LastUse uint64
+}
+
+// PkeySlotSnap is one hardware-key cache slot.
+type PkeySlotSnap struct {
+	Vkey Vkey
+	Used bool
+}
+
+// Snap is the serializable image of a Manager.
+type Snap struct {
+	NextVkey Vkey
+	Keys     []KeySnap // ascending Vkey
+	Pkeys    []PkeySlotSnap
+	Clock    uint64
+	Mode     PageMode
+	Stats    Stats
+}
+
+// Snap captures the manager's image. The busy-wait signal and cache lock
+// are simulator plumbing, not state: an idle checkpoint has no waiters.
+func (m *Manager) Snap() Snap {
+	s := Snap{
+		NextVkey: m.nextVkey,
+		Clock:    m.clock,
+		Mode:     m.mode,
+		Stats:    m.Stats,
+	}
+	for vk, km := range m.keys {
+		ks := KeySnap{Vkey: vk, Pkey: km.pkey, Mapped: km.mapped, InUse: km.inUse, LastUse: km.lastUse}
+		for _, a := range km.areas {
+			ks.Areas = append(ks.Areas, AreaSnap{Start: a.start, Length: a.length})
+		}
+		for t, p := range km.perms {
+			ks.Perms = append(ks.Perms, TaskPermSnap{TID: tapTID(t), Perm: p})
+		}
+		sort.Slice(ks.Perms, func(i, j int) bool { return ks.Perms[i].TID < ks.Perms[j].TID })
+		s.Keys = append(s.Keys, ks)
+	}
+	sort.Slice(s.Keys, func(i, j int) bool { return s.Keys[i].Vkey < s.Keys[j].Vkey })
+	for _, slot := range m.pkeys {
+		s.Pkeys = append(s.Pkeys, PkeySlotSnap{Vkey: slot.vkey, Used: slot.used})
+	}
+	return s
+}
+
+// LoadSnap restores a captured image onto a freshly attached manager.
+// task resolves TIDs to restored tasks (TID 0 must resolve to nil).
+func (m *Manager) LoadSnap(s Snap, task func(tid int) *kernel.Task) {
+	if len(m.keys) != 0 {
+		panic("libmpk: LoadSnap on a non-fresh manager")
+	}
+	if len(s.Pkeys) != numPkeys {
+		panic(fmt.Sprintf("libmpk: snapshot has %d pkey slots, want %d", len(s.Pkeys), numPkeys))
+	}
+	m.nextVkey = s.NextVkey
+	m.clock = s.Clock
+	m.mode = s.Mode
+	m.Stats = s.Stats
+	for _, ks := range s.Keys {
+		km := &keyMeta{
+			pkey:    ks.Pkey,
+			mapped:  ks.Mapped,
+			inUse:   ks.InUse,
+			lastUse: ks.LastUse,
+			perms:   make(map[*kernel.Task]hw.Perm, len(ks.Perms)),
+		}
+		for _, a := range ks.Areas {
+			km.areas = append(km.areas, area{start: a.Start, length: a.Length})
+		}
+		for _, p := range ks.Perms {
+			km.perms[task(p.TID)] = p.Perm
+		}
+		m.keys[ks.Vkey] = km
+	}
+	for i, slot := range s.Pkeys {
+		m.pkeys[i] = pkeySlot{vkey: slot.Vkey, used: slot.Used}
+	}
+}

@@ -231,7 +231,7 @@ func (as *AddressSpace) Mprotect(start pagetable.VAddr, length uint64, writable 
 // falls under the new domain.
 func (as *AddressSpace) SetTag(addr pagetable.VAddr, length uint64, tag Tag) (SyncReport, error) {
 	if length == 0 {
-		return SyncReport{}, fmt.Errorf("mm: empty tag range")
+		return SyncReport{}, fmt.Errorf("%w: empty tag range", ErrBadRange)
 	}
 	start := addr.PageAlign()
 	end := (addr + pagetable.VAddr(length) + pagetable.PageSize - 1).PageAlign()

@@ -1,0 +1,93 @@
+package mm
+
+import "vdom/internal/pagetable"
+
+// Checkpoint capture and restore for the memory-management layer
+// (vdom-snap/v1). The snapshot owns the process's page tables: the
+// shadow table plus every registered per-VDS table, identified by a
+// stable id (0 = shadow, j >= 1 = Tables()[j-1], -1 = none) that the
+// hardware and core-layer snapshots refer to.
+
+// VMASnap is one serialized virtual memory area.
+type VMASnap struct {
+	Start    pagetable.VAddr
+	Length   uint64
+	Writable bool
+	Tag      Tag
+}
+
+// ASSnap is the serializable image of an AddressSpace.
+type ASSnap struct {
+	// VMAs holds every area in ascending start order.
+	VMAs []VMASnap
+	// Shadow is the authoritative shadow table's image.
+	Shadow pagetable.TableState
+	// Tables are the registered per-VDS tables' images, in registration
+	// order (table id j+1 corresponds to Tables[j]).
+	Tables []pagetable.TableState
+}
+
+// Snap captures the address space's image.
+func (as *AddressSpace) Snap() ASSnap {
+	var s ASSnap
+	as.vmas.All(func(v *VMA) bool {
+		s.VMAs = append(s.VMAs, VMASnap{Start: v.Start, Length: v.Length, Writable: v.Writable, Tag: v.Tag})
+		return true
+	})
+	s.Shadow = as.shadow.State()
+	for _, t := range as.tables {
+		s.Tables = append(s.Tables, t.State())
+	}
+	return s
+}
+
+// LoadSnap restores the address space in place: the VMA tree is rebuilt,
+// the shadow table reloaded, and one fresh table registered per
+// serialized per-VDS table. The address space must be freshly booted (no
+// VMAs, no registered tables).
+func (as *AddressSpace) LoadSnap(s ASSnap) {
+	if as.vmas.Len() != 0 || len(as.tables) != 0 {
+		panic("mm: LoadSnap on a non-fresh address space")
+	}
+	for i := range s.VMAs {
+		v := s.VMAs[i]
+		as.vmas.Insert(&VMA{Start: v.Start, Length: v.Length, Writable: v.Writable, Tag: v.Tag})
+	}
+	as.shadow.LoadState(s.Shadow)
+	for _, ts := range s.Tables {
+		t := pagetable.New()
+		t.LoadState(ts)
+		as.RegisterTable(t)
+	}
+}
+
+// TableID maps a live table to its stable snapshot id (-1 = nil,
+// 0 = shadow, j+1 = Tables()[j]). It panics on a table the address space
+// does not own — a checkpoint must never silently drop a reference.
+func (as *AddressSpace) TableID(t *pagetable.Table) int {
+	switch {
+	case t == nil:
+		return -1
+	case t == as.shadow:
+		return 0
+	}
+	for j, o := range as.tables {
+		if o == t {
+			return j + 1
+		}
+	}
+	panic("mm: TableID of an unregistered table")
+}
+
+// TableByID is the inverse of TableID.
+func (as *AddressSpace) TableByID(id int) *pagetable.Table {
+	switch {
+	case id == -1:
+		return nil
+	case id == 0:
+		return as.shadow
+	case id >= 1 && id <= len(as.tables):
+		return as.tables[id-1]
+	}
+	panic("mm: TableByID out of range")
+}

@@ -1,0 +1,123 @@
+package pagetable
+
+// This file implements checkpoint capture and restore for Table
+// (vdom-snap/v1). The snapshot must reproduce the table *exactly* — not
+// just its present translations but the radix skeleton (empty page
+// tables left behind by Unmap still add walk levels, which the hardware
+// charges cycles for), the per-PMD disabled marks, the write counters,
+// and the mutation generation — so a restored System's cycle accounting
+// is bit-identical to an uninterrupted run.
+
+// PageState is one present PTE and its address in a TableState.
+type PageState struct {
+	Addr uint64
+	PTE  PTE
+}
+
+// TableState is the serializable image of a Table.
+type TableState struct {
+	// Pages holds every present PTE in ascending address order.
+	Pages []PageState
+	// PTs lists the coordinates (virtual address >> PMDShift) of every
+	// materialized leaf page table, including empty ones: they decide
+	// how many levels a walk of an unmapped address visits.
+	PTs []uint64
+	// DisabledPMDs lists the coordinates (virtual address >> PMDShift)
+	// of PMD entries disabled by the §5.5 eviction fast path.
+	DisabledPMDs []uint64
+
+	PTEWrites  uint64
+	PMDWrites  uint64
+	RetiredPTE uint64
+	RetiredPMD uint64
+	Gen        uint64
+}
+
+// State captures the table's full image for a checkpoint.
+func (t *Table) State() TableState {
+	st := TableState{
+		PTEWrites:  t.PTEWrites,
+		PMDWrites:  t.PMDWrites,
+		RetiredPTE: t.retiredPTE,
+		RetiredPMD: t.retiredPMD,
+		Gen:        t.gen,
+	}
+	for i3, pud := range t.pgd {
+		if pud == nil {
+			continue
+		}
+		for i2, pmd := range pud.pmds {
+			if pmd == nil {
+				continue
+			}
+			for i1, pt := range pmd.pts {
+				coord := uint64(i3)<<18 | uint64(i2)<<9 | uint64(i1)
+				if pmd.disabled[i1] {
+					st.DisabledPMDs = append(st.DisabledPMDs, coord)
+				}
+				if pt == nil {
+					continue
+				}
+				st.PTs = append(st.PTs, coord)
+				for i0, pte := range pt.ptes {
+					if !pte.Present {
+						continue
+					}
+					a := coord<<PMDShift | uint64(i0)<<PageShift
+					st.Pages = append(st.Pages, PageState{Addr: a, PTE: pte})
+				}
+			}
+		}
+	}
+	return st
+}
+
+// LoadState overwrites the table in place with a previously captured
+// image. The radix is rebuilt directly — not through Map — so the write
+// counters and generation land exactly on the checkpointed values.
+func (t *Table) LoadState(st TableState) {
+	*t = Table{}
+	for _, coord := range st.PTs {
+		t.materialize(coord)
+	}
+	for _, coord := range st.DisabledPMDs {
+		pmd := t.materializePMD(coord)
+		pmd.disabled[coord&0x1ff] = true
+	}
+	for _, pg := range st.Pages {
+		i3, i2, i1, i0 := indices(VAddr(pg.Addr))
+		pt := t.pgd[i3].pmds[i2].pts[i1]
+		pt.ptes[i0] = pg.PTE
+		pt.present++
+		t.present++
+	}
+	t.PTEWrites = st.PTEWrites
+	t.PMDWrites = st.PMDWrites
+	t.retiredPTE = st.RetiredPTE
+	t.retiredPMD = st.RetiredPMD
+	t.gen = st.Gen
+}
+
+// materializePMD ensures the pud/pmd path for a pt coordinate exists.
+func (t *Table) materializePMD(coord uint64) *pmdTable {
+	i3 := int(coord >> 18 & 0x1ff)
+	i2 := int(coord >> 9 & 0x1ff)
+	if t.pgd[i3] == nil {
+		t.pgd[i3] = &pudTable{}
+	}
+	pud := t.pgd[i3]
+	if pud.pmds[i2] == nil {
+		pud.pmds[i2] = &pmdTable{}
+	}
+	return pud.pmds[i2]
+}
+
+// materialize ensures the full path to the leaf page table at coord
+// exists, without touching any counter.
+func (t *Table) materialize(coord uint64) {
+	pmd := t.materializePMD(coord)
+	i1 := int(coord & 0x1ff)
+	if pmd.pts[i1] == nil {
+		pmd.pts[i1] = &ptTable{}
+	}
+}

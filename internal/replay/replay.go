@@ -96,14 +96,34 @@ type Result struct {
 // not have, or an unknown thread id) returns an error; a well-formed
 // trace that behaves differently returns a Result with a Divergence.
 func Run(t *Trace, opt Options) (*Result, error) {
-	sys, err := boot(t.Header)
+	sys, err := Boot(t.Header)
 	if err != nil {
 		return nil, err
 	}
+	return replayFrom(t, sys, map[uint64]*kernel.Task{}, 0, 0, opt)
+}
+
+// RunTail re-executes t.Events[from:] against an already-running system
+// whose clock reads startClock — the tail-recovery path of the crash
+// subsystem: after a checkpoint restore, the events recorded since the
+// checkpoint are replayed to bring the system back to the crash point.
+// tasks maps trace thread ids to the system's live tasks (as returned by
+// the snapshot restore). Verification is identical to Run: every tail
+// event's cost, ids, and error outcome must match the recording, and the
+// trace's end state (when present) must match after the last event.
+func RunTail(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock uint64, from int, opt Options) (*Result, error) {
+	if from < 0 || from > len(t.Events) {
+		return nil, fmt.Errorf("%w: tail start %d out of range [0, %d]", ErrBadRecord, from, len(t.Events))
+	}
+	return replayFrom(t, sys, tasks, startClock, from, opt)
+}
+
+// replayFrom is the shared engine of Run and RunTail.
+func replayFrom(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock uint64, from int, opt Options) (*Result, error) {
 	if opt.Setup != nil {
 		opt.Setup(sys)
 	}
-	var clock uint64
+	clock := startClock
 	if sys.Kernel != nil {
 		sys.Kernel.SetMetrics(opt.Metrics)
 	}
@@ -123,7 +143,6 @@ func Run(t *Trace, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Header: t.Header}
-	tasks := map[uint64]*kernel.Task{}
 	// task resolves an event's thread id; tid 0 is the nil task some
 	// libmpk direct-mode calls legitimately use.
 	task := func(e Event, idx int) (*kernel.Task, error) {
@@ -132,11 +151,12 @@ func Run(t *Trace, opt Options) (*Result, error) {
 		}
 		tk := tasks[e.TID]
 		if tk == nil {
-			return nil, fmt.Errorf("replay: event %d: unknown tid %d", idx, e.TID)
+			return nil, fmt.Errorf("%w: event %d: unknown tid %d", ErrBadRecord, idx, e.TID)
 		}
 		return tk, nil
 	}
-	for i, want := range t.Events {
+	for i := from; i < len(t.Events); i++ {
+		want := t.Events[i]
 		got := Event{TID: want.TID, Op: want.Op, Addr: want.Addr, Len: want.Len, Dom: want.Dom, Perm: want.Perm, Flags: want.Flags}
 		var rerr error
 
@@ -157,7 +177,7 @@ func Run(t *Trace, opt Options) (*Result, error) {
 				return nil, err
 			}
 			if tk == nil {
-				return nil, fmt.Errorf("replay: event %d: %s needs a thread", i, want.Op)
+				return nil, fmt.Errorf("%w: event %d: %s needs a thread", ErrBadRecord, i, want.Op)
 			}
 			switch want.Op {
 			case OpMmap:
@@ -179,7 +199,7 @@ func Run(t *Trace, opt Options) (*Result, error) {
 			}
 			tk, err := task(want, i)
 			if err != nil || tk == nil {
-				return nil, fmt.Errorf("replay: event %d: dispatch needs a thread (%v)", i, err)
+				return nil, fmt.Errorf("%w: event %d: dispatch needs a thread (%v)", ErrBadRecord, i, err)
 			}
 			cost := sys.Kernel.TakePendingInterrupts(tk.CoreID())
 			cost += sys.Kernel.Dispatch(tk)
@@ -190,7 +210,7 @@ func Run(t *Trace, opt Options) (*Result, error) {
 			}
 			tk, err := task(want, i)
 			if err != nil || tk == nil {
-				return nil, fmt.Errorf("replay: event %d: populate needs a thread (%v)", i, err)
+				return nil, fmt.Errorf("%w: event %d: populate needs a thread (%v)", ErrBadRecord, i, err)
 			}
 			table := sys.Proc.AS().Shadow()
 			if want.Flags&FlagVDSTable != 0 {
@@ -199,7 +219,7 @@ func Run(t *Trace, opt Options) (*Result, error) {
 				}
 				vdr := sys.Manager.VDROf(tk)
 				if vdr == nil {
-					return nil, fmt.Errorf("replay: event %d: populate into VDS table but thread %d has no VDR", i, want.TID)
+					return nil, fmt.Errorf("%w: event %d: populate into VDS table but thread %d has no VDR", ErrBadRecord, i, want.TID)
 				}
 				table = vdr.Current().Table()
 			}
@@ -317,7 +337,7 @@ func Run(t *Trace, opt Options) (*Result, error) {
 		got.Err = CodeOf(rerr)
 		got.Time = clock
 		clock += got.Cost
-		res.Events = i + 1
+		res.Events++
 		if got != want {
 			res.Cycles = clock
 			res.End = EndState(clock, sys.Kernel, sys.Manager, sys.Libmpk, sys.EPK)
@@ -346,24 +366,28 @@ func replayTask(sys *System, tasks map[uint64]*kernel.Task, e Event, idx int, la
 		return nil, layerErr(idx, layer, "")
 	}
 	if e.TID == 0 {
-		return nil, fmt.Errorf("replay: event %d: %s needs a thread", idx, e.Op)
+		return nil, fmt.Errorf("%w: event %d: %s needs a thread", ErrBadRecord, idx, e.Op)
 	}
 	tk := tasks[e.TID]
 	if tk == nil {
-		return nil, fmt.Errorf("replay: event %d: unknown tid %d", idx, e.TID)
+		return nil, fmt.Errorf("%w: event %d: unknown tid %d", ErrBadRecord, idx, e.TID)
 	}
 	return tk, nil
 }
 
 func layerErr(idx int, layer, kind string) error {
 	if kind == "" {
-		return fmt.Errorf("replay: event %d targets the %s layer, absent in this trace's system", idx, layer)
+		return fmt.Errorf("%w: event %d targets the %s layer, absent in this trace's system", ErrBadRecord, idx, layer)
 	}
-	return fmt.Errorf("replay: event %d targets the %s layer, absent for kernel kind %q", idx, layer, kind)
+	return fmt.Errorf("%w: event %d targets the %s layer, absent for kernel kind %q", ErrBadRecord, idx, layer, kind)
 }
 
-// boot builds the platform a header describes.
-func boot(h Header) (*System, error) {
+// Boot builds the platform a header describes: machine, kernel, process,
+// and the kernel kind's domain layer, unwired (no metrics, taps, or
+// chaos attached). Run uses it internally; the snapshot subsystem uses
+// it to rebuild a System skeleton before loading checkpointed state into
+// each layer.
+func Boot(h Header) (*System, error) {
 	sys := &System{}
 	switch h.Kernel {
 	case KernelEPK:

@@ -22,6 +22,14 @@ func NewRand(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's internal 256-bit state, for
+// checkpointing. Restoring it with SetState resumes the exact stream.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// captured by State.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWatchdogFiresAfterThreshold(t *testing.T) {
+	var firedAt uint64
+	w := NewWatchdog(3, func(clock uint64) { firedAt = clock })
+
+	// Progress keeps it quiet.
+	for c := uint64(10); c <= 30; c += 10 {
+		if w.Observe(c) {
+			t.Fatalf("watchdog fired during progress at clock %d", c)
+		}
+	}
+	// Two stuck observations: still below the threshold of 3.
+	if w.Observe(30) || w.Observe(30) {
+		t.Fatal("watchdog fired below threshold")
+	}
+	if !w.Observe(30) {
+		t.Fatal("watchdog did not fire at the threshold")
+	}
+	if firedAt != 30 {
+		t.Fatalf("onStall clock = %d, want 30", firedAt)
+	}
+	if !w.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+	// Latched: further observations are no-ops.
+	if w.Observe(30) {
+		t.Fatal("watchdog fired twice without Reset")
+	}
+
+	w.Reset()
+	if w.Fired() {
+		t.Fatal("Fired() true after Reset")
+	}
+	// Progress resets the stuck count after re-arming too.
+	if w.Observe(40) || w.Observe(40) || w.Observe(50) {
+		t.Fatal("watchdog fired after mixed progress post-Reset")
+	}
+}
+
+func TestWatchdogProgressResetsCount(t *testing.T) {
+	w := NewWatchdog(2, nil)
+	if w.Observe(5) {
+		t.Fatal("fired on first observation")
+	}
+	if w.Observe(5) {
+		t.Fatal("fired at stuck=1 with threshold 2")
+	}
+	if w.Observe(6) {
+		t.Fatal("fired on progress")
+	}
+	if w.Observe(6) {
+		t.Fatal("fired at stuck=1 after progress")
+	}
+	if !w.Observe(6) {
+		t.Fatal("did not fire at stuck=2")
+	}
+}
+
+// TestRunDeadlockWithWatchdog checks that an attached watchdog converts
+// the deadlock panic into a fired stall callback and a normal return.
+func TestRunDeadlockWithWatchdog(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(7)
+		// Never releases: the waiter below deadlocks.
+	})
+	e.Go("waiter", func(p *Proc) {
+		p.Delay(1)
+		r.Acquire(p, 1)
+	})
+
+	var stalled bool
+	wd := NewWatchdog(4, func(clock uint64) {
+		stalled = true
+		if clock != 7 {
+			t.Errorf("stall clock = %d, want 7", clock)
+		}
+	})
+	e.SetWatchdog(wd)
+	end := e.Run()
+	if !stalled {
+		t.Fatal("watchdog did not fire on deadlock")
+	}
+	if end != 7 {
+		t.Fatalf("Run returned clock %d, want 7", end)
+	}
+}
+
+// TestRunDeadlockWithoutWatchdog pins the historical behavior: no
+// watchdog means the ErrDeadlock panic is raised as before.
+func TestRunDeadlockWithoutWatchdog(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(3)
+	})
+	e.Go("waiter", func(p *Proc) {
+		p.Delay(1)
+		r.Acquire(p, 1)
+	})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("expected a deadlock panic")
+		}
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("panic value %v is not ErrDeadlock", v)
+		}
+	}()
+	e.Run()
+}
+
+func TestRandStateRoundTrip(t *testing.T) {
+	r := NewRand(99)
+	r.Uint64()
+	r.Uint64()
+	st := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+
+	r2 := NewRand(0)
+	r2.SetState(st)
+	for i, w := range want {
+		if got := r2.Uint64(); got != w {
+			t.Fatalf("draw %d after SetState = %d, want %d", i, got, w)
+		}
+	}
+}

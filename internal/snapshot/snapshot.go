@@ -1,0 +1,456 @@
+// Package snapshot implements vdom-snap/v1, the versioned full-System
+// checkpoint/restore subsystem of the crash-tolerance layer (see
+// RECOVERY.md).
+//
+// A snapshot serializes every layer of a running System — the memory
+// manager's VMA tree and page tables (per-PTE domain tags, PMD-disable
+// marks, and mutation generations included), the kernel's task, ASID-
+// generation, and per-core residency state, the hardware cores' ASID-
+// tagged TLBs, permission registers, and walk caches, and the domain
+// layer of the trace's kernel kind (VDom manager, libmpk key cache, or
+// EPK groups) — into a self-describing container:
+//
+//	"VDSN" | uvarint version | uvarint #sections |
+//	    { uvarint len(name) | name | uvarint len(payload) |
+//	      crc32(payload) | payload }*
+//
+// The first section is always "meta": the replay.Header of the recorded
+// run (carrying the config digest), the virtual clock, and the trace
+// event index the checkpoint corresponds to. Every payload is CRC-32
+// (IEEE) protected and gob-encoded; Decode returns typed errors
+// (ErrBadMagic, ErrBadVersion, ErrTruncated, ErrBadChecksum,
+// ErrBadRecord) and never panics on hostile input.
+//
+// Restore composes with internal/replay: it boots a fresh System from
+// the meta header and loads each section into its layer, after which
+// replay.RunTail re-executes the trace events recorded since the
+// checkpoint to reach the crash point.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"vdom/internal/core"
+	"vdom/internal/epk"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/libmpk"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+	"vdom/internal/replay"
+)
+
+// FormatVersion is the on-disk snapshot format version.
+const FormatVersion = 1
+
+// FormatName identifies the format in docs and reports.
+const FormatName = "vdom-snap/v1"
+
+// Typed decode errors, all matchable with errors.Is.
+var (
+	// ErrBadMagic means the input does not start with the VDSN magic.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrBadVersion means the format version is unsupported.
+	ErrBadVersion = errors.New("snapshot: unsupported version")
+	// ErrTruncated means the input ended before the structure did.
+	ErrTruncated = errors.New("snapshot: truncated input")
+	// ErrBadChecksum means a section payload failed CRC verification.
+	ErrBadChecksum = errors.New("snapshot: section checksum mismatch")
+	// ErrBadRecord means a structurally invalid record (bad counts,
+	// oversized lengths, undecodable payloads, missing sections).
+	ErrBadRecord = errors.New("snapshot: bad record")
+)
+
+// Sanity caps keeping hostile inputs from allocating unboundedly.
+const (
+	maxSections    = 1024
+	maxNameLen     = 255
+	maxPayloadSize = 1 << 26
+)
+
+var magic = [4]byte{'V', 'D', 'S', 'N'}
+
+// Meta identifies what a snapshot is a checkpoint of.
+type Meta struct {
+	// Header is the recorded run's trace header; its ConfigDigest ties
+	// the snapshot to the run configuration, and Restore boots the
+	// System skeleton from it.
+	Header replay.Header
+	// Clock is the virtual cycle clock at the checkpoint.
+	Clock uint64
+	// EventIndex is the number of trace events recorded before the
+	// checkpoint: tail recovery replays Events[EventIndex:].
+	EventIndex int
+}
+
+// Section is one named, CRC-protected payload.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// State is a decoded (or captured, not-yet-encoded) snapshot.
+type State struct {
+	Meta Meta
+	// Sections holds every non-meta section in container order.
+	Sections []Section
+}
+
+// AddSection appends a section (e.g. the chaos injector's PRNG state,
+// attached by the crash-soak harness).
+func (s *State) AddSection(name string, data []byte) {
+	s.Sections = append(s.Sections, Section{Name: name, Data: data})
+}
+
+// Section returns the named section's payload.
+func (s *State) Section(name string) ([]byte, bool) {
+	for _, sec := range s.Sections {
+		if sec.Name == name {
+			return sec.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Section names of the layer images.
+const (
+	secMeta    = "meta"
+	secMM      = "mm/as"
+	secKernel  = "kernel"
+	secHW      = "hw/machine"
+	secManager = "core/manager"
+	secLibmpk  = "libmpk"
+	secEPK     = "epk"
+)
+
+// machineSnap is the hardware section: the frame allocator watermark
+// plus every core's image.
+type machineSnap struct {
+	FrameWatermark pagetable.Frame
+	Cores          []hw.CoreSnap
+}
+
+// gobEncode serializes v; snapshot payloads are internal, so encoding
+// failures are programming errors.
+func gobEncode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("snapshot: gob encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func gobDecode(name string, data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("%w: section %q: %v", ErrBadRecord, name, err)
+	}
+	return nil
+}
+
+// Capture builds a snapshot of the live System: hdr describes the run
+// (as recorded by the trace recorder), clock is the current virtual
+// clock, and eventIndex is the number of trace events recorded so far.
+func Capture(sys *replay.System, hdr replay.Header, clock uint64, eventIndex int) (*State, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("%w: nil system", ErrBadRecord)
+	}
+	st := &State{Meta: Meta{Header: hdr, Clock: clock, EventIndex: eventIndex}}
+
+	if sys.Proc != nil {
+		as := sys.Proc.AS()
+		st.AddSection(secMM, gobEncode(as.Snap()))
+
+		// Stable table-id mapping; stale pointers (a reaped VDS's table
+		// lingering in a core's loaded-table or walk-memo slot) map to
+		// "none": they can never match a live table again, so the
+		// restored miss behaviour is identical.
+		ids := map[*pagetable.Table]int{as.Shadow(): 0}
+		for j, t := range as.Tables() {
+			ids[t] = j + 1
+		}
+		tableID := func(t *pagetable.Table) int {
+			if t == nil {
+				return -1
+			}
+			if id, ok := ids[t]; ok {
+				return id
+			}
+			return -1
+		}
+		st.AddSection(secKernel, gobEncode(sys.Kernel.Snap(sys.Proc, tableID)))
+
+		ms := machineSnap{FrameWatermark: sys.Machine.FrameWatermark()}
+		for i := 0; i < sys.Machine.NumCores(); i++ {
+			cs := sys.Machine.Core(i).Snap(tableID)
+			if cs.Walk.TableID == -1 {
+				cs.Walk.Valid = false
+			}
+			ms.Cores = append(ms.Cores, cs)
+		}
+		st.AddSection(secHW, gobEncode(ms))
+
+		if sys.Manager != nil {
+			st.AddSection(secManager, gobEncode(sys.Manager.Snap(tableID)))
+		}
+		if sys.Libmpk != nil {
+			st.AddSection(secLibmpk, gobEncode(sys.Libmpk.Snap()))
+		}
+	}
+	if sys.EPK != nil {
+		st.AddSection(secEPK, gobEncode(sys.EPK.Snap()))
+	}
+	return st, nil
+}
+
+// Restore boots a fresh System from the snapshot's header and loads
+// every captured layer into it. It returns the System and its live
+// tasks keyed by trace thread id, ready for replay.RunTail.
+func Restore(st *State) (*replay.System, map[uint64]*kernel.Task, error) {
+	sys, err := replay.Boot(st.Meta.Header)
+	if err != nil {
+		return nil, nil, err
+	}
+	tasks := map[uint64]*kernel.Task{}
+
+	if sys.Proc != nil {
+		data, ok := st.Section(secMM)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secMM)
+		}
+		var asSnap mm.ASSnap
+		if err := gobDecode(secMM, data, &asSnap); err != nil {
+			return nil, nil, err
+		}
+		space := sys.Proc.AS()
+		space.LoadSnap(asSnap)
+		numTables := len(asSnap.Tables)
+
+		data, ok = st.Section(secKernel)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secKernel)
+		}
+		var ks kernel.Snap
+		if err := gobDecode(secKernel, data, &ks); err != nil {
+			return nil, nil, err
+		}
+		if err := checkTableIDs(ks, numTables); err != nil {
+			return nil, nil, err
+		}
+		byTID := sys.Kernel.LoadSnap(ks, sys.Proc, space.TableByID)
+		for tid, tk := range byTID {
+			tasks[uint64(tid)] = tk
+		}
+		taskFn := func(tid int) *kernel.Task {
+			if tid == 0 {
+				return nil
+			}
+			return byTID[tid]
+		}
+
+		data, ok = st.Section(secHW)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secHW)
+		}
+		var ms machineSnap
+		if err := gobDecode(secHW, data, &ms); err != nil {
+			return nil, nil, err
+		}
+		if len(ms.Cores) != sys.Machine.NumCores() {
+			return nil, nil, fmt.Errorf("%w: snapshot has %d cores, header boots %d",
+				ErrBadRecord, len(ms.Cores), sys.Machine.NumCores())
+		}
+		for i, cs := range ms.Cores {
+			if cs.TableID < -1 || cs.TableID > numTables ||
+				cs.Walk.TableID < -1 || cs.Walk.TableID > numTables {
+				return nil, nil, fmt.Errorf("%w: core %d references table out of range", ErrBadRecord, i)
+			}
+			sys.Machine.Core(i).LoadSnap(cs, space.TableByID)
+		}
+		sys.Machine.SetFrameWatermark(ms.FrameWatermark)
+
+		if sys.Manager != nil {
+			data, ok := st.Section(secManager)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secManager)
+			}
+			var cms core.ManagerSnap
+			if err := gobDecode(secManager, data, &cms); err != nil {
+				return nil, nil, err
+			}
+			sys.Manager.LoadSnap(cms, space.TableByID, taskFn)
+		}
+		if sys.Libmpk != nil {
+			data, ok := st.Section(secLibmpk)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secLibmpk)
+			}
+			var ls libmpk.Snap
+			if err := gobDecode(secLibmpk, data, &ls); err != nil {
+				return nil, nil, err
+			}
+			sys.Libmpk.LoadSnap(ls, taskFn)
+		}
+	}
+	if sys.EPK != nil {
+		data, ok := st.Section(secEPK)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secEPK)
+		}
+		var es epk.Snap
+		if err := gobDecode(secEPK, data, &es); err != nil {
+			return nil, nil, err
+		}
+		sys.EPK.LoadSnap(es)
+	}
+	return sys, tasks, nil
+}
+
+// checkTableIDs validates the kernel section's table references against
+// the restored address space, turning out-of-range ids (a corrupted but
+// checksum-valid snapshot) into typed errors instead of panics.
+func checkTableIDs(ks kernel.Snap, numTables int) error {
+	for _, ts := range ks.Tasks {
+		if ts.TableID < -1 || ts.TableID > numTables {
+			return fmt.Errorf("%w: task %d references table %d of %d", ErrBadRecord, ts.TID, ts.TableID, numTables)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot into the vdom-snap/v1 container.
+func Encode(st *State) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	writeUvarint(&buf, FormatVersion)
+	writeUvarint(&buf, uint64(1+len(st.Sections)))
+	writeSection(&buf, Section{Name: secMeta, Data: gobEncode(st.Meta)})
+	for _, sec := range st.Sections {
+		writeSection(&buf, sec)
+	}
+	return buf.Bytes()
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeSection(buf *bytes.Buffer, sec Section) {
+	if len(sec.Name) > maxNameLen {
+		panic(fmt.Sprintf("snapshot: section name %q too long", sec.Name))
+	}
+	if len(sec.Data) > maxPayloadSize {
+		panic(fmt.Sprintf("snapshot: section %q payload %d exceeds cap", sec.Name, len(sec.Data)))
+	}
+	writeUvarint(buf, uint64(len(sec.Name)))
+	buf.WriteString(sec.Name)
+	writeUvarint(buf, uint64(len(sec.Data)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(sec.Data))
+	buf.Write(crc[:])
+	buf.Write(sec.Data)
+}
+
+// Decode parses a vdom-snap/v1 container. It verifies the magic,
+// version, structure, and every section's CRC, returning typed errors
+// for each failure mode; it never panics on hostile input.
+func Decode(b []byte) (*State, error) {
+	r := bytes.NewReader(b)
+	var m [4]byte
+	if _, err := r.Read(m[:]); err != nil || m != magic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrTruncated
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, version, FormatVersion)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrTruncated
+	}
+	if count == 0 || count > maxSections {
+		return nil, fmt.Errorf("%w: %d sections", ErrBadRecord, count)
+	}
+	st := &State{}
+	sawMeta := false
+	for i := uint64(0); i < count; i++ {
+		sec, err := readSection(r)
+		if err != nil {
+			return nil, err
+		}
+		if sec.Name == secMeta {
+			if sawMeta {
+				return nil, fmt.Errorf("%w: duplicate meta section", ErrBadRecord)
+			}
+			sawMeta = true
+			if err := gobDecode(secMeta, sec.Data, &st.Meta); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st.Sections = append(st.Sections, sec)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, r.Len())
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("%w: missing meta section", ErrBadRecord)
+	}
+	return st, nil
+}
+
+func readSection(r *bytes.Reader) (Section, error) {
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Section{}, ErrTruncated
+	}
+	if nameLen == 0 || nameLen > maxNameLen {
+		return Section{}, fmt.Errorf("%w: section name length %d", ErrBadRecord, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := readFull(r, name); err != nil {
+		return Section{}, ErrTruncated
+	}
+	payLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Section{}, ErrTruncated
+	}
+	if payLen > maxPayloadSize {
+		return Section{}, fmt.Errorf("%w: section %q payload length %d", ErrBadRecord, name, payLen)
+	}
+	if uint64(r.Len()) < payLen+4 {
+		return Section{}, ErrTruncated
+	}
+	var crc [4]byte
+	if _, err := readFull(r, crc[:]); err != nil {
+		return Section{}, ErrTruncated
+	}
+	data := make([]byte, payLen)
+	if _, err := readFull(r, data); err != nil {
+		return Section{}, ErrTruncated
+	}
+	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(crc[:]) {
+		return Section{}, fmt.Errorf("%w: section %q", ErrBadChecksum, string(name))
+	}
+	return Section{Name: string(name), Data: data}, nil
+}
+
+func readFull(r *bytes.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,92 @@
+package tlb
+
+// Checkpoint capture and restore (vdom-snap/v1). A TLB snapshot keeps
+// the exact slot layout — valid holes, reference bits, and the clock
+// hand(s) — so that victim selection, and therefore every future
+// hit/miss, is bit-identical after restore.
+
+// SlotState is one TLB slot, valid or not.
+type SlotState struct {
+	Entry      Entry
+	Valid      bool
+	Referenced bool
+}
+
+// CacheState is the serializable image of a Cache. For the fully
+// associative TLB, Slots has one element per slot (length == capacity)
+// and Hand is the clock hand; for the set-associative organization the
+// slots are flattened set-major (set*ways+way) and Hands holds the
+// per-set clock hands.
+type CacheState struct {
+	Slots []SlotState
+	Hand  int
+	Hands []int
+	Stats Stats
+}
+
+// State captures the TLB's image.
+func (t *TLB) State() CacheState {
+	st := CacheState{
+		Slots: make([]SlotState, len(t.slots)),
+		Hand:  t.hand,
+		Stats: t.stats,
+	}
+	for i, s := range t.slots {
+		st.Slots[i] = SlotState{Entry: s.entry, Valid: s.valid, Referenced: s.referenced}
+	}
+	return st
+}
+
+// LoadState overwrites the TLB in place with a captured image. The
+// capacity must match the image's slot count. The lookup memo restores
+// to the unset state, which is behaviorally transparent (its hit path
+// has the exact side effects of an indexed hit).
+func (t *TLB) LoadState(st CacheState) {
+	if len(st.Slots) != len(t.slots) {
+		panic("tlb: LoadState capacity mismatch")
+	}
+	t.index = make(map[key]int, len(t.slots))
+	for i, s := range st.Slots {
+		t.slots[i] = slot{entry: s.Entry, valid: s.Valid, referenced: s.Referenced}
+		if s.Valid {
+			t.index[key{s.Entry.ASID, s.Entry.VPN}] = i
+		}
+	}
+	t.hand = st.Hand
+	t.stats = st.Stats
+	t.lastIdx = -1
+}
+
+// State captures the set-associative TLB's image, slots flattened
+// set-major.
+func (t *SetAssoc) State() CacheState {
+	st := CacheState{
+		Slots: make([]SlotState, 0, t.Capacity()),
+		Hands: append([]int(nil), t.hands...),
+		Stats: t.stats,
+	}
+	for s := range t.sets {
+		for _, sl := range t.sets[s] {
+			st.Slots = append(st.Slots, SlotState{Entry: sl.entry, Valid: sl.valid, Referenced: sl.referenced})
+		}
+	}
+	return st
+}
+
+// LoadState overwrites the set-associative TLB in place with a captured
+// image. The geometry (sets × ways) must match the image.
+func (t *SetAssoc) LoadState(st CacheState) {
+	if len(st.Slots) != t.Capacity() || len(st.Hands) != len(t.sets) {
+		panic("tlb: LoadState geometry mismatch")
+	}
+	t.index = make(map[key]int)
+	for i, s := range st.Slots {
+		sl := &t.sets[i/t.ways][i%t.ways]
+		*sl = slot{entry: s.Entry, valid: s.Valid, referenced: s.Referenced}
+		if s.Valid {
+			t.index[key{s.Entry.ASID, s.Entry.VPN}] = i
+		}
+	}
+	copy(t.hands, st.Hands)
+	t.stats = st.Stats
+}

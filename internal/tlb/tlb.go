@@ -256,6 +256,12 @@ type Cache interface {
 	ResetStats()
 	CountASID(asid ASID) int
 	Each(fn func(Entry))
+	// State and LoadState capture and restore the cache image for the
+	// checkpoint subsystem (see internal/snapshot). Interposers that
+	// embed a Cache inherit them, so snapshots see through wrappers to
+	// the underlying hardware state.
+	State() CacheState
+	LoadState(st CacheState)
 }
 
 var (
