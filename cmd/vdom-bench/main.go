@@ -7,11 +7,17 @@
 //	           [-metrics out.json] [-trace-out out.trace.json]
 //	           [-trace-dir DIR] [-divergence-out out.json]
 //	           [-soak-report out.json] [-trace-dump DIR]
-//	           [-snap FILE] [-tail FILE] [experiment]
+//	           [-snap FILE] [-tail FILE] [-timeout D]
+//	           [-duration D] [-shards N] [-ops-per-shard N]
+//	           [-checkpoint-every N] [-ring N] [-ring-dir DIR]
+//	           [-max-retries N] [-crash-every N] [-crash-kind KIND]
+//	           [-snap-write-fail P] [-snap-corrupt P]
+//	           [-health-out FILE] [-health-every D]
+//	           [-require-recoveries N] [experiment]
 //
 // Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
-// fig6, fig7, unixbench, ctxswitch, ablation, chaos, snapshot, recover,
-// record, replay, compare, all (default).
+// fig6, fig7, unixbench, ctxswitch, ablation, chaos, snapshot, serve,
+// recover, record, replay, compare, all (default).
 //
 // `record` re-records the domain-op trace corpus (one scaled-down run per
 // paper workload and kernel kind, see REPLAY.md) into -trace-dir; `replay`
@@ -21,7 +27,22 @@
 // JSON soak report and failing shards' replayable trace dumps; `snapshot`
 // additionally dumps reproducer checkpoints, and `recover` re-runs a
 // recovery standalone from a -snap checkpoint plus -tail trace (see
-// RECOVERY.md).
+// RECOVERY.md). -timeout bounds chaos, snapshot, and serve by wall
+// clock: chaos and snapshot exit non-zero if the budget expires mid-run,
+// while serve treats expiry like SIGTERM and drains gracefully.
+//
+// `serve` runs the supervised soak service (see RECOVERY.md): a fleet of
+// crash-soaking shards under continuous supervision, each with a rolling
+// on-disk checkpoint ring (-ring entries, one checkpoint every
+// -checkpoint-every ops), seeded crash injection (-crash-every,
+// -crash-kind), harness pressure (-snap-write-fail, -snap-corrupt),
+// automatic watchdog/audit detection, retry/backoff recovery
+// (quarantining a shard after -max-retries consecutive failures), and a
+// periodic JSON health report (-health-out, -health-every). The run is
+// bounded by -duration, -ops-per-shard, or -timeout; SIGTERM/SIGINT
+// drains gracefully, checkpointing every shard before exit.
+// -require-recoveries N makes CI assert the service actually self-healed
+// at least N times.
 //
 // -parallel N fans the experiment grids out across N worker goroutines,
 // one isolated simulated System per cell; it defaults to runtime.NumCPU().
@@ -39,11 +60,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"vdom/internal/bench"
 	"vdom/internal/metrics"
@@ -62,6 +87,21 @@ func main() {
 	traceDump := flag.String("trace-dump", "", "chaos/snapshot: dump failing shards' replayable traces (and reproducer checkpoints) into this directory")
 	snapPath := flag.String("snap", "", "recover: the vdom-snap/v1 checkpoint to restore")
 	tailPath := flag.String("tail", "", "recover: the recorded trace whose tail rolls the checkpoint forward")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget: expiry cancels chaos/snapshot between ops (non-zero exit) and drains serve gracefully")
+	duration := flag.Duration("duration", 0, "serve: run length in wall-clock time (0 with -ops-per-shard 0: until SIGTERM or -timeout)")
+	shards := flag.Int("shards", 0, "serve: fleet width (0: default 4)")
+	opsPerShard := flag.Int("ops-per-shard", 0, "serve: op budget per shard (0: unbounded)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "serve: rolling-checkpoint cadence in ops (0: default 250)")
+	ring := flag.Int("ring", 0, "serve: checkpoint-ring capacity per shard (0: default 4)")
+	ringDir := flag.String("ring-dir", "", "serve: directory for the checkpoint rings (default: a temp dir, removed on exit)")
+	maxRetries := flag.Int("max-retries", 0, "serve: consecutive recovery failures before a shard is quarantined (0: default 3)")
+	crashEvery := flag.Int("crash-every", 0, "serve: mean ops between injected crash faults (0: none)")
+	crashKind := flag.String("crash-kind", "all", "serve: injected crash fault: core-crash, kernel-panic, torn-domain-map, or all")
+	snapWriteFail := flag.Float64("snap-write-fail", 0, "serve: probability a checkpoint write fails transiently")
+	snapCorrupt := flag.Float64("snap-corrupt", 0, "serve: probability a written checkpoint corrupts on disk (caught by CRC at recovery)")
+	healthOut := flag.String("health-out", "", "serve: write the JSON health report here (rewritten every -health-every, finalized on exit)")
+	healthEvery := flag.Duration("health-every", 5*time.Second, "serve: health report cadence")
+	requireRecoveries := flag.Int("require-recoveries", 0, "serve: fail unless at least this many recoveries completed (CI self-healing assertion)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
@@ -82,6 +122,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
 		fmt.Fprintf(os.Stderr, "  chaos      seeded fault-injection soak with audit summary (-seed to replay)\n")
 		fmt.Fprintf(os.Stderr, "  snapshot   crash-fault soak: checkpoint, crash, restore + tail replay, bit-identity verdict (-seed)\n")
+		fmt.Fprintf(os.Stderr, "  serve      supervised soak service: rolling checkpoints, crash injection, self-healing recovery (-duration, -shards, ...)\n")
 		fmt.Fprintf(os.Stderr, "  recover    standalone recovery from a -snap checkpoint and -tail trace reproducer\n")
 		fmt.Fprintf(os.Stderr, "  record     record the domain-op trace corpus to -trace-dir\n")
 		fmt.Fprintf(os.Stderr, "  replay     replay every trace under -trace-dir, verifying bit-identical behaviour\n")
@@ -107,6 +148,14 @@ func main() {
 	if *traceOut != "" {
 		o.Trace = metrics.NewTrace()
 	}
+	o.Serve = bench.ServeOptions{
+		Duration: *duration, Shards: *shards, OpsPerShard: *opsPerShard,
+		CheckpointEvery: *checkpointEvery, Ring: *ring, RingDir: *ringDir,
+		MaxRetries: *maxRetries, CrashEvery: *crashEvery, CrashKind: *crashKind,
+		SnapWriteFail: *snapWriteFail, SnapCorrupt: *snapCorrupt,
+		HealthOut: *healthOut, HealthEvery: *healthEvery,
+		RequireRecoveries: *requireRecoveries,
+	}
 	exp := "all"
 	if flag.NArg() > 0 {
 		exp = flag.Arg(0)
@@ -118,6 +167,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vdom-bench: unexpected arguments after %q: %v (flags go before the experiment: vdom-bench -seed 7 chaos)\n", exp, flag.Args()[1:])
 		os.Exit(2)
 	}
+	// -timeout bounds the long-running experiments by wall clock; serve
+	// additionally drains gracefully on SIGTERM/SIGINT, checkpointing
+	// every shard before exit.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if exp == "serve" {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	o.Ctx = ctx
+
 	w := os.Stdout
 	switch exp {
 	case "fig1":
@@ -154,6 +219,11 @@ func main() {
 	case "snapshot":
 		if err := bench.SnapshotSoak(w, o, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "vdom-bench: snapshot:", err)
+			os.Exit(1)
+		}
+	case "serve":
+		if err := bench.Serve(w, o, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: serve:", err)
 			os.Exit(1)
 		}
 	case "recover":

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -71,6 +72,22 @@ type Options struct {
 	// trace whose tail rolls it forward (see RECOVERY.md).
 	SnapPath string
 	TailPath string
+
+	// Ctx, when non-nil, bounds the long-running experiments (chaos,
+	// snapshot, serve) by wall clock: cancellation aborts between soak
+	// ops with a typed error, so a wedged run can never hang a CI job.
+	// The serve experiment also drains on it (the SIGTERM path).
+	Ctx context.Context
+	// Serve parameterizes the serve subcommand; see ServeOptions.
+	Serve ServeOptions
+}
+
+// ctx resolves Options.Ctx, defaulting to the background context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // workers resolves Parallel to a concrete pool width.

@@ -47,10 +47,12 @@ func Chaos(w io.Writer, o Options) error {
 // soak verdict is in the rendered output (and the report).
 func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 	totalOps := o.chaosSoakOps()
+	ctx := o.ctx()
 	type shard struct {
 		res *chaos.SoakResult
 		reg *metrics.Registry
 		tr  *metrics.Trace
+		err error
 	}
 	jobs := make([]func() shard, chaosShards)
 	for i := range jobs {
@@ -61,7 +63,7 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 		}
 		jobs[i] = func() shard {
 			reg, tr := o.newCellSinks()
-			res := chaos.Soak(chaos.SoakConfig{
+			s := chaos.StartSoak(chaos.SoakConfig{
 				Chaos: chaos.Config{
 					Seed:           seed + uint64(i),
 					DropIPI:        0.05,
@@ -78,10 +80,25 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 				Trace:   tr,
 				Record:  o.TraceDump != "",
 			})
-			return shard{res: res, reg: reg, tr: tr}
+			// Step with a periodic wall-clock escape hatch: a -timeout
+			// cancels the soak between ops instead of hanging the job.
+			for {
+				if s.NextOp()%256 == 0 && ctx.Err() != nil {
+					return shard{err: fmt.Errorf("chaos shard %d cancelled at op %d: %w", i, s.NextOp(), ctx.Err())}
+				}
+				if !s.Step() {
+					break
+				}
+			}
+			return shard{res: s.Finish(), reg: reg, tr: tr}
 		}
 	}
 	shards := par.Map(o.workers(), jobs)
+	for _, s := range shards {
+		if s.err != nil {
+			return s.err
+		}
+	}
 
 	// Dump failing shards' minimal reproducer traces before aggregating,
 	// so each shard's TracePath lands in the report.

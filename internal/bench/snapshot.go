@@ -59,12 +59,24 @@ func SnapshotSoak(w io.Writer, o Options, seed uint64) error {
 		err       error
 		identical bool
 	}
-	crashCfg := chaos.CrashConfig{AtOp: 5*ops/8 + 1, CheckpointEvery: ops / 4}
+	ctx := o.ctx()
+	crashCfg := chaos.CrashConfig{AtOp: 5*ops/8 + 1, CheckpointEvery: ops / 4, Ctx: ctx}
 	runShard := func(i int) shard {
 		cfg := chaos.SoakConfig{Chaos: snapshotChaosConfig(seed + uint64(i)), Ops: ops, Record: true}
 		cc := crashCfg
 		cc.Kind = chaos.CrashKind(i % 3)
-		ref := chaos.Soak(cfg)
+		// The reference run honors the same -timeout cancellation as the
+		// crash run it is compared against.
+		r := chaos.StartSoak(cfg)
+		for {
+			if r.NextOp()%256 == 0 && ctx.Err() != nil {
+				return shard{err: fmt.Errorf("reference soak cancelled at op %d: %w", r.NextOp(), ctx.Err())}
+			}
+			if !r.Step() {
+				break
+			}
+		}
+		ref := r.Finish()
 		out, err := chaos.CrashSoak(cfg, cc)
 		s := shard{out: out, ref: ref, err: err}
 		if err == nil && out.Result != nil && ref.Trace != nil {
@@ -101,7 +113,7 @@ func SnapshotSoak(w io.Writer, o Options, seed uint64) error {
 					snapPaths[i] = path
 				}
 			}
-			if s.ref.Trace != nil {
+			if s.ref != nil && s.ref.Trace != nil {
 				path := filepath.Join(o.TraceDump, fmt.Sprintf("crash-shard%d.trace", i))
 				if err := os.WriteFile(path, replay.Encode(s.ref.Trace), 0o644); err != nil {
 					artifactErr = err
@@ -146,6 +158,9 @@ func SnapshotSoak(w io.Writer, o Options, seed uint64) error {
 			if s.out != nil && s.out.Result != nil {
 				res = s.out.Result
 			}
+			if res == nil {
+				res = &chaos.SoakResult{}
+			}
 			srs[i] = chaos.NewShardReport(i, seed+uint64(i), res)
 			cs := &chaos.CrashShard{Kind: chaos.CrashKind(i % 3).String(), Identical: s.identical}
 			if s.out != nil {
@@ -178,6 +193,11 @@ func SnapshotSoak(w io.Writer, o Options, seed uint64) error {
 		return artifactErr
 	}
 	if failures > 0 {
+		// A -timeout expiry shows up as per-shard cancellation errors;
+		// name the real cause instead of a misleading identity verdict.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("crash soak cancelled (%d of %d shards incomplete): %w", failures, snapshotShards, err)
+		}
 		return fmt.Errorf("%d of %d crash shards failed to recover bit-identically", failures, snapshotShards)
 	}
 	return nil

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sort"
@@ -275,6 +276,10 @@ func (s *SoakRun) Recover(snap []byte) (*Recovery, error) {
 type CrashConfig struct {
 	// Kind is the crash fault to strike.
 	Kind CrashKind
+	// Ctx, when non-nil, cancels the soak between ops: CrashSoak returns
+	// the context's error so a wall-clock -timeout can never hang a CI
+	// job on a wedged run.
+	Ctx context.Context
 	// AtOp is the op boundary the crash strikes at — before the op runs
 	// (default: halfway through the run).
 	AtOp int
@@ -343,6 +348,9 @@ func CrashSoak(cfg SoakConfig, crash CrashConfig) (*CrashOutcome, error) {
 		return nil, err
 	}
 	for op := 1; op <= cfg.Ops; op++ {
+		if crash.Ctx != nil && crash.Ctx.Err() != nil {
+			return nil, fmt.Errorf("chaos: crash soak cancelled at op %d: %w", op, crash.Ctx.Err())
+		}
 		if op == crash.AtOp {
 			out.Detail = s.Crash(crash.Kind)
 			if crash.Kind == CrashTornDomainMap {

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"fmt"
+
+	"vdom/internal/sim"
+)
+
+// Resource-pressure fault model for the supervised soak service
+// (internal/serve): where the Injector attacks the simulated machine,
+// Pressure attacks the *harness* — checkpoint writes fail transiently
+// and written checkpoints corrupt on disk, the way a loaded host sheds
+// IO. The supervisor must degrade gracefully: a failed write keeps the
+// older ring entries, and a corrupted entry is detected by the
+// container's CRCs at recovery time and skipped in favor of the
+// previous one (see RECOVERY.md).
+//
+// Pressure draws from its own seeded PRNG, fully independent of the
+// Injector's and the workload's streams, so enabling it never perturbs
+// the simulated run — a supervised run under pressure stays bit-
+// identical to an unsupervised run of the same seed whenever every
+// fault was recovered.
+
+// PressureConfig enables the harness-side fault classes with per-fault
+// probabilities in [0, 1]. The zero value injects nothing.
+type PressureConfig struct {
+	// Seed drives the PRNG; the same seed replays the same faults.
+	Seed uint64
+	// SnapWriteFail is the probability that a rolling-checkpoint write
+	// fails transiently (the ring keeps its older entries).
+	SnapWriteFail float64
+	// SnapCorrupt is the probability that a written checkpoint lands
+	// corrupted on disk, to be caught by the container CRCs at restore.
+	SnapCorrupt float64
+}
+
+// Pressure is the seeded harness-fault source. Like the Injector it is
+// not safe for concurrent use: each supervised shard owns one.
+type Pressure struct {
+	cfg      PressureConfig
+	rng      *sim.Rand
+	seq      uint64
+	injected map[string]uint64
+	events   []Event
+}
+
+// NewPressure builds a pressure source from the config. A nil *Pressure
+// is a valid no-op source: every method reports "no fault".
+func NewPressure(cfg PressureConfig) *Pressure {
+	return &Pressure{
+		cfg:      cfg,
+		rng:      sim.NewRand(cfg.Seed),
+		injected: make(map[string]uint64),
+	}
+}
+
+// hit draws against probability p; non-positive p never draws, keeping
+// disabled fault classes out of the random stream.
+func (p *Pressure) hit(p0 float64) bool {
+	if p == nil || p0 <= 0 {
+		return false
+	}
+	return p.rng.Float64() < p0
+}
+
+func (p *Pressure) log(kind, detail string) {
+	p.seq++
+	p.injected[kind]++
+	if len(p.events) < maxEvents {
+		p.events = append(p.events, Event{Seq: p.seq, Kind: "inject:" + kind, Detail: detail})
+	}
+}
+
+// FailCheckpointWrite reports whether this checkpoint write fails
+// transiently, logging the fault when it does.
+func (p *Pressure) FailCheckpointWrite(op int) bool {
+	if !p.hit(p.cfg.SnapWriteFail) {
+		return false
+	}
+	p.log("snap-write-fail", fmt.Sprintf("checkpoint write at op %d failed", op))
+	return true
+}
+
+// CorruptCheckpoint decides whether this written checkpoint corrupts on
+// disk and, when it does, flips the container's final byte in place —
+// inside the last section's payload, so the CRC check at restore time
+// rejects the entry. It returns whether the fault struck.
+func (p *Pressure) CorruptCheckpoint(op int, data []byte) bool {
+	if len(data) == 0 || !p.hit(p.cfg.SnapCorrupt) {
+		return false
+	}
+	data[len(data)-1] ^= 0xFF
+	p.log("snap-corrupt", fmt.Sprintf("checkpoint at op %d corrupted on disk", op))
+	return true
+}
+
+// Injected returns a copy of the per-kind fault counters.
+func (p *Pressure) Injected() map[string]uint64 {
+	out := make(map[string]uint64)
+	if p == nil {
+		return out
+	}
+	for k, v := range p.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the deterministic fault log (shared Event shape with
+// the Injector, capped at maxEvents like its log).
+func (p *Pressure) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return append([]Event(nil), p.events...)
+}

@@ -1,0 +1,82 @@
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vdom/internal/chaos"
+	"vdom/internal/snapshot"
+)
+
+func TestPressureDeterministicReplay(t *testing.T) {
+	run := func() (string, string) {
+		p := chaos.NewPressure(chaos.PressureConfig{Seed: 42, SnapWriteFail: 0.3, SnapCorrupt: 0.3})
+		data := []byte{1, 2, 3, 4}
+		for op := 1; op <= 200; op++ {
+			p.FailCheckpointWrite(op)
+			p.CorruptCheckpoint(op, data)
+		}
+		return fmt.Sprint(p.Injected()), fmt.Sprint(p.Events())
+	}
+	i1, e1 := run()
+	i2, e2 := run()
+	if i1 != i2 || e1 != e2 {
+		t.Fatalf("same seed produced different fault streams:\n%s\n%s", i1, i2)
+	}
+	p3 := chaos.NewPressure(chaos.PressureConfig{Seed: 43, SnapWriteFail: 0.3, SnapCorrupt: 0.3})
+	for op := 1; op <= 200; op++ {
+		p3.FailCheckpointWrite(op)
+	}
+	if fmt.Sprint(p3.Injected()) == i1 {
+		t.Error("different seed replayed the identical fault stream")
+	}
+}
+
+func TestPressureZeroConfigInjectsNothing(t *testing.T) {
+	p := chaos.NewPressure(chaos.PressureConfig{Seed: 7})
+	data := []byte{9, 9}
+	for op := 1; op <= 100; op++ {
+		if p.FailCheckpointWrite(op) || p.CorruptCheckpoint(op, data) {
+			t.Fatal("zero-probability pressure injected a fault")
+		}
+	}
+	if len(p.Injected()) != 0 || len(p.Events()) != 0 {
+		t.Errorf("zero config logged faults: %v", p.Events())
+	}
+	if data[0] != 9 || data[1] != 9 {
+		t.Error("data mutated without a corruption fault")
+	}
+	// A nil source is a valid no-op.
+	var nilP *chaos.Pressure
+	if nilP.Injected() == nil || nilP.Events() != nil {
+		t.Error("nil Pressure accessors not nil-safe")
+	}
+}
+
+// TestPressureCorruptionIsCRCDetectable pins the coupling the ring
+// fallback depends on: a pressure-corrupted checkpoint must be rejected
+// by the container's CRC check, typed ErrBadChecksum.
+func TestPressureCorruptionIsCRCDetectable(t *testing.T) {
+	s := chaos.StartSoak(chaos.SoakConfig{Chaos: chaos.Config{Seed: 5}, Ops: 50, Record: true})
+	for s.Step() {
+	}
+	snap, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Decode(snap); err != nil {
+		t.Fatalf("pristine checkpoint does not decode: %v", err)
+	}
+	p := chaos.NewPressure(chaos.PressureConfig{Seed: 1, SnapCorrupt: 1})
+	if !p.CorruptCheckpoint(10, snap) {
+		t.Fatal("probability-1 corruption did not strike")
+	}
+	_, err = snapshot.Decode(snap)
+	if !errors.Is(err, snapshot.ErrBadChecksum) {
+		t.Fatalf("corrupted checkpoint error %v is not ErrBadChecksum", err)
+	}
+	if got := p.Injected()["snap-corrupt"]; got != 1 {
+		t.Errorf("snap-corrupt counter = %d, want 1", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"vdom/internal/pagetable"
 	"vdom/internal/replay"
 	"vdom/internal/sim"
+	"vdom/internal/snapshot"
 	"vdom/internal/tlb"
 )
 
@@ -223,6 +224,34 @@ func TestSentinelConformance(t *testing.T) {
 			},
 			want: []error{libmpk.ErrUnknownKey},
 			code: replay.CodeUnknownKey,
+		},
+		{
+			name: "snapshot/truncated-gob-section",
+			run: func(t *testing.T) error {
+				// A section that truncates mid-gob while its CRC still
+				// verifies (the CRC covers the truncated payload) is
+				// Restore's to reject — naming the section and offset.
+				sys := bootConformance(t, replay.KernelVDom)
+				h := replay.Header{Version: replay.FormatVersion, Kernel: replay.KernelVDom, Arch: "x86", Cores: 1}
+				st, err := snapshot.Capture(sys, h, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range st.Sections {
+					if st.Sections[i].Name == "kernel" {
+						d := st.Sections[i].Data
+						st.Sections[i].Data = d[:len(d)-1]
+					}
+				}
+				cut, err := snapshot.Decode(snapshot.Encode(st))
+				if err != nil {
+					t.Fatalf("truncated container must still pass CRC: %v", err)
+				}
+				_, _, rerr := snapshot.Restore(cut)
+				return rerr
+			},
+			want: []error{snapshot.ErrBadRecord},
+			code: replay.CodeOther,
 		},
 		{
 			name: "replay/bad-record-tail-start",

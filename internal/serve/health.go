@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vdom/internal/metrics"
+)
+
+// HealthSchema identifies the health-report JSON format.
+const HealthSchema = "vdom-serve-health/v1"
+
+// State is a supervised shard's lifecycle state.
+type State int
+
+const (
+	// Running: the shard is stepping its workload.
+	Running State = iota
+	// Recovering: a fault was detected; checkpoint restore + tail
+	// replay is in progress (possibly across backoff retries).
+	Recovering
+	// Quarantined: MaxRetries consecutive recovery failures; the shard
+	// is abandoned and its last error preserved for post-mortem.
+	Quarantined
+	// Drained: the shard finished (op budget, deadline, or cancel) and
+	// sealed its result after a final checkpoint.
+	Drained
+)
+
+// String names the state for reports.
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Recovering:
+		return "recovering"
+	case Quarantined:
+		return "quarantined"
+	case Drained:
+		return "drained"
+	default:
+		return fmt.Sprintf("state-%d", int(s))
+	}
+}
+
+// MarshalJSON renders the state as its name.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// ShardHealth is one shard's live health snapshot.
+type ShardHealth struct {
+	// Shard and Seed identify the shard.
+	Shard int    `json:"shard"`
+	Seed  uint64 `json:"seed"`
+	// State is the shard's lifecycle state.
+	State State `json:"state"`
+	// Ops is the number of workload ops completed; Clock the shard's
+	// cumulative cycle clock.
+	Ops   int    `json:"ops"`
+	Clock uint64 `json:"clock_cycles"`
+
+	// Crashes counts injected crash faults; LastCrash describes the
+	// most recent one.
+	Crashes   int    `json:"crashes"`
+	LastCrash string `json:"last_crash,omitempty"`
+	// DetectedByWatchdog / DetectedByAudit split crash detections by
+	// trigger.
+	DetectedByWatchdog int `json:"detected_by_watchdog"`
+	DetectedByAudit    int `json:"detected_by_audit"`
+	// PanicFailures counts worker panics isolated into ShardFailures.
+	PanicFailures int `json:"panic_failures"`
+
+	// Recoveries counts successful checkpoint-restore passes;
+	// TailEvents the trace events replayed across all of them.
+	Recoveries int `json:"recoveries"`
+	TailEvents int `json:"tail_events"`
+	// RecoveryFailures counts failed recovery attempts; Consecutive is
+	// the current failure streak (quarantine trips at MaxRetries);
+	// Retries counts backoff sleeps taken.
+	RecoveryFailures    int `json:"recovery_failures"`
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	Retries             int `json:"retries"`
+	// LastRecoveryNs / MaxRecoveryNs are detection-to-recovered
+	// latencies (wall clock).
+	LastRecoveryNs uint64 `json:"last_recovery_ns"`
+	MaxRecoveryNs  uint64 `json:"max_recovery_ns"`
+	// RestoredFromOp is the checkpoint op of the last restore.
+	RestoredFromOp int `json:"restored_from_op"`
+
+	// CheckpointWrites counts ring appends; WriteFails pressure-failed
+	// or errored appends; Corrupted pressure-corrupted entries;
+	// RingFallbacks entries skipped during recovery because they no
+	// longer decoded.
+	CheckpointWrites     int `json:"checkpoint_writes"`
+	CheckpointWriteFails int `json:"checkpoint_write_fails"`
+	CorruptedCheckpoints int `json:"corrupted_checkpoints"`
+	RingFallbacks        int `json:"ring_fallbacks"`
+	// RingLen / RingCap are the ring's occupancy and capacity;
+	// LastCheckpointOp the newest entry's op.
+	RingLen          int `json:"ring_len"`
+	RingCap          int `json:"ring_cap"`
+	LastCheckpointOp int `json:"last_checkpoint_op"`
+
+	// LastError preserves the most recent failure (recovery error,
+	// quarantine cause, or isolated panic).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Health is the fleet-wide health report `vdom-bench serve` emits
+// periodically and on exit.
+type Health struct {
+	// Schema is HealthSchema.
+	Schema string `json:"schema"`
+	// Seed is the run's base seed.
+	Seed uint64 `json:"seed"`
+	// Running/Recovering/Quarantined/Drained count shards per state.
+	Running     int `json:"running"`
+	Recovering  int `json:"recovering"`
+	Quarantined int `json:"quarantined"`
+	Drained     int `json:"drained"`
+	// Fleet-wide rollups of the per-shard counters.
+	Ops                  int `json:"ops"`
+	Crashes              int `json:"crashes"`
+	Recoveries           int `json:"recoveries"`
+	RecoveryFailures     int `json:"recovery_failures"`
+	PanicFailures        int `json:"panic_failures"`
+	CheckpointWrites     int `json:"checkpoint_writes"`
+	CheckpointWriteFails int `json:"checkpoint_write_fails"`
+	CorruptedCheckpoints int `json:"corrupted_checkpoints"`
+	RingFallbacks        int `json:"ring_fallbacks"`
+	// Shards holds the per-shard snapshots in shard order.
+	Shards []ShardHealth `json:"shards"`
+	// Metrics is the merged serve-layer registry snapshot (recovery
+	// latency histogram included); only the final report carries it.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// buildHealth rolls per-shard snapshots up into a fleet report.
+func buildHealth(seed uint64, shards []ShardHealth, reg *metrics.Registry) *Health {
+	h := &Health{Schema: HealthSchema, Seed: seed, Shards: shards}
+	for _, s := range shards {
+		switch s.State {
+		case Running:
+			h.Running++
+		case Recovering:
+			h.Recovering++
+		case Quarantined:
+			h.Quarantined++
+		case Drained:
+			h.Drained++
+		}
+		h.Ops += s.Ops
+		h.Crashes += s.Crashes
+		h.Recoveries += s.Recoveries
+		h.RecoveryFailures += s.RecoveryFailures
+		h.PanicFailures += s.PanicFailures
+		h.CheckpointWrites += s.CheckpointWrites
+		h.CheckpointWriteFails += s.CheckpointWriteFails
+		h.CorruptedCheckpoints += s.CorruptedCheckpoints
+		h.RingFallbacks += s.RingFallbacks
+	}
+	if reg != nil {
+		h.Metrics = reg.Snapshot()
+	}
+	return h
+}
+
+// WriteJSON renders the report as indented JSON. Output is stable for
+// equal reports.
+func (h *Health) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}

@@ -135,3 +135,72 @@ func TestRandStateRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchdogRejectsNonPositiveThreshold pins the constructor contract:
+// a zero or negative threshold is a programming error, not a no-op dog.
+func TestWatchdogRejectsNonPositiveThreshold(t *testing.T) {
+	for _, th := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWatchdog(%d, nil) did not panic", th)
+				}
+			}()
+			NewWatchdog(th, nil)
+		}()
+	}
+}
+
+// TestWatchdogReArmAfterFire checks the full fire → Reset → fire cycle:
+// the callback runs once per armed period, and a re-armed dog needs a
+// full fresh streak of stuck observations to fire again.
+func TestWatchdogReArmAfterFire(t *testing.T) {
+	fires := 0
+	w := NewWatchdog(2, func(uint64) { fires++ })
+	w.Observe(10)
+	w.Observe(10)
+	if !w.Observe(10) || fires != 1 {
+		t.Fatalf("first firing: fired=%v fires=%d", w.Fired(), fires)
+	}
+	w.Reset()
+	// The pre-fire history is gone: the first post-Reset observation
+	// seeds the baseline even at the same stuck clock.
+	if w.Observe(10) || w.Observe(10) {
+		t.Fatal("re-armed watchdog fired before a full fresh streak")
+	}
+	if !w.Observe(10) {
+		t.Fatal("re-armed watchdog did not fire after a full streak")
+	}
+	if fires != 2 {
+		t.Fatalf("fires = %d, want 2", fires)
+	}
+}
+
+// TestWatchdogExactFireAtCheckpointBoundary drives the supervisor's
+// observation pattern: steady progress up to a checkpoint boundary,
+// then a wedge frozen at the boundary clock. The dog must stay quiet
+// through threshold-1 stuck observations and fire on exactly the
+// threshold-th — no earlier (checkpoint pauses don't advance the
+// simulated clock either) and no later.
+func TestWatchdogExactFireAtCheckpointBoundary(t *testing.T) {
+	const threshold = 8
+	w := NewWatchdog(threshold, nil)
+	clock := uint64(0)
+	for op := 1; op <= 100; op++ {
+		clock += 7
+		if w.Observe(clock) {
+			t.Fatalf("fired during progress at op %d", op)
+		}
+	}
+	for i := 1; i < threshold; i++ {
+		if w.Observe(clock) {
+			t.Fatalf("fired at stuck=%d, below threshold %d", i, threshold)
+		}
+	}
+	if !w.Observe(clock) {
+		t.Fatal("did not fire exactly at the threshold observation")
+	}
+	if w.Observe(clock) {
+		t.Fatal("fired again while latched")
+	}
+}

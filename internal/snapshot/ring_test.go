@@ -1,0 +1,204 @@
+package snapshot_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vdom/internal/replay"
+	"vdom/internal/snapshot"
+)
+
+// ringSnap builds a small but valid encoded container, parameterized so
+// entries are distinguishable.
+func ringSnap(tag byte) []byte {
+	st := &snapshot.State{Meta: snapshot.Meta{
+		Header: replay.Header{Version: replay.FormatVersion, Kernel: replay.KernelVDom, Arch: "x86", Cores: 1},
+		Clock:  uint64(tag),
+	}}
+	st.AddSection("payload", []byte{tag, tag, tag})
+	return snapshot.Encode(st)
+}
+
+func TestRingAppendPrunesToCapacity(t *testing.T) {
+	dir := t.TempDir()
+	r, err := snapshot.NewRing(dir, "shard0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 1; op <= 5; op++ {
+		if _, err := r.Append(op*100, ringSnap(byte(op))); err != nil {
+			t.Fatalf("Append op %d: %v", op*100, err)
+		}
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("Len/Cap = %d/%d, want 3/3", r.Len(), r.Cap())
+	}
+	ents := r.Entries()
+	if ents[0].Op != 300 || ents[2].Op != 500 {
+		t.Errorf("pruned ring holds ops %d..%d, want 300..500", ents[0].Op, ents[2].Op)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "shard0-*.snap"))
+	if len(files) != 3 {
+		t.Errorf("%d entry files on disk, want 3 (pruned entries must be removed)", len(files))
+	}
+	// No temp files may survive an append.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("stray temp files left behind: %v", tmps)
+	}
+}
+
+func TestRingRestartAdoptsPersistedEntries(t *testing.T) {
+	dir := t.TempDir()
+	r, err := snapshot.NewRing(dir, "shard0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 1; op <= 3; op++ {
+		if _, err := r.Append(op*10, ringSnap(byte(op))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A new process opens the same (dir, name): it must adopt the old
+	// entries in sequence order and continue the sequence.
+	r2, err := snapshot.NewRing(dir, "shard0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 3 {
+		t.Fatalf("restarted ring adopted %d entries, want 3", r2.Len())
+	}
+	if _, err := r2.Append(40, ringSnap(4)); err != nil {
+		t.Fatal(err)
+	}
+	ents := r2.Entries()
+	if ents[3].Op != 40 || ents[3].Seq <= ents[2].Seq {
+		t.Errorf("post-restart append out of sequence: %+v", ents)
+	}
+	// A sibling shard in the same directory is invisible to this ring.
+	if _, err := snapshot.NewRing(dir, "shard1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 4 {
+		t.Errorf("sibling ring disturbed shard0's entries")
+	}
+}
+
+func TestRingLatestGoodFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	r, err := snapshot.NewRing(dir, "shard0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ringSnap(1)
+	if _, err := r.Append(100, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := ringSnap(2)
+	bad[len(bad)-1] ^= 0xFF // corrupt the newest entry's last payload byte
+	e2, err := r.Append(200, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, ent, skipped, err := r.LatestGood()
+	if err != nil {
+		t.Fatalf("LatestGood: %v", err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the corrupt newest entry)", skipped)
+	}
+	if ent.Op != 100 {
+		t.Errorf("fell back to op %d, want 100", ent.Op)
+	}
+	if st, err := snapshot.Decode(data); err != nil || st.Meta.Clock != 1 {
+		t.Errorf("recovered data is not the good entry: clock %v err %v", st, err)
+	}
+
+	// With every entry corrupt, the error is typed: the checksum failure
+	// must surface through errors.Is.
+	os.WriteFile(ents0Path(t, r), bad, 0o644)
+	_, _, skipped, err = r.LatestGood()
+	if err == nil {
+		t.Fatal("LatestGood succeeded with every entry corrupt")
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if !errors.Is(err, snapshot.ErrBadChecksum) {
+		t.Errorf("errors.Is(%v, ErrBadChecksum) = false", err)
+	}
+	_ = e2
+}
+
+// ents0Path returns the oldest entry's path.
+func ents0Path(t *testing.T, r *snapshot.Ring) string {
+	t.Helper()
+	ents := r.Entries()
+	if len(ents) == 0 {
+		t.Fatal("empty ring")
+	}
+	return ents[0].Path
+}
+
+func TestRingEmptyLatestGoodIsTyped(t *testing.T) {
+	r, err := snapshot.NewRing(t.TempDir(), "shard0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = r.LatestGood()
+	if !errors.Is(err, snapshot.ErrBadRecord) {
+		t.Errorf("empty-ring error %v is not ErrBadRecord", err)
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := snapshot.NewRing(t.TempDir(), "shard0", 0); err == nil {
+		t.Error("cap 0 accepted")
+	}
+	if _, err := snapshot.NewRing(t.TempDir(), "a-b", 2); err == nil {
+		t.Error("name with '-' accepted (would corrupt the scan format)")
+	}
+	if _, err := snapshot.NewRing(t.TempDir(), "", 2); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestRingMaxAgePrunesOldEntriesButKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	r, err := snapshot.NewRing(dir, "shard0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetMaxAge(50 * time.Millisecond)
+	if _, err := r.Append(100, ringSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if _, err := r.Append(200, ringSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	ents := r.Entries()
+	if len(ents) != 1 || ents[0].Op != 200 {
+		t.Fatalf("age pruning kept %+v, want only op 200", ents)
+	}
+
+	// Even when the sole remaining entry is ancient, it survives: the
+	// ring never prunes away recovery's last resort.
+	time.Sleep(80 * time.Millisecond)
+	if _, err := r.Append(300, ringSnap(3)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	r.SetMaxAge(time.Nanosecond)
+	if _, err := r.Append(400, ringSnap(4)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (newest always kept)", r.Len())
+	}
+}

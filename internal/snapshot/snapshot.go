@@ -92,6 +92,11 @@ type Meta struct {
 type Section struct {
 	Name string
 	Data []byte
+	// Offset is the section record's byte offset in the decoded
+	// container (0 for captured, not-yet-encoded sections). Decode and
+	// Restore errors carry it so a bad section can be located in the
+	// file without re-parsing.
+	Offset int64
 }
 
 // State is a decoded (or captured, not-yet-encoded) snapshot.
@@ -109,12 +114,18 @@ func (s *State) AddSection(name string, data []byte) {
 
 // Section returns the named section's payload.
 func (s *State) Section(name string) ([]byte, bool) {
+	sec, ok := s.lookup(name)
+	return sec.Data, ok
+}
+
+// lookup returns the full named section, offset included.
+func (s *State) lookup(name string) (Section, bool) {
 	for _, sec := range s.Sections {
 		if sec.Name == name {
-			return sec.Data, true
+			return sec, true
 		}
 	}
-	return nil, false
+	return Section{}, false
 }
 
 // Section names of the layer images.
@@ -145,9 +156,12 @@ func gobEncode(v any) []byte {
 	return buf.Bytes()
 }
 
-func gobDecode(name string, data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("%w: section %q: %v", ErrBadRecord, name, err)
+// gobDecode decodes a section payload, typing any failure — including a
+// truncated-but-CRC-consistent payload — as ErrBadRecord with the
+// section's name and container offset.
+func gobDecode(sec Section, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(sec.Data)).Decode(v); err != nil {
+		return fmt.Errorf("%w: section %q at offset %d: %v", ErrBadRecord, sec.Name, sec.Offset, err)
 	}
 	return nil
 }
@@ -218,27 +232,27 @@ func Restore(st *State) (*replay.System, map[uint64]*kernel.Task, error) {
 	tasks := map[uint64]*kernel.Task{}
 
 	if sys.Proc != nil {
-		data, ok := st.Section(secMM)
+		sec, ok := st.lookup(secMM)
 		if !ok {
 			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secMM)
 		}
 		var asSnap mm.ASSnap
-		if err := gobDecode(secMM, data, &asSnap); err != nil {
+		if err := gobDecode(sec, &asSnap); err != nil {
 			return nil, nil, err
 		}
 		space := sys.Proc.AS()
 		space.LoadSnap(asSnap)
 		numTables := len(asSnap.Tables)
 
-		data, ok = st.Section(secKernel)
+		sec, ok = st.lookup(secKernel)
 		if !ok {
 			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secKernel)
 		}
 		var ks kernel.Snap
-		if err := gobDecode(secKernel, data, &ks); err != nil {
+		if err := gobDecode(sec, &ks); err != nil {
 			return nil, nil, err
 		}
-		if err := checkTableIDs(ks, numTables); err != nil {
+		if err := checkTableIDs(sec, ks, numTables); err != nil {
 			return nil, nil, err
 		}
 		byTID := sys.Kernel.LoadSnap(ks, sys.Proc, space.TableByID)
@@ -252,57 +266,58 @@ func Restore(st *State) (*replay.System, map[uint64]*kernel.Task, error) {
 			return byTID[tid]
 		}
 
-		data, ok = st.Section(secHW)
+		sec, ok = st.lookup(secHW)
 		if !ok {
 			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secHW)
 		}
 		var ms machineSnap
-		if err := gobDecode(secHW, data, &ms); err != nil {
+		if err := gobDecode(sec, &ms); err != nil {
 			return nil, nil, err
 		}
 		if len(ms.Cores) != sys.Machine.NumCores() {
-			return nil, nil, fmt.Errorf("%w: snapshot has %d cores, header boots %d",
-				ErrBadRecord, len(ms.Cores), sys.Machine.NumCores())
+			return nil, nil, fmt.Errorf("%w: section %q at offset %d: snapshot has %d cores, header boots %d",
+				ErrBadRecord, sec.Name, sec.Offset, len(ms.Cores), sys.Machine.NumCores())
 		}
 		for i, cs := range ms.Cores {
 			if cs.TableID < -1 || cs.TableID > numTables ||
 				cs.Walk.TableID < -1 || cs.Walk.TableID > numTables {
-				return nil, nil, fmt.Errorf("%w: core %d references table out of range", ErrBadRecord, i)
+				return nil, nil, fmt.Errorf("%w: section %q at offset %d: core %d references table out of range",
+					ErrBadRecord, sec.Name, sec.Offset, i)
 			}
 			sys.Machine.Core(i).LoadSnap(cs, space.TableByID)
 		}
 		sys.Machine.SetFrameWatermark(ms.FrameWatermark)
 
 		if sys.Manager != nil {
-			data, ok := st.Section(secManager)
+			sec, ok := st.lookup(secManager)
 			if !ok {
 				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secManager)
 			}
 			var cms core.ManagerSnap
-			if err := gobDecode(secManager, data, &cms); err != nil {
+			if err := gobDecode(sec, &cms); err != nil {
 				return nil, nil, err
 			}
 			sys.Manager.LoadSnap(cms, space.TableByID, taskFn)
 		}
 		if sys.Libmpk != nil {
-			data, ok := st.Section(secLibmpk)
+			sec, ok := st.lookup(secLibmpk)
 			if !ok {
 				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secLibmpk)
 			}
 			var ls libmpk.Snap
-			if err := gobDecode(secLibmpk, data, &ls); err != nil {
+			if err := gobDecode(sec, &ls); err != nil {
 				return nil, nil, err
 			}
 			sys.Libmpk.LoadSnap(ls, taskFn)
 		}
 	}
 	if sys.EPK != nil {
-		data, ok := st.Section(secEPK)
+		sec, ok := st.lookup(secEPK)
 		if !ok {
 			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secEPK)
 		}
 		var es epk.Snap
-		if err := gobDecode(secEPK, data, &es); err != nil {
+		if err := gobDecode(sec, &es); err != nil {
 			return nil, nil, err
 		}
 		sys.EPK.LoadSnap(es)
@@ -312,11 +327,13 @@ func Restore(st *State) (*replay.System, map[uint64]*kernel.Task, error) {
 
 // checkTableIDs validates the kernel section's table references against
 // the restored address space, turning out-of-range ids (a corrupted but
-// checksum-valid snapshot) into typed errors instead of panics.
-func checkTableIDs(ks kernel.Snap, numTables int) error {
+// checksum-valid snapshot) into typed errors — naming the section and
+// its container offset — instead of panics.
+func checkTableIDs(sec Section, ks kernel.Snap, numTables int) error {
 	for _, ts := range ks.Tasks {
 		if ts.TableID < -1 || ts.TableID > numTables {
-			return fmt.Errorf("%w: task %d references table %d of %d", ErrBadRecord, ts.TID, ts.TableID, numTables)
+			return fmt.Errorf("%w: section %q at offset %d: task %d references table %d of %d",
+				ErrBadRecord, sec.Name, sec.Offset, ts.TID, ts.TableID, numTables)
 		}
 	}
 	return nil
@@ -382,16 +399,17 @@ func Decode(b []byte) (*State, error) {
 	st := &State{}
 	sawMeta := false
 	for i := uint64(0); i < count; i++ {
-		sec, err := readSection(r)
+		off := int64(len(b) - r.Len())
+		sec, err := readSection(r, off)
 		if err != nil {
 			return nil, err
 		}
 		if sec.Name == secMeta {
 			if sawMeta {
-				return nil, fmt.Errorf("%w: duplicate meta section", ErrBadRecord)
+				return nil, fmt.Errorf("%w: duplicate meta section at offset %d", ErrBadRecord, off)
 			}
 			sawMeta = true
-			if err := gobDecode(secMeta, sec.Data, &st.Meta); err != nil {
+			if err := gobDecode(sec, &st.Meta); err != nil {
 				return nil, err
 			}
 			continue
@@ -407,13 +425,15 @@ func Decode(b []byte) (*State, error) {
 	return st, nil
 }
 
-func readSection(r *bytes.Reader) (Section, error) {
+// readSection reads one section record; off is the record's offset in
+// the container, carried into the section and its error messages.
+func readSection(r *bytes.Reader, off int64) (Section, error) {
 	nameLen, err := binary.ReadUvarint(r)
 	if err != nil {
 		return Section{}, ErrTruncated
 	}
 	if nameLen == 0 || nameLen > maxNameLen {
-		return Section{}, fmt.Errorf("%w: section name length %d", ErrBadRecord, nameLen)
+		return Section{}, fmt.Errorf("%w: section name length %d at offset %d", ErrBadRecord, nameLen, off)
 	}
 	name := make([]byte, nameLen)
 	if _, err := readFull(r, name); err != nil {
@@ -424,7 +444,7 @@ func readSection(r *bytes.Reader) (Section, error) {
 		return Section{}, ErrTruncated
 	}
 	if payLen > maxPayloadSize {
-		return Section{}, fmt.Errorf("%w: section %q payload length %d", ErrBadRecord, name, payLen)
+		return Section{}, fmt.Errorf("%w: section %q at offset %d: payload length %d", ErrBadRecord, name, off, payLen)
 	}
 	if uint64(r.Len()) < payLen+4 {
 		return Section{}, ErrTruncated
@@ -438,9 +458,9 @@ func readSection(r *bytes.Reader) (Section, error) {
 		return Section{}, ErrTruncated
 	}
 	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(crc[:]) {
-		return Section{}, fmt.Errorf("%w: section %q", ErrBadChecksum, string(name))
+		return Section{}, fmt.Errorf("%w: section %q at offset %d", ErrBadChecksum, string(name), off)
 	}
-	return Section{Name: string(name), Data: data}, nil
+	return Section{Name: string(name), Data: data, Offset: off}, nil
 }
 
 func readFull(r *bytes.Reader, p []byte) (int, error) {

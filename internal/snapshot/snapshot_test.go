@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"vdom/internal/chaos"
@@ -251,5 +252,92 @@ func BenchmarkTailRecovery(b *testing.B) {
 	b.StopTimer()
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// TestRestoreNamesSectionAndOffset pins the restore-error contract: a
+// section whose payload passes the CRC but truncates mid-gob must fail
+// with an error that names the section, carries its container offset,
+// and stays errors.Is-matchable against ErrBadRecord.
+func TestRestoreNamesSectionAndOffset(t *testing.T) {
+	s := chaos.StartSoak(soakCfg(11))
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	snap, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mm/as", "kernel", "hw/machine", "core/manager"} {
+		t.Run(name, func(t *testing.T) {
+			st, err := snapshot.Decode(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drop the payload's final byte and re-encode: the CRC is
+			// recomputed over the truncated payload, so the container
+			// decodes cleanly and the gob failure is Restore's to report.
+			found := false
+			for i := range st.Sections {
+				if st.Sections[i].Name == name {
+					d := st.Sections[i].Data
+					if len(d) == 0 {
+						t.Fatalf("section %q empty", name)
+					}
+					st.Sections[i].Data = d[:len(d)-1]
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("section %q missing from checkpoint", name)
+			}
+			cut, err := snapshot.Decode(snapshot.Encode(st))
+			if err != nil {
+				t.Fatalf("truncated container must still decode (CRC-valid), got %v", err)
+			}
+			var off int64 = -1
+			for _, sec := range cut.Sections {
+				if sec.Name == name {
+					off = sec.Offset
+				}
+			}
+			_, _, rerr := snapshot.Restore(cut)
+			if rerr == nil {
+				t.Fatal("Restore succeeded on a truncated section")
+			}
+			if !errors.Is(rerr, snapshot.ErrBadRecord) {
+				t.Errorf("errors.Is(%v, ErrBadRecord) = false", rerr)
+			}
+			if !strings.Contains(rerr.Error(), fmt.Sprintf("%q", name)) {
+				t.Errorf("error does not name section %q: %v", name, rerr)
+			}
+			if !strings.Contains(rerr.Error(), fmt.Sprintf("offset %d", off)) {
+				t.Errorf("error does not carry offset %d: %v", off, rerr)
+			}
+		})
+	}
+}
+
+// BenchmarkRingAppend measures the atomic checkpoint append (write,
+// fsync, rename, prune) at steady state.
+func BenchmarkRingAppend(b *testing.B) {
+	s := chaos.StartSoak(soakCfg(13))
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	snap, err := s.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := snapshot.NewRing(b.TempDir(), "bench", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Append(i, snap); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
