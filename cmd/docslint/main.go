@@ -1,11 +1,19 @@
 // Command docslint enforces the repository's documentation floor in CI.
 //
-// It checks two things, chosen to keep the public surface and the
-// module map (DESIGN.md §3) self-describing:
+// It checks four things, chosen to keep the public surface, the module
+// map (DESIGN.md §3), and the top-level documentation set
+// self-describing:
 //
 //  1. Every exported identifier in the root vdom package (the public
 //     API) must carry a doc comment.
 //  2. Every package under internal/ must have a package comment.
+//  3. Every package under internal/ must appear in DESIGN.md's §3
+//     module map, so the map cannot silently drift from the tree.
+//  4. Every top-level *.md file must be reachable from README.md
+//     through the mention graph (file A links to B when A's text names
+//     B), so no document becomes an orphan no reader can find.
+//     Repo-growth scaffolding (CHANGES.md, ISSUE.md, ROADMAP.md,
+//     PAPERS.md, SNIPPETS.md) is exempt.
 //
 // Usage:
 //
@@ -44,6 +52,8 @@ func main() {
 	for _, dir := range pkgDirs {
 		problems = append(problems, lintPackageComment(dir)...)
 	}
+	problems = append(problems, lintModuleMap(root, pkgDirs)...)
+	problems = append(problems, lintDocReachability(root)...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -178,6 +188,113 @@ func lintPackageComment(dir string) []string {
 	}
 	p := fset.Position(files[0].Package)
 	return []string{fmt.Sprintf("%s:%d: package %s has no package comment", p.Filename, p.Line, files[0].Name.Name)}
+}
+
+// lintModuleMap requires every internal/* package to appear (as an
+// `internal/<path>` mention) in DESIGN.md's "System inventory (module
+// map)" section, keeping the map in lockstep with the package tree.
+func lintModuleMap(root string, pkgDirs []string) []string {
+	path := filepath.Join(root, "DESIGN.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("docslint: %v", err)}
+	}
+	section, line := moduleMapSection(string(data))
+	if section == "" {
+		return []string{fmt.Sprintf("%s:1: no \"module map\" section found", path)}
+	}
+	var out []string
+	for _, dir := range pkgDirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		rel = filepath.ToSlash(rel)
+		if !strings.Contains(section, rel) {
+			out = append(out, fmt.Sprintf("%s:%d: module map is missing package %s", path, line, rel))
+		}
+	}
+	return out
+}
+
+// moduleMapSection returns the body of the DESIGN.md section whose
+// heading contains "module map" (case-insensitive), and the heading's
+// line number.
+func moduleMapSection(doc string) (string, int) {
+	lines := strings.Split(doc, "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "#") && strings.Contains(strings.ToLower(l), "module map") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return "", 0
+	}
+	end := len(lines)
+	for i := start + 1; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "## ") {
+			end = i
+			break
+		}
+	}
+	return strings.Join(lines[start:end], "\n"), start + 1
+}
+
+// docExempt lists top-level documents that need not be reachable from
+// README.md: repo-growth scaffolding a reader is not expected to
+// navigate to.
+var docExempt = map[string]bool{
+	"CHANGES.md":  true,
+	"ISSUE.md":    true,
+	"ROADMAP.md":  true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+}
+
+// lintDocReachability requires every non-exempt top-level *.md file to
+// be reachable from README.md through the mention graph: document A
+// links to document B when A's text contains B's filename.
+func lintDocReachability(root string) []string {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docslint: %v", err)}
+	}
+	bodies := map[string]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".md") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			return []string{fmt.Sprintf("docslint: %v", err)}
+		}
+		bodies[name] = string(data)
+	}
+	if _, ok := bodies["README.md"]; !ok {
+		return []string{fmt.Sprintf("%s: missing README.md", root)}
+	}
+	reachable := map[string]bool{"README.md": true}
+	queue := []string{"README.md"}
+	for len(queue) > 0 {
+		from := queue[0]
+		queue = queue[1:]
+		for name := range bodies {
+			if !reachable[name] && strings.Contains(bodies[from], name) {
+				reachable[name] = true
+				queue = append(queue, name)
+			}
+		}
+	}
+	var out []string
+	for name := range bodies {
+		if !reachable[name] && !docExempt[name] {
+			out = append(out, fmt.Sprintf("%s:1: not reachable from README.md (no document on the README mention graph names it)", filepath.Join(root, name)))
+		}
+	}
+	return out
 }
 
 // internalPackageDirs lists every directory under root/internal that

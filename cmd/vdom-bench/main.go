@@ -13,11 +13,20 @@
 //	           [-max-retries N] [-crash-every N] [-crash-kind KIND]
 //	           [-snap-write-fail P] [-snap-corrupt P]
 //	           [-health-out FILE] [-health-every D]
-//	           [-require-recoveries N] [experiment]
+//	           [-require-recoveries N] [-perf-out FILE] [-against FILE]
+//	           [-perf-threshold F] [experiment]
 //
 // Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
 // fig6, fig7, unixbench, ctxswitch, ablation, chaos, snapshot, serve,
-// recover, record, replay, compare, all (default).
+// recover, record, replay, perf, compare, all (default).
+//
+// `perf` runs the fixed performance suite (internal/perf, PERFORMANCE.md):
+// four machine-normalized rates written as a vdom-perf/v1 JSON report to
+// -perf-out (stdout when unset). With -against, the normalized rates are
+// diffed against a committed baseline (the repository pins BENCH_7.json)
+// and the run exits non-zero if any benchmark dropped by more than
+// -perf-threshold (default 15%). -quick cuts repetitions for a CI smoke
+// run without changing what one iteration measures.
 //
 // `record` re-records the domain-op trace corpus (one scaled-down run per
 // paper workload and kernel kind, see REPLAY.md) into -trace-dir; `replay`
@@ -72,6 +81,7 @@ import (
 
 	"vdom/internal/bench"
 	"vdom/internal/metrics"
+	"vdom/internal/perf"
 )
 
 func main() {
@@ -102,6 +112,9 @@ func main() {
 	healthOut := flag.String("health-out", "", "serve: write the JSON health report here (rewritten every -health-every, finalized on exit)")
 	healthEvery := flag.Duration("health-every", 5*time.Second, "serve: health report cadence")
 	requireRecoveries := flag.Int("require-recoveries", 0, "serve: fail unless at least this many recoveries completed (CI self-healing assertion)")
+	perfOut := flag.String("perf-out", "", "perf: write the vdom-perf/v1 report to this file (default: stdout)")
+	against := flag.String("against", "", "perf: compare against this committed vdom-perf/v1 baseline (e.g. BENCH_7.json), exiting non-zero on regression")
+	perfThreshold := flag.Float64("perf-threshold", 0.15, "perf: normalized-rate drop beyond which -against fails")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vdom-bench [flags] [experiment]\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
@@ -126,6 +139,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  recover    standalone recovery from a -snap checkpoint and -tail trace reproducer\n")
 		fmt.Fprintf(os.Stderr, "  record     record the domain-op trace corpus to -trace-dir\n")
 		fmt.Fprintf(os.Stderr, "  replay     replay every trace under -trace-dir, verifying bit-identical behaviour\n")
+		fmt.Fprintf(os.Stderr, "  perf       fixed perf suite: machine-normalized vdom-perf/v1 report, optional -against baseline diff\n")
 		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
 		fmt.Fprintf(os.Stderr, "  all        everything (default)\n")
 	}
@@ -245,6 +259,11 @@ func main() {
 		if diverged > 0 {
 			os.Exit(1)
 		}
+	case "perf":
+		if err := runPerf(w, *quick, *perfOut, *against, *perfThreshold); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: perf:", err)
+			os.Exit(1)
+		}
 	case "compare":
 		bench.Compare(w, o)
 	case "all":
@@ -267,6 +286,55 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runPerf runs the fixed perf suite (see internal/perf and
+// PERFORMANCE.md): it writes the vdom-perf/v1 report to outPath (stdout
+// when empty) and, when a baseline is given, diffs normalized rates
+// against it, returning an error if any benchmark regressed beyond
+// threshold.
+func runPerf(w io.Writer, quick bool, outPath, baselinePath string, threshold float64) error {
+	rep, err := perf.Run(perf.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		if err := rep.WriteJSON(w); err != nil {
+			return err
+		}
+	} else if err := writeFile(outPath, rep.WriteJSON); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := perf.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "perf: comparing against %s (threshold %.0f%%)\n", baselinePath, threshold*100)
+	cur := make(map[string]perf.Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		cur[b.Name] = b
+	}
+	for _, want := range base.Benchmarks {
+		got, ok := cur[want.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-14s MISSING (baseline %.4g %s)\n", want.Name, want.Normalized, want.Unit)
+			continue
+		}
+		fmt.Fprintf(w, "  %-14s %.4g -> %.4g %s (%+.1f%%)\n", want.Name,
+			want.Normalized, got.Normalized, want.Unit,
+			(got.Normalized/want.Normalized-1)*100)
+	}
+	if regs := perf.Compare(base, rep, threshold); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(w, "  REGRESSION %s: %.4g -> %.4g (-%.1f%% > %.0f%%)\n",
+				r.Name, r.Baseline, r.Current, r.Drop*100, threshold*100)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), threshold*100)
+	}
+	return nil
 }
 
 // writeFile streams write(f) into path, creating or truncating it.

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"vdom/internal/metrics"
+	"vdom/internal/mm"
+	"vdom/internal/pagetable"
+	"vdom/internal/replay"
+	"vdom/internal/workload"
+)
+
+// The host-side fast paths — chunked page-table range operations
+// (pagetable.DisableFastRange) and batched address-space population
+// (mm.DisableFastPopulate) — promise transparency: they change how fast
+// the simulator runs, never what it computes. These tests pin the
+// promise at its strongest form, byte identity: same-seed runs with the
+// fast paths forced off must produce bit-identical rendered tables,
+// metrics snapshots, Chrome traces, and recorded domain-op trace bytes.
+// They deliberately run without t.Parallel(): they mutate the
+// package-level disable flags, and Go runs serial tests one at a time,
+// before any paused parallel test resumes.
+
+// slowPaths forces both fast paths off for the duration of fn.
+func slowPaths(t *testing.T, fn func()) {
+	t.Helper()
+	pagetable.DisableFastRange = true
+	mm.DisableFastPopulate = true
+	defer func() {
+		pagetable.DisableFastRange = false
+		mm.DisableFastPopulate = false
+	}()
+	fn()
+}
+
+// TestFastPathTransparencyTable4 runs the instrumented Table 4
+// experiment — the suite's hottest consumer of the chunk operations —
+// with the fast paths on and off, comparing the rendered table, the
+// metrics snapshot (counters, cycle attribution, histograms), and the
+// Chrome trace byte for byte.
+func TestFastPathTransparencyTable4(t *testing.T) {
+	run := func() (table, snap, trace []byte) {
+		o := Options{Quick: true, Parallel: 1, Metrics: metrics.New(), Trace: metrics.NewTrace()}
+		var tb, mb, jb bytes.Buffer
+		Table4(&tb, o)
+		if err := o.Metrics.WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Trace.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes(), jb.Bytes()
+	}
+	fastT, fastM, fastJ := run()
+	var slowT, slowM, slowJ []byte
+	slowPaths(t, func() { slowT, slowM, slowJ = run() })
+	if !bytes.Equal(fastT, slowT) {
+		t.Errorf("rendered Table 4 differs with fast paths off:\n--- fast\n%s\n--- slow\n%s", fastT, slowT)
+	}
+	if !bytes.Equal(fastM, slowM) {
+		t.Error("metrics snapshot differs with fast paths off")
+	}
+	if !bytes.Equal(fastJ, slowJ) {
+		t.Error("Chrome trace differs with fast paths off")
+	}
+	if len(fastT) == 0 {
+		t.Error("experiment produced no output")
+	}
+}
+
+// TestFastPathTransparencyTraceBytes records every golden-corpus
+// workload with the fast paths on and off and compares the encoded
+// trace bytes. Trace events carry the page-table generation and write
+// counters of every domain op, so byte identity here proves the chunk
+// operations' counter accounting — not just their final translations —
+// matches the per-page loops exactly.
+func TestFastPathTransparencyTraceBytes(t *testing.T) {
+	if testing.Short() {
+		// The full corpus re-records every paper workload twice; the
+		// Table 4 spec alone still exercises every chunk operation.
+		spec := workload.TraceCorpus()[0]
+		fast := replay.Encode(spec.Record())
+		var slow []byte
+		slowPaths(t, func() { slow = replay.Encode(spec.Record()) })
+		if !bytes.Equal(fast, slow) {
+			t.Errorf("%s: recorded trace bytes differ with fast paths off", spec.Name)
+		}
+		return
+	}
+	for _, spec := range workload.TraceCorpus() {
+		fast := replay.Encode(spec.Record())
+		var slow []byte
+		slowPaths(t, func() { slow = replay.Encode(spec.Record()) })
+		if !bytes.Equal(fast, slow) {
+			t.Errorf("%s: recorded trace bytes differ with fast paths off", spec.Name)
+		}
+	}
+}
+
+// TestFastPathTransparencyCrossReplay is the cross-mode check: a trace
+// recorded with the fast paths ON must replay divergence-free with them
+// OFF, and one recorded OFF must replay ON. Replay verifies every event
+// — domain ops, their observed cycle costs, the end-state digest — so a
+// clean cross-mode replay proves the two implementations walk through
+// bit-identical intermediate states, not just matching final output.
+func TestFastPathTransparencyCrossReplay(t *testing.T) {
+	verify := func(label string, tr *replay.Trace) {
+		res, err := replay.Run(tr, replay.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Divergence != nil {
+			t.Errorf("%s: diverged: %s", label, res.Divergence)
+		}
+	}
+	spec := workload.TraceCorpus()[0]
+	fast := spec.Record()
+	var slow *replay.Trace
+	slowPaths(t, func() {
+		slow = spec.Record()
+		verify("recorded fast, replayed slow", fast)
+	})
+	verify("recorded slow, replayed fast", slow)
+}

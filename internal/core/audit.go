@@ -69,7 +69,7 @@ func (m *Manager) auditVDS(vds *VDS, bad func(string, ...any)) {
 		// Recount the #thread column from the resident threads' VDRs.
 		want := 0
 		for t := range vds.threads {
-			if vdr := m.vdrs[t]; vdr != nil && vdr.perms[d].Accessible() {
+			if vdr := m.vdrs[t]; vdr != nil && vdr.perms.get(d).Accessible() {
 				want++
 			}
 		}
@@ -114,8 +114,8 @@ func (m *Manager) auditVDR(task *kernel.Task, vdr *VDR, bad func(string, ...any)
 		bad("thread %d: task runs (table=%p asid=%d), current VDS %d is (table=%p asid=%d)",
 			task.TID(), task.Table(), task.ASID(), cur.id, cur.table, cur.asid)
 	}
-	for d, perm := range vdr.perms {
-		if !m.live[d] && perm != VPermNone {
+	for i, perm := range vdr.perms {
+		if d := VdomID(i); !m.live[d] && perm != VPermNone {
 			bad("thread %d: VDR holds %v on dead vdom %d", task.TID(), perm, d)
 		}
 	}

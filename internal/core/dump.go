@@ -48,7 +48,7 @@ func (m *Manager) DumpState(w io.Writer) {
 		var ds []VdomID
 		for d, p := range r.v.perms {
 			if p != VPermNone {
-				ds = append(ds, d)
+				ds = append(ds, VdomID(d))
 			}
 		}
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
@@ -57,7 +57,7 @@ func (m *Manager) DumpState(w io.Writer) {
 			if p, ok := r.v.current.PdomOf(d); ok {
 				marker = fmt.Sprintf(" @ pdom%d", p)
 			}
-			fmt.Fprintf(w, "  vdom %d: %v%s\n", d, r.v.perms[d], marker)
+			fmt.Fprintf(w, "  vdom %d: %v%s\n", d, r.v.perms.get(d), marker)
 		}
 	}
 

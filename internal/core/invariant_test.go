@@ -88,7 +88,7 @@ func checkInvariants(t *testing.T, m *Manager) {
 			}
 			want := 0
 			for task := range vds.threads {
-				if vdr := m.vdrs[task]; vdr != nil && vdr.perms[e.vdom].Accessible() {
+				if vdr := m.vdrs[task]; vdr != nil && vdr.perms.get(e.vdom).Accessible() {
 					want++
 				}
 			}
@@ -108,7 +108,7 @@ func rebuildRegister(vdr *VDR) uint64 {
 	for p := firstUsablePdom; p < vds.numPdoms; p++ {
 		e := vds.domainMap[p]
 		if e.used {
-			switch vdr.perms[e.vdom] {
+			switch vdr.perms.get(e.vdom) {
 			case VPermReadWrite:
 				r.set(uint8(p), false, false)
 			case VPermRead:
@@ -195,7 +195,7 @@ func TestRandomOperationInvariants(t *testing.T) {
 			di := doms[rng.Intn(len(doms))]
 			write := rng.Intn(2) == 1
 			vdr := m.VDROf(task)
-			wantAllowed := m.live[di.d] && vdr.perms[di.d].Allows(write)
+			wantAllowed := m.live[di.d] && vdr.perms.get(di.d).Allows(write)
 			_, err := task.Access(di.base, write)
 			switch {
 			case wantAllowed && err != nil:

@@ -143,11 +143,43 @@ func (s Stats) Add(o Stats) Stats {
 	return s
 }
 
+// permSet is a dense VdomID-indexed permission table. Vdom ids are
+// allocated sequentially per process, so a slice replaces the former
+// map: reads beyond the backing array mean VPermNone (exactly as a map
+// miss did), and the VDS-switch hot path iterates a flat byte array
+// instead of a map. An explicit VPermNone entry and an absent one are
+// indistinguishable everywhere (every consumer filters on VPermNone),
+// which is what makes the representations equivalent.
+type permSet []VPerm
+
+// get returns the permission on d (VPermNone when never set).
+func (s permSet) get(d VdomID) VPerm {
+	if int(d) < len(s) {
+		return s[d]
+	}
+	return VPermNone
+}
+
+// set stores the permission on d, growing the table as needed.
+func (s *permSet) set(d VdomID, p VPerm) {
+	for int(d) >= len(*s) {
+		*s = append(*s, VPermNone)
+	}
+	(*s)[d] = p
+}
+
+// clear resets the permission on d to VPermNone.
+func (s permSet) clear(d VdomID) {
+	if int(d) < len(s) {
+		s[d] = VPermNone
+	}
+}
+
 // VDR is a thread's virtual domain register: its permissions on every vdom
 // plus its address-space attachments (§5.2).
 type VDR struct {
 	task    *kernel.Task
-	perms   map[VdomID]VPerm
+	perms   permSet
 	nas     int
 	vdses   []*VDS // attached address spaces, in attach order
 	current *VDS
@@ -160,7 +192,7 @@ func (r *VDR) Current() *VDS { return r.current }
 func (r *VDR) Attached() []*VDS { return r.vdses }
 
 // Perm returns the thread's permission on d.
-func (r *VDR) Perm(d VdomID) VPerm { return r.perms[d] }
+func (r *VDR) Perm(d VdomID) VPerm { return r.perms.get(d) }
 
 // Manager is the per-process VDom instance: the VDM of §5.3 plus the
 // domain virtualization algorithm of §5.4. It implements both
@@ -180,6 +212,11 @@ type Manager struct {
 	nextVDSID int
 	byTable   map[*pagetable.Table]*VDS
 	vdrs      map[*kernel.Task]*VDR
+
+	// One-entry byTable memo for the PdomFor fault path; dropped on any
+	// byTable mutation (attach, destroy, checkpoint restore).
+	memoTable *pagetable.Table
+	memoVDS   *VDS
 
 	// Stats is exported for the experiment harness; reading it while
 	// tasks run is fine in the single-threaded simulation.
@@ -295,7 +332,12 @@ func (m *Manager) PdomFor(t *pagetable.Table, tag mm.Tag) (pagetable.Pdom, bool)
 	if tag == 0 {
 		return DefaultPdom, true
 	}
-	if vds, ok := m.byTable[t]; ok {
+	vds := m.memoVDS
+	if t != m.memoTable {
+		vds = m.byTable[t]
+		m.memoTable, m.memoVDS = t, vds
+	}
+	if vds != nil {
 		if p, ok := vds.PdomOf(VdomID(tag)); ok {
 			return p, true
 		}
@@ -382,7 +424,7 @@ func (m *Manager) FreeVdom(d VdomID) (cost cycles.Cost, err error) {
 	// reused so stale bits cannot alias, but clearing them here keeps the
 	// VDR state auditable (no permission may reference a dead vdom).
 	for _, vdr := range m.vdrs {
-		delete(vdr.perms, d)
+		vdr.perms.clear(d)
 	}
 	m.trace(Event{Kind: EventFree, Vdom: d, Cost: cost})
 	return cost, nil
@@ -512,7 +554,7 @@ func (m *Manager) VdrAlloc(task *kernel.Task, nas int) (cost cycles.Cost, err er
 	}
 	vdr := &VDR{
 		task:    task,
-		perms:   make(map[VdomID]VPerm),
+		perms:   nil,
 		nas:     nas,
 		vdses:   []*VDS{home},
 		current: home,
@@ -584,7 +626,7 @@ func (m *Manager) RdVdr(task *kernel.Task, d VdomID) (perm VPerm, cost cycles.Co
 	if vdr == nil {
 		return VPermNone, m.apiCost(), ErrNoVDR
 	}
-	return vdr.perms[d], m.apiCost() + m.params.PermRegRead, nil
+	return vdr.perms.get(d), m.apiCost() + m.params.PermRegRead, nil
 }
 
 // WrVdr writes the calling thread's permission on d (wrvdr). Granting an
@@ -606,8 +648,8 @@ func (m *Manager) WrVdr(task *kernel.Task, d VdomID, perm VPerm) (cost cycles.Co
 	m.Stats.WrVdrCalls++
 	cost = m.apiCost() + m.params.VDRUpdate
 
-	old := vdr.perms[d]
-	vdr.perms[d] = perm
+	old := vdr.perms.get(d)
+	vdr.perms.set(d, perm)
 	// Maintain the #thread counters of the current VDS on
 	// accessible/inaccessible transitions.
 	switch {
@@ -659,7 +701,7 @@ func (m *Manager) HandleDomainFault(task *kernel.Task, addr pagetable.VAddr, wri
 		return 0, false, fmt.Errorf("%w: thread %d has no VDR for vdom %d",
 			kernel.ErrSigsegv, task.TID(), d)
 	}
-	perm := vdr.perms[d]
+	perm := vdr.perms.get(d)
 	if !perm.Allows(write) {
 		op := "read"
 		if write {
@@ -792,8 +834,9 @@ func mustFree(v *VDS) pagetable.Pdom {
 // anyAccessibleMapped reports whether any mapped vdom other than d is
 // accessible per the thread's VDR.
 func (m *Manager) anyAccessibleMapped(vdr *VDR, vds *VDS, d VdomID) bool {
-	for _, v := range vds.MappedVdoms() {
-		if v != d && vdr.perms[v].Accessible() {
+	for p := firstUsablePdom; p < vds.numPdoms; p++ {
+		e := vds.domainMap[p]
+		if e.used && e.vdom != d && vdr.perms.get(e.vdom).Accessible() {
 			return true
 		}
 	}
@@ -815,6 +858,7 @@ func (m *Manager) allocVDS() (*VDS, error) {
 	m.nextVDSID++
 	m.vdses = append(m.vdses, vds)
 	m.byTable[vds.table] = vds
+	m.memoTable, m.memoVDS = nil, nil
 	m.proc.AS().RegisterTable(vds.table)
 	m.trace(Event{Kind: EventVDSAlloc, VDS: vds.id})
 	return vds, nil
@@ -842,7 +886,7 @@ func (m *Manager) mapVdom(vds *VDS, d VdomID, p pagetable.Pdom) cycles.Cost {
 	// permissions granted while the vdom was unmapped become countable
 	// only now.
 	for t := range vds.threads {
-		if vdr := m.vdrs[t]; vdr != nil && vdr.perms[d].Accessible() {
+		if vdr := m.vdrs[t]; vdr != nil && vdr.perms.get(d).Accessible() {
 			vds.adjustRef(d, +1)
 		}
 	}
@@ -1016,7 +1060,7 @@ func (m *Manager) chooseVictim(vdr *VDR, vds *VDS, d VdomID) (VdomID, bool) {
 		if vds.threadsOn(v) > 0 {
 			return false, false // some resident thread still accesses it
 		}
-		perm := vdr.perms[v]
+		perm := vdr.perms.get(v)
 		if perm.Accessible() {
 			return false, false
 		}
@@ -1236,6 +1280,7 @@ func (m *Manager) ReapVDSes() int {
 			continue
 		}
 		delete(m.byTable, vds.table)
+		m.memoTable, m.memoVDS = nil, nil
 		m.proc.AS().UnregisterTable(vds.table)
 		// The ASID is retired but stays unreusable until the next
 		// generation rollover flushes every TLB, so translations still
@@ -1274,7 +1319,7 @@ func (m *Manager) activeVdoms(vdr *VDR, d VdomID) []VdomID {
 		if !e.used || e.vdom == d || !m.live[e.vdom] {
 			continue
 		}
-		if vdr.perms[e.vdom] == VPermNone {
+		if vdr.perms.get(e.vdom) == VPermNone {
 			continue
 		}
 		es = append(es, ent{e.vdom, e.lastUse})
@@ -1318,18 +1363,21 @@ func contains(list []*VDS, v *VDS) bool {
 // thread's VDR implies under its current VDS's domain map. The auditor
 // compares it against the saved image syncRegister maintains.
 func (m *Manager) registerImage(vdr *VDR) uint64 {
-	var r hw.PermRegister
-	r.Set(uint8(AccessNeverPdom), hw.PermNone)
 	vds := vdr.current
+	// Start from the all-denied image for this architecture's domain
+	// count (access-never and every unmapped pdom read identically), then
+	// overlay a field per mapped vdom — assembling the raw value directly
+	// instead of one Set call per field.
+	bits := hw.DenyAllBelow(vds.numPdoms)
 	for p := firstUsablePdom; p < vds.numPdoms; p++ {
 		e := vds.domainMap[p]
-		if e.used {
-			r.Set(uint8(p), vdr.perms[e.vdom].Hardware())
-		} else {
-			r.Set(uint8(p), hw.PermNone)
+		if !e.used {
+			continue
 		}
+		shift := 2 * uint64(p)
+		bits = bits&^(0b11<<shift) | vdr.perms.get(e.vdom).Hardware().Field()<<shift
 	}
-	return r.Raw()
+	return bits
 }
 
 // syncRegister rebuilds the thread's hardware permission-register image

@@ -149,11 +149,11 @@ func TestSoakFullStack(t *testing.T) {
 			if e.alive {
 				write := rng.Intn(2) == 1
 				vdr := m.VDROf(task)
-				want := vdr.perms[e.d].Allows(write)
+				want := vdr.perms.get(e.d).Allows(write)
 				_, aerr := task.Access(e.b, write)
 				if want != (aerr == nil) {
 					t.Fatalf("step %d: access mismatch (perm %v write %v err %v)",
-						step, vdr.perms[e.d], write, aerr)
+						step, vdr.perms.get(e.d), write, aerr)
 				}
 			}
 		}

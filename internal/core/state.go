@@ -113,7 +113,10 @@ func (m *Manager) Snap(tableID func(*pagetable.Table) int) ManagerSnap {
 			rs.CurrentID = r.current.id
 		}
 		for d, p := range r.perms {
-			rs.Perms = append(rs.Perms, PermSnap{Vdom: d, Perm: p})
+			if p == VPermNone {
+				continue // absent and explicit-None entries are identical
+			}
+			rs.Perms = append(rs.Perms, PermSnap{Vdom: VdomID(d), Perm: p})
 		}
 		sort.Slice(rs.Perms, func(i, j int) bool { return rs.Perms[i].Vdom < rs.Perms[j].Vdom })
 		s.VDRs = append(s.VDRs, rs)
@@ -181,6 +184,7 @@ func (m *Manager) LoadSnap(s ManagerSnap, table func(id int) *pagetable.Table, t
 		v := loadVDS(vs, table, task)
 		m.vdses = append(m.vdses, v)
 		m.byTable[v.table] = v
+		m.memoTable, m.memoVDS = nil, nil
 		byID[v.id] = v
 	}
 	for _, rs := range s.VDRs {
@@ -188,9 +192,9 @@ func (m *Manager) LoadSnap(s ManagerSnap, table func(id int) *pagetable.Table, t
 		if t == nil {
 			panic(fmt.Sprintf("core: VDR snapshot references unknown TID %d", rs.TID))
 		}
-		r := &VDR{task: t, nas: rs.Nas, perms: make(map[VdomID]VPerm, len(rs.Perms))}
+		r := &VDR{task: t, nas: rs.Nas}
 		for _, p := range rs.Perms {
-			r.perms[p.Vdom] = p.Perm
+			r.perms.set(p.Vdom, p.Perm)
 		}
 		for _, id := range rs.VDSIDs {
 			v, ok := byID[id]
@@ -293,6 +297,7 @@ func (m *Manager) TearDomainMap() (string, bool) {
 				continue
 			}
 			delete(v.vdomPdom, e.vdom)
+			v.dropMemo()
 			return fmt.Sprintf("vds %d: vdom %d → pdom %d forward entry kept, inverse dropped", v.id, e.vdom, p), true
 		}
 	}

@@ -74,6 +74,12 @@ type VDS struct {
 	// whose thread has since switched away.
 	cachedCores hw.CPUSet
 
+	// One-entry PdomOf memo (see PdomOf).
+	memoD   VdomID
+	memoP   pagetable.Pdom
+	memoOK  bool
+	memoSet bool
+
 	numPdoms int
 }
 
@@ -121,11 +127,21 @@ func (v *VDS) noteCore(id int) { v.cachedCores = v.cachedCores.Add(id) }
 // this VDS's ASID (a superset of CPUSet).
 func (v *VDS) CachedCores() hw.CPUSet { return v.cachedCores.Union(v.CPUSet()) }
 
-// PdomOf returns the pdom v is mapped to, if any.
+// PdomOf returns the pdom v is mapped to, if any. A one-entry memo
+// absorbs the dense repeat lookups the fault path issues while
+// populating a range; install/uninstall (and the checkpoint torn-write
+// injector) drop it whenever the mapping changes.
 func (v *VDS) PdomOf(d VdomID) (pagetable.Pdom, bool) {
+	if v.memoSet && v.memoD == d {
+		return v.memoP, v.memoOK
+	}
 	p, ok := v.vdomPdom[d]
+	v.memoD, v.memoP, v.memoOK, v.memoSet = d, p, ok, true
 	return p, ok
 }
+
+// dropMemo invalidates the PdomOf memo after a domain-map mutation.
+func (v *VDS) dropMemo() { v.memoSet = false }
 
 // Mapped reports whether d is mapped in the VDS.
 func (v *VDS) Mapped(d VdomID) bool {
@@ -177,6 +193,7 @@ func (v *VDS) install(d VdomID, p pagetable.Pdom) {
 	v.clock++
 	v.domainMap[p] = mapEntry{vdom: d, used: true, lastUse: v.clock}
 	v.vdomPdom[d] = p
+	v.dropMemo()
 	v.lastMapping[d] = p
 	delete(v.evicted, d)
 }
@@ -189,6 +206,7 @@ func (v *VDS) uninstall(d VdomID, viaPMD bool) pagetable.Pdom {
 	}
 	v.domainMap[p] = mapEntry{}
 	delete(v.vdomPdom, d)
+	v.dropMemo()
 	v.evicted[d] = evictState{pdom: p, viaPMD: viaPMD}
 	return p
 }
@@ -203,13 +221,16 @@ func (v *VDS) touch(d VdomID) {
 
 // addThreadRef adjusts the #thread counters when a task with the given VDR
 // permissions joins (+1) or leaves (-1) the VDS.
-func (v *VDS) addThreadRef(perms map[VdomID]VPerm, delta int) {
-	for d, perm := range perms {
-		if !perm.Accessible() {
-			continue
-		}
-		if p, ok := v.vdomPdom[d]; ok {
-			v.domainMap[p].threads += delta
+func (v *VDS) addThreadRef(perms permSet, delta int) {
+	// Walk the (few) mapped pdoms and consult the VDR's permission per
+	// slot, rather than walking every held permission and probing the
+	// inverse map: the touched counters are the same either way — the
+	// domain map's used entries and vdomPdom are inverses — without a map
+	// lookup per held vdom.
+	for p := firstUsablePdom; p < v.numPdoms; p++ {
+		e := &v.domainMap[p]
+		if e.used && perms.get(e.vdom).Accessible() {
+			e.threads += delta
 		}
 	}
 }

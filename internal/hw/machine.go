@@ -109,10 +109,12 @@ func NewMachine(cfg Config) *Machine {
 		} else {
 			cache = tlb.New(capacity)
 		}
+		fast, _ := cache.(*tlb.TLB)
 		m.cores = append(m.cores, &Core{
 			id:      i,
 			machine: m,
 			tlb:     cache,
+			tlbFast: fast,
 		})
 	}
 	return m
@@ -377,6 +379,11 @@ type Core struct {
 	id      int
 	machine *Machine
 	tlb     tlb.Cache
+	// tlbFast is c.tlb when it is the plain fully-associative TLB (nil
+	// otherwise): the access hot path calls it directly, skipping the
+	// interface dispatch that would otherwise sit on every load and store.
+	// Every assignment to tlb must refresh it.
+	tlbFast *tlb.TLB
 
 	perm  PermRegister
 	table *pagetable.Table
@@ -409,6 +416,7 @@ func (c *Core) TLB() tlb.Cache { return c.tlb }
 // preserve Cache semantics apart from the faults it models.
 func (c *Core) InterposeTLB(wrap func(tlb.Cache) tlb.Cache) {
 	c.tlb = wrap(c.tlb)
+	c.tlbFast, _ = c.tlb.(*tlb.TLB)
 }
 
 // Perm exposes the core's permission register.
@@ -445,7 +453,14 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 	}
 	p := c.machine.params
 	vpn := addr.VPN()
-	if e, ok := c.tlb.Lookup(c.asid, vpn); ok {
+	var e tlb.Entry
+	var ok bool
+	if f := c.tlbFast; f != nil {
+		e, ok = f.Lookup(c.asid, vpn)
+	} else {
+		e, ok = c.tlb.Lookup(c.asid, vpn)
+	}
+	if ok {
 		res := AccessResult{Pdom: e.Pdom, TLBHit: true, Cost: p.TLBHit}
 		res.Kind = c.check(e.Pdom, e.Writable, write)
 		if res.Kind == AccessOK && c.machine.inj != nil && c.machine.inj.SpuriousDomainFault(c.id) {
@@ -461,13 +476,18 @@ func (c *Core) Access(addr pagetable.VAddr, write bool) AccessResult {
 	case !wr.Present:
 		return AccessResult{Kind: FaultNotPresent, Cost: cost}
 	}
-	c.tlb.Insert(tlb.Entry{
+	ent := tlb.Entry{
 		ASID:     c.asid,
 		VPN:      vpn,
 		Frame:    wr.PTE.Frame,
 		Pdom:     wr.PTE.Pdom,
 		Writable: wr.PTE.Writable,
-	})
+	}
+	if f := c.tlbFast; f != nil {
+		f.Insert(ent)
+	} else {
+		c.tlb.Insert(ent)
+	}
 	res := AccessResult{Pdom: wr.PTE.Pdom, Cost: cost}
 	res.Kind = c.check(wr.PTE.Pdom, wr.PTE.Writable, write)
 	if res.Kind == AccessOK && c.machine.inj != nil && c.machine.inj.SpuriousDomainFault(c.id) {

@@ -67,21 +67,22 @@ func (r *PermRegister) Get(pdom uint8) Perm {
 	}
 }
 
-// Set updates the permission for pdom.
-func (r *PermRegister) Set(pdom uint8, p Perm) {
-	var f uint64
-	switch p {
-	case PermNone:
-		f = 0b01
-	case PermRead:
-		f = 0b10
-	case PermReadWrite:
-		f = 0b00
-	default:
+// Field returns the permission's 2-bit register field (AD/WD encoding):
+// PermNone → 0b01, PermRead → 0b10, PermReadWrite → 0b00. Register-image
+// builders that assemble a raw value directly use it to skip per-field
+// Set calls.
+func (p Perm) Field() uint64 {
+	if p > PermReadWrite {
 		panic(fmt.Sprintf("hw: invalid permission %d", p))
 	}
+	// The three fields packed little-endian by permission value.
+	return 0b00_10_01 >> (2 * uint64(p)) & 0b11
+}
+
+// Set updates the permission for pdom.
+func (r *PermRegister) Set(pdom uint8, p Perm) {
 	shift := 2 * uint64(pdom)
-	r.bits = r.bits&^(0b11<<shift) | f<<shift
+	r.bits = r.bits&^(0b11<<shift) | p.Field()<<shift
 }
 
 // Raw returns the raw register value (rdpkru / mfspr).
@@ -96,13 +97,25 @@ func (r *PermRegister) Allows(pdom uint8, write bool) bool {
 	return r.Get(pdom).Allows(write)
 }
 
+// denyAllBits access-disables fields 1..MaxPdoms-1 (bit 2k set for every
+// k ≥ 1) while leaving the default domain fully accessible.
+const denyAllBits uint64 = 0x5555555555555554
+
 // DenyAll returns a raw value that access-disables every domain except
 // pdom0 (the default domain, which always stays accessible so code can
 // run).
-func DenyAll() uint64 {
-	var r PermRegister
-	for d := uint8(1); d < MaxPdoms; d++ {
-		r.Set(d, PermNone)
+func DenyAll() uint64 { return denyAllBits }
+
+// DenyAllBelow returns a raw value that access-disables domains [1, n)
+// and leaves every other field (pdom0 and fields ≥ n) fully accessible —
+// the starting image for an n-domain architecture before any grants are
+// overlaid.
+func DenyAllBelow(n int) uint64 {
+	if n >= MaxPdoms {
+		return denyAllBits
 	}
-	return r.Raw()
+	if n < 1 {
+		return 0
+	}
+	return denyAllBits & (1<<(2*uint64(n)) - 1)
 }

@@ -271,6 +271,11 @@ type Process struct {
 	// handler receives domain faults (protection-key / domain faults and
 	// PMD-disabled faults) for all tasks of the process.
 	handler FaultHandler
+
+	// asidScratch backs flushASIDs so the shootdown-heavy sync paths do
+	// not allocate per call. Its contents are only valid until the next
+	// flushASIDs call.
+	asidScratch []tlb.ASID
 }
 
 // NewProcess creates a process with an empty address space.

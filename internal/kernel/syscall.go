@@ -171,13 +171,19 @@ func (t *Task) chargeSync(rep mm.SyncReport, addr pagetable.VAddr, length uint64
 // plus any extra address spaces a VDom-style fault handler maintains
 // (dormant VDSes whose ASIDs no task currently runs under).
 func (p *Process) flushASIDs() []tlb.ASID {
-	seen := make(map[tlb.ASID]bool, 2*len(p.tasks))
-	out := make([]tlb.ASID, 0, 2*len(p.tasks))
+	// The handful of ASIDs a process uses makes a linear dedup over the
+	// reused scratch slice cheaper than a map, and allocation-free.
+	out := p.asidScratch[:0]
 	add := func(a tlb.ASID) {
-		if a != 0 && !seen[a] {
-			seen[a] = true
-			out = append(out, a)
+		if a == 0 {
+			return
 		}
+		for _, x := range out {
+			if x == a {
+				return
+			}
+		}
+		out = append(out, a)
 	}
 	for _, t := range p.tasks {
 		add(t.baseASID)
@@ -188,6 +194,7 @@ func (p *Process) flushASIDs() []tlb.ASID {
 			add(a)
 		}
 	}
+	p.asidScratch = out
 	return out
 }
 

@@ -110,8 +110,12 @@ type Manager struct {
 	params *cycles.Params
 
 	nextVkey Vkey
-	keys     map[Vkey]*keyMeta
-	pkeys    [numPkeys]pkeySlot
+	// keys is indexed by Vkey (dense: vkeys are allocated sequentially
+	// from 1); freed keys leave a nil slot. The slice layout keeps
+	// syncRegister — which scans every key on each pkey_set — off the
+	// map iterator and in deterministic ascending-vkey order.
+	keys  []*keyMeta
+	pkeys [numPkeys]pkeySlot
 	clock    uint64
 
 	// released wakes busy-waiting threads when a key's inUse count
@@ -200,7 +204,6 @@ func Attach(proc *kernel.Process, env *sim.Env) *Manager {
 		proc:     proc,
 		params:   proc.Kernel().Params(),
 		nextVkey: 1,
-		keys:     make(map[Vkey]*keyMeta),
 	}
 	if env != nil {
 		m.released = env.NewSignal()
@@ -213,6 +216,22 @@ func Attach(proc *kernel.Process, env *sim.Env) *Manager {
 // SetPageMode selects 4 KiB or 2 MiB huge-page backing for future cost
 // accounting. Call before protecting memory.
 func (m *Manager) SetPageMode(mode PageMode) { m.mode = mode }
+
+// key returns the metadata of v, or nil for an unknown or freed vkey.
+func (m *Manager) key(v Vkey) *keyMeta {
+	if int(v) < len(m.keys) {
+		return m.keys[v]
+	}
+	return nil
+}
+
+// setKey stores metadata at index v, growing the dense table as needed.
+func (m *Manager) setKey(v Vkey, k *keyMeta) {
+	for int(v) >= len(m.keys) {
+		m.keys = append(m.keys, nil)
+	}
+	m.keys[v] = k
+}
 
 // LockWaitCycles returns the virtual time threads spent serialized on the
 // global cache mutex (simulation mode only).
@@ -238,7 +257,7 @@ func (m *Manager) PdomFor(t *pagetable.Table, tag mm.Tag) (pagetable.Pdom, bool)
 	if tag == 0 {
 		return 0, true
 	}
-	if k, ok := m.keys[Vkey(tag)]; ok && k.mapped {
+	if k := m.key(Vkey(tag)); k != nil && k.mapped {
 		return k.pkey, true
 	}
 	return 0, false
@@ -268,7 +287,7 @@ func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
 	}()
 	v = m.nextVkey
 	m.nextVkey++
-	m.keys[v] = &keyMeta{perms: make(map[*kernel.Task]hw.Perm)}
+	m.setKey(v, &keyMeta{perms: make(map[*kernel.Task]hw.Perm)})
 	cost = m.apiCost() + m.params.SyscallReturn
 	m.Stats.MgmtCycles += uint64(cost)
 	return v, cost
@@ -281,8 +300,8 @@ func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err err
 		m.metrics.Attribute("libmpk", "pkey-free", uint64(cost))
 		m.tapOp(TapEvent{Op: OpFree, TID: tapTID(task), Vkey: v, Cost: cost, Err: err})
 	}()
-	k, ok := m.keys[v]
-	if !ok {
+	k := m.key(v)
+	if k == nil {
 		return m.apiCost(), ErrUnknownKey
 	}
 	cost = m.apiCost()
@@ -291,7 +310,7 @@ func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err err
 		k.mapped = false
 		cost += m.disablePages(task, k)
 	}
-	delete(m.keys, v)
+	m.keys[v] = nil
 	m.Stats.MgmtCycles += uint64(m.apiCost())
 	return cost, nil
 }
@@ -304,8 +323,8 @@ func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VA
 		m.metrics.Attribute("libmpk", "pkey-mprotect", uint64(cost))
 		m.tapOp(TapEvent{Op: OpMprotect, TID: tapTID(task), Vkey: v, Addr: addr, Len: length, Cost: cost, Err: err})
 	}()
-	k, ok := m.keys[v]
-	if !ok {
+	k := m.key(v)
+	if k == nil {
 		return m.apiCost(), ErrUnknownKey
 	}
 	cost = m.apiCost() + m.params.SyscallReturn
@@ -329,8 +348,8 @@ func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) 
 		m.metrics.Attribute("libmpk", "pkey-set", uint64(cost))
 		m.tapOp(TapEvent{Op: OpSet, TID: tapTID(task), Vkey: v, Perm: perm, Cost: cost, Err: err})
 	}()
-	k, ok := m.keys[v]
-	if !ok {
+	k := m.key(v)
+	if k == nil {
 		return m.apiCost(), ErrUnknownKey
 	}
 	cost = m.apiCost()
@@ -376,7 +395,7 @@ func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) 
 
 // Perm returns the thread's current permission on v.
 func (m *Manager) Perm(task *kernel.Task, v Vkey) hw.Perm {
-	if k, ok := m.keys[v]; ok {
+	if k := m.key(v); k != nil {
 		return k.perms[task]
 	}
 	return hw.PermNone
@@ -384,8 +403,8 @@ func (m *Manager) Perm(task *kernel.Task, v Vkey) hw.Perm {
 
 // Mapped reports whether v currently holds a hardware key.
 func (m *Manager) Mapped(v Vkey) bool {
-	k, ok := m.keys[v]
-	return ok && k.mapped
+	k := m.key(v)
+	return k != nil && k.mapped
 }
 
 // mapKey binds v to a hardware key: a free one if available, otherwise the
@@ -403,7 +422,7 @@ func (m *Manager) mapKey(p *sim.Proc, task *kernel.Task, v Vkey, k *keyMeta) (cy
 		}
 		// Evict the LRU key whose vkey no thread holds accessible.
 		if victim := m.chooseVictim(); victim != 0 {
-			vk := m.keys[victim]
+			vk := m.key(victim)
 			pk := vk.pkey
 			m.Stats.Evictions++
 			cost += m.disablePages(task, vk)
@@ -429,7 +448,7 @@ func (m *Manager) chooseVictim() Vkey {
 		if !m.pkeys[pk].used {
 			continue
 		}
-		vk := m.keys[m.pkeys[pk].vkey]
+		vk := m.key(m.pkeys[pk].vkey)
 		if vk.inUse > 0 {
 			continue
 		}
@@ -517,7 +536,7 @@ func (m *Manager) syncRegister(task *kernel.Task) {
 	var r hw.PermRegister
 	r.SetRaw(hw.DenyAll())
 	for _, k := range m.keys {
-		if !k.mapped {
+		if k == nil || !k.mapped {
 			continue
 		}
 		if p, ok := k.perms[task]; ok {

@@ -61,7 +61,10 @@ func (m *Manager) Snap() Snap {
 		Stats:    m.Stats,
 	}
 	for vk, km := range m.keys {
-		ks := KeySnap{Vkey: vk, Pkey: km.pkey, Mapped: km.mapped, InUse: km.inUse, LastUse: km.lastUse}
+		if km == nil {
+			continue
+		}
+		ks := KeySnap{Vkey: Vkey(vk), Pkey: km.pkey, Mapped: km.mapped, InUse: km.inUse, LastUse: km.lastUse}
 		for _, a := range km.areas {
 			ks.Areas = append(ks.Areas, AreaSnap{Start: a.start, Length: a.length})
 		}
@@ -105,7 +108,7 @@ func (m *Manager) LoadSnap(s Snap, task func(tid int) *kernel.Task) {
 		for _, p := range ks.Perms {
 			km.perms[task(p.TID)] = p.Perm
 		}
-		m.keys[ks.Vkey] = km
+		m.setKey(ks.Vkey, km)
 	}
 	for i, slot := range s.Pkeys {
 		m.pkeys[i] = pkeySlot{vkey: slot.Vkey, used: slot.Used}

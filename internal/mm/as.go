@@ -63,6 +63,17 @@ type AddressSpace struct {
 	shadow   *pagetable.Table
 	tables   []*pagetable.Table // VDS tables, excluding the shadow
 	resolver DomainResolver
+
+	// lastFind memoizes the most recent VMA lookup. Fault storms and
+	// populate loops touch the same area repeatedly, so one containment
+	// check usually replaces a tree descent. The memo stays correct
+	// without explicit invalidation on splits (the containment check
+	// re-reads the live Start/Length); only deletion must forget it.
+	lastFind *VMA
+
+	// frameScratch backs Populate's chunked fast path (one 2 MiB run of
+	// frames at a time); contents are dead between calls.
+	frameScratch [pagetable.PMDSize / pagetable.PageSize]pagetable.Frame
 }
 
 // NewAddressSpace creates an empty address space on the machine.
@@ -103,7 +114,24 @@ func (as *AddressSpace) UnregisterTable(t *pagetable.Table) {
 }
 
 // FindVMA returns the area containing a, or nil.
-func (as *AddressSpace) FindVMA(a pagetable.VAddr) *VMA { return as.vmas.Find(a) }
+func (as *AddressSpace) FindVMA(a pagetable.VAddr) *VMA {
+	if v := as.lastFind; v != nil && v.Contains(a) {
+		return v
+	}
+	v := as.vmas.Find(a)
+	if v != nil {
+		as.lastFind = v
+	}
+	return v
+}
+
+// forget drops the find memo if it points at v (called before v is
+// deleted from the tree).
+func (as *AddressSpace) forget(v *VMA) {
+	if as.lastFind == v {
+		as.lastFind = nil
+	}
+}
 
 // VMAs calls fn for every area in ascending order.
 func (as *AddressSpace) VMAs(fn func(*VMA) bool) { as.vmas.All(fn) }
@@ -169,14 +197,10 @@ func (as *AddressSpace) Munmap(start pagetable.VAddr, length uint64) (SyncReport
 	var rep SyncReport
 	for _, v := range doomed {
 		as.vmas.Delete(v.Start)
+		as.forget(v)
 		rep.add(as.eachTable(func(t *pagetable.Table) SyncReport {
 			t.ResetCounts()
-			n := 0
-			for off := uint64(0); off < v.Length; off += pagetable.PageSize {
-				if t.Unmap(v.Start + pagetable.VAddr(off)) {
-					n++
-				}
-			}
+			n := t.UnmapRange(v.Start, v.Length)
 			return SyncReport{PTEWrites: t.PTEWrites, PMDWrites: t.PMDWrites, PagesTouched: n}
 		}))
 	}
@@ -205,12 +229,7 @@ func (as *AddressSpace) Mprotect(start pagetable.VAddr, length uint64, writable 
 		if !writable { // revocation: eager
 			rep.add(as.eachTable(func(t *pagetable.Table) SyncReport {
 				t.ResetCounts()
-				n := 0
-				for off := uint64(0); off < v.Length; off += pagetable.PageSize {
-					if t.SetWritable(v.Start+pagetable.VAddr(off), false) {
-						n++
-					}
-				}
+				n := t.SetWritableRange(v.Start, v.Length, false)
 				return SyncReport{PTEWrites: t.PTEWrites, PMDWrites: t.PMDWrites, PagesTouched: n}
 			}))
 		}
@@ -281,7 +300,7 @@ func (as *AddressSpace) eachTable(fn func(*pagetable.Table) SyncReport) SyncRepo
 // splitAt splits the VMA spanning a (if any) so that a becomes an area
 // boundary. a must be page-aligned.
 func (as *AddressSpace) splitAt(a pagetable.VAddr) {
-	v := as.vmas.Find(a)
+	v := as.FindVMA(a)
 	if v == nil || v.Start == a {
 		return
 	}
@@ -307,7 +326,7 @@ type FaultFix struct {
 // table authoritative, and fills the faulting VDS table from it (lazy
 // demand paging, §6.2). Access violations return ErrSegfault.
 func (as *AddressSpace) HandleFault(t *pagetable.Table, addr pagetable.VAddr, write bool) (FaultFix, error) {
-	v := as.vmas.Find(addr)
+	v := as.FindVMA(addr)
 	if v == nil {
 		return FaultFix{}, ErrSegfault
 	}
@@ -319,8 +338,10 @@ func (as *AddressSpace) HandleFault(t *pagetable.Table, addr pagetable.VAddr, wr
 
 	shadowWr := as.shadow.Walk(page)
 	var frame pagetable.Frame
+	var shadowPdom pagetable.Pdom
 	if shadowWr.Present {
 		frame = shadowWr.PTE.Frame
+		shadowPdom = shadowWr.PTE.Pdom
 		// Lazily repair a stale write-protect bit left by a permission
 		// upgrade (Mprotect upgrades do not sync eagerly).
 		if v.Writable && !shadowWr.PTE.Writable {
@@ -336,6 +357,7 @@ func (as *AddressSpace) HandleFault(t *pagetable.Table, addr pagetable.VAddr, wr
 		if !ok {
 			pdom = as.resolver.AccessNever()
 		}
+		shadowPdom = pdom
 		as.shadow.Map(page, frame, v.Writable, pdom)
 		fix.PTEWrites += as.shadow.PTEWrites
 	}
@@ -349,25 +371,87 @@ func (as *AddressSpace) HandleFault(t *pagetable.Table, addr pagetable.VAddr, wr
 		fix.PTEWrites += t.PTEWrites
 		fix.Pdom = pdom
 	} else {
-		fix.Pdom = as.shadow.Walk(page).PTE.Pdom
+		// The pdom the just-consulted (or just-installed) shadow PTE
+		// carries; re-walking would return exactly shadowPdom.
+		fix.Pdom = shadowPdom
 	}
 	return fix, nil
 }
 
+// DisableFastPopulate forces Populate onto the page-at-a-time fault loop.
+// It exists so equivalence tests can prove the fused fast path produces
+// byte-identical tables, counters, and frame assignments.
+var DisableFastPopulate bool
+
 // Populate eagerly faults in every page of [start, start+length) in table
 // t, as mmap(MAP_POPULATE) would. It returns the number of fresh frames.
+//
+// The fast path performs exactly the per-page work HandleFault would —
+// the same counter resets, frame allocations, and map calls in the same
+// per-page order — but hoists the VMA lookup and domain resolution out
+// of the page loop (both are invariant across one area: the resolvers
+// are pure lookups and nothing inside the loop can remap a domain) and
+// delegates each 2 MiB run to the fused pagetable chunk operations.
 func (as *AddressSpace) Populate(t *pagetable.Table, start pagetable.VAddr, length uint64) (int, error) {
 	if err := checkRange(start, length); err != nil {
 		return 0, err
 	}
-	fresh := 0
-	for off := uint64(0); off < length; off += pagetable.PageSize {
-		fix, err := as.HandleFault(t, start+pagetable.VAddr(off), false)
-		if err != nil {
-			return fresh, err
+	if DisableFastPopulate {
+		fresh := 0
+		for off := uint64(0); off < length; off += pagetable.PageSize {
+			fix, err := as.HandleFault(t, start+pagetable.VAddr(off), false)
+			if err != nil {
+				return fresh, err
+			}
+			if fix.FreshFrame {
+				fresh++
+			}
 		}
-		if fix.FreshFrame {
-			fresh++
+		return fresh, nil
+	}
+	fresh := 0
+	end := start + pagetable.VAddr(length)
+	// Pre-size the leaf-node arrays for the 2 MiB chunks the run touches;
+	// a capacity hint only, invisible to counters and snapshots.
+	if end > start {
+		chunks := int((uint64((end-1).PMDAlign())-uint64(start.PMDAlign()))/pagetable.PMDSize) + 1
+		as.shadow.Reserve(chunks)
+		if t != as.shadow {
+			t.Reserve(chunks)
+		}
+	}
+	alloc := as.machine.AllocFrames
+	for addr := start; addr < end; {
+		v := as.FindVMA(addr)
+		if v == nil {
+			return fresh, ErrSegfault
+		}
+		chunkEnd := v.End()
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		shadowPdom, ok := as.resolver.PdomFor(as.shadow, v.Tag)
+		if !ok {
+			shadowPdom = as.resolver.AccessNever()
+		}
+		var tPdom pagetable.Pdom
+		if t != as.shadow {
+			if tPdom, ok = as.resolver.PdomFor(t, v.Tag); !ok {
+				tPdom = as.resolver.AccessNever()
+			}
+		}
+		for addr < chunkEnd {
+			runEnd := addr.PMDAlign() + pagetable.PMDSize
+			if runEnd > chunkEnd {
+				runEnd = chunkEnd
+			}
+			pages := int(uint64(runEnd-addr) / pagetable.PageSize)
+			frames := as.frameScratch[:pages]
+			fresh += as.shadow.PopulateChunk(addr, pages, v.Writable, shadowPdom, alloc, frames)
+			if t != as.shadow {
+				t.MapChunk(addr, frames, v.Writable, tPdom)
+			}
+			addr = runEnd
 		}
 	}
 	return fresh, nil
@@ -375,9 +459,17 @@ func (as *AddressSpace) Populate(t *pagetable.Table, start pagetable.VAddr, leng
 
 func checkRange(start pagetable.VAddr, length uint64) error {
 	if uint64(start)%pagetable.PageSize != 0 || length%pagetable.PageSize != 0 || length == 0 {
-		return fmt.Errorf("%w [%#x, +%#x): must be page-aligned and non-empty", ErrBadRange, uint64(start), length)
+		return badRangeErr(start, length)
 	}
 	return nil
+}
+
+// badRangeErr keeps the cold error construction out of checkRange's
+// inline budget, so the aligned fast path stays branch-and-return.
+//
+//go:noinline
+func badRangeErr(start pagetable.VAddr, length uint64) error {
+	return fmt.Errorf("%w [%#x, +%#x): must be page-aligned and non-empty", ErrBadRange, uint64(start), length)
 }
 
 // Reclaim emulates kswapd pressure: it unmaps up to max present pages

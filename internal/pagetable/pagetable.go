@@ -6,6 +6,23 @@
 // The package is purely structural: operations return *counts* of PTE/PMD
 // writes and walk depths; charging cycles for them is the caller's job
 // (internal/hw and internal/kernel), keeping the cost model in one place.
+//
+// # Representation
+//
+// The radix levels are stored as index-addressed node arrays rather than
+// pointer-linked tables: every directory entry is an int32 index+1 into a
+// per-level node slice (0 means absent). The layout is pointer-free, so
+// the garbage collector never scans a table, installing an entry needs no
+// write barrier, and a walk is three array indexations. Nodes are never
+// freed — matching real hardware, where an unmapped-but-materialized page
+// table still adds a walk level — so indices stay stable for a table's
+// lifetime.
+//
+// Range operations (RetagRange, EvictRange, RemapRange, UnmapRange,
+// SetWritableRange) descend the radix once per leaf table instead of once
+// per page, but keep counter and generation accounting identical to the
+// equivalent per-page loop; DisableFastRange forces the per-page loop so
+// tests can prove the equivalence byte-for-byte.
 package pagetable
 
 import "fmt"
@@ -28,6 +45,14 @@ const (
 	// AddrBits is the number of meaningful virtual-address bits.
 	AddrBits = PageShift + 9*Levels
 )
+
+// DisableFastRange forces every range operation through the per-page
+// slow path (one full radix descent per page, exactly the loops the
+// batched fast paths replace). It exists for equivalence testing only:
+// transparency tests run the same seeded experiment with the flag on and
+// off and require byte-identical output. Set it only from test setup,
+// never while simulations run.
+var DisableFastRange bool
 
 // VAddr is a virtual address in the simulated machine.
 type VAddr uint64
@@ -66,25 +91,93 @@ func indices(a VAddr) (i3, i2, i1, i0 int) {
 	return
 }
 
-type ptTable struct {
-	ptes    [EntriesPerTable]PTE
-	present int
+// pudNode is one page-upper-directory: 512 pmd references.
+type pudNode struct {
+	pmds [EntriesPerTable]int32 // index+1 into Table.pmds; 0 = absent
 }
 
-type pmdTable struct {
-	pts [EntriesPerTable]*ptTable
+// pmdNode is one page-middle-directory: 512 leaf-table references plus
+// the per-entry disabled bitmap of VDom's §5.5 eviction fast path.
+type pmdNode struct {
+	pts [EntriesPerTable]int32 // index+1 into Table.pts; 0 = absent
 	// disabled marks PMD entries VDom has made access-never without
 	// touching the 512 PTEs underneath (§5.5 page-table optimization).
-	disabled [EntriesPerTable]bool
+	disabled [EntriesPerTable / 64]uint64
 }
 
-type pudTable struct {
-	pmds [EntriesPerTable]*pmdTable
+func (p *pmdNode) isDisabled(i1 int) bool {
+	return p.disabled[i1>>6]&(1<<(uint(i1)&63)) != 0
 }
 
-// Table is one address space's page table, rooted at a pgd.
+func (p *pmdNode) setDisabled(i1 int, v bool) {
+	if v {
+		p.disabled[i1>>6] |= 1 << (uint(i1) & 63)
+	} else {
+		p.disabled[i1>>6] &^= 1 << (uint(i1) & 63)
+	}
+}
+
+// ptNode is one leaf page table. Entries are stored packed (one machine
+// word each, see packedPTE) so a leaf costs 4 KiB instead of 8: half the
+// zeroing when nodes materialize and half the bytes the allocator and
+// copier move as tables grow.
+type ptNode struct {
+	ptes    [EntriesPerTable]packedPTE
+	present int32
+}
+
+// packedPTE is the in-node encoding of a PTE: bit 0 present, bit 1
+// writable, bits 2..9 the pdom, bits 10..63 the frame number. The zero
+// value is the absent entry, exactly like the zero PTE.
+type packedPTE uint64
+
+const (
+	pteP        packedPTE = 1 << 0
+	pteW        packedPTE = 1 << 1
+	ptePdomMask packedPTE = 0xff << 2
+)
+
+// setWritable flips the packed writable bit.
+func (p *packedPTE) setWritable(w bool) {
+	if w {
+		*p |= pteW
+	} else {
+		*p &^= pteW
+	}
+}
+
+// packPTE encodes e into its storage form.
+func packPTE(e PTE) packedPTE {
+	v := packedPTE(e.Frame)<<10 | packedPTE(e.Pdom)<<2
+	if e.Present {
+		v |= pteP
+	}
+	if e.Writable {
+		v |= pteW
+	}
+	return v
+}
+
+// unpack decodes the storage form back into the public PTE view.
+func (p packedPTE) unpack() PTE {
+	return PTE{
+		Frame:    Frame(p >> 10),
+		Present:  p&pteP != 0,
+		Writable: p&pteW != 0,
+		Pdom:     Pdom(p >> 2),
+	}
+}
+
+// Table is one address space's page table, rooted at a pgd. The radix is
+// index-addressed: pgd/pud/pmd entries hold int32 indices (offset by one,
+// zero meaning absent) into the node slices, so the whole structure is
+// pointer-free and walks touch only dense arrays.
 type Table struct {
-	pgd     [EntriesPerTable]*pudTable
+	pgd  [EntriesPerTable]int32 // index+1 into puds; 0 = absent
+	puds []pudNode
+	pmds []pmdNode
+	pts  []ptNode
+
 	present int
 
 	// PTEWrites and PMDWrites count structural updates since the last
@@ -102,6 +195,16 @@ type Table struct {
 	// on them). Translation caches key their validity on it: a cached
 	// Walk result is reusable iff the table's generation is unchanged.
 	gen uint64
+
+	// curCoord/curPT/curPMD memoize the leaf resolved by the last
+	// ensurePT so dense same-2MiB mutation runs (populate, retag) skip
+	// the radix descent. curPT == 0 means no memo. Links from pmd to pt
+	// are never severed (Unmap keeps the skeleton), and every caller
+	// rechecks the disabled bit through the returned pmd, so the memo
+	// needs no invalidation; LoadState's full reset clears it.
+	curCoord uint64
+	curPT    int32
+	curPMD   int32
 }
 
 // Gen returns the table's mutation generation. It changes whenever any
@@ -149,49 +252,135 @@ type WalkResult struct {
 
 // Walk performs a page-table walk for the address.
 func (t *Table) Walk(a VAddr) WalkResult {
-	i3, i2, i1, i0 := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
+	v := uint64(a)
+	pi := t.pgd[v>>39&0x1ff]
+	if pi == 0 {
 		return WalkResult{LevelsVisited: 1}
 	}
-	pmd := pud.pmds[i2]
-	if pmd == nil {
+	mi := t.puds[pi-1].pmds[v>>30&0x1ff]
+	if mi == 0 {
 		return WalkResult{LevelsVisited: 2}
 	}
-	if pmd.disabled[i1] {
+	pmd := &t.pmds[mi-1]
+	i1 := int(v >> 21 & 0x1ff)
+	if pmd.isDisabled(i1) {
 		return WalkResult{LevelsVisited: 3, PMDDisabled: true}
 	}
-	pt := pmd.pts[i1]
-	if pt == nil {
+	ti := pmd.pts[i1]
+	if ti == 0 {
 		return WalkResult{LevelsVisited: 3}
 	}
-	pte := pt.ptes[i0]
-	return WalkResult{PTE: pte, Present: pte.Present, LevelsVisited: 4}
+	pte := t.pts[ti-1].ptes[v>>12&0x1ff]
+	return WalkResult{PTE: pte.unpack(), Present: pte&pteP != 0, LevelsVisited: 4}
+}
+
+// pmdOf resolves the pmd node covering a, or nil.
+func (t *Table) pmdOf(a VAddr) *pmdNode {
+	v := uint64(a)
+	pi := t.pgd[v>>39&0x1ff]
+	if pi == 0 {
+		return nil
+	}
+	mi := t.puds[pi-1].pmds[v>>30&0x1ff]
+	if mi == 0 {
+		return nil
+	}
+	return &t.pmds[mi-1]
+}
+
+// ptOf resolves the leaf page table covering a, or nil.
+func (t *Table) ptOf(a VAddr) *ptNode {
+	pmd := t.pmdOf(a)
+	if pmd == nil {
+		return nil
+	}
+	ti := pmd.pts[uint64(a)>>21&0x1ff]
+	if ti == 0 {
+		return nil
+	}
+	return &t.pts[ti-1]
+}
+
+// appendNode appends one zero node to a directory-node array, growing the
+// backing array fourfold when full. Nodes are ~4 KiB each, so the default
+// doubling-one-at-a-time policy spends a surprising share of
+// table-construction time in growslice copies; a steeper curve trades a
+// little slack for far fewer moves. Within capacity it extends the length
+// without writing: nodes are only ever appended, never removed (LoadState
+// replaces the arrays wholesale), so the slack beyond len is still the
+// pristine zero memory the allocator handed out. Callers must not hold
+// node pointers across a call — indices stay stable, pointers do not.
+func appendNode[N any](nodes []N) []N {
+	if len(nodes) == cap(nodes) {
+		c := cap(nodes) * 4
+		if c == 0 {
+			c = 1
+		}
+		grown := make([]N, len(nodes), c)
+		copy(grown, nodes)
+		nodes = grown
+	}
+	return nodes[: len(nodes)+1 : cap(nodes)]
+}
+
+// Reserve grows the leaf page-table node array's capacity so that the
+// next n installs allocate nothing. It is a host-side hint with no
+// architectural effect: no entry is written, no counter moves, and a
+// snapshot of the table is unchanged. Bulk-populate paths that know how
+// many 2 MiB chunks they are about to touch use it to replace the growth
+// curve's repeated allocate-and-copy with one exact allocation.
+func (t *Table) Reserve(n int) {
+	if cap(t.pts)-len(t.pts) >= n {
+		return
+	}
+	c := len(t.pts) + n
+	if q := cap(t.pts) * 4; q > c {
+		// Keep the geometric curve: repeated small reservations on a
+		// growing table must not degrade to one copy per call.
+		c = q
+	}
+	grown := make([]ptNode, len(t.pts), c)
+	copy(grown, t.pts)
+	t.pts = grown
 }
 
 // ensurePT materializes the path to the page table covering a and returns
-// it together with the owning pmd table and the pmd index.
-func (t *Table) ensurePT(a VAddr) (*ptTable, *pmdTable, int) {
+// it together with the owning pmd node and the pmd index. Each directory
+// install counts one PTE write, as before the flattening.
+func (t *Table) ensurePT(a VAddr) (*ptNode, *pmdNode, int) {
 	i3, i2, i1, _ := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
-		pud = &pudTable{}
-		t.pgd[i3] = pud
+	if coord := uint64(a) >> PMDShift; t.curPT != 0 && t.curCoord == coord {
+		return &t.pts[t.curPT-1], &t.pmds[t.curPMD-1], i1
+	}
+	pi := t.pgd[i3]
+	if pi == 0 {
+		t.puds = appendNode(t.puds)
+		pi = int32(len(t.puds))
+		t.pgd[i3] = pi
 		t.PTEWrites++ // directory entry install
 	}
-	pmd := pud.pmds[i2]
-	if pmd == nil {
-		pmd = &pmdTable{}
-		pud.pmds[i2] = pmd
+	mi := t.puds[pi-1].pmds[i2]
+	if mi == 0 {
+		t.pmds = appendNode(t.pmds)
+		mi = int32(len(t.pmds))
+		t.puds[pi-1].pmds[i2] = mi
 		t.PTEWrites++
 	}
-	pt := pmd.pts[i1]
-	if pt == nil {
-		pt = &ptTable{}
-		pmd.pts[i1] = pt
+	pmd := &t.pmds[mi-1]
+	ti := pmd.pts[i1]
+	if ti == 0 {
+		t.pts = appendNode(t.pts)
+		ti = int32(len(t.pts))
+		// Appending to t.pts may move the backing array; re-resolve the
+		// pmd through its index, which is stable.
+		pmd = &t.pmds[mi-1]
+		pmd.pts[i1] = ti
 		t.PTEWrites++
 	}
-	return pt, pmd, i1
+	t.curCoord = uint64(a) >> PMDShift
+	t.curPT = ti
+	t.curPMD = mi
+	return &t.pts[ti-1], pmd, i1
 }
 
 // Map installs a translation for the page containing a. Mapping a page
@@ -200,40 +389,33 @@ func (t *Table) ensurePT(a VAddr) (*ptTable, *pmdTable, int) {
 func (t *Table) Map(a VAddr, f Frame, writable bool, d Pdom) {
 	t.gen++
 	pt, pmd, i1 := t.ensurePT(a)
-	if pmd.disabled[i1] {
-		pmd.disabled[i1] = false
+	if pmd.isDisabled(i1) {
+		pmd.setDisabled(i1, false)
 		t.PMDWrites++
 	}
-	_, _, _, i0 := indices(a)
-	if !pt.ptes[i0].Present {
+	i0 := int(uint64(a) >> 12 & 0x1ff)
+	if pt.ptes[i0]&pteP == 0 {
 		pt.present++
 		t.present++
 	}
-	pt.ptes[i0] = PTE{Frame: f, Present: true, Writable: writable, Pdom: d}
+	pt.ptes[i0] = packPTE(PTE{Frame: f, Present: true, Writable: writable, Pdom: d})
 	t.PTEWrites++
 }
 
 // Unmap removes the translation for the page containing a. It reports
-// whether a present mapping existed.
+// whether a present mapping existed. Unlike Walk, Unmap reaches PTEs under
+// a disabled PMD entry (revocation must not be maskable by an eviction).
 func (t *Table) Unmap(a VAddr) bool {
 	t.gen++
-	i3, i2, i1, i0 := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
-		return false
-	}
-	pmd := pud.pmds[i2]
-	if pmd == nil {
-		return false
-	}
-	pt := pmd.pts[i1]
+	pt := t.ptOf(a)
 	if pt == nil {
 		return false
 	}
-	if !pt.ptes[i0].Present {
+	i0 := int(uint64(a) >> 12 & 0x1ff)
+	if pt.ptes[i0]&pteP == 0 {
 		return false
 	}
-	pt.ptes[i0] = PTE{}
+	pt.ptes[i0] = 0
 	pt.present--
 	t.present--
 	t.PTEWrites++
@@ -245,37 +427,39 @@ func (t *Table) Unmap(a VAddr) bool {
 // the PMD entry.
 func (t *Table) SetPdom(a VAddr, d Pdom) bool {
 	t.gen++
-	i3, i2, i1, i0 := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
-		return false
-	}
-	pmd := pud.pmds[i2]
+	pmd := t.pmdOf(a)
 	if pmd == nil {
 		return false
 	}
-	pt := pmd.pts[i1]
-	if pt == nil || !pt.ptes[i0].Present {
+	i1 := int(uint64(a) >> 21 & 0x1ff)
+	ti := pmd.pts[i1]
+	if ti == 0 {
 		return false
 	}
-	if pmd.disabled[i1] {
-		pmd.disabled[i1] = false
+	pt := &t.pts[ti-1]
+	i0 := int(uint64(a) >> 12 & 0x1ff)
+	if pt.ptes[i0]&pteP == 0 {
+		return false
+	}
+	if pmd.isDisabled(i1) {
+		pmd.setDisabled(i1, false)
 		t.PMDWrites++
 	}
-	pt.ptes[i0].Pdom = d
+	pt.ptes[i0] = pt.ptes[i0]&^ptePdomMask | packedPTE(d)<<2
 	t.PTEWrites++
 	return true
 }
 
-// SetWritable flips the writable bit of the page containing a.
+// SetWritable flips the writable bit of the page containing a. A page
+// whose PMD entry is disabled walks as not-present and is left untouched.
 func (t *Table) SetWritable(a VAddr, w bool) bool {
 	t.gen++
 	wr := t.Walk(a)
 	if !wr.Present {
 		return false
 	}
-	i3, i2, i1, i0 := indices(a)
-	t.pgd[i3].pmds[i2].pts[i1].ptes[i0].Writable = w
+	pt := t.ptOf(a)
+	pt.ptes[uint64(a)>>12&0x1ff].setWritable(w)
 	t.PTEWrites++
 	return true
 }
@@ -284,16 +468,12 @@ func (t *Table) SetWritable(a VAddr, w bool) bool {
 // touching its PTEs. It reports whether the entry existed and was enabled.
 func (t *Table) DisablePMD(a VAddr) bool {
 	t.gen++
-	i3, i2, i1, _ := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
+	pmd := t.pmdOf(a)
+	i1 := int(uint64(a) >> 21 & 0x1ff)
+	if pmd == nil || pmd.pts[i1] == 0 || pmd.isDisabled(i1) {
 		return false
 	}
-	pmd := pud.pmds[i2]
-	if pmd == nil || pmd.pts[i1] == nil || pmd.disabled[i1] {
-		return false
-	}
-	pmd.disabled[i1] = true
+	pmd.setDisabled(i1, true)
 	t.PMDWrites++
 	return true
 }
@@ -301,38 +481,391 @@ func (t *Table) DisablePMD(a VAddr) bool {
 // EnablePMD clears the disabled mark on the PMD entry covering a.
 func (t *Table) EnablePMD(a VAddr) bool {
 	t.gen++
-	i3, i2, i1, _ := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
+	pmd := t.pmdOf(a)
+	i1 := int(uint64(a) >> 21 & 0x1ff)
+	if pmd == nil || !pmd.isDisabled(i1) {
 		return false
 	}
-	pmd := pud.pmds[i2]
-	if pmd == nil || !pmd.disabled[i1] {
-		return false
-	}
-	pmd.disabled[i1] = false
+	pmd.setDisabled(i1, false)
 	t.PMDWrites++
 	return true
 }
 
 // PMDDisabled reports whether the PMD entry covering a is disabled.
 func (t *Table) PMDDisabled(a VAddr) bool {
-	i3, i2, i1, _ := indices(a)
-	pud := t.pgd[i3]
-	if pud == nil {
-		return false
-	}
-	pmd := pud.pmds[i2]
-	return pmd != nil && pmd.disabled[i1]
+	pmd := t.pmdOf(a)
+	return pmd != nil && pmd.isDisabled(int(uint64(a)>>21&0x1ff))
 }
 
 // RetagRange retags every present page in [start, start+length) with d and
 // returns the number of pages retagged. length must be page-aligned.
+//
+// The fast path descends the radix once per 2 MiB leaf instead of once per
+// page; its counter and generation accounting is exactly that of the
+// per-page loop (one generation bump per page scanned, one PTE write per
+// present page, one PMD write when the first present page under a disabled
+// PMD entry re-enables it).
 func (t *Table) RetagRange(start VAddr, length uint64, d Pdom) int {
 	checkAligned(start, length)
+	if DisableFastRange {
+		n := 0
+		for off := uint64(0); off < length; off += PageSize {
+			if t.SetPdom(start+VAddr(off), d) {
+				n++
+			}
+		}
+		return n
+	}
 	n := 0
-	for off := uint64(0); off < length; off += PageSize {
-		if t.SetPdom(start+VAddr(off), d) {
+	end := start + VAddr(length)
+	for a := start; a < end; {
+		chunk := a.PMDAlign() + PMDSize
+		if chunk > end {
+			chunk = end
+		}
+		pages := uint64(chunk-a) / PageSize
+		t.gen += pages // one SetPdom call per page in the slow path
+		pmd := t.pmdOf(a)
+		if pmd == nil {
+			a = chunk
+			continue
+		}
+		i1 := int(uint64(a) >> 21 & 0x1ff)
+		ti := pmd.pts[i1]
+		if ti == 0 {
+			a = chunk
+			continue
+		}
+		pt := &t.pts[ti-1]
+		i0 := int(uint64(a) >> 12 & 0x1ff)
+		disabled := pmd.isDisabled(i1) // loop-invariant until first present page
+		pp := pt.ptes[i0 : i0+int(pages)]
+		cnt := 0
+		tag := packedPTE(d) << 2
+		for j := range pp {
+			if pp[j]&pteP == 0 {
+				continue
+			}
+			if disabled {
+				pmd.setDisabled(i1, false)
+				t.PMDWrites++
+				disabled = false
+			}
+			pp[j] = pp[j]&^ptePdomMask | tag
+			cnt++
+		}
+		t.PTEWrites += uint64(cnt)
+		n += cnt
+		a = chunk
+	}
+	return n
+}
+
+// PopulateChunk eagerly maps every non-present page of the aligned run
+// [a, a+pages*PageSize), which must not cross a 2 MiB boundary. Fresh
+// frames come from a single alloc(n) call — frames for absent pages are
+// assigned in ascending page order, exactly as one allocation per fault
+// would. frames[i] receives the frame backing page i afterwards, present
+// pages included. writable pages whose PTE carries a stale write-protect
+// bit are repaired in place. It returns the number of pages freshly
+// mapped.
+//
+// The operation is the fused equivalent of the demand-fault loop: for
+// each page it performs exactly the counter-reset, map, and repair
+// sequence HandleFault would, so generations, write counters (current
+// and cumulative), and frame assignment are bit-identical to pages
+// faulted one at a time. The per-page counter windows are tracked in
+// locals (curP/curM are the live window, retP/retM the windows already
+// retired by later pages' resets) and written back once at the end;
+// nothing can observe the table mid-operation, so only the final counter
+// state matters.
+func (t *Table) PopulateChunk(a VAddr, pages int, writable bool, d Pdom, alloc func(n int) Frame, frames []Frame) int {
+	i1 := int(uint64(a) >> 21 & 0x1ff)
+	i0 := int(uint64(a) >> 12 & 0x1ff)
+	pmd := t.pmdOf(a)
+	var pt *ptNode
+	disabled := false
+	if pmd != nil {
+		disabled = pmd.isDisabled(i1)
+		if ti := pmd.pts[i1]; ti != 0 {
+			pt = &t.pts[ti-1]
+		}
+	}
+	// Count the pages that will fault fresh frames, then allocate them in
+	// one call. A disabled PMD entry makes the first page remap fresh
+	// regardless of its PTE (it walks as not-present); the pages after it
+	// see the entry re-enabled.
+	fresh := 0
+	switch {
+	case pt == nil:
+		fresh = pages
+	case disabled:
+		fresh = 1
+		for j := 1; j < pages; j++ {
+			if pt.ptes[i0+j]&pteP == 0 {
+				fresh++
+			}
+		}
+	default:
+		for j := 0; j < pages; j++ {
+			if pt.ptes[i0+j]&pteP == 0 {
+				fresh++
+			}
+		}
+	}
+	var next Frame
+	if fresh > 0 {
+		next = alloc(fresh)
+	}
+	tmpl := packPTE(PTE{Present: true, Writable: writable, Pdom: d})
+	if pt == nil && pages > 0 {
+		// Whole chunk faults fresh pages into a just-materialized page
+		// table — the dominant case when populating new areas. The
+		// counter evolution is deterministic here, so compute it in
+		// closed form and reduce the loop to pure PTE stores: page 0's
+		// window holds the directory installs and its own write; every
+		// later page's reset retires exactly one write.
+		retP, retM := t.PTEWrites, t.PMDWrites // pre-op window, retired by page 0's reset
+		t.PTEWrites, t.PMDWrites = 0, 0
+		pt, pmd, _ = t.ensurePT(a)
+		e := t.PTEWrites // directory installs charged by ensurePT
+		var m uint64
+		if pmd.isDisabled(i1) {
+			pmd.setDisabled(i1, false)
+			m = 1
+		}
+		v := tmpl | packedPTE(next)<<10
+		pp := pt.ptes[i0 : i0+pages]
+		for j := range pp {
+			pp[j] = v
+			v += 1 << 10
+			frames[j] = next
+			next++
+		}
+		if pages == 1 {
+			t.PTEWrites, t.PMDWrites = e+1, m
+		} else {
+			t.PTEWrites, t.PMDWrites = 1, 0
+			retP += e + uint64(pages-1)
+			retM += m
+		}
+		t.retiredPTE += retP
+		t.retiredPMD += retM
+		t.gen += uint64(pages)
+		pt.present += int32(pages)
+		t.present += pages
+		return fresh
+	}
+	curP, curM := t.PTEWrites, t.PMDWrites
+	var retP, retM, gen uint64
+	newPresent := 0
+	for j := 0; j < pages; j++ {
+		if pt != nil && !disabled {
+			if pte := &pt.ptes[i0+j]; *pte&pteP != 0 {
+				frames[j] = Frame(*pte >> 10)
+				if writable && *pte&pteW == 0 {
+					// SetWritable, inlined: reset, bump, repair.
+					retP += curP
+					retM += curM
+					curM = 0
+					gen++
+					*pte |= pteW
+					curP = 1
+				}
+				continue
+			}
+		}
+		// Absent (or shadowed by a disabled PMD entry): map the next
+		// fresh frame, exactly as a ResetCounts+Map pair would — the
+		// leaf page table materializes inside the first absent page's
+		// counter window, where Map's ensurePT would charge it.
+		frames[j] = next
+		retP += curP
+		retM += curM
+		curP, curM = 0, 0
+		gen++
+		if pt == nil {
+			// ensurePT charges directory installs to the table's live
+			// counters; sync the local window across the call.
+			t.PTEWrites, t.PMDWrites = curP, curM
+			pt, pmd, _ = t.ensurePT(a)
+			curP, curM = t.PTEWrites, t.PMDWrites
+			disabled = pmd.isDisabled(i1)
+		}
+		if disabled {
+			pmd.setDisabled(i1, false)
+			curM++
+			disabled = false
+		}
+		pte := &pt.ptes[i0+j]
+		if *pte&pteP == 0 {
+			newPresent++
+		}
+		*pte = tmpl | packedPTE(next)<<10
+		next++
+		curP++
+	}
+	t.PTEWrites, t.PMDWrites = curP, curM
+	t.retiredPTE += retP
+	t.retiredPMD += retM
+	t.gen += gen
+	if newPresent != 0 {
+		pt.present += int32(newPresent)
+		t.present += newPresent
+	}
+	return fresh
+}
+
+// MapChunk installs frames[j] for every page of the aligned run
+// [a, a+len(frames)*PageSize), which must not cross a 2 MiB boundary. It
+// is the fused equivalent of a ResetCounts+Map call per page, with
+// identical generation and counter accounting: directory nodes (and any
+// PMD re-enable) are charged inside the first page's window, where Map
+// would put them, and each later page's reset retires exactly one PTE
+// write — a deterministic evolution the method applies in closed form
+// around a pure store loop.
+func (t *Table) MapChunk(a VAddr, frames []Frame, writable bool, d Pdom) {
+	n := len(frames)
+	if n == 0 {
+		return
+	}
+	i1 := int(uint64(a) >> 21 & 0x1ff)
+	i0 := int(uint64(a) >> 12 & 0x1ff)
+	hadPT := false
+	if pmd := t.pmdOf(a); pmd != nil && pmd.pts[i1] != 0 {
+		hadPT = true
+	}
+	retP, retM := t.PTEWrites, t.PMDWrites // pre-op window, retired by page 0's reset
+	t.PTEWrites, t.PMDWrites = 0, 0
+	pt, pmd, _ := t.ensurePT(a)
+	e := t.PTEWrites // directory installs charged by ensurePT
+	var m uint64
+	if pmd.isDisabled(i1) {
+		pmd.setDisabled(i1, false)
+		m = 1
+	}
+	tmpl := packPTE(PTE{Present: true, Writable: writable, Pdom: d})
+	pp := pt.ptes[i0 : i0+n]
+	newPresent := 0
+	if !hadPT {
+		// Freshly materialized page table: every entry is absent.
+		for j := range pp {
+			pp[j] = tmpl | packedPTE(frames[j])<<10
+		}
+		newPresent = n
+	} else {
+		for j := range pp {
+			if pp[j]&pteP == 0 {
+				newPresent++
+			}
+			pp[j] = tmpl | packedPTE(frames[j])<<10
+		}
+	}
+	if n == 1 {
+		t.PTEWrites, t.PMDWrites = e+1, m
+	} else {
+		t.PTEWrites, t.PMDWrites = 1, 0
+		retP += e + uint64(n-1)
+		retM += m
+	}
+	t.retiredPTE += retP
+	t.retiredPMD += retM
+	t.gen += uint64(n)
+	pt.present += int32(newPresent)
+	t.present += newPresent
+}
+
+// UnmapRange removes every present translation in [start, start+length)
+// and returns the number of pages unmapped. length must be page-aligned.
+// Equivalent to calling Unmap on each page (PTEs under disabled PMD
+// entries are unmapped too), with one radix descent per leaf.
+func (t *Table) UnmapRange(start VAddr, length uint64) int {
+	checkAligned(start, length)
+	if DisableFastRange {
+		n := 0
+		for off := uint64(0); off < length; off += PageSize {
+			if t.Unmap(start + VAddr(off)) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	end := start + VAddr(length)
+	for a := start; a < end; {
+		chunk := a.PMDAlign() + PMDSize
+		if chunk > end {
+			chunk = end
+		}
+		pages := uint64(chunk-a) / PageSize
+		t.gen += pages
+		pt := t.ptOf(a)
+		if pt == nil {
+			a = chunk
+			continue
+		}
+		i0 := int(uint64(a) >> 12 & 0x1ff)
+		for ; a < chunk; a, i0 = a+PageSize, i0+1 {
+			if pt.ptes[i0]&pteP == 0 {
+				continue
+			}
+			pt.ptes[i0] = 0
+			pt.present--
+			t.present--
+			t.PTEWrites++
+			n++
+		}
+	}
+	return n
+}
+
+// SetWritableRange flips the writable bit of every present page in
+// [start, start+length) and returns the number of pages updated. length
+// must be page-aligned. Equivalent to calling SetWritable on each page:
+// pages under a disabled PMD entry walk as not-present and are skipped.
+func (t *Table) SetWritableRange(start VAddr, length uint64, w bool) int {
+	checkAligned(start, length)
+	if DisableFastRange {
+		n := 0
+		for off := uint64(0); off < length; off += PageSize {
+			if t.SetWritable(start+VAddr(off), w) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	end := start + VAddr(length)
+	for a := start; a < end; {
+		chunk := a.PMDAlign() + PMDSize
+		if chunk > end {
+			chunk = end
+		}
+		pages := uint64(chunk-a) / PageSize
+		t.gen += pages
+		pmd := t.pmdOf(a)
+		if pmd == nil {
+			a = chunk
+			continue
+		}
+		i1 := int(uint64(a) >> 21 & 0x1ff)
+		if pmd.isDisabled(i1) { // walks as not-present: skipped
+			a = chunk
+			continue
+		}
+		ti := pmd.pts[i1]
+		if ti == 0 {
+			a = chunk
+			continue
+		}
+		pt := &t.pts[ti-1]
+		i0 := int(uint64(a) >> 12 & 0x1ff)
+		for ; a < chunk; a, i0 = a+PageSize, i0+1 {
+			if pt.ptes[i0]&pteP == 0 {
+				continue
+			}
+			pt.ptes[i0].setWritable(w)
+			t.PTEWrites++
 			n++
 		}
 	}
@@ -359,10 +892,14 @@ func (t *Table) EvictRange(start VAddr, length uint64, accessNever Pdom) (pmds, 
 			a += PMDSize
 			continue
 		}
-		if t.SetPdom(a, accessNever) {
-			ptes++
+		// Partial chunk: per-PTE retag up to the next 2 MiB boundary or
+		// the end of the range.
+		chunk := a.PMDAlign() + PMDSize
+		if chunk > end {
+			chunk = end
 		}
-		a += PageSize
+		ptes += t.RetagRange(a, uint64(chunk-a), accessNever)
+		a = chunk
 	}
 	return pmds, ptes
 }
@@ -384,10 +921,12 @@ func (t *Table) RemapRange(start VAddr, length uint64, d Pdom) (pmds, ptes int) 
 			a += PMDSize
 			continue
 		}
-		if t.SetPdom(a, d) {
-			ptes++
+		chunk := a.PMDAlign() + PMDSize
+		if chunk > end {
+			chunk = end
 		}
-		a += PageSize
+		ptes += t.RetagRange(a, uint64(chunk-a), d)
+		a = chunk
 	}
 	return pmds, ptes
 }
@@ -395,25 +934,28 @@ func (t *Table) RemapRange(start VAddr, length uint64, d Pdom) (pmds, ptes int) 
 // Pages calls fn for every present PTE, in ascending address order. fn may
 // not mutate the table.
 func (t *Table) Pages(fn func(a VAddr, pte PTE)) {
-	for i3, pud := range t.pgd {
-		if pud == nil {
+	for i3, pi := range t.pgd {
+		if pi == 0 {
 			continue
 		}
-		for i2, pmd := range pud.pmds {
-			if pmd == nil {
+		pud := &t.puds[pi-1]
+		for i2, mi := range pud.pmds {
+			if mi == 0 {
 				continue
 			}
-			for i1, pt := range pmd.pts {
-				if pt == nil || pt.present == 0 {
+			pmd := &t.pmds[mi-1]
+			for i1, ti := range pmd.pts {
+				if ti == 0 || t.pts[ti-1].present == 0 {
 					continue
 				}
-				for i0, pte := range pt.ptes {
-					if !pte.Present {
+				pt := &t.pts[ti-1]
+				for i0 := range pt.ptes {
+					if pt.ptes[i0]&pteP == 0 {
 						continue
 					}
 					a := VAddr(uint64(i3)<<39 | uint64(i2)<<30 |
 						uint64(i1)<<21 | uint64(i0)<<12)
-					fn(a, pte)
+					fn(a, pt.ptes[i0].unpack())
 				}
 			}
 		}
@@ -422,6 +964,14 @@ func (t *Table) Pages(fn func(a VAddr, pte PTE)) {
 
 func checkAligned(start VAddr, length uint64) {
 	if uint64(start)%PageSize != 0 || length%PageSize != 0 {
-		panic(fmt.Sprintf("pagetable: unaligned range [%#x, +%#x)", uint64(start), length))
+		panicUnaligned(start, length)
 	}
+}
+
+// panicUnaligned keeps the cold panic construction out of the aligned-path
+// inline budget of checkAligned's callers.
+//
+//go:noinline
+func panicUnaligned(start VAddr, length uint64) {
+	panic(fmt.Sprintf("pagetable: unaligned range [%#x, +%#x)", uint64(start), length))
 }

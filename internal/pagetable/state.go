@@ -42,29 +42,32 @@ func (t *Table) State() TableState {
 		RetiredPMD: t.retiredPMD,
 		Gen:        t.gen,
 	}
-	for i3, pud := range t.pgd {
-		if pud == nil {
+	for i3, pi := range t.pgd {
+		if pi == 0 {
 			continue
 		}
-		for i2, pmd := range pud.pmds {
-			if pmd == nil {
+		pud := &t.puds[pi-1]
+		for i2, mi := range pud.pmds {
+			if mi == 0 {
 				continue
 			}
-			for i1, pt := range pmd.pts {
+			pmd := &t.pmds[mi-1]
+			for i1, ti := range pmd.pts {
 				coord := uint64(i3)<<18 | uint64(i2)<<9 | uint64(i1)
-				if pmd.disabled[i1] {
+				if pmd.isDisabled(i1) {
 					st.DisabledPMDs = append(st.DisabledPMDs, coord)
 				}
-				if pt == nil {
+				if ti == 0 {
 					continue
 				}
 				st.PTs = append(st.PTs, coord)
-				for i0, pte := range pt.ptes {
-					if !pte.Present {
+				pt := &t.pts[ti-1]
+				for i0 := range pt.ptes {
+					if pt.ptes[i0]&pteP == 0 {
 						continue
 					}
 					a := coord<<PMDShift | uint64(i0)<<PageShift
-					st.Pages = append(st.Pages, PageState{Addr: a, PTE: pte})
+					st.Pages = append(st.Pages, PageState{Addr: a, PTE: pt.ptes[i0].unpack()})
 				}
 			}
 		}
@@ -82,12 +85,12 @@ func (t *Table) LoadState(st TableState) {
 	}
 	for _, coord := range st.DisabledPMDs {
 		pmd := t.materializePMD(coord)
-		pmd.disabled[coord&0x1ff] = true
+		pmd.setDisabled(int(coord&0x1ff), true)
 	}
 	for _, pg := range st.Pages {
-		i3, i2, i1, i0 := indices(VAddr(pg.Addr))
-		pt := t.pgd[i3].pmds[i2].pts[i1]
-		pt.ptes[i0] = pg.PTE
+		pt := t.ptOf(VAddr(pg.Addr))
+		i0 := int(pg.Addr >> 12 & 0x1ff)
+		pt.ptes[i0] = packPTE(pg.PTE)
 		pt.present++
 		t.present++
 	}
@@ -98,18 +101,24 @@ func (t *Table) LoadState(st TableState) {
 	t.gen = st.Gen
 }
 
-// materializePMD ensures the pud/pmd path for a pt coordinate exists.
-func (t *Table) materializePMD(coord uint64) *pmdTable {
+// materializePMD ensures the pud/pmd path for a pt coordinate exists and
+// returns the pmd node, without touching any counter.
+func (t *Table) materializePMD(coord uint64) *pmdNode {
 	i3 := int(coord >> 18 & 0x1ff)
 	i2 := int(coord >> 9 & 0x1ff)
-	if t.pgd[i3] == nil {
-		t.pgd[i3] = &pudTable{}
+	pi := t.pgd[i3]
+	if pi == 0 {
+		t.puds = append(t.puds, pudNode{})
+		pi = int32(len(t.puds))
+		t.pgd[i3] = pi
 	}
-	pud := t.pgd[i3]
-	if pud.pmds[i2] == nil {
-		pud.pmds[i2] = &pmdTable{}
+	mi := t.puds[pi-1].pmds[i2]
+	if mi == 0 {
+		t.pmds = append(t.pmds, pmdNode{})
+		mi = int32(len(t.pmds))
+		t.puds[pi-1].pmds[i2] = mi
 	}
-	return pud.pmds[i2]
+	return &t.pmds[mi-1]
 }
 
 // materialize ensures the full path to the leaf page table at coord
@@ -117,7 +126,11 @@ func (t *Table) materializePMD(coord uint64) *pmdTable {
 func (t *Table) materialize(coord uint64) {
 	pmd := t.materializePMD(coord)
 	i1 := int(coord & 0x1ff)
-	if pmd.pts[i1] == nil {
-		pmd.pts[i1] = &ptTable{}
+	if pmd.pts[i1] == 0 {
+		t.pts = append(t.pts, ptNode{})
+		// Re-resolve after append: the pmd pointer may be stale only if
+		// pmds moved, which appending to pts cannot cause — but keep the
+		// index write on the freshly resolved node for clarity.
+		pmd.pts[i1] = int32(len(t.pts))
 	}
 }

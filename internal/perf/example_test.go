@@ -1,0 +1,28 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"vdom/internal/perf"
+)
+
+// ExampleRun executes the fixed suite at its quickest setting and prints
+// the report's shape: the schema version and the benchmark catalogue.
+// Rates are machine-dependent and so not printed.
+func ExampleRun() {
+	rep, err := perf.Run(perf.Options{Quick: true, Repeats: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rep.Version)
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%s (%s)\n", b.Name, b.Unit)
+	}
+	// Output:
+	// vdom-perf/v1
+	// replay (events/sec)
+	// table4 (accesses/sec)
+	// parallel-grid (cells/sec)
+	// checkpoint (bytes/sec)
+}

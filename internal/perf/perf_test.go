@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fastOptions keeps suite runs in test time: one repetition of the quick
+// iteration counts still executes every benchmark's real workload.
+var fastOptions = Options{Quick: true, Repeats: 1}
+
+func TestRunProducesFixedSuite(t *testing.T) {
+	rep, err := Run(fastOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != Version {
+		t.Errorf("version = %q, want %q", rep.Version, Version)
+	}
+	if rep.Calibration <= 0 || rep.Scale <= 0 {
+		t.Errorf("calibration %v / scale %v not positive", rep.Calibration, rep.Scale)
+	}
+	want := []string{"replay", "table4", "parallel-grid", "checkpoint"}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
+	}
+	for i, b := range rep.Benchmarks {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+		if b.Raw <= 0 || b.Normalized <= 0 {
+			t.Errorf("%s: non-positive rate raw=%v normalized=%v", b.Name, b.Raw, b.Normalized)
+		}
+		if got := b.Raw * rep.Scale; math.Abs(got-b.Normalized) > 1e-6*b.Normalized {
+			t.Errorf("%s: normalized %v != raw*scale %v", b.Name, b.Normalized, got)
+		}
+		if b.Unit == "" || b.Iters <= 0 || b.Repeats <= 0 {
+			t.Errorf("%s: incomplete record %+v", b.Name, b)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Run(fastOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("JSON missing trailing newline")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Errorf("round trip mismatch:\n%s\n%s", a, b)
+	}
+}
+
+func TestReadFileRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version":"vdom-perf/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("wrong-version report accepted")
+	}
+}
+
+// report builds a synthetic two-benchmark report with the given
+// normalized rates.
+func report(replayRate, table4Rate float64) *Report {
+	return &Report{
+		Version: Version,
+		Benchmarks: []Benchmark{
+			{Name: "replay", Unit: "events/sec", Normalized: replayRate},
+			{Name: "table4", Unit: "accesses/sec", Normalized: table4Rate},
+		},
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := report(1000, 500)
+
+	if regs := Compare(base, report(1000, 500), 0.15); len(regs) != 0 {
+		t.Errorf("identical reports regressed: %+v", regs)
+	}
+	// 10% drop passes the 15% threshold; improvements always pass.
+	if regs := Compare(base, report(900, 800), 0.15); len(regs) != 0 {
+		t.Errorf("within-threshold drop flagged: %+v", regs)
+	}
+	// 20% drop on one benchmark fails, naming it.
+	regs := Compare(base, report(800, 500), 0.15)
+	if len(regs) != 1 || regs[0].Name != "replay" {
+		t.Fatalf("got %+v, want one replay regression", regs)
+	}
+	if math.Abs(regs[0].Drop-0.2) > 1e-9 {
+		t.Errorf("drop = %v, want 0.2", regs[0].Drop)
+	}
+	// A benchmark missing from the current run is a full regression.
+	missing := &Report{Version: Version, Benchmarks: base.Benchmarks[:1]}
+	regs = Compare(base, missing, 0.15)
+	if len(regs) != 1 || regs[0].Name != "table4" || regs[0].Drop != 1 {
+		t.Fatalf("got %+v, want table4 missing regression", regs)
+	}
+}
+
+func TestCalibrateIsPositiveAndRepeatable(t *testing.T) {
+	a, b := Calibrate(2), Calibrate(2)
+	if a <= 0 || b <= 0 {
+		t.Fatalf("calibration not positive: %v %v", a, b)
+	}
+	// Min-of-N calibration on the same machine should agree within a
+	// generous factor even on noisy shared hosts.
+	if ratio := a / b; ratio < 0.2 || ratio > 5 {
+		t.Errorf("calibrations disagree wildly: %v vs %v", a, b)
+	}
+}

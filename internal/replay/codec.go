@@ -20,7 +20,11 @@ const (
 // then header, events (times delta-encoded), and end-state section, all
 // fields uvarint and all maps sorted by key so encoding is deterministic.
 func Encode(t *Trace) []byte {
-	var b []byte
+	// One right-sized allocation up front: a fully populated event rarely
+	// exceeds ~20 uvarint bytes, so estimating from the event count keeps
+	// the encoder from reallocating its buffer through every doubling on
+	// large traces.
+	b := make([]byte, 0, 256+24*len(t.Events)+32*len(t.End))
 	b = append(b, traceMagic[:]...)
 	b = putUvarint(b, uint64(t.Header.Version))
 	b = putString(b, t.Header.Kernel)

@@ -32,7 +32,9 @@ type Recorder struct {
 // FormatVersion).
 func NewRecorder(hdr Header) *Recorder {
 	hdr.Version = FormatVersion
-	return &Recorder{hdr: hdr}
+	// Recordings that attach taps at all tend to collect thousands of
+	// events; seeding the buffer skips the first several growth copies.
+	return &Recorder{hdr: hdr, events: make([]Event, 0, 1024)}
 }
 
 // Len returns the number of events recorded so far.

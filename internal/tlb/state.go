@@ -27,7 +27,7 @@ type CacheState struct {
 // State captures the TLB's image.
 func (t *TLB) State() CacheState {
 	st := CacheState{
-		Slots: make([]SlotState, len(t.slots)),
+		Slots: make([]SlotState, t.capacity),
 		Hand:  t.hand,
 		Stats: t.stats,
 	}
@@ -42,14 +42,19 @@ func (t *TLB) State() CacheState {
 // to the unset state, which is behaviorally transparent (its hit path
 // has the exact side effects of an indexed hit).
 func (t *TLB) LoadState(st CacheState) {
-	if len(st.Slots) != len(t.slots) {
+	if len(st.Slots) != t.capacity {
 		panic("tlb: LoadState capacity mismatch")
 	}
-	t.index = make(map[key]int, len(t.slots))
+	if len(t.slots) < t.capacity {
+		t.slots = make([]slot, t.capacity)
+	}
+	t.index = make(map[key]int, t.capacity)
+	clear(t.counts)
 	for i, s := range st.Slots {
 		t.slots[i] = slot{entry: s.Entry, valid: s.Valid, referenced: s.Referenced}
 		if s.Valid {
 			t.index[key{s.Entry.ASID, s.Entry.VPN}] = i
+			t.bump(s.Entry.ASID, 1)
 		}
 	}
 	t.hand = st.Hand
@@ -79,7 +84,7 @@ func (t *SetAssoc) LoadState(st CacheState) {
 	if len(st.Slots) != t.Capacity() || len(st.Hands) != len(t.sets) {
 		panic("tlb: LoadState geometry mismatch")
 	}
-	t.index = make(map[key]int)
+	t.index = make(map[key]int, t.Capacity())
 	for i, s := range st.Slots {
 		sl := &t.sets[i/t.ways][i%t.ways]
 		*sl = slot{entry: s.Entry, valid: s.Valid, referenced: s.Referenced}

@@ -74,10 +74,18 @@ func (s Stats) Emit(emit func(name string, v uint64)) {
 
 // TLB is one core's translation cache.
 type TLB struct {
-	slots []slot
-	index map[key]int
-	hand  int
-	stats Stats
+	// slots and index materialize lazily: the index map on the first
+	// insert, and the slot array only as far as the clock hand has
+	// reached (see victim). A machine's worth of cold TLBs then costs
+	// nothing to construct, and a lightly used one stays small — which
+	// the short-lived systems replay and the perf harness build in bulk
+	// rely on. Lookups and flushes on the nil index behave as on an
+	// empty one.
+	slots    []slot
+	capacity int
+	index    map[key]int
+	hand     int
+	stats    Stats
 
 	// lastIdx memoizes the slot of the most recent hit (-1 when unset), a
 	// host-side fast path that skips the map hash when the same page is hit
@@ -87,6 +95,11 @@ type TLB struct {
 	// exact side effects of an indexed hit (reference bit, Hits counter),
 	// keeping clock replacement and stats bit-identical.
 	lastIdx int
+
+	// counts tracks resident entries per ASID (dense, grown on demand).
+	// It lets FlushASID return immediately for the common dormant-ASID
+	// case instead of scanning; it changes no observable behavior.
+	counts []uint32
 }
 
 // DefaultCapacity approximates a unified second-level TLB.
@@ -98,14 +111,13 @@ func New(capacity int) *TLB {
 		panic("tlb: capacity must be positive")
 	}
 	return &TLB{
-		slots:   make([]slot, capacity),
-		index:   make(map[key]int, capacity),
-		lastIdx: -1,
+		capacity: capacity,
+		lastIdx:  -1,
 	}
 }
 
 // Capacity returns the number of entry slots.
-func (t *TLB) Capacity() int { return len(t.slots) }
+func (t *TLB) Capacity() int { return t.capacity }
 
 // Len returns the number of valid entries.
 func (t *TLB) Len() int { return len(t.index) }
@@ -140,6 +152,13 @@ func (t *TLB) Lookup(asid ASID, vpn uint64) (Entry, bool) {
 // existing entry for the same (asid, vpn) is overwritten in place.
 func (t *TLB) Insert(e Entry) {
 	t.stats.Inserts++
+	if t.index == nil {
+		// A modest initial size: most short-lived systems (replay, the
+		// perf harness) touch a few dozen pages per TLB, and a map
+		// pre-sized for full capacity would dominate their boot cost.
+		// TLBs that do fill pay a handful of amortized rehashes.
+		t.index = make(map[key]int, 64)
+	}
 	k := key{e.ASID, e.VPN}
 	if i, ok := t.index[k]; ok {
 		t.slots[i].entry = e
@@ -149,17 +168,42 @@ func (t *TLB) Insert(e Entry) {
 	i := t.victim()
 	if t.slots[i].valid {
 		delete(t.index, key{t.slots[i].entry.ASID, t.slots[i].entry.VPN})
+		t.bump(t.slots[i].entry.ASID, -1)
 	}
 	t.slots[i] = slot{entry: e, valid: true, referenced: true}
 	t.index[k] = i
+	t.bump(e.ASID, 1)
 }
 
-// victim finds a free slot or evicts via the clock algorithm.
+// bump adjusts the resident-entry count of an ASID by ±1.
+func (t *TLB) bump(a ASID, d int) {
+	for int(a) >= len(t.counts) {
+		t.counts = append(t.counts, 0)
+	}
+	t.counts[a] = uint32(int(t.counts[a]) + d)
+}
+
+// victim finds a free slot or evicts via the clock algorithm. The hand
+// walks the full configured capacity; a position beyond the materialized
+// slot array is by definition an invalid (never-used) slot, so the array
+// grows only as far as the clock has actually reached — bit-identical to
+// walking a fully allocated array of zero slots, at a fraction of the
+// boot cost for the mostly-empty TLBs replay and the perf harness build
+// in bulk.
 func (t *TLB) victim() int {
 	for {
-		s := &t.slots[t.hand]
 		i := t.hand
-		t.hand = (t.hand + 1) % len(t.slots)
+		t.hand++
+		if t.hand == t.capacity {
+			t.hand = 0
+		}
+		if i >= len(t.slots) {
+			for len(t.slots) <= i {
+				t.slots = append(t.slots, slot{})
+			}
+			return i
+		}
+		s := &t.slots[i]
 		if !s.valid {
 			return i
 		}
@@ -176,6 +220,7 @@ func (t *TLB) FlushPage(asid ASID, vpn uint64) {
 	if i, ok := t.index[key{asid, vpn}]; ok {
 		t.slots[i] = slot{}
 		delete(t.index, key{asid, vpn})
+		t.bump(asid, -1)
 		t.stats.Invalidated++
 	}
 }
@@ -184,25 +229,37 @@ func (t *TLB) FlushPage(asid ASID, vpn uint64) {
 // modelling the range-flush instructions §5.5 leans on.
 func (t *TLB) FlushRange(asid ASID, startVPN, pages uint64) {
 	t.stats.RangeFlushes++
+	if int(asid) >= len(t.counts) || t.counts[asid] == 0 {
+		return
+	}
 	for vpn := startVPN; vpn < startVPN+pages; vpn++ {
 		if i, ok := t.index[key{asid, vpn}]; ok {
 			t.slots[i] = slot{}
 			delete(t.index, key{asid, vpn})
+			t.bump(asid, -1)
 			t.stats.Invalidated++
 		}
 	}
 }
 
-// FlushASID invalidates every entry of one address space.
+// FlushASID invalidates every entry of one address space. It scans the
+// slot array rather than the index map: the set of entries removed (and
+// so every counter) is identical, and a linear pass over the
+// pointer-free slots is far cheaper than a map iteration.
 func (t *TLB) FlushASID(asid ASID) {
 	t.stats.ASIDFlushes++
-	for k, i := range t.index {
-		if k.asid == asid {
+	if int(asid) >= len(t.counts) || t.counts[asid] == 0 {
+		return // nothing resident under this ASID
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.entry.ASID == asid {
+			delete(t.index, key{asid, s.entry.VPN})
 			t.slots[i] = slot{}
-			delete(t.index, k)
 			t.stats.Invalidated++
 		}
 	}
+	t.counts[asid] = 0
 }
 
 // FlushAll invalidates the whole TLB.
@@ -212,8 +269,9 @@ func (t *TLB) FlushAll() {
 	for i := range t.slots {
 		t.slots[i] = slot{}
 	}
-	t.index = make(map[key]int, len(t.slots))
+	t.index = nil // rebuilt by the next Insert
 	t.hand = 0
+	clear(t.counts)
 }
 
 // Each calls fn for every valid entry, in slot order. It is an
