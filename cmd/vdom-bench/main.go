@@ -94,6 +94,7 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "trace corpus directory for record/replay (default testdata/traces)")
 	divergenceOut := flag.String("divergence-out", "", "replay: write a JSON divergence report to this file")
 	soakReport := flag.String("soak-report", "", "chaos/snapshot: write a machine-readable JSON soak report to this file")
+	kernelName := flag.String("kernel", "vdom", "chaos: kernel backend to soak (vdom or dpti)")
 	traceDump := flag.String("trace-dump", "", "chaos/snapshot: dump failing shards' replayable traces (and reproducer checkpoints) into this directory")
 	snapPath := flag.String("snap", "", "recover: the vdom-snap/v1 checkpoint to restore")
 	tailPath := flag.String("tail", "", "recover: the recorded trace whose tail rolls the checkpoint forward")
@@ -133,6 +134,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  unixbench  kernel impact on non-VDom programs (§7.3)\n")
 		fmt.Fprintf(os.Stderr, "  ctxswitch  context switch costs (§7.5)\n")
 		fmt.Fprintf(os.Stderr, "  ablation   design-choice ablations\n")
+		fmt.Fprintf(os.Stderr, "  matrix     kernel x arch activation-cost matrix over every registered backend\n")
 		fmt.Fprintf(os.Stderr, "  chaos      seeded fault-injection soak with audit summary (-seed to replay)\n")
 		fmt.Fprintf(os.Stderr, "  snapshot   crash-fault soak: checkpoint, crash, restore + tail replay, bit-identity verdict (-seed)\n")
 		fmt.Fprintf(os.Stderr, "  serve      supervised soak service: rolling checkpoints, crash injection, self-healing recovery (-duration, -shards, ...)\n")
@@ -155,6 +157,7 @@ func main() {
 		TraceDir: *traceDir, DivergenceOut: *divergenceOut,
 		SoakReport: *soakReport, TraceDump: *traceDump,
 		SnapPath: *snapPath, TailPath: *tailPath,
+		Kernel: *kernelName,
 	}
 	if *metricsOut != "" {
 		o.Metrics = metrics.New()
@@ -225,6 +228,8 @@ func main() {
 		bench.CtxSwitchOpts(w, o)
 	case "ablation":
 		bench.Ablations(w, o)
+	case "matrix":
+		bench.Matrix(w, o)
 	case "chaos":
 		if err := bench.ChaosSeed(w, o, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "vdom-bench: chaos artifacts:", err)

@@ -61,6 +61,10 @@ type Options struct {
 	// SoakReport, when set, makes the chaos experiment write a
 	// machine-readable JSON soak report to this path.
 	SoakReport string
+	// Kernel selects which kernel backend the chaos experiment soaks:
+	// "vdom" (default) or "dpti". Other registered backends have no
+	// chaos driver today.
+	Kernel string
 	// TraceDump, when set, turns on soak recording and dumps each
 	// failing chaos shard's minimal replayable trace into this
 	// directory. The snapshot experiment also dumps failing shards'
@@ -544,6 +548,9 @@ func All(w io.Writer, o Options) {
 		func() { UnixBenchOpts(w, o) },
 		func() { CtxSwitchOpts(w, o) },
 		func() { Ablations(w, o) },
+		// Matrix is appended last so the earlier sections' output stays a
+		// byte-identical prefix of older releases' `all` output.
+		func() { Matrix(w, o) },
 	}
 	for i, s := range sections {
 		if i > 0 {

@@ -46,6 +46,13 @@ func Chaos(w io.Writer, o Options) error {
 // is written too. The returned error covers artifact writing only — the
 // soak verdict is in the rendered output (and the report).
 func ChaosSeed(w io.Writer, o Options, seed uint64) error {
+	kern := o.Kernel
+	if kern == "" {
+		kern = "vdom"
+	}
+	if kern != "vdom" && kern != "dpti" {
+		return fmt.Errorf("chaos: no soak driver for kernel %q (have vdom, dpti)", kern)
+	}
 	totalOps := o.chaosSoakOps()
 	ctx := o.ctx()
 	type shard struct {
@@ -63,23 +70,40 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 		}
 		jobs[i] = func() shard {
 			reg, tr := o.newCellSinks()
-			s := chaos.StartSoak(chaos.SoakConfig{
-				Chaos: chaos.Config{
-					Seed:           seed + uint64(i),
-					DropIPI:        0.05,
-					DelayIPI:       0.05,
-					StaleTLB:       0.03,
-					ASIDExhaustion: 0.02,
-					ASIDLimit:      24,
-					VDSAllocFail:   0.10,
-					PdomExhaustion: 0.05,
-					SpuriousFault:  0.02,
-				},
+			fault := chaos.Config{
+				Seed:           seed + uint64(i),
+				DropIPI:        0.05,
+				DelayIPI:       0.05,
+				StaleTLB:       0.03,
+				ASIDExhaustion: 0.02,
+				ASIDLimit:      24,
+				VDSAllocFail:   0.10,
+				PdomExhaustion: 0.05,
+				SpuriousFault:  0.02,
+			}
+			if kern == "dpti" {
+				// DPTI has no manager-level hooks; zero the faults that
+				// would never draw so the injected counters stay honest.
+				fault.VDSAllocFail = 0
+				fault.PdomExhaustion = 0
+			}
+			scfg := chaos.SoakConfig{
+				Chaos:   fault,
 				Ops:     ops,
 				Metrics: reg,
 				Trace:   tr,
 				Record:  o.TraceDump != "",
-			})
+			}
+			var s interface {
+				NextOp() int
+				Step() bool
+				Finish() *chaos.SoakResult
+			}
+			if kern == "dpti" {
+				s = chaos.StartSoakDPTI(scfg)
+			} else {
+				s = chaos.StartSoak(scfg)
+			}
 			// Step with a periodic wall-clock escape hatch: a -timeout
 			// cancels the soak between ops instead of hanging the job.
 			for {
@@ -111,7 +135,11 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 			if ft == nil {
 				continue
 			}
-			path := filepath.Join(o.TraceDump, fmt.Sprintf("chaos-soak-shard%d.trace", i))
+			stem := "chaos-soak-shard%d.trace"
+			if kern != "vdom" {
+				stem = "chaos-soak-" + kern + "-shard%d.trace"
+			}
+			path := filepath.Join(o.TraceDump, fmt.Sprintf(stem, i))
 			if err := os.WriteFile(path, replay.Encode(ft), 0o644); err != nil {
 				return err
 			}
@@ -130,9 +158,14 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 		o.Trace.Append(s.tr)
 	}
 
+	title := fmt.Sprintf("Chaos soak: %d ops over %d shards, seed %d (replayable), all fault classes enabled",
+		agg.Ops, chaosShards, seed)
+	if kern != "vdom" {
+		title = fmt.Sprintf("Chaos soak (%s kernel): %d ops over %d shards, seed %d (replayable), machine/kernel fault classes enabled",
+			kern, agg.Ops, chaosShards, seed)
+	}
 	t := &Table{
-		Title: fmt.Sprintf("Chaos soak: %d ops over %d shards, seed %d (replayable), all fault classes enabled",
-			agg.Ops, chaosShards, seed),
+		Title:   title,
 		Columns: []string{"event", "count"},
 	}
 	for _, k := range sortedKeys(agg.Injected) {

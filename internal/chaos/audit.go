@@ -42,6 +42,13 @@ func (v Violation) String() string {
 // read-only entry for a now-writable page is benign staleness (the next
 // write faults and upgrades) and is not flagged.
 func Audit(m *hw.Machine, k *kernel.Kernel, mgrs ...*core.Manager) []Violation {
+	return AuditOwners(m, k, nil, mgrs...)
+}
+
+// AuditOwners is Audit with extra ASID ownership: owners maps live ASIDs
+// to their page tables for protection systems the auditor has no manager
+// handle for (the DPTI soak owns per-domain tables this way).
+func AuditOwners(m *hw.Machine, k *kernel.Kernel, owners map[tlb.ASID]*pagetable.Table, mgrs ...*core.Manager) []Violation {
 	var out []Violation
 	for _, mgr := range mgrs {
 		for _, desc := range mgr.AuditInvariants() {
@@ -59,6 +66,9 @@ func Audit(m *hw.Machine, k *kernel.Kernel, mgrs ...*core.Manager) []Violation {
 		for _, vds := range mgr.VDSes() {
 			byASID[vds.ASID()] = vds.Table()
 		}
+	}
+	for a, t := range owners {
+		byASID[a] = t
 	}
 
 	for id := 0; id < m.NumCores(); id++ {

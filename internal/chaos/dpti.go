@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"vdom/internal/cycles"
+	"vdom/internal/dpti"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/replay"
+	"vdom/internal/sim"
+	"vdom/internal/tlb"
+)
+
+// This file is the DPTI flavour of the chaos soak: the same injector,
+// audit cadence, and result shape as SoakRun, but driving the
+// per-domain-page-table baseline instead of the VDom manager. The
+// injector attaches to the machine and the kernel only — DPTI has no
+// manager-level fault hooks — so the fault mix is the hardware/kernel
+// subset (IPI drops and delays, stale TLB entries, ASID exhaustion,
+// spurious faults). ASID exhaustion is DPTI's characteristic failure:
+// materializing a domain table needs a free ASID, and when the injector
+// withholds them the degradation path is simply staying in the base
+// address space.
+
+// DPTISoakRun is a DPTI soak in progress, steppable like SoakRun.
+type DPTISoakRun struct {
+	cfg SoakConfig
+
+	in      *Injector
+	machine *hw.Machine
+	kern    *kernel.Kernel
+	proc    *kernel.Process
+	mgr     *dpti.Manager
+	rec     *replay.Recorder
+
+	res    *SoakResult
+	total  cycles.Cost
+	tasks  []*kernel.Task
+	doms   []dpti.DomainID
+	r      *sim.Rand
+	nextOp int
+
+	tracedEvents int
+	finished     bool
+}
+
+// dptiSoakHeader describes a DPTI soak run's platform. The workload name
+// stays SoakWorkload — the Kernel field is what selects the DPTI boot —
+// so ReplayTrace rebuilds the injector for either soak flavour.
+func dptiSoakHeader(cfg SoakConfig) replay.Header {
+	return replay.Header{
+		Kernel:   replay.KernelDPTI,
+		Arch:     replay.ArchName(cfg.Arch),
+		Cores:    cfg.Cores,
+		Seed:     cfg.Chaos.Seed,
+		Workload: SoakWorkload,
+		ConfigDigest: replay.DigestString(fmt.Sprintf(
+			"dpti-chaos-soak|arch=%s|cores=%d|threads=%d|doms=%d|ops=%d|chaos=%+v",
+			replay.ArchName(cfg.Arch), cfg.Cores, cfg.Threads, cfg.Vdoms, cfg.Ops, cfg.Chaos)),
+		Extra: injectorExtra(cfg.Chaos),
+	}
+}
+
+// SoakDPTI runs a DPTI soak to completion (the DPTI analogue of Soak).
+func SoakDPTI(cfg SoakConfig) *SoakResult {
+	s := StartSoakDPTI(cfg)
+	for s.Step() {
+	}
+	return s.Finish()
+}
+
+// StartSoakDPTI boots the DPTI soak platform and runs the workload setup
+// (task spawns, region mmaps, initial domain allocations), leaving the
+// run poised before op 1.
+func StartSoakDPTI(cfg SoakConfig) *DPTISoakRun {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 5000
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Vdoms <= 0 {
+		cfg.Vdoms = 24
+	}
+	if cfg.AuditEvery <= 0 {
+		cfg.AuditEvery = 64
+	}
+
+	s := &DPTISoakRun{cfg: cfg, nextOp: 1}
+	s.in = New(cfg.Chaos)
+	s.machine = hw.NewMachine(hw.Config{Arch: cfg.Arch, NumCores: cfg.Cores})
+	s.kern = kernel.New(kernel.Config{Machine: s.machine, VDomEnabled: false})
+	s.in.AttachMachine(s.machine)
+	s.in.AttachKernel(s.kern)
+	s.proc = s.kern.NewProcess()
+	s.mgr = dpti.Attach(s.proc)
+	if cfg.Record {
+		s.rec = replay.NewRecorder(dptiSoakHeader(cfg))
+		s.rec.AttachKernel(s.kern)
+		s.rec.AttachDPTI(s.mgr)
+	}
+
+	s.res = &SoakResult{Ops: cfg.Ops, FirstFailEvent: -1}
+	s.kern.SetMetrics(cfg.Metrics)
+	s.mgr.SetMetrics(cfg.Metrics)
+
+	s.tasks = make([]*kernel.Task, cfg.Threads)
+	for i := range s.tasks {
+		s.tasks[i] = s.proc.NewTask(i % cfg.Cores)
+		if s.rec != nil {
+			s.rec.Spawn(s.tasks[i])
+		}
+	}
+
+	if c, err := s.tasks[0].Mmap(plainBase, plainPages*pagetable.PageSize, true); err != nil {
+		s.fail(0, "setup mmap", err)
+	} else {
+		s.total += c
+	}
+	s.doms = make([]dpti.DomainID, cfg.Vdoms)
+	for i := range s.doms {
+		if c, err := s.tasks[0].Mmap(region(i), regionPages*pagetable.PageSize, true); err != nil {
+			s.fail(0, "setup mmap", err)
+		} else {
+			s.total += c
+		}
+		d, c := s.mgr.AllocDomain()
+		s.total += c
+		if c, err := s.mgr.Protect(s.tasks[0], region(i), regionPages*pagetable.PageSize, d); err != nil {
+			s.fail(0, "setup protect", err)
+		} else {
+			s.total += c
+		}
+		s.doms[i] = d
+	}
+
+	// Same stream split as StartSoak: the workload PRNG is derived from
+	// the seed independently of the injector's.
+	s.r = sim.NewRand(cfg.Chaos.Seed ^ 0x6a09e667f3bcc908)
+	return s
+}
+
+// NextOp returns the 1-based index of the op the next Step will run.
+func (s *DPTISoakRun) NextOp() int { return s.nextOp }
+
+// ClockCycles returns the run's cumulative cycle clock.
+func (s *DPTISoakRun) ClockCycles() uint64 { return uint64(s.total) }
+
+func (s *DPTISoakRun) fail(op int, what string, err error) {
+	if s.rec != nil && s.res.FirstFailEvent < 0 {
+		s.res.FirstFailEvent = s.rec.Len()
+	}
+	s.res.Unrecovered = append(s.res.Unrecovered, fmt.Sprintf("op %d: %s: %v", op, what, err))
+}
+
+func (s *DPTISoakRun) audit() {
+	s.res.Audits++
+	owners := make(map[tlb.ASID]*pagetable.Table)
+	for _, t := range s.proc.Tasks() {
+		owners[t.BaseASID()] = s.proc.AS().Shadow()
+	}
+	s.mgr.OwnedASIDs(func(a tlb.ASID, tb *pagetable.Table) { owners[a] = tb })
+	s.res.Violations = append(s.res.Violations, AuditOwners(s.machine, s.kern, owners)...)
+}
+
+func (s *DPTISoakRun) traceEvents() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	evs := s.in.Events()
+	for ; s.tracedEvents < len(evs); s.tracedEvents++ {
+		s.cfg.Trace.Instant("chaos", evs[s.tracedEvents].Kind, 0, uint64(s.total))
+	}
+}
+
+// enter switches t into d, tolerating ASID exhaustion: when the injector
+// has drained the ASID pool the task simply stays in the base address
+// space (DPTI's only degradation path). Reports whether the task is
+// inside d afterwards.
+func (s *DPTISoakRun) enter(op int, t *kernel.Task, d dpti.DomainID) bool {
+	c, err := s.mgr.Enter(t, d)
+	s.total += c
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, dpti.ErrNoASID) {
+		s.fail(op, fmt.Sprintf("enter domain %d", d), err)
+	}
+	return false
+}
+
+// Step drives one workload op (and the periodic audit that falls on it)
+// and reports whether ops remain.
+func (s *DPTISoakRun) Step() bool {
+	if s.nextOp > s.cfg.Ops {
+		return false
+	}
+	op := s.nextOp
+	s.nextOp++
+
+	t := s.tasks[s.r.Intn(len(s.tasks))]
+	di := s.r.Intn(len(s.doms))
+	d := s.doms[di]
+	switch x := s.r.Intn(100); {
+	case x < 45: // enter, then touch a page of the region
+		if !s.enter(op, t, d) {
+			break
+		}
+		addr := region(di) + pagetable.VAddr(uint64(s.r.Intn(regionPages))*pagetable.PageSize)
+		c, err := t.Access(addr, s.r.Intn(2) == 0)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("access domain %d at %#x", d, uint64(addr)), err)
+		}
+	case x < 58: // exit back to the base address space
+		c, err := s.mgr.Exit(t)
+		s.total += c
+		if err != nil {
+			s.fail(op, "exit", err)
+		}
+	case x < 70: // free the domain, rebind its region to a fresh one
+		c, err := s.mgr.FreeDomain(t, d)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("free domain %d", d), err)
+			break
+		}
+		nd, c := s.mgr.AllocDomain()
+		s.total += c
+		c, err = s.mgr.Protect(t, region(di), regionPages*pagetable.PageSize, nd)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("protect domain %d", nd), err)
+			break
+		}
+		s.doms[di] = nd
+	case x < 80: // retag one page (exercises the eager-revocation walk)
+		addr := region(di) + pagetable.VAddr(uint64(s.r.Intn(regionPages))*pagetable.PageSize)
+		c, err := s.mgr.Protect(t, addr, pagetable.PageSize, d)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("retag domain %d", d), err)
+		}
+	case x < 88: // unprotected access (valid inside or outside a domain)
+		addr := plainBase + pagetable.VAddr(uint64(s.r.Intn(plainPages))*pagetable.PageSize)
+		c, err := t.Access(addr, s.r.Intn(2) == 0)
+		s.total += c
+		if err != nil {
+			s.fail(op, fmt.Sprintf("plain access at %#x", uint64(addr)), err)
+		}
+	case x < 95: // kswapd pressure
+		max := 1 + s.r.Intn(8)
+		n, c := s.proc.ReclaimFrames(t.CoreID(), max)
+		s.total += c
+		if s.rec != nil {
+			s.rec.Reclaim(t.CoreID(), max, n, c)
+		}
+	default: // direct domain-to-domain switch, then exit
+		if s.enter(op, t, s.doms[(di+1)%len(s.doms)]) {
+			c, err := s.mgr.Exit(t)
+			s.total += c
+			if err != nil {
+				s.fail(op, "exit", err)
+			}
+		}
+	}
+	s.traceEvents()
+	if op%s.cfg.AuditEvery == 0 {
+		s.audit()
+	}
+	return s.nextOp <= s.cfg.Ops
+}
+
+// Finish runs the final audit, harvests every counter, and seals the
+// result. It is idempotent.
+func (s *DPTISoakRun) Finish() *SoakResult {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	s.audit()
+
+	s.res.Cycles = s.total
+	s.res.Injected = s.in.Injected()
+	s.res.Recovered = s.in.Recovered()
+	s.res.Events = s.in.Events()
+	s.res.ASIDRollovers = s.kern.ASIDRollovers()
+	if s.rec != nil {
+		s.res.Trace = s.rec.Finish()
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Accumulate(s.in, s.machine, s.proc.AS(), s.kern)
+		s.mgr.Stats.Emit(s.cfg.Metrics.Add)
+	}
+	return s.res
+}

@@ -45,22 +45,28 @@ func soakHeader(cfg SoakConfig) replay.Header {
 		ConfigDigest: replay.DigestString(fmt.Sprintf(
 			"chaos-soak|arch=%s|cores=%d|threads=%d|vdoms=%d|ops=%d|chaos=%+v",
 			replay.ArchName(cfg.Arch), cfg.Cores, cfg.Threads, cfg.Vdoms, cfg.Ops, cfg.Chaos)),
-		Extra: map[string]uint64{
-			extraSeed:           cfg.Chaos.Seed,
-			extraDropIPI:        math.Float64bits(cfg.Chaos.DropIPI),
-			extraDelayIPI:       math.Float64bits(cfg.Chaos.DelayIPI),
-			extraStaleTLB:       math.Float64bits(cfg.Chaos.StaleTLB),
-			extraASIDExhaustion: math.Float64bits(cfg.Chaos.ASIDExhaustion),
-			extraASIDLimit:      uint64(cfg.Chaos.ASIDLimit),
-			extraVDSAllocFail:   math.Float64bits(cfg.Chaos.VDSAllocFail),
-			extraPdomExhaustion: math.Float64bits(cfg.Chaos.PdomExhaustion),
-			extraSpuriousFault:  math.Float64bits(cfg.Chaos.SpuriousFault),
-		},
+		Extra: injectorExtra(cfg.Chaos),
 	}
 	if pol.SecureGate {
 		h.Flags |= replay.HdrSecureGate
 	}
 	return h
+}
+
+// injectorExtra encodes the injector configuration into trace-header
+// Extra keys (configFromHeader is the inverse).
+func injectorExtra(cfg Config) map[string]uint64 {
+	return map[string]uint64{
+		extraSeed:           cfg.Seed,
+		extraDropIPI:        math.Float64bits(cfg.DropIPI),
+		extraDelayIPI:       math.Float64bits(cfg.DelayIPI),
+		extraStaleTLB:       math.Float64bits(cfg.StaleTLB),
+		extraASIDExhaustion: math.Float64bits(cfg.ASIDExhaustion),
+		extraASIDLimit:      uint64(cfg.ASIDLimit),
+		extraVDSAllocFail:   math.Float64bits(cfg.VDSAllocFail),
+		extraPdomExhaustion: math.Float64bits(cfg.PdomExhaustion),
+		extraSpuriousFault:  math.Float64bits(cfg.SpuriousFault),
+	}
 }
 
 // configFromHeader rebuilds the injector configuration a soak trace was

@@ -10,6 +10,7 @@ import (
 	"vdom/internal/metrics"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
+	"vdom/internal/tap"
 	"vdom/internal/tlb"
 )
 
@@ -224,7 +225,7 @@ type Manager struct {
 
 	tracer Tracer
 	chaos  Chaos
-	apiTap APITap
+	apiTap tap.Tap
 
 	metrics *metrics.Registry
 	// charged accumulates, within one public API call, the cycles inner

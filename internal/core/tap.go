@@ -4,6 +4,7 @@ import (
 	"vdom/internal/cycles"
 	"vdom/internal/kernel"
 	"vdom/internal/pagetable"
+	"vdom/internal/tap"
 )
 
 // APIOp identifies one public Manager API call for trace recording.
@@ -23,7 +24,8 @@ const (
 
 // APICall describes one completed Manager API call: the identifying
 // arguments, the returned cost, and the outcome. Fields an op does not
-// use stay zero.
+// use stay zero. It is the core's internal call descriptor; the attached
+// tap receives the unified tap.Event form.
 type APICall struct {
 	// Op is the API entry point.
 	Op APIOp
@@ -46,21 +48,50 @@ type APICall struct {
 	Err error
 }
 
-// APITap observes completed Manager API calls for trace recording
-// (internal/replay). Calls arrive in execution order; the simulation is
-// cooperatively scheduled, so no locking is needed.
-type APITap func(APICall)
+// SetTap attaches a trace recorder to the Manager's public API. Pass nil
+// (the default) to detach; when detached each call pays one nil check.
+func (m *Manager) SetTap(t tap.Tap) { m.apiTap = t }
 
-// SetAPITap attaches a trace recorder to the Manager's public API. Pass
-// nil (the default) to detach; when detached each call pays one nil
-// check.
-func (m *Manager) SetAPITap(tap APITap) { m.apiTap = tap }
-
-// tapAPI forwards a completed call to the attached tap, if any.
+// tapAPI converts a completed call to the unified tap.Event shape and
+// forwards it to the attached tap, if any. The VDR-alloc event reuses Len
+// for the nas count, matching the trace encoding.
 func (m *Manager) tapAPI(c APICall) {
-	if m.apiTap != nil {
-		m.apiTap(c)
+	if m.apiTap == nil {
+		return
 	}
+	e := tap.Event{TID: c.TID, Cost: c.Cost, Err: c.Err}
+	switch c.Op {
+	case APIAllocVdom:
+		e.Op = tap.OpVdomAlloc
+		e.Dom = uint64(c.Vdom)
+		e.Freq = c.Freq
+	case APIFreeVdom:
+		e.Op = tap.OpVdomFree
+		e.Dom = uint64(c.Vdom)
+	case APIMprotect:
+		e.Op = tap.OpVdomMprotect
+		e.Addr = c.Addr
+		e.Len = c.Len
+		e.Dom = uint64(c.Vdom)
+	case APIVdrAlloc:
+		e.Op = tap.OpVdrAlloc
+		e.Len = uint64(c.Nas)
+	case APIVdrFree:
+		e.Op = tap.OpVdrFree
+	case APIRdVdr:
+		e.Op = tap.OpVdrRead
+		e.Dom = uint64(c.Vdom)
+		e.Perm = uint8(c.Perm)
+	case APIWrVdr:
+		e.Op = tap.OpVdrWrite
+		e.Dom = uint64(c.Vdom)
+		e.Perm = uint8(c.Perm)
+	case APINewVDS:
+		e.Op = tap.OpNewVDS
+	default:
+		return
+	}
+	m.apiTap(e)
 }
 
 // tapTID extracts the thread id, tolerating process-level (nil-task) ops.

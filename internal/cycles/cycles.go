@@ -27,6 +27,11 @@ const (
 	// domains via the kernel-written AMR) — the third primitive the
 	// paper's Background surveys.
 	Power
+	// RISCV models a RISC-V core with sealable protection keys (SealPK,
+	// Delshadtehrani et al.): an MPK-style per-page key primitive with a
+	// user-writable permission register and sealing support, prototyped
+	// on an in-order FPGA core.
+	RISCV
 )
 
 // String returns the conventional short name of the architecture.
@@ -38,6 +43,8 @@ func (a Arch) String() string {
 		return "ARM"
 	case Power:
 		return "Power"
+	case RISCV:
+		return "RISCV"
 	default:
 		return fmt.Sprintf("Arch(%d)", int(a))
 	}
@@ -310,6 +317,58 @@ func PowerParams() *Params {
 	}
 }
 
+// RISCVParams returns a plausible cost table for a simulated RISC-V core
+// with sealable protection keys (SealPK). The paper does not evaluate on
+// RISC-V; these constants are extrapolated from the SealPK design — a
+// user-writable permission CSR like MPK's PKRU, 16 protection domains,
+// SFENCE.VMA-based flushes, and the flat latencies of an in-order core —
+// so the fourth ISA can be studied. Treat RISC-V results as projections,
+// not reproductions.
+func RISCVParams() *Params {
+	return &Params{
+		Arch:                RISCV,
+		NumPdoms:            16,
+		DomainGranularity:   4096,
+		UserWritablePermReg: true, // SealPK's pkru-analog CSR is CSRRW-able
+
+		CallReturn:    4,
+		SyscallReturn: 140,
+		PermRegWrite:  14, // CSRRW on an in-order pipeline
+		PermRegRead:   4,
+
+		TLBHit:            1,
+		PageWalk:          40,
+		PTEWrite:          2,
+		PMDWrite:          90,
+		TLBFlushLocalPage: 70, // sfence.vma vaddr,asid
+		TLBFlushLocalASID: 150,
+		TLBFlushLocalAll:  220,
+		IPI:               500,
+		IPIReceive:        650,
+
+		FaultEntry:        180,
+		FaultExit:         100,
+		PgdSwitch:         95, // satp write + implicit fence
+		ContextSwitchBase: 430,
+		VDSMetadataSwitch: 260,
+		SchedulerPick:     80,
+
+		VMFUNC:         0, // no VMFUNC analogue
+		VMFUNCLargeEPT: 0,
+
+		GateEntry:        70, // user-space gate: seal check + CSR swap
+		GateExit:         70,
+		VDRUpdate:        45,
+		VDTWalkPerArea:   55,
+		DomainMapUpdate:  12,
+		MigrationPerVdom: 85,
+		VDSAllocate:      820,
+		EvictBase:        1000,
+		SyncPerPage:      55,
+		MprotectPerPage:  26,
+	}
+}
+
 // ParamsFor returns the calibrated cost table for arch.
 func ParamsFor(arch Arch) *Params {
 	switch arch {
@@ -319,6 +378,8 @@ func ParamsFor(arch Arch) *Params {
 		return ARMParams()
 	case Power:
 		return PowerParams()
+	case RISCV:
+		return RISCVParams()
 	default:
 		panic(fmt.Sprintf("cycles: unknown architecture %d", int(arch)))
 	}

@@ -1,0 +1,143 @@
+package dpti_test
+
+import (
+	"errors"
+	"testing"
+
+	"vdom/internal/cycles"
+	"vdom/internal/dpti"
+	"vdom/internal/hw"
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+)
+
+const pg = pagetable.PageSize
+
+func boot(t *testing.T) (*kernel.Kernel, *kernel.Process, *dpti.Manager, *kernel.Task) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{Arch: cycles.X86, NumCores: 2})
+	k := kernel.New(kernel.Config{Machine: machine})
+	proc := k.NewProcess()
+	m := dpti.Attach(proc)
+	task := proc.NewTask(0)
+	if _, err := task.Mmap(0x1000_0000, 8*pg, true); err != nil {
+		t.Fatalf("mmap: %v", err)
+	}
+	return k, proc, m, task
+}
+
+func TestEnterExitSwitchesAddressSpace(t *testing.T) {
+	_, proc, m, task := boot(t)
+	d, _ := m.AllocDomain()
+	if _, err := m.Protect(task, 0x1000_0000, 4*pg, d); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+
+	if _, err := m.Enter(task, d); err != nil {
+		t.Fatalf("enter: %v", err)
+	}
+	if m.Current(task) != d {
+		t.Fatalf("current = %d, want %d", m.Current(task), d)
+	}
+	if task.Table() == proc.AS().Shadow() {
+		t.Fatal("task still on the shadow table inside the domain")
+	}
+	if task.ASID() == task.BaseASID() {
+		t.Fatal("domain entry kept the base ASID")
+	}
+	if _, err := task.Access(0x1000_0000, true); err != nil {
+		t.Fatalf("access inside the domain: %v", err)
+	}
+
+	if _, err := m.Exit(task); err != nil {
+		t.Fatalf("exit: %v", err)
+	}
+	if m.Current(task) != 0 {
+		t.Fatalf("current after exit = %d, want 0", m.Current(task))
+	}
+	if task.Table() != proc.AS().Shadow() || task.ASID() != task.BaseASID() {
+		t.Fatal("exit did not restore the base address space")
+	}
+}
+
+// TestFreeDomainKicksResidentTask pins the teardown hazard: freeing a
+// domain a task is currently inside must move that task back to the
+// base address space, never leave it on the torn-down table.
+func TestFreeDomainKicksResidentTask(t *testing.T) {
+	_, proc, m, task := boot(t)
+	d, _ := m.AllocDomain()
+	if _, err := m.Protect(task, 0x1000_0000, 4*pg, d); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	if _, err := m.Enter(task, d); err != nil {
+		t.Fatalf("enter: %v", err)
+	}
+
+	other := proc.NewTask(1)
+	if _, err := m.FreeDomain(other, d); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if m.Current(task) != 0 {
+		t.Fatalf("task still current in freed domain %d", d)
+	}
+	if task.Table() != proc.AS().Shadow() || task.ASID() != task.BaseASID() {
+		t.Fatal("freed domain left the task on a dangling table")
+	}
+	// The freed domain's pages resolve access-never from now on.
+	if _, err := task.Access(0x1000_0000, false); err == nil {
+		t.Fatal("access to a freed domain's pages succeeded")
+	}
+}
+
+func TestLRUEvictionUnderTableCap(t *testing.T) {
+	_, _, m, task := boot(t)
+	m.SetMaxTables(2)
+
+	var doms []dpti.DomainID
+	for i := 0; i < 3; i++ {
+		d, _ := m.AllocDomain()
+		doms = append(doms, d)
+		if _, err := m.Enter(task, d); err != nil {
+			t.Fatalf("enter %d: %v", d, err)
+		}
+		if _, err := m.Exit(task); err != nil {
+			t.Fatalf("exit %d: %v", d, err)
+		}
+	}
+	if n := m.NumLiveTables(); n != 2 {
+		t.Fatalf("live tables = %d, want cap 2", n)
+	}
+	if m.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.Stats.Evictions)
+	}
+	// Re-entering the evicted (least recently used) domain rematerializes.
+	before := m.Stats.Materializations
+	if _, err := m.Enter(task, doms[0]); err != nil {
+		t.Fatalf("re-enter evicted domain: %v", err)
+	}
+	if m.Stats.Materializations != before+1 {
+		t.Fatal("re-entering the evicted domain did not rematerialize its table")
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	k, _, m, task := boot(t)
+
+	if _, err := m.Enter(task, 999); !errors.Is(err, dpti.ErrUnknownDomain) {
+		t.Fatalf("enter unknown: %v, want ErrUnknownDomain", err)
+	}
+	if _, err := m.FreeDomain(task, 999); !errors.Is(err, dpti.ErrUnknownDomain) {
+		t.Fatalf("free unknown: %v, want ErrUnknownDomain", err)
+	}
+	if _, err := m.Protect(task, 0x1000_0000, pg, 999); !errors.Is(err, dpti.ErrUnknownDomain) {
+		t.Fatalf("protect unknown: %v, want ErrUnknownDomain", err)
+	}
+
+	// Shrink the ASID space until only the live base ASIDs fit; the next
+	// materialization must surface ErrNoASID rather than wedge.
+	k.SetASIDLimit(1)
+	d, _ := m.AllocDomain()
+	if _, err := m.Enter(task, d); !errors.Is(err, dpti.ErrNoASID) {
+		t.Fatalf("enter with exhausted ASID space: %v, want ErrNoASID", err)
+	}
+}

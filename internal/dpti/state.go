@@ -1,0 +1,106 @@
+package dpti
+
+import (
+	"sort"
+
+	"vdom/internal/kernel"
+	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
+)
+
+// Checkpoint capture and restore (vdom-snap/v1). Materialized domain
+// tables live in the address space's synchronization set, so the mm
+// section carries their contents and the kernel section their ASIDs;
+// this image only records the linkage (domain → table id → ASID) plus
+// the manager's own bookkeeping.
+
+// AreaSnap is one serialized protected area.
+type AreaSnap struct {
+	Start  pagetable.VAddr
+	Length uint64
+}
+
+// DomainSnap is the serializable image of one domain's metadata.
+type DomainSnap struct {
+	ID      DomainID
+	Areas   []AreaSnap
+	TableID int // stable table id (see mm.TableID); -1 when not live
+	ASID    tlb.ASID
+	Live    bool
+	LastUse uint64
+}
+
+// CurrentSnap records which domain one task has entered.
+type CurrentSnap struct {
+	TID int
+	Dom DomainID
+}
+
+// Snap is the serializable image of a Manager.
+type Snap struct {
+	NextID    DomainID
+	Domains   []DomainSnap  // ascending ID; freed slots omitted
+	Current   []CurrentSnap // ascending TID
+	MaxTables int
+	Clock     uint64
+	Stats     Stats
+}
+
+// Snap captures the manager's image. tableID maps each materialized
+// domain's page table to its stable id.
+func (m *Manager) Snap(tableID func(*pagetable.Table) int) Snap {
+	s := Snap{
+		NextID:    m.nextID,
+		MaxTables: m.maxTables,
+		Clock:     m.clock,
+		Stats:     m.Stats,
+	}
+	for _, d := range m.domains {
+		if d == nil {
+			continue
+		}
+		ds := DomainSnap{ID: d.id, TableID: -1, ASID: d.asid, Live: d.live, LastUse: d.lastUse}
+		if d.live {
+			ds.TableID = tableID(d.table)
+		}
+		for _, a := range d.areas {
+			ds.Areas = append(ds.Areas, AreaSnap{Start: a.start, Length: a.length})
+		}
+		s.Domains = append(s.Domains, ds)
+	}
+	for t, d := range m.current {
+		s.Current = append(s.Current, CurrentSnap{TID: tapTID(t), Dom: d})
+	}
+	sort.Slice(s.Current, func(i, j int) bool { return s.Current[i].TID < s.Current[j].TID })
+	return s
+}
+
+// LoadSnap restores a captured image onto a freshly attached manager.
+// table resolves stable table ids to the restored address space's
+// tables; task resolves TIDs to restored tasks (TID 0 must resolve to
+// nil). The tables themselves — and the ASID live set — are restored by
+// the mm and kernel sections, so only linkage is rebuilt here.
+func (m *Manager) LoadSnap(s Snap, table func(id int) *pagetable.Table, task func(tid int) *kernel.Task) {
+	if len(m.domains) != 0 {
+		panic("dpti: LoadSnap on a non-fresh manager")
+	}
+	m.nextID = s.NextID
+	m.maxTables = s.MaxTables
+	m.clock = s.Clock
+	m.Stats = s.Stats
+	m.domains = make([]*domain, int(s.NextID)-1)
+	for _, ds := range s.Domains {
+		d := &domain{id: ds.ID, asid: ds.ASID, live: ds.Live, lastUse: ds.LastUse}
+		if ds.Live {
+			d.table = table(ds.TableID)
+			m.numLive++
+		}
+		for _, a := range ds.Areas {
+			d.areas = append(d.areas, area{start: a.Start, length: a.Length})
+		}
+		m.domains[ds.ID-1] = d
+	}
+	for _, c := range s.Current {
+		m.current[task(c.TID)] = c.Dom
+	}
+}

@@ -18,6 +18,7 @@ package epk
 
 import (
 	"vdom/internal/cycles"
+	"vdom/internal/tap"
 )
 
 // KeysPerEPT is how many protection keys one EPT group contributes. EPK
@@ -95,18 +96,15 @@ type System struct {
 	numEPTs    int
 	current    map[int]int // threadID → EPT group
 	tax        VMTax
-	tap        Tap
+	tap        tap.Tap
 
 	// Stats is exported for the experiment harness.
 	Stats Stats
 }
 
-// Tap observes completed domain switches for trace recording
-// (internal/replay); calls arrive in execution order.
-type Tap func(threadID, domain int, cost cycles.Cost)
-
-// SetTap attaches a trace recorder. Pass nil (the default) to detach.
-func (s *System) SetTap(t Tap) { s.tap = t }
+// SetTap attaches a trace recorder; completed domain switches arrive as
+// unified tap.Events (OpEpkSwitch). Pass nil (the default) to detach.
+func (s *System) SetTap(t tap.Tap) { s.tap = t }
 
 // NumDomains returns the domain capacity the system was created with.
 func (s *System) NumDomains() int { return s.numDomains }
@@ -140,7 +138,7 @@ func groupOf(domain int) int { return domain / KeysPerEPT }
 func (s *System) Switch(threadID, domain int) (cost cycles.Cost) {
 	defer func() {
 		if s.tap != nil {
-			s.tap(threadID, domain, cost)
+			s.tap(tap.Event{Op: tap.OpEpkSwitch, TID: threadID, Dom: uint64(domain), Cost: cost})
 		}
 	}()
 	g := groupOf(domain)

@@ -17,6 +17,7 @@ import (
 	"vdom/internal/metrics"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
+	"vdom/internal/tap"
 	"vdom/internal/tlb"
 )
 
@@ -51,21 +52,13 @@ type Chaos interface {
 	NoteSpuriousFaultRepaired(core int)
 }
 
-// OpTap observes the kernel's syscall boundary for trace recording
-// (internal/replay). Like Chaos, it is consulted only when attached, so
-// the hot paths pay one nil check when recording is off. Taps fire after
-// the operation completes, in execution order — the simulation is
-// cooperatively scheduled, so tap invocations are strictly sequential.
-type OpTap interface {
-	// TapSyscall observes one completed memory-management syscall.
-	TapSyscall(t *Task, sc Syscall, args SyscallArgs, cost cycles.Cost, err error)
-	// TapAccess observes one completed memory access, fault handling
-	// included.
-	TapAccess(t *Task, addr pagetable.VAddr, write bool, cost cycles.Cost, err error)
-	// TapDispatch observes a scheduler burst prologue (pending-interrupt
-	// drain plus context switch) with its total cost.
-	TapDispatch(t *Task, cost cycles.Cost)
-}
+// The kernel's syscall boundary, access path, and scheduler emit
+// tap.Event values (OpMmap/OpMunmap/OpMprotect, OpAccess, OpDispatch)
+// through one attached tap.Tap. Like Chaos, the tap is consulted only
+// when attached, so the hot paths pay one nil check when recording is
+// off. Taps fire after the operation completes, in execution order — the
+// simulation is cooperatively scheduled, so tap invocations are strictly
+// sequential.
 
 // ASIDLister is implemented by fault handlers (the VDom core) that maintain
 // additional address spaces under their own ASIDs; kernel revocation paths
@@ -85,7 +78,7 @@ type Kernel struct {
 	params  *cycles.Params
 	vdom    bool
 	chaos   Chaos
-	opTap   OpTap
+	opTap   tap.Tap
 	metrics *metrics.Registry
 
 	nextASID  tlb.ASID
@@ -140,9 +133,9 @@ func New(cfg Config) *Kernel {
 // SetChaos attaches a fault-injection layer. Pass nil to detach.
 func (k *Kernel) SetChaos(c Chaos) { k.chaos = c }
 
-// SetOpTap attaches a trace recorder to the syscall boundary. Pass nil
+// SetTap attaches a trace recorder to the syscall boundary. Pass nil
 // (the default) to detach.
-func (k *Kernel) SetOpTap(tap OpTap) { k.opTap = tap }
+func (k *Kernel) SetTap(t tap.Tap) { k.opTap = t }
 
 // SetMetrics attaches a metrics registry; the kernel then attributes the
 // cycles of its dispatch, fault, and syscall paths by (layer, operation).
@@ -459,8 +452,8 @@ const maxFaultRetries = 8
 // (possibly wrapped) for violations.
 func (t *Task) Access(addr pagetable.VAddr, write bool) (cycles.Cost, error) {
 	cost, err := t.access(addr, write)
-	if tap := t.proc.kernel.opTap; tap != nil {
-		tap.TapAccess(t, addr, write, cost, err)
+	if ot := t.proc.kernel.opTap; ot != nil {
+		ot(tap.Event{Op: tap.OpAccess, TID: t.tid, Addr: addr, Write: write, Cost: cost, Err: err})
 	}
 	return cost, err
 }

@@ -3,6 +3,7 @@ package kernel
 import (
 	"vdom/internal/cycles"
 	"vdom/internal/sim"
+	"vdom/internal/tap"
 )
 
 // Sched bridges tasks into the discrete-event simulator: each hardware
@@ -45,8 +46,8 @@ func (s *Sched) Run(p *sim.Proc, t *Task, body func() cycles.Cost) cycles.Cost {
 	cost += s.kernel.Dispatch(t)
 	// The prologue is tapped before body so recorded events keep
 	// execution order.
-	if tap := s.kernel.opTap; tap != nil {
-		tap.TapDispatch(t, cost)
+	if ot := s.kernel.opTap; ot != nil {
+		ot(tap.Event{Op: tap.OpDispatch, TID: t.tid, Cost: cost})
 	}
 	cost += body()
 	p.Delay(uint64(cost))

@@ -8,6 +8,7 @@ import (
 	"vdom/internal/hw"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
+	"vdom/internal/tap"
 	"vdom/internal/tlb"
 )
 
@@ -82,11 +83,26 @@ func (k *Kernel) checkFilters(t *Task, sc Syscall, args SyscallArgs) error {
 	return nil
 }
 
-// tapSyscall forwards a completed syscall to the attached OpTap, if any.
+// tapSyscall forwards a completed memory-management syscall to the
+// attached tap, if any. Only mmap/munmap/mprotect shape domain state and
+// are recorded; other syscalls emit nothing.
 func (t *Task) tapSyscall(sc Syscall, args SyscallArgs, cost cycles.Cost, err error) {
-	if tap := t.proc.kernel.opTap; tap != nil {
-		tap.TapSyscall(t, sc, args, cost, err)
+	ot := t.proc.kernel.opTap
+	if ot == nil {
+		return
 	}
+	e := tap.Event{TID: t.tid, Addr: args.Addr, Len: args.Length, Write: args.Write, Cost: cost, Err: err}
+	switch sc {
+	case SysMmap:
+		e.Op = tap.OpMmap
+	case SysMunmap:
+		e.Op = tap.OpMunmap
+	case SysMprotect:
+		e.Op = tap.OpMprotect
+	default:
+		return
+	}
+	ot(e)
 }
 
 // Mmap is the mmap(2) analog. It returns the syscall's cycle cost.

@@ -24,6 +24,7 @@ import (
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/sim"
+	"vdom/internal/tap"
 	"vdom/internal/tlb"
 )
 
@@ -116,7 +117,7 @@ type Manager struct {
 	// map iterator and in deterministic ascending-vkey order.
 	keys  []*keyMeta
 	pkeys [numPkeys]pkeySlot
-	clock    uint64
+	clock uint64
 
 	// released wakes busy-waiting threads when a key's inUse count
 	// drops to zero. Nil outside the discrete-event simulator.
@@ -130,51 +131,19 @@ type Manager struct {
 	// metrics, when non-nil, receives cycle attribution for every public
 	// operation under the "libmpk" layer.
 	metrics *metrics.Registry
-	tap     Tap
+	tap     tap.Tap
 
 	// Stats is exported for the experiment harness.
 	Stats Stats
 }
 
-// Op identifies one public libmpk API call for trace recording.
-type Op int
-
-// The tapped libmpk operations.
-const (
-	OpAlloc Op = iota
-	OpFree
-	OpMprotect
-	OpSet
-)
-
-// TapEvent describes one completed libmpk API call.
-type TapEvent struct {
-	// Op is the API entry point.
-	Op Op
-	// TID is the calling thread (0 for PkeyAlloc and nil-task calls).
-	TID int
-	// Vkey is the virtual key involved (PkeyAlloc's returned key).
-	Vkey Vkey
-	// Addr and Len are PkeyMprotect's range.
-	Addr pagetable.VAddr
-	Len  uint64
-	// Perm is PkeySet's permission argument.
-	Perm hw.Perm
-	// Cost is the cycles the call returned.
-	Cost cycles.Cost
-	// Err is the call's error, nil on success.
-	Err error
-}
-
-// Tap observes completed libmpk API calls for trace recording
-// (internal/replay); calls arrive in execution order.
-type Tap func(TapEvent)
-
-// SetTap attaches a trace recorder. Pass nil (the default) to detach.
-func (m *Manager) SetTap(t Tap) { m.tap = t }
+// SetTap attaches a trace recorder; completed API calls arrive as
+// unified tap.Events (OpPkeyAlloc/Free/Mprotect/Set). Pass nil (the
+// default) to detach.
+func (m *Manager) SetTap(t tap.Tap) { m.tap = t }
 
 // tapOp forwards a completed call to the attached tap, if any.
-func (m *Manager) tapOp(e TapEvent) {
+func (m *Manager) tapOp(e tap.Event) {
 	if m.tap != nil {
 		m.tap(e)
 	}
@@ -283,7 +252,7 @@ func (m *Manager) apiCost() cycles.Cost {
 func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
 	defer func() {
 		m.metrics.Attribute("libmpk", "pkey-alloc", uint64(cost))
-		m.tapOp(TapEvent{Op: OpAlloc, Vkey: v, Cost: cost})
+		m.tapOp(tap.Event{Op: tap.OpPkeyAlloc, Dom: uint64(v), Cost: cost})
 	}()
 	v = m.nextVkey
 	m.nextVkey++
@@ -298,7 +267,7 @@ func (m *Manager) PkeyAlloc() (v Vkey, cost cycles.Cost) {
 func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err error) {
 	defer func() {
 		m.metrics.Attribute("libmpk", "pkey-free", uint64(cost))
-		m.tapOp(TapEvent{Op: OpFree, TID: tapTID(task), Vkey: v, Cost: cost, Err: err})
+		m.tapOp(tap.Event{Op: tap.OpPkeyFree, TID: tapTID(task), Dom: uint64(v), Cost: cost, Err: err})
 	}()
 	k := m.key(v)
 	if k == nil {
@@ -321,7 +290,7 @@ func (m *Manager) PkeyFree(task *kernel.Task, v Vkey) (cost cycles.Cost, err err
 func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VAddr, length uint64, v Vkey) (cost cycles.Cost, err error) {
 	defer func() {
 		m.metrics.Attribute("libmpk", "pkey-mprotect", uint64(cost))
-		m.tapOp(TapEvent{Op: OpMprotect, TID: tapTID(task), Vkey: v, Addr: addr, Len: length, Cost: cost, Err: err})
+		m.tapOp(tap.Event{Op: tap.OpPkeyMprotect, TID: tapTID(task), Dom: uint64(v), Addr: addr, Len: length, Cost: cost, Err: err})
 	}()
 	k := m.key(v)
 	if k == nil {
@@ -346,7 +315,7 @@ func (m *Manager) PkeyMprotect(p *sim.Proc, task *kernel.Task, addr pagetable.VA
 func (m *Manager) PkeySet(p *sim.Proc, task *kernel.Task, v Vkey, perm hw.Perm) (cost cycles.Cost, err error) {
 	defer func() {
 		m.metrics.Attribute("libmpk", "pkey-set", uint64(cost))
-		m.tapOp(TapEvent{Op: OpSet, TID: tapTID(task), Vkey: v, Perm: perm, Cost: cost, Err: err})
+		m.tapOp(tap.Event{Op: tap.OpPkeySet, TID: tapTID(task), Dom: uint64(v), Perm: uint8(perm), Cost: cost, Err: err})
 	}()
 	k := m.key(v)
 	if k == nil {

@@ -1,10 +1,11 @@
 // Package replay implements the vdom-trace/v1 domain-op trace format: a
 // versioned record of every protection event a workload issues at the
-// syscall boundary of one of the three kernels (VDom core, libmpk, EPK),
-// with thread ids, logical cycle timestamps, and per-event outcomes.
+// syscall boundary of one of the registered kernels (VDom core, libmpk,
+// EPK, DPTI), with thread ids, logical cycle timestamps, and per-event
+// outcomes.
 //
-// A Recorder taps the instrumented layers (kernel.OpTap, core.APITap,
-// libmpk.Tap, epk tap) and appends one Event per observed operation; a
+// A Recorder taps the instrumented layers through the unified tap.Tap
+// hook and appends one Event per observed operation; a
 // Replayer re-executes a Trace against a freshly booted system of the
 // same configuration and reports the first Divergence — mismatching
 // cost, error, or returned id — plus an end-state diff. Traces encode to
@@ -19,6 +20,7 @@ import (
 
 	"vdom/internal/core"
 	"vdom/internal/cycles"
+	"vdom/internal/dpti"
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
 	"vdom/internal/mm"
@@ -38,6 +40,8 @@ const (
 	KernelLibmpk = "libmpk"
 	// KernelEPK replays against the EPK cycle model (no machine).
 	KernelEPK = "epk"
+	// KernelDPTI replays against the per-domain-page-table baseline.
+	KernelDPTI = "dpti"
 )
 
 // Typed decode errors. The decoder never panics on malformed input; it
@@ -111,8 +115,18 @@ const (
 	OpPkeySet
 	// OpEpkSwitch: EPK domain switch (Dom = domain id).
 	OpEpkSwitch
+	// OpDptiAlloc: dpti domain allocation (Dom = returned domain id).
+	OpDptiAlloc
+	// OpDptiFree: dpti domain free.
+	OpDptiFree
+	// OpDptiProtect: dpti dpti_mprotect (assign range to domain Dom).
+	OpDptiProtect
+	// OpDptiEnter: dpti domain entry (pgd switch into Dom's table).
+	OpDptiEnter
+	// OpDptiExit: dpti domain exit (pgd switch back to the base table).
+	OpDptiExit
 
-	opMax = OpEpkSwitch
+	opMax = OpDptiExit
 )
 
 // opNames maps ops to their stable JSONL names.
@@ -139,6 +153,11 @@ var opNames = [...]string{
 	OpPkeyMprotect: "pkey-mprotect",
 	OpPkeySet:      "pkey-set",
 	OpEpkSwitch:    "epk-switch",
+	OpDptiAlloc:    "dpti-alloc",
+	OpDptiFree:     "dpti-free",
+	OpDptiProtect:  "dpti-protect",
+	OpDptiEnter:    "dpti-enter",
+	OpDptiExit:     "dpti-exit",
 }
 
 // String names the op as the JSONL encoding does.
@@ -190,6 +209,8 @@ const (
 	CodeUnknownKey
 	CodeBadRange
 	CodeNoMapping
+	CodeUnknownDomain
+	CodeNoASID
 
 	// CodeOther is any error not covered by a dedicated code.
 	CodeOther ErrCode = 255
@@ -226,6 +247,10 @@ func (c ErrCode) String() string {
 		return "bad-range"
 	case CodeNoMapping:
 		return "no-mapping"
+	case CodeUnknownDomain:
+		return "unknown-domain"
+	case CodeNoASID:
+		return "no-asid"
 	default:
 		return "other"
 	}
@@ -257,6 +282,10 @@ func CodeOf(err error) ErrCode {
 		return CodeNoFreeKey
 	case errors.Is(err, libmpk.ErrUnknownKey):
 		return CodeUnknownKey
+	case errors.Is(err, dpti.ErrUnknownDomain):
+		return CodeUnknownDomain
+	case errors.Is(err, dpti.ErrNoASID):
+		return CodeNoASID
 	case errors.Is(err, kernel.ErrBlocked):
 		return CodeBlocked
 	case errors.Is(err, mm.ErrBadRange):
@@ -369,6 +398,8 @@ func ArchName(a cycles.Arch) string {
 		return "arm"
 	case cycles.Power:
 		return "power"
+	case cycles.RISCV:
+		return "riscv"
 	default:
 		return "x86"
 	}
@@ -383,6 +414,8 @@ func ArchFromName(s string) (cycles.Arch, error) {
 		return cycles.ARM, nil
 	case "power":
 		return cycles.Power, nil
+	case "riscv":
+		return cycles.RISCV, nil
 	default:
 		return 0, errors.New("replay: unknown arch " + s)
 	}

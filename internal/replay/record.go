@@ -1,18 +1,23 @@
 package replay
 
 import (
+	"vdom/internal/backend"
 	"vdom/internal/core"
 	"vdom/internal/cycles"
+	"vdom/internal/dpti"
 	"vdom/internal/epk"
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
 	"vdom/internal/pagetable"
+	"vdom/internal/tap"
 )
 
-// Recorder captures a domain-op trace by tapping the instrumented layers.
-// Attach it to whichever layers the workload uses (a VDom run attaches
-// kernel + manager; a libmpk run kernel + libmpk; an EPK run only the EPK
-// system), then drive the workload and call Finish.
+// Recorder captures a domain-op trace by tapping the instrumented
+// layers. Every layer — the kernel's syscall boundary and every
+// registered backend's domain API — feeds the single unified TapEvent
+// sink; attach whichever layers the workload uses (AttachSystem wires a
+// whole booted Instance in one call), then drive the workload and call
+// Finish.
 //
 // The simulation is cooperatively scheduled — exactly one simulated
 // process runs at a time — so taps fire strictly sequentially and the
@@ -22,10 +27,9 @@ type Recorder struct {
 	events []Event
 	clock  uint64
 
-	kern *kernel.Kernel
-	mgr  *core.Manager
-	lbm  *libmpk.Manager
-	esys *epk.System
+	// sys accumulates the attached layers so Finish can compute the end
+	// state; it is not necessarily a fully booted system.
+	sys System
 }
 
 // NewRecorder starts a recording described by hdr (Version is forced to
@@ -52,136 +56,110 @@ func (r *Recorder) add(e Event) {
 	r.events = append(r.events, e)
 }
 
+// TapEvent is the Recorder's unified tap sink (a tap.Tap): it converts
+// one completed operation into its trace event. Zero-cost dispatches are
+// skipped — a dispatch costs zero exactly when the task was already
+// current with no pending interrupts, i.e. when it mutated nothing.
+func (r *Recorder) TapEvent(e tap.Event) {
+	if e.Op == tap.OpDispatch && e.Cost == 0 {
+		return
+	}
+	op, ok := opOfTap[e.Op]
+	if !ok {
+		return
+	}
+	ev := Event{
+		Op:   op,
+		TID:  uint64(e.TID),
+		Addr: uint64(e.Addr),
+		Len:  e.Len,
+		Dom:  e.Dom,
+		Perm: e.Perm,
+		Cost: uint64(e.Cost),
+		Err:  CodeOf(e.Err),
+	}
+	if e.Write {
+		ev.Flags |= FlagWrite
+	}
+	if e.Freq {
+		ev.Flags |= FlagFreq
+	}
+	r.add(ev)
+}
+
+// opOfTap maps unified tap ops to their trace encoding.
+var opOfTap = map[tap.Op]Op{
+	tap.OpMmap:         OpMmap,
+	tap.OpMunmap:       OpMunmap,
+	tap.OpMprotect:     OpMprotect,
+	tap.OpAccess:       OpAccess,
+	tap.OpDispatch:     OpDispatch,
+	tap.OpVdomAlloc:    OpVdomAlloc,
+	tap.OpVdomFree:     OpVdomFree,
+	tap.OpVdomMprotect: OpVdomMprotect,
+	tap.OpVdrAlloc:     OpVdrAlloc,
+	tap.OpVdrFree:      OpVdrFree,
+	tap.OpVdrRead:      OpVdrRead,
+	tap.OpVdrWrite:     OpVdrWrite,
+	tap.OpNewVDS:       OpNewVDS,
+	tap.OpPkeyAlloc:    OpPkeyAlloc,
+	tap.OpPkeyFree:     OpPkeyFree,
+	tap.OpPkeyMprotect: OpPkeyMprotect,
+	tap.OpPkeySet:      OpPkeySet,
+	tap.OpEpkSwitch:    OpEpkSwitch,
+	tap.OpDptiAlloc:    OpDptiAlloc,
+	tap.OpDptiFree:     OpDptiFree,
+	tap.OpDptiProtect:  OpDptiProtect,
+	tap.OpDptiEnter:    OpDptiEnter,
+	tap.OpDptiExit:     OpDptiExit,
+}
+
+// AttachSystem taps every layer a booted instance carries: the kernel's
+// syscall boundary plus the present backend's domain API.
+func (r *Recorder) AttachSystem(sys *System) {
+	if sys.Kernel != nil {
+		r.AttachKernel(sys.Kernel)
+	}
+	for _, b := range backend.All() {
+		if b.Present(sys) {
+			b.AttachTap(sys, r.TapEvent)
+		}
+	}
+	r.sys.Manager = sys.Manager
+	r.sys.Libmpk = sys.Libmpk
+	r.sys.EPK = sys.EPK
+	r.sys.DPTI = sys.DPTI
+}
+
 // AttachKernel taps the kernel's syscall boundary (mmap/munmap/mprotect,
 // accesses, scheduler dispatch).
 func (r *Recorder) AttachKernel(k *kernel.Kernel) {
-	r.kern = k
-	k.SetOpTap(r)
+	r.sys.Kernel = k
+	k.SetTap(r.TapEvent)
 }
 
 // AttachManager taps the VDom core's public API.
 func (r *Recorder) AttachManager(m *core.Manager) {
-	r.mgr = m
-	m.SetAPITap(func(c core.APICall) {
-		e := Event{TID: uint64(c.TID), Cost: uint64(c.Cost), Err: CodeOf(c.Err)}
-		switch c.Op {
-		case core.APIAllocVdom:
-			e.Op = OpVdomAlloc
-			e.Dom = uint64(c.Vdom)
-			if c.Freq {
-				e.Flags |= FlagFreq
-			}
-		case core.APIFreeVdom:
-			e.Op = OpVdomFree
-			e.Dom = uint64(c.Vdom)
-		case core.APIMprotect:
-			e.Op = OpVdomMprotect
-			e.Addr = uint64(c.Addr)
-			e.Len = c.Len
-			e.Dom = uint64(c.Vdom)
-		case core.APIVdrAlloc:
-			e.Op = OpVdrAlloc
-			e.Len = uint64(c.Nas)
-		case core.APIVdrFree:
-			e.Op = OpVdrFree
-		case core.APIRdVdr:
-			e.Op = OpVdrRead
-			e.Dom = uint64(c.Vdom)
-			e.Perm = uint8(c.Perm)
-		case core.APIWrVdr:
-			e.Op = OpVdrWrite
-			e.Dom = uint64(c.Vdom)
-			e.Perm = uint8(c.Perm)
-		case core.APINewVDS:
-			e.Op = OpNewVDS
-		default:
-			return
-		}
-		r.add(e)
-	})
+	r.sys.Manager = m
+	m.SetTap(r.TapEvent)
 }
 
 // AttachLibmpk taps the libmpk baseline's public API.
 func (r *Recorder) AttachLibmpk(m *libmpk.Manager) {
-	r.lbm = m
-	m.SetTap(func(ev libmpk.TapEvent) {
-		e := Event{TID: uint64(ev.TID), Dom: uint64(ev.Vkey), Cost: uint64(ev.Cost), Err: CodeOf(ev.Err)}
-		switch ev.Op {
-		case libmpk.OpAlloc:
-			e.Op = OpPkeyAlloc
-		case libmpk.OpFree:
-			e.Op = OpPkeyFree
-		case libmpk.OpMprotect:
-			e.Op = OpPkeyMprotect
-			e.Addr = uint64(ev.Addr)
-			e.Len = ev.Len
-		case libmpk.OpSet:
-			e.Op = OpPkeySet
-			e.Perm = uint8(ev.Perm)
-		default:
-			return
-		}
-		r.add(e)
-	})
+	r.sys.Libmpk = m
+	m.SetTap(r.TapEvent)
 }
 
 // AttachEPK taps the EPK system's domain switches.
 func (r *Recorder) AttachEPK(s *epk.System) {
-	r.esys = s
-	s.SetTap(func(threadID, domain int, cost cycles.Cost) {
-		r.add(Event{Op: OpEpkSwitch, TID: uint64(threadID), Dom: uint64(domain), Cost: uint64(cost)})
-	})
+	r.sys.EPK = s
+	s.SetTap(r.TapEvent)
 }
 
-// TapSyscall implements kernel.OpTap. Only the memory-management calls
-// that shape domain state are recorded.
-func (r *Recorder) TapSyscall(t *kernel.Task, sc kernel.Syscall, args kernel.SyscallArgs, cost cycles.Cost, err error) {
-	e := Event{
-		TID:  uint64(t.TID()),
-		Addr: uint64(args.Addr),
-		Len:  args.Length,
-		Cost: uint64(cost),
-		Err:  CodeOf(err),
-	}
-	if args.Write {
-		e.Flags |= FlagWrite
-	}
-	switch sc {
-	case kernel.SysMmap:
-		e.Op = OpMmap
-	case kernel.SysMunmap:
-		e.Op = OpMunmap
-	case kernel.SysMprotect:
-		e.Op = OpMprotect
-	default:
-		return
-	}
-	r.add(e)
-}
-
-// TapAccess implements kernel.OpTap.
-func (r *Recorder) TapAccess(t *kernel.Task, addr pagetable.VAddr, write bool, cost cycles.Cost, err error) {
-	e := Event{
-		Op:   OpAccess,
-		TID:  uint64(t.TID()),
-		Addr: uint64(addr),
-		Cost: uint64(cost),
-		Err:  CodeOf(err),
-	}
-	if write {
-		e.Flags |= FlagWrite
-	}
-	r.add(e)
-}
-
-// TapDispatch implements kernel.OpTap. Zero-cost dispatches are skipped:
-// a dispatch costs zero exactly when the task was already current with no
-// pending interrupts, i.e. when it mutated nothing.
-func (r *Recorder) TapDispatch(t *kernel.Task, cost cycles.Cost) {
-	if cost == 0 {
-		return
-	}
-	r.add(Event{Op: OpDispatch, TID: uint64(t.TID()), Cost: uint64(cost)})
+// AttachDPTI taps the DPTI baseline's public API.
+func (r *Recorder) AttachDPTI(m *dpti.Manager) {
+	r.sys.DPTI = m
+	m.SetTap(r.TapEvent)
 }
 
 // Spawn records a task creation. Workloads call it right after NewTask;
@@ -221,7 +199,7 @@ func (r *Recorder) Finish() *Trace {
 	return &Trace{
 		Header: r.hdr,
 		Events: r.events,
-		End:    EndState(r.clock, r.kern, r.mgr, r.lbm, r.esys),
+		End:    EndState(r.clock, &r.sys),
 	}
 }
 

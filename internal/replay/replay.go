@@ -2,12 +2,12 @@ package replay
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 
+	"vdom/internal/backend"
 	"vdom/internal/core"
-	"vdom/internal/epk"
+	"vdom/internal/dpti"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/libmpk"
@@ -30,16 +30,11 @@ type Options struct {
 	Setup func(*System)
 }
 
-// System is the freshly booted platform a trace replays against. Fields
-// not used by the trace's kernel kind are nil.
-type System struct {
-	Machine *hw.Machine
-	Kernel  *kernel.Kernel
-	Proc    *kernel.Process
-	Manager *core.Manager
-	Libmpk  *libmpk.Manager
-	EPK     *epk.System
-}
+// System is the freshly booted platform a trace replays against: the
+// backend registry's Instance (machine/kernel/process substrate plus the
+// kernel kind's domain layer). Fields not used by the trace's kernel
+// kind are nil.
+type System = backend.Instance
 
 // Divergence describes the first point where a replay stopped matching
 // its recording.
@@ -127,19 +122,18 @@ func replayFrom(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock
 	if sys.Kernel != nil {
 		sys.Kernel.SetMetrics(opt.Metrics)
 	}
-	if sys.Manager != nil {
-		sys.Manager.SetMetrics(opt.Metrics)
-		if opt.Trace != nil {
-			tr := opt.Trace
-			sys.Manager.SetTracer(func(e core.Event) {
-				tr.Decision(e.Kind.String(), e.TID, clock, uint64(e.Cost), map[string]uint64{
-					"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
-				})
-			})
+	for _, b := range backend.All() {
+		if b.Present(sys) {
+			b.SetMetrics(sys, opt.Metrics)
 		}
 	}
-	if sys.Libmpk != nil {
-		sys.Libmpk.SetMetrics(opt.Metrics)
+	if sys.Manager != nil && opt.Trace != nil {
+		tr := opt.Trace
+		sys.Manager.SetTracer(func(e core.Event) {
+			tr.Decision(e.Kind.String(), e.TID, clock, uint64(e.Cost), map[string]uint64{
+				"vdom": uint64(e.Vdom), "vds": uint64(e.VDS), "pdom": uint64(e.Pdom),
+			})
+		})
 	}
 
 	res := &Result{Header: t.Header}
@@ -330,6 +324,47 @@ func replayFrom(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock
 				return nil, layerErr(i, "epk", t.Header.Kernel)
 			}
 			got.Cost = uint64(sys.EPK.Switch(int(want.TID), int(want.Dom)))
+		case OpDptiAlloc:
+			if sys.DPTI == nil {
+				return nil, layerErr(i, "dpti", t.Header.Kernel)
+			}
+			d, cost := sys.DPTI.AllocDomain()
+			got.Dom, got.Cost = uint64(d), uint64(cost)
+		case OpDptiFree:
+			tk, err := task(want, i)
+			if err != nil {
+				return nil, err
+			}
+			if sys.DPTI == nil {
+				return nil, layerErr(i, "dpti", t.Header.Kernel)
+			}
+			cost, err := sys.DPTI.FreeDomain(tk, dpti.DomainID(want.Dom))
+			got.Cost, rerr = uint64(cost), err
+		case OpDptiProtect:
+			tk, err := task(want, i)
+			if err != nil {
+				return nil, err
+			}
+			if sys.DPTI == nil {
+				return nil, layerErr(i, "dpti", t.Header.Kernel)
+			}
+			cost, err := sys.DPTI.Protect(tk, pagetable.VAddr(want.Addr), want.Len, dpti.DomainID(want.Dom))
+			got.Cost, rerr = uint64(cost), err
+		case OpDptiEnter, OpDptiExit:
+			if sys.DPTI == nil {
+				return nil, layerErr(i, "dpti", t.Header.Kernel)
+			}
+			tk, err := task(want, i)
+			if err != nil || tk == nil {
+				return nil, fmt.Errorf("%w: event %d: %s needs a thread (%v)", ErrBadRecord, i, want.Op, err)
+			}
+			if want.Op == OpDptiEnter {
+				cost, err := sys.DPTI.Enter(tk, dpti.DomainID(want.Dom))
+				got.Cost, rerr = uint64(cost), err
+			} else {
+				cost, err := sys.DPTI.Exit(tk)
+				got.Cost, rerr = uint64(cost), err
+			}
 		default:
 			return nil, fmt.Errorf("%w: event %d: op %d", ErrBadRecord, i, want.Op)
 		}
@@ -340,7 +375,7 @@ func replayFrom(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock
 		res.Events++
 		if got != want {
 			res.Cycles = clock
-			res.End = EndState(clock, sys.Kernel, sys.Manager, sys.Libmpk, sys.EPK)
+			res.End = EndState(clock, sys)
 			res.Divergence = &Divergence{
 				Index: i, Want: want, Got: got,
 				CycleDelta: int64(got.Time+got.Cost) - int64(want.Time+want.Cost),
@@ -350,7 +385,7 @@ func replayFrom(t *Trace, sys *System, tasks map[uint64]*kernel.Task, startClock
 	}
 
 	res.Cycles = clock
-	res.End = EndState(clock, sys.Kernel, sys.Manager, sys.Libmpk, sys.EPK)
+	res.End = EndState(clock, sys)
 	if t.End != nil {
 		if diff := diffEnd(t.End, res.End); len(diff) > 0 {
 			res.Divergence = &Divergence{Index: -1, EndDiff: diff}
@@ -386,108 +421,75 @@ func layerErr(idx int, layer, kind string) error {
 // and the kernel kind's domain layer, unwired (no metrics, taps, or
 // chaos attached). Run uses it internally; the snapshot subsystem uses
 // it to rebuild a System skeleton before loading checkpointed state into
-// each layer.
+// each layer. The kernel kind is resolved through the backend registry,
+// so a registered backend replays with no changes here.
 func Boot(h Header) (*System, error) {
-	sys := &System{}
-	switch h.Kernel {
-	case KernelEPK:
-		sys.EPK = epk.New(h.Domains, epk.DefaultVMTax())
-		// A standalone EPK cost-model trace (Cores == 0) needs no
-		// machine; application traces record scheduler dispatches too, so
-		// they carry the machine geometry and get a vanilla kernel.
-		if h.Cores <= 0 {
-			return sys, nil
-		}
-	case KernelVDom, KernelLibmpk:
-	default:
+	b, ok := backend.Get(h.Kernel)
+	if !ok {
 		return nil, fmt.Errorf("%w: unknown kernel kind %q", ErrBadRecord, h.Kernel)
+	}
+	spec := SpecFromHeader(h)
+	sys := &System{}
+	// A standalone cost-model trace (EPK with Cores <= 0) needs no
+	// machine; application traces record scheduler dispatches too, so
+	// they carry the machine geometry and get the substrate.
+	if b.Standalone(spec) {
+		if err := b.Attach(sys, spec); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+		return sys, nil
 	}
 	arch, err := ArchFromName(h.Arch)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
 	}
-	cores := h.Cores
-	if cores <= 0 {
+	spec.Arch = arch
+	if spec.Cores <= 0 {
 		return nil, fmt.Errorf("%w: kernel kind %q needs cores > 0", ErrBadRecord, h.Kernel)
 	}
-	sys.Machine = hw.NewMachine(hw.Config{
-		Arch:        arch,
-		NumCores:    cores,
-		TLBCapacity: h.TLBCap,
-		NoASID:      h.Flags&HdrNoASID != 0,
-	})
-	sys.Kernel = kernel.New(kernel.Config{Machine: sys.Machine, VDomEnabled: h.Flags&HdrVDomKernel != 0})
-	sys.Proc = sys.Kernel.NewProcess()
-	switch h.Kernel {
-	case KernelVDom:
-		sys.Manager = core.Attach(sys.Proc, core.Policy{
-			SecureGate:               h.Flags&HdrSecureGate != 0,
-			NoPMDOpt:                 h.Flags&HdrNoPMDOpt != 0,
-			StrictLRU:                h.Flags&HdrStrictLRU != 0,
-			RangeFlushThresholdPages: h.FlushThreshold,
-			DefaultNas:               h.Nas,
-		})
-	case KernelLibmpk:
-		sys.Libmpk = libmpk.Attach(sys.Proc, nil)
-		if h.Flags&HdrHugePages != 0 {
-			sys.Libmpk.SetPageMode(libmpk.Huge2M)
-		}
+	backend.BootSubstrate(sys, spec)
+	if err := b.Attach(sys, spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
 	}
 	return sys, nil
 }
 
-// EndState snapshots the final observable state of the attached layers:
-// the cycle clock, each layer's counters, and a digest of the domain map
-// (per-VDS thread counts and vdom→pdom bindings). Nil layers contribute
-// nothing, so recordings and replays of the same kernel kind produce
-// comparable maps.
-func EndState(clock uint64, k *kernel.Kernel, m *core.Manager, lbm *libmpk.Manager, es *epk.System) map[string]uint64 {
-	end := map[string]uint64{"clock": clock}
-	emit := func(name string, v uint64) { end[name] = v }
-	if k != nil {
-		k.EmitMetrics(emit)
+// SpecFromHeader converts a trace header to the backend boot spec. The
+// architecture is left zero — Boot parses it only when a machine is
+// actually built, so standalone cost-model traces stay arch-agnostic.
+func SpecFromHeader(h Header) backend.Spec {
+	return backend.Spec{
+		Cores:          h.Cores,
+		TLBCap:         h.TLBCap,
+		NoASID:         h.Flags&HdrNoASID != 0,
+		VDomKernel:     h.Flags&HdrVDomKernel != 0,
+		SecureGate:     h.Flags&HdrSecureGate != 0,
+		NoPMDOpt:       h.Flags&HdrNoPMDOpt != 0,
+		StrictLRU:      h.Flags&HdrStrictLRU != 0,
+		FlushThreshold: h.FlushThreshold,
+		Nas:            h.Nas,
+		Domains:        h.Domains,
+		Huge2M:         h.Flags&HdrHugePages != 0,
 	}
-	if m != nil {
-		m.Stats.Emit(emit)
-		end["core/vdses"] = uint64(len(m.VDSes()))
-		end["core/domain-digest"] = domainDigest(m)
-	}
-	if lbm != nil {
-		lbm.Stats.Emit(emit)
-	}
-	if es != nil {
-		es.Stats.Emit(emit)
-		end["epk/epts"] = uint64(es.NumEPTs())
-	}
-	return end
 }
 
-// domainDigest hashes the manager's live domain map: for each VDS (in id
-// order) its id, resident thread count, and sorted vdom→pdom bindings.
-// Two runs with identical digests ended with identical domain placement.
-func domainDigest(m *core.Manager) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+// EndState snapshots the final observable state of a system's attached
+// layers: the cycle clock, the kernel's counters, and — through each
+// registered backend's EmitEnd hook — the present domain layer's
+// counters and digests. Nil layers contribute nothing, so recordings and
+// replays of the same kernel kind produce comparable maps.
+func EndState(clock uint64, sys *System) map[string]uint64 {
+	end := map[string]uint64{"clock": clock}
+	emit := func(name string, v uint64) { end[name] = v }
+	if sys.Kernel != nil {
+		sys.Kernel.EmitMetrics(emit)
 	}
-	vdses := append([]*core.VDS(nil), m.VDSes()...)
-	sort.Slice(vdses, func(i, j int) bool { return vdses[i].ID() < vdses[j].ID() })
-	for _, v := range vdses {
-		put(uint64(v.ID()))
-		put(uint64(v.NumThreads()))
-		doms := v.MappedVdoms()
-		sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
-		for _, d := range doms {
-			pd, _ := v.PdomOf(d)
-			put(uint64(d))
-			put(uint64(pd))
+	for _, b := range backend.All() {
+		if b.Present(sys) {
+			b.EmitEnd(sys, emit)
 		}
 	}
-	return h.Sum64()
+	return end
 }
 
 // diffEnd lists keys whose values differ between the recorded and

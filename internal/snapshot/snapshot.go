@@ -35,11 +35,9 @@ import (
 	"fmt"
 	"hash/crc32"
 
-	"vdom/internal/core"
-	"vdom/internal/epk"
+	"vdom/internal/backend"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
-	"vdom/internal/libmpk"
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/replay"
@@ -128,15 +126,14 @@ func (s *State) lookup(name string) (Section, bool) {
 	return Section{}, false
 }
 
-// Section names of the layer images.
+// Section names of the substrate images; each domain layer's section is
+// named by its backend (Backend.Section — "core/manager", "libmpk",
+// "epk", "dpti").
 const (
-	secMeta    = "meta"
-	secMM      = "mm/as"
-	secKernel  = "kernel"
-	secHW      = "hw/machine"
-	secManager = "core/manager"
-	secLibmpk  = "libmpk"
-	secEPK     = "epk"
+	secMeta   = "meta"
+	secMM     = "mm/as"
+	secKernel = "kernel"
+	secHW     = "hw/machine"
 )
 
 // machineSnap is the hardware section: the frame allocator watermark
@@ -208,15 +205,18 @@ func Capture(sys *replay.System, hdr replay.Header, clock uint64, eventIndex int
 		}
 		st.AddSection(secHW, gobEncode(ms))
 
-		if sys.Manager != nil {
-			st.AddSection(secManager, gobEncode(sys.Manager.Snap(tableID)))
-		}
-		if sys.Libmpk != nil {
-			st.AddSection(secLibmpk, gobEncode(sys.Libmpk.Snap()))
+		// Process-scoped domain layers, in backend registration order —
+		// which is also the container's stable section order.
+		for _, b := range backend.All() {
+			if b.ProcScoped() && b.Present(sys) {
+				st.AddSection(b.Section(), gobEncode(b.Capture(sys, tableID)))
+			}
 		}
 	}
-	if sys.EPK != nil {
-		st.AddSection(secEPK, gobEncode(sys.EPK.Snap()))
+	for _, b := range backend.All() {
+		if !b.ProcScoped() && b.Present(sys) {
+			st.AddSection(b.Section(), gobEncode(b.Capture(sys, nil)))
+		}
 	}
 	return st, nil
 }
@@ -288,41 +288,36 @@ func Restore(st *State) (*replay.System, map[uint64]*kernel.Task, error) {
 		}
 		sys.Machine.SetFrameWatermark(ms.FrameWatermark)
 
-		if sys.Manager != nil {
-			sec, ok := st.lookup(secManager)
-			if !ok {
-				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secManager)
+		for _, b := range backend.All() {
+			if !b.ProcScoped() || !b.Present(sys) {
+				continue
 			}
-			var cms core.ManagerSnap
-			if err := gobDecode(sec, &cms); err != nil {
+			if err := restoreSection(st, b, sys, space.TableByID, taskFn); err != nil {
 				return nil, nil, err
 			}
-			sys.Manager.LoadSnap(cms, space.TableByID, taskFn)
-		}
-		if sys.Libmpk != nil {
-			sec, ok := st.lookup(secLibmpk)
-			if !ok {
-				return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secLibmpk)
-			}
-			var ls libmpk.Snap
-			if err := gobDecode(sec, &ls); err != nil {
-				return nil, nil, err
-			}
-			sys.Libmpk.LoadSnap(ls, taskFn)
 		}
 	}
-	if sys.EPK != nil {
-		sec, ok := st.lookup(secEPK)
-		if !ok {
-			return nil, nil, fmt.Errorf("%w: missing section %q", ErrBadRecord, secEPK)
+	for _, b := range backend.All() {
+		if b.ProcScoped() || !b.Present(sys) {
+			continue
 		}
-		var es epk.Snap
-		if err := gobDecode(sec, &es); err != nil {
+		if err := restoreSection(st, b, sys, nil, nil); err != nil {
 			return nil, nil, err
 		}
-		sys.EPK.LoadSnap(es)
 	}
 	return sys, tasks, nil
+}
+
+// restoreSection locates a backend's section and hands it to the
+// backend's decoder, preserving the typed missing-section and
+// bad-payload errors.
+func restoreSection(st *State, b backend.Backend, sys *replay.System,
+	table func(int) *pagetable.Table, task func(int) *kernel.Task) error {
+	sec, ok := st.lookup(b.Section())
+	if !ok {
+		return fmt.Errorf("%w: missing section %q", ErrBadRecord, b.Section())
+	}
+	return b.Restore(sys, func(v any) error { return gobDecode(sec, v) }, table, task)
 }
 
 // checkTableIDs validates the kernel section's table references against

@@ -1,0 +1,97 @@
+// Package tap defines the one observation interface every kernel backend
+// exports to the trace recorder. It replaces the four per-layer tap types
+// that used to exist (kernel.OpTap, core.APITap, libmpk.Tap, epk.Tap):
+// each instrumented layer now emits the same Event shape through the same
+// function type, so the recorder (internal/replay) has a single attach
+// point per layer and a new backend plugs into record/replay by emitting
+// Events — no recorder changes required.
+//
+// The package is a leaf: it imports only the cycle and page-table value
+// types, so every layer (the kernel included) can depend on it without
+// import cycles. Events carry plain task ids, not *kernel.Task, for the
+// same reason.
+package tap
+
+import (
+	"vdom/internal/cycles"
+	"vdom/internal/pagetable"
+)
+
+// Op identifies the operation an Event describes. The set is the union of
+// every instrumented surface: the kernel syscall boundary, the scheduler,
+// and the public API of each domain backend.
+type Op int
+
+// The tapped operations, grouped by emitting layer.
+const (
+	// OpInvalid is the zero Op; no layer emits it.
+	OpInvalid Op = iota
+
+	// Kernel syscall boundary (internal/kernel).
+	OpMmap
+	OpMunmap
+	OpMprotect
+	// OpAccess is one completed memory access, fault handling included.
+	OpAccess
+	// OpDispatch is a scheduler burst prologue (pending-interrupt drain
+	// plus context switch) with its total cost.
+	OpDispatch
+
+	// VDom core API (internal/core).
+	OpVdomAlloc
+	OpVdomFree
+	OpVdomMprotect
+	OpVdrAlloc
+	OpVdrFree
+	OpVdrRead
+	OpVdrWrite
+	OpNewVDS
+
+	// libmpk baseline API (internal/libmpk).
+	OpPkeyAlloc
+	OpPkeyFree
+	OpPkeyMprotect
+	OpPkeySet
+
+	// EPK baseline (internal/epk).
+	OpEpkSwitch
+
+	// DPTI baseline API (internal/dpti).
+	OpDptiAlloc
+	OpDptiFree
+	OpDptiProtect
+	OpDptiEnter
+	OpDptiExit
+)
+
+// Event describes one completed operation of an instrumented layer. Only
+// the fields meaningful for the Op are set; the rest stay zero.
+type Event struct {
+	// Op is the operation.
+	Op Op
+	// TID is the calling task id (0 for nil-task direct-mode calls and
+	// task-less operations such as pkey_alloc).
+	TID int
+	// Addr and Len are the operation's address range. OpVdrAlloc reuses
+	// Len for the requested nas count, mirroring the trace encoding.
+	Addr pagetable.VAddr
+	Len  uint64
+	// Dom is the domain / vkey / EPK domain / DPTI domain involved.
+	Dom uint64
+	// Perm is the raw permission argument (core.VPerm or hw.Perm).
+	Perm uint8
+	// Write marks a write access or writable mapping.
+	Write bool
+	// Freq marks a frequently-accessed vdom allocation hint.
+	Freq bool
+	// Cost is the cycles the operation returned.
+	Cost cycles.Cost
+	// Err is the operation's error, nil on success.
+	Err error
+}
+
+// Tap observes completed operations for trace recording; calls arrive in
+// execution order. The simulation is cooperatively scheduled, so tap
+// invocations are strictly sequential and implementations need no
+// locking.
+type Tap func(Event)

@@ -5,6 +5,7 @@ import (
 
 	"vdom/internal/core"
 	"vdom/internal/cycles"
+	"vdom/internal/dpti"
 	"vdom/internal/epk"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
@@ -51,6 +52,10 @@ const (
 	PatternLibmpk
 	// PatternEPK is the EPK baseline (cycle model).
 	PatternEPK
+	// PatternDPTI is the per-domain-page-table baseline: activation is a
+	// domain Enter (pgd switch), so every switch pays address-space
+	// change plus TLB refill instead of a key-register write.
+	PatternDPTI
 )
 
 // String names the row family.
@@ -66,6 +71,8 @@ func (s PatternSystem) String() string {
 		return "libmpk"
 	case PatternEPK:
 		return "EPK"
+	case PatternDPTI:
+		return "DPTI"
 	default:
 		return fmt.Sprintf("PatternSystem(%d)", int(s))
 	}
@@ -170,6 +177,8 @@ func RunPattern(cfg PatternConfig) PatternResult {
 		return runPatternEPK(cfg, warmup)
 	case PatternLibmpk:
 		return runPatternLibmpk(cfg, warmup)
+	case PatternDPTI:
+		return runPatternDPTI(cfg, warmup)
 	default:
 		return runPatternVDom(cfg, warmup)
 	}
@@ -404,6 +413,108 @@ func runPatternLibmpk(cfg PatternConfig, warmup int) PatternResult {
 		m.Stats.Emit(cfg.Metrics.Add)
 	}
 	return PatternResult{Config: cfg, AvgCycles: float64(total) / float64(activations), Activations: activations, TotalCycles: grand}
+}
+
+func runPatternDPTI(cfg PatternConfig, warmup int) PatternResult {
+	mach := hw.NewMachine(hw.Config{Arch: cfg.Arch, NumCores: 2, TLBCapacity: 0, NoASID: cfg.NoASID})
+	k := kernel.New(kernel.Config{Machine: mach, VDomEnabled: false})
+	proc := k.NewProcess()
+	m := dpti.Attach(proc)
+	rec := cfg.Record
+	if rec != nil {
+		rec.AttachKernel(k)
+		rec.AttachDPTI(m)
+	}
+	task := proc.NewTask(0)
+	if rec != nil {
+		rec.Spawn(task)
+	}
+	k.SetMetrics(cfg.Metrics)
+	m.SetMetrics(cfg.Metrics)
+
+	var grand uint64
+	add := func(c cycles.Cost) cycles.Cost { grand += uint64(c); return c }
+
+	doms := make([]dpti.DomainID, cfg.NumVdoms)
+	bases := make([]pagetable.VAddr, cfg.NumVdoms)
+	next := pagetable.VAddr(0x30_0000_0000)
+	for i := range doms {
+		base := next
+		next += pagetable.PMDSize * 4
+		if c, err := task.Mmap(base, pagetable.PMDSize, true); err != nil {
+			panic(err)
+		} else {
+			add(c)
+		}
+		var c cycles.Cost
+		doms[i], c = m.AllocDomain()
+		add(c)
+		bases[i] = base
+		if c, err := m.Protect(task, base, pagetable.PMDSize, doms[i]); err != nil {
+			panic(err)
+		} else {
+			add(c)
+		}
+		// Pre-fault in the shadow so every domain is fully present there;
+		// each domain's own table still demand-fills on first touch after
+		// an Enter — the page-walk pressure that defines this baseline.
+		if _, err := proc.AS().Populate(proc.AS().Shadow(), base, pagetable.PMDSize); err != nil {
+			panic(err)
+		}
+		if rec != nil {
+			rec.Populate(task, base, pagetable.PMDSize, false)
+		}
+	}
+
+	idx := order(cfg.Pattern, cfg.NumVdoms)
+	var total, touchTotal cycles.Cost
+	activations := 0
+	const touches = 4
+	for r := 0; r < warmup+cfg.Rounds; r++ {
+		for _, i := range idx {
+			c, err := m.Enter(task, doms[i])
+			if err != nil {
+				panic(err)
+			}
+			if cfg.Trace != nil {
+				cfg.Trace.Decision("dpti-enter", task.TID(), grand, uint64(c), map[string]uint64{"domain": uint64(doms[i])})
+			}
+			add(c)
+			// The accesses after the switch pay the pgd reload and the
+			// cold-TLB refill of the fresh address space.
+			var tc cycles.Cost
+			for j := 0; j < touches; j++ {
+				step := pagetable.VAddr(j) * (pagetable.PMDSize / touches)
+				a, err := task.Access(bases[i]+step, true)
+				if err != nil {
+					panic(err)
+				}
+				add(a)
+				tc += a
+			}
+			if r >= warmup {
+				total += c
+				touchTotal += tc
+				activations++
+			}
+			if c, err := m.Exit(task); err != nil {
+				panic(err)
+			} else {
+				add(c)
+			}
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Accumulate(mach, proc.AS(), k)
+		m.Stats.Emit(cfg.Metrics.Add)
+	}
+	return PatternResult{
+		Config:         cfg,
+		AvgCycles:      float64(total) / float64(activations),
+		AvgTouchCycles: float64(touchTotal) / float64(activations),
+		Activations:    activations,
+		TotalCycles:    grand,
+	}
 }
 
 func runPatternEPK(cfg PatternConfig, warmup int) PatternResult {

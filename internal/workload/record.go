@@ -39,6 +39,12 @@ func patternHeader(cfg PatternConfig, name string) replay.Header {
 	case PatternLibmpk:
 		h.Kernel = replay.KernelLibmpk
 		h.Cores = 2
+	case PatternDPTI:
+		h.Kernel = replay.KernelDPTI
+		h.Cores = 2
+		if cfg.NoASID {
+			h.Flags |= replay.HdrNoASID
+		}
 	default:
 		h.Kernel = replay.KernelVDom
 		h.Cores = 2
@@ -200,6 +206,18 @@ func TraceCorpus() []TraceSpec {
 		pattern("table4-epk-x86", PatternConfig{
 			Arch: cycles.X86, System: PatternEPK, Pattern: SwitchTriggering,
 			NumVdoms: 32, Rounds: 2,
+		}),
+		pattern("table4-dpti-x86", PatternConfig{
+			Arch: cycles.X86, System: PatternDPTI, Pattern: SwitchTriggering,
+			NumVdoms: 8, Rounds: 2,
+		}),
+		pattern("table4-vdom-riscv", PatternConfig{
+			Arch: cycles.RISCV, System: PatternVDomSecure, Pattern: Sequential,
+			NumVdoms: 8, Rounds: 2,
+		}),
+		pattern("table4-dpti-riscv", PatternConfig{
+			Arch: cycles.RISCV, System: PatternDPTI, Pattern: Sequential,
+			NumVdoms: 8, Rounds: 2,
 		}),
 		httpd("httpd-vdom-x86", HttpdConfig{
 			Arch: cycles.X86, System: VDom,

@@ -67,26 +67,33 @@ func (s System) String() string {
 
 // ClockHz returns the simulated clock rate used to convert cycles to
 // seconds: 2.1 GHz for the Xeon Gold 6230R, 1.2 GHz for the Raspberry
-// Pi 3's Cortex-A53, 3.8 GHz for the projected POWER9.
+// Pi 3's Cortex-A53, 3.8 GHz for the projected POWER9, and 1.5 GHz for
+// the projected sealable-PKS RISC-V core (a U74-class in-order part;
+// the SealPK prototype itself is an FPGA softcore).
 func ClockHz(arch cycles.Arch) float64 {
 	switch arch {
 	case cycles.ARM:
 		return 1.2e9
 	case cycles.Power:
 		return 3.8e9
+	case cycles.RISCV:
+		return 1.5e9
 	default:
 		return 2.1e9
 	}
 }
 
 // DefaultCores returns the hardware-thread count of each evaluation
-// platform (52 on the Xeon, 4 on the Pi, 44 on the projected POWER9).
+// platform (52 on the Xeon, 4 on the Pi, 44 on the projected POWER9,
+// 4 on the projected RISC-V board).
 func DefaultCores(arch cycles.Arch) int {
 	switch arch {
 	case cycles.ARM:
 		return 4
 	case cycles.Power:
 		return 44
+	case cycles.RISCV:
+		return 4
 	default:
 		return 52
 	}

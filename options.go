@@ -1,6 +1,11 @@
 package vdom
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"vdom/internal/backend"
+)
 
 // maxCores is the most hardware threads one System supports; the machine
 // addresses cores through a 64-bit CPU bitmap.
@@ -13,8 +18,13 @@ const maxCores = 64
 // Arch. NewSystem panics on exactly the errors returned here;
 // NewSystemWith returns them.
 func (cfg Config) Validate() error {
-	if cfg.Arch < X86 || cfg.Arch > Power {
+	if cfg.Arch < X86 || cfg.Arch > RISCV {
 		return fmt.Errorf("unknown architecture %d", int(cfg.Arch))
+	}
+	if cfg.Kernel != "" {
+		if _, ok := backend.Get(cfg.Kernel); !ok {
+			return &UnknownKernelError{Name: cfg.Kernel, Known: Kernels()}
+		}
 	}
 	if cfg.Cores < 0 {
 		return fmt.Errorf("negative core count %d", cfg.Cores)
@@ -35,6 +45,11 @@ type Option func(*Config)
 
 // WithArch selects the simulated architecture (default X86).
 func WithArch(a Arch) Option { return func(c *Config) { c.Arch = a } }
+
+// WithKernel selects the protection-kernel backend processes attach to
+// (default "vdom"; see Kernels for the registered set). An unregistered
+// name surfaces as an *UnknownKernelError from NewSystemWith.
+func WithKernel(name string) Option { return func(c *Config) { c.Kernel = name } }
 
 // WithCores sets the number of hardware threads (default 4, max 64).
 func WithCores(n int) Option { return func(c *Config) { c.Cores = n } }
@@ -77,6 +92,25 @@ func NewSystemWith(opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("vdom: %w", err)
 	}
 	return newSystem(cfg), nil
+}
+
+// Kernels lists the registered kernel backends in registration order:
+// "vdom" plus the comparison baselines ("libmpk", "epk", "dpti"). Every
+// entry is a valid Config.Kernel / WithKernel argument.
+func Kernels() []string { return backend.Names() }
+
+// UnknownKernelError reports a Config.Kernel naming no registered
+// backend; match it with errors.As.
+type UnknownKernelError struct {
+	// Name is the requested kernel.
+	Name string
+	// Known lists the registered kernels.
+	Known []string
+}
+
+// Error implements the error interface.
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("unknown kernel %q (registered: %s)", e.Name, strings.Join(e.Known, ", "))
 }
 
 // CoreRangeError reports a thread-placement request naming a core the

@@ -38,13 +38,16 @@ package vdom
 import (
 	"fmt"
 
+	"vdom/internal/backend"
 	"vdom/internal/chaos"
 	"vdom/internal/core"
 	"vdom/internal/cycles"
+	"vdom/internal/epk"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
 	"vdom/internal/metrics"
 	"vdom/internal/pagetable"
+	"vdom/internal/tlb"
 )
 
 // PageSize is the protection granularity in bytes.
@@ -64,6 +67,11 @@ const (
 	// (kernel-mediated AMR writes). The paper's prototype does not cover
 	// Power; treat results as projections (see DESIGN.md).
 	Power = cycles.Power
+	// RISCV models a projected RISC-V core with sealable protection keys
+	// (user-writable permission register, 16 pdoms, sealing checks on
+	// register writes). The paper's prototype does not cover RISC-V;
+	// treat results as projections (see DESIGN.md).
+	RISCV = cycles.RISCV
 )
 
 // Addr is a virtual address in a process's simulated address space.
@@ -114,6 +122,9 @@ var (
 	// ErrDegraded marks an operation that failed even after its degraded
 	// fallback ran.
 	ErrDegraded = core.ErrDegraded
+	// ErrDomainCapacity marks a DomainAlloc against a kernel backend
+	// whose fixed domain capacity (EPK's EPT groups) is exhausted.
+	ErrDomainCapacity = backend.ErrDomainCapacity
 )
 
 // ChaosConfig configures the deterministic fault-injection layer; see
@@ -127,6 +138,13 @@ type ChaosViolation = chaos.Violation
 type Config struct {
 	// Arch is the simulated architecture (default X86).
 	Arch Arch
+	// Kernel selects the protection-kernel backend processes attach to:
+	// one of Kernels() ("vdom", "libmpk", "epk", "dpti"; default
+	// "vdom"). Non-vdom kernels boot an unpatched kernel and expose
+	// their domain API through the kernel-neutral Process.Domain*
+	// methods; the vdom-specific surface (WriteVDR, ProtectRange, ...)
+	// is only available under the default kernel.
+	Kernel string
 	// Cores is the number of hardware threads (default 4).
 	Cores int
 	// TLBEntries is the per-core TLB capacity (default 1536).
@@ -155,11 +173,15 @@ type Config struct {
 
 // System is one simulated machine plus its booted kernel.
 type System struct {
-	machine  *hw.Machine
-	kernel   *kernel.Kernel
-	injector *chaos.Injector
-	metrics  *MetricsRegistry
-	procs    []*Process
+	machine    *hw.Machine
+	kernel     *kernel.Kernel
+	injector   *chaos.Injector
+	metrics    *MetricsRegistry
+	procs      []*Process
+	kernelName string
+	arch       Arch
+	cores      int
+	vanilla    bool
 }
 
 // NewSystem boots a simulated machine. The zero Config is valid (X86,
@@ -178,6 +200,9 @@ func newSystem(cfg Config) *System {
 	if cfg.Cores == 0 {
 		cfg.Cores = 4
 	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = "vdom"
+	}
 	m := hw.NewMachine(hw.Config{
 		Arch:           cfg.Arch,
 		NumCores:       cfg.Cores,
@@ -185,8 +210,15 @@ func newSystem(cfg Config) *System {
 		NoASID:         cfg.NoASID,
 		SetAssociative: cfg.SetAssociativeTLB,
 	})
-	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: !cfg.VanillaKernel})
-	s := &System{machine: m, kernel: k}
+	// Only the vdom backend runs on the patched kernel; the baselines
+	// measure against a vanilla one, exactly as the paper does.
+	vdomKernel := !cfg.VanillaKernel && cfg.Kernel == "vdom"
+	k := kernel.New(kernel.Config{Machine: m, VDomEnabled: vdomKernel})
+	s := &System{
+		machine: m, kernel: k,
+		kernelName: cfg.Kernel, arch: cfg.Arch, cores: cfg.Cores,
+		vanilla: cfg.VanillaKernel,
+	}
 	if cfg.Metrics {
 		s.metrics = metrics.New()
 		k.SetMetrics(s.metrics)
@@ -242,11 +274,24 @@ func (s *System) MetricsSnapshot() *MetricsSnapshot {
 // result means the machine is coherent — even under active fault
 // injection, thanks to the degradation paths.
 func (s *System) Audit() []ChaosViolation {
-	mgrs := make([]*core.Manager, len(s.procs))
-	for i, p := range s.procs {
-		mgrs[i] = p.mgr
+	var mgrs []*core.Manager
+	owners := make(map[tlb.ASID]*pagetable.Table)
+	for _, p := range s.procs {
+		if p.mgr != nil {
+			mgrs = append(mgrs, p.mgr)
+			continue
+		}
+		// Non-vdom processes own their ASIDs outside any core.Manager:
+		// task base ASIDs map the shadow table, and DPTI's materialized
+		// domains map their private tables.
+		for _, t := range p.proc.Tasks() {
+			owners[t.BaseASID()] = p.proc.AS().Shadow()
+		}
+		if d := p.inst.DPTI; d != nil {
+			d.OwnedASIDs(func(a tlb.ASID, tb *pagetable.Table) { owners[a] = tb })
+		}
 	}
-	return chaos.Audit(s.machine, s.kernel, mgrs...)
+	return chaos.AuditOwners(s.machine, s.kernel, owners, mgrs...)
 }
 
 // Kernel exposes the simulated kernel (advanced use: scheduler bridges,
@@ -256,34 +301,112 @@ func (s *System) Kernel() *kernel.Kernel { return s.kernel }
 // Cores returns the machine's core count.
 func (s *System) Cores() int { return s.machine.NumCores() }
 
-// Process is a VDom-enabled process.
+// Process is a process attached to the system's kernel backend. Under
+// the default "vdom" kernel the full VDom surface (AllocDomain,
+// ProtectRange, WriteVDR, ...) is available; under a baseline kernel
+// (Config.Kernel) only the kernel-neutral Domain* methods are — the
+// vdom-specific ones panic with a descriptive message.
 type Process struct {
 	sys  *System
 	proc *kernel.Process
+	inst *backend.Instance
+	ops  backend.DomainOps
 	mgr  *core.Manager
 	next Addr
 }
 
-// NewProcess creates a process with VDom initialized (vdom_init).
+// NewProcess creates a process attached to the system's kernel backend
+// (vdom_init under the default kernel). The policy applies to the vdom
+// backend; baselines ignore it.
 func (s *System) NewProcess(policy Policy) *Process {
+	b, _ := backend.Get(s.kernelName)
 	proc := s.kernel.NewProcess()
+	inst := &backend.Instance{Machine: s.machine, Kernel: s.kernel, Proc: proc}
+	spec := backend.Spec{
+		Arch: s.arch, Cores: s.cores,
+		VDomKernel:     s.kernelName == "vdom" && !s.vanilla,
+		SecureGate:     policy.SecureGate,
+		NoPMDOpt:       policy.NoPMDOpt,
+		StrictLRU:      policy.StrictLRU,
+		FlushThreshold: policy.RangeFlushThresholdPages,
+		Nas:            policy.DefaultNas,
+		// EPK's fixed capacity when that backend is selected: four EPT
+		// groups of hardware keys.
+		Domains: 4 * epk.KeysPerEPT,
+	}
+	if err := b.Attach(inst, spec); err != nil {
+		panic("vdom: " + err.Error())
+	}
 	p := &Process{
 		sys:  s,
 		proc: proc,
-		mgr:  core.Attach(proc, policy),
+		inst: inst,
+		ops:  b.Ops(inst),
+		mgr:  inst.Manager,
 		next: 0x10_0000_0000,
 	}
-	if s.injector != nil {
+	if s.injector != nil && p.mgr != nil {
 		s.injector.AttachManager(p.mgr)
 	}
-	p.mgr.SetMetrics(s.metrics)
+	b.SetMetrics(inst, s.metrics)
 	s.procs = append(s.procs, p)
 	return p
 }
 
+// KernelName returns the kernel backend this system boots processes on
+// (Config.Kernel, defaulted).
+func (s *System) KernelName() string { return s.kernelName }
+
 // Manager exposes the underlying domain manager (advanced use: stats,
-// call-gate access).
+// call-gate access). It is nil under a non-vdom kernel.
 func (p *Process) Manager() *core.Manager { return p.mgr }
+
+// requireVDom guards the vdom-specific surface under baseline kernels.
+func (p *Process) requireVDom(op string) {
+	if p.mgr == nil {
+		panic(fmt.Sprintf(
+			"vdom: %s needs the vdom kernel, but the system was booted with kernel %q — use the kernel-neutral Domain* methods",
+			op, p.sys.kernelName))
+	}
+}
+
+// DomainAlloc allocates a domain through the selected kernel backend's
+// own primitive (vdom_alloc, pkey_alloc, an EPT slot, dpti_alloc). The
+// Domain* methods are the kernel-neutral surface: they behave uniformly
+// under every Kernels() entry, which is what makes cross-kernel
+// comparisons one-line configuration changes.
+func (p *Process) DomainAlloc(t *Thread) (uint64, Cycles, error) {
+	return p.ops.Alloc(t.task)
+}
+
+// DomainFree releases a backend domain.
+func (p *Process) DomainFree(t *Thread, id uint64) (Cycles, error) {
+	return p.ops.Free(t.task, id)
+}
+
+// DomainProtect assigns the pages of [addr, addr+length) to the domain.
+func (p *Process) DomainProtect(t *Thread, addr Addr, length uint64, id uint64) (Cycles, error) {
+	return p.ops.Protect(t.task, addr, length, id)
+}
+
+// DomainPrepare performs the backend's per-thread setup (VDom's VDR
+// allocation; a no-op for backends without per-thread state). n bounds
+// how many domains the thread will touch.
+func (p *Process) DomainPrepare(t *Thread, n int) (Cycles, error) {
+	return p.ops.PrepareThread(t.task, n)
+}
+
+// DomainActivate makes the domain accessible to (or current for) the
+// thread — a VDR write, a pkey-register write, a VMFUNC switch, or a
+// pgd switch, depending on the kernel.
+func (p *Process) DomainActivate(t *Thread, id uint64) (Cycles, error) {
+	return p.ops.Activate(t.task, id)
+}
+
+// DomainDeactivate revokes the thread's access to the domain.
+func (p *Process) DomainDeactivate(t *Thread, id uint64) (Cycles, error) {
+	return p.ops.Deactivate(t.task, id)
+}
 
 // Underlying returns the kernel process (advanced use).
 func (p *Process) Underlying() *kernel.Process { return p.proc }
@@ -292,22 +415,28 @@ func (p *Process) Underlying() *kernel.Process { return p.proc }
 // frequently-accessed biases activation toward in-place eviction rather
 // than address-space switches.
 func (p *Process) AllocDomain(frequentlyAccessed bool) (Domain, Cycles) {
+	p.requireVDom("AllocDomain")
 	return p.mgr.AllocVdom(frequentlyAccessed)
 }
 
 // FreeDomain releases a domain (vdom_free).
 func (p *Process) FreeDomain(d Domain) (Cycles, error) {
+	p.requireVDom("FreeDomain")
 	return p.mgr.FreeVdom(d)
 }
 
 // ProtectRange assigns the pages containing [addr, addr+length) to domain
 // d (vdom_mprotect), called by thread t.
 func (p *Process) ProtectRange(t *Thread, addr Addr, length uint64, d Domain) (Cycles, error) {
+	p.requireVDom("ProtectRange")
 	return p.mgr.Mprotect(t.task, addr, length, d)
 }
 
 // Stats returns the domain-virtualization event counters.
-func (p *Process) Stats() core.Stats { return p.mgr.Stats }
+func (p *Process) Stats() core.Stats {
+	p.requireVDom("Stats")
+	return p.mgr.Stats
+}
 
 // Event is one traced domain-virtualization occurrence (a map, eviction,
 // VDS switch, migration, VDS allocation, or free).
@@ -329,6 +458,7 @@ const (
 // Trace installs fn as the process's domain-virtualization tracer; pass
 // nil to disable. Tracing is free when disabled.
 func (p *Process) Trace(fn func(Event)) {
+	p.requireVDom("Trace")
 	if fn == nil {
 		p.mgr.SetTracer(nil)
 		return
@@ -392,11 +522,13 @@ func (t *Thread) MmapAt(addr Addr, length uint64, writable bool) error {
 // the policy default. nas == 1 disables VDS switching entirely (pure
 // eviction mode).
 func (t *Thread) AllocVDR(nas int) (Cycles, error) {
+	t.proc.requireVDom("AllocVDR")
 	return t.proc.mgr.VdrAlloc(t.task, nas)
 }
 
 // FreeVDR releases the thread's register (vdr_free).
 func (t *Thread) FreeVDR() (Cycles, error) {
+	t.proc.requireVDom("FreeVDR")
 	return t.proc.mgr.VdrFree(t.task)
 }
 
@@ -404,11 +536,13 @@ func (t *Thread) FreeVDR() (Cycles, error) {
 // domain in the thread's current VDS if needed — this is where the domain
 // virtualization algorithm runs.
 func (t *Thread) WriteVDR(d Domain, perm Perm) (Cycles, error) {
+	t.proc.requireVDom("WriteVDR")
 	return t.proc.mgr.WrVdr(t.task, d, perm)
 }
 
 // ReadVDR reads the thread's permission on d (rdvdr).
 func (t *Thread) ReadVDR(d Domain) (Perm, Cycles, error) {
+	t.proc.requireVDom("ReadVDR")
 	return t.proc.mgr.RdVdr(t.task, d)
 }
 
