@@ -7,6 +7,7 @@
 //	           [-metrics out.json] [-trace-out out.trace.json]
 //	           [-trace-dir DIR] [-divergence-out out.json]
 //	           [-soak-report out.json] [-trace-dump DIR]
+//	           [-kernel NAME] [-scenario FILE]
 //	           [-snap FILE] [-tail FILE] [-timeout D]
 //	           [-duration D] [-shards N] [-ops-per-shard N]
 //	           [-checkpoint-every N] [-ring N] [-ring-dir DIR]
@@ -17,8 +18,16 @@
 //	           [-perf-threshold F] [experiment]
 //
 // Experiments: fig1, table1, table2, table3, table4, table5, tables, fig5,
-// fig6, fig7, unixbench, ctxswitch, ablation, chaos, snapshot, serve,
-// recover, record, replay, perf, compare, all (default).
+// fig6, fig7, unixbench, ctxswitch, ablation, matrix, chaos, snapshot,
+// serve, recover, record, replay, scenario, perf, compare, all (default).
+//
+// `scenario` runs a declared vdom-scenario/v1 workload (see SCENARIOS.md):
+// -scenario names the spec file, -kernel narrows the kernel sweep to one
+// registered backend (default: the spec's kernel set, else every
+// registered backend), and -trace-dir captures each cell's vdom-trace/v1
+// recording. `serve -scenario` schedules the spec as a supervised fleet,
+// taking the fleet shape from the spec's crash stanza and the fault mix
+// from its first faulted phase; explicit serve flags win over the stanza.
 //
 // `perf` runs the fixed performance suite (internal/perf, PERFORMANCE.md):
 // four machine-normalized rates written as a vdom-perf/v1 JSON report to
@@ -79,10 +88,21 @@ import (
 	"syscall"
 	"time"
 
+	"vdom"
 	"vdom/internal/bench"
 	"vdom/internal/metrics"
 	"vdom/internal/perf"
 )
+
+// registeredKernel reports whether name is a registered kernel backend.
+func registeredKernel(name string) bool {
+	for _, k := range vdom.Kernels() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast run")
@@ -94,7 +114,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "trace corpus directory for record/replay (default testdata/traces)")
 	divergenceOut := flag.String("divergence-out", "", "replay: write a JSON divergence report to this file")
 	soakReport := flag.String("soak-report", "", "chaos/snapshot: write a machine-readable JSON soak report to this file")
-	kernelName := flag.String("kernel", "vdom", "chaos: kernel backend to soak (vdom or dpti)")
+	kernelName := flag.String("kernel", "", "kernel backend: narrows the scenario sweep to one registered kernel; selects the chaos soak driver (vdom or dpti, default vdom)")
+	scenarioPath := flag.String("scenario", "", "scenario/serve: the vdom-scenario/v1 spec file to run (see SCENARIOS.md)")
 	traceDump := flag.String("trace-dump", "", "chaos/snapshot: dump failing shards' replayable traces (and reproducer checkpoints) into this directory")
 	snapPath := flag.String("snap", "", "recover: the vdom-snap/v1 checkpoint to restore")
 	tailPath := flag.String("tail", "", "recover: the recorded trace whose tail rolls the checkpoint forward")
@@ -141,6 +162,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  recover    standalone recovery from a -snap checkpoint and -tail trace reproducer\n")
 		fmt.Fprintf(os.Stderr, "  record     record the domain-op trace corpus to -trace-dir\n")
 		fmt.Fprintf(os.Stderr, "  replay     replay every trace under -trace-dir, verifying bit-identical behaviour\n")
+		fmt.Fprintf(os.Stderr, "  scenario   run a declared vdom-scenario/v1 workload (-scenario FILE, -kernel, -trace-dir; see SCENARIOS.md)\n")
 		fmt.Fprintf(os.Stderr, "  perf       fixed perf suite: machine-normalized vdom-perf/v1 report, optional -against baseline diff\n")
 		fmt.Fprintf(os.Stderr, "  compare    measured-vs-paper deviation report\n")
 		fmt.Fprintf(os.Stderr, "  all        everything (default)\n")
@@ -152,12 +174,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vdom-bench:", err)
 		os.Exit(2)
 	}
+	if *kernelName != "" && !registeredKernel(*kernelName) {
+		fmt.Fprintln(os.Stderr, "vdom-bench:",
+			&vdom.UnknownKernelError{Name: *kernelName, Known: vdom.Kernels()})
+		os.Exit(2)
+	}
 	o := bench.Options{
 		Quick: *quick, Format: f, Parallel: *parallel,
 		TraceDir: *traceDir, DivergenceOut: *divergenceOut,
 		SoakReport: *soakReport, TraceDump: *traceDump,
 		SnapPath: *snapPath, TailPath: *tailPath,
-		Kernel: *kernelName,
+		Kernel: *kernelName, Scenario: *scenarioPath,
 	}
 	if *metricsOut != "" {
 		o.Metrics = metrics.New()
@@ -262,6 +289,11 @@ func main() {
 			os.Exit(1)
 		}
 		if diverged > 0 {
+			os.Exit(1)
+		}
+	case "scenario":
+		if err := bench.Scenario(w, o); err != nil {
+			fmt.Fprintln(os.Stderr, "vdom-bench: scenario:", err)
 			os.Exit(1)
 		}
 	case "perf":

@@ -77,6 +77,10 @@ type Options struct {
 	SnapPath string
 	TailPath string
 
+	// Scenario points the scenario experiment (and serve -scenario) at a
+	// vdom-scenario/v1 spec file; see SCENARIOS.md.
+	Scenario string
+
 	// Ctx, when non-nil, bounds the long-running experiments (chaos,
 	// snapshot, serve) by wall clock: cancellation aborts between soak
 	// ops with a typed error, so a wedged run can never hang a CI job.

@@ -7,11 +7,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"vdom/internal/chaos"
 	"vdom/internal/metrics"
 	"vdom/internal/par"
 	"vdom/internal/replay"
+	"vdom/internal/scenario"
 	"vdom/internal/workload"
 )
 
@@ -32,7 +34,7 @@ func (o Options) traceDir() string {
 // worker pool; files and the rendered table are emitted in corpus order,
 // so output is byte-identical for every -parallel value.
 func Record(w io.Writer, o Options) error {
-	specs := workload.TraceCorpus()
+	specs := append(workload.TraceCorpus(), scenario.TraceCorpus()...)
 	type rec struct {
 		name  string
 		trace *replay.Trace
@@ -135,9 +137,12 @@ func Replay(w io.Writer, o Options) (int, error) {
 			c.hdr = t.Header
 			c.reg, c.tr = o.newCellSinks()
 			opt := replay.Options{Metrics: c.reg, Trace: c.tr}
-			if t.Header.Workload == chaos.SoakWorkload {
+			switch {
+			case t.Header.Workload == chaos.SoakWorkload:
 				c.res, c.err = chaos.ReplayTrace(t, opt)
-			} else {
+			case strings.HasPrefix(t.Header.Workload, scenario.WorkloadPrefix):
+				c.res, c.err = scenario.ReplayTrace(t, opt)
+			default:
 				c.res, c.err = replay.Run(t, opt)
 			}
 			return c

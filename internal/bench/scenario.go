@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vdom/internal/metrics"
+	"vdom/internal/par"
+	"vdom/internal/replay"
+	"vdom/internal/scenario"
+)
+
+// loadScenario reads and decodes one vdom-scenario/v1 spec file.
+func loadScenario(path string) (*scenario.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Scenario runs a declared vdom-scenario/v1 workload: the spec at
+// Options.Scenario is compiled to one deterministic plan per kernel
+// (Options.Kernel narrows the sweep to one backend) and every cell runs
+// as an isolated System fanned out across the worker pool. Results —
+// tables, metrics, and the per-kernel fold digest — are collected in
+// cell order, so output is byte-identical for every -parallel value.
+// When Options.TraceDir is set, each cell's vdom-trace/v1 recording is
+// written there as scenario-<spec>-<kernel>-p<phase>-s<step>.trace.
+func Scenario(w io.Writer, o Options) error {
+	if o.Scenario == "" {
+		return fmt.Errorf("bench: the scenario experiment needs -scenario <spec.json>")
+	}
+	spec, err := loadScenario(o.Scenario)
+	if err != nil {
+		return err
+	}
+	kernels, err := scenario.Kernels(spec, o.Kernel)
+	if err != nil {
+		return err
+	}
+	record := o.TraceDir != ""
+	if record {
+		if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, kern := range kernels {
+		plan, err := scenario.Compile(spec, kern)
+		if err != nil {
+			return err
+		}
+		if o.Quick {
+			plan.Quick()
+		}
+
+		type cellS struct {
+			res *scenario.CellResult
+			err error
+			bin []byte
+			reg *metrics.Registry
+		}
+		jobs := make([]func() cellS, len(plan.Cells))
+		for i := range plan.Cells {
+			c := plan.Cells[i]
+			jobs[i] = func() cellS {
+				var sc cellS
+				sc.reg, _ = o.newCellSinks()
+				sc.res, sc.err = scenario.RunCell(c, scenario.CellOptions{Metrics: sc.reg, Record: record})
+				if sc.err == nil && record {
+					sc.bin = replay.Encode(sc.res.Trace)
+				}
+				return sc
+			}
+		}
+		cells := par.Map(o.workers(), jobs)
+
+		t := &Table{
+			Title: fmt.Sprintf("Scenario %s × %s: %d cells, seed %#x (%s)",
+				spec.Name, kern, len(plan.Cells), spec.Seed, scenario.FormatName),
+			Columns: []string{"phase", "step", "clients", "ops", "activate", "churn", "reuse", "faults", "injected", "cycles", "cyc/op", "digest"},
+		}
+		// fold chains every cell's end-state digest in plan order — the
+		// single value the determinism regression compares across
+		// parallel widths and reruns.
+		fold := replay.DigestString(spec.Name + "|" + kern)
+		for i, sc := range cells {
+			c := plan.Cells[i]
+			if sc.err != nil {
+				return fmt.Errorf("scenario %s × %s, cell %s/%d: %v", spec.Name, kern, c.Phase, c.Step, sc.err)
+			}
+			r := sc.res
+			if record {
+				name := fmt.Sprintf("scenario-%s-%s-p%d-s%d.trace", spec.Name, kern, c.PhaseIndex, c.Step)
+				if err := os.WriteFile(filepath.Join(o.TraceDir, name), sc.bin, 0o644); err != nil {
+					return err
+				}
+			}
+			t.Row(c.Phase, fmt.Sprint(c.Step), fmt.Sprint(c.Clients), fmt.Sprint(r.Ops),
+				fmt.Sprint(r.Activations), fmt.Sprint(r.Churns), fmt.Sprint(r.Reuses),
+				fmt.Sprint(r.Faulted), fmt.Sprint(r.Injected), fmt.Sprint(r.Cycles),
+				f1(float64(r.Cycles)/float64(r.Ops)), fmt.Sprintf("%016x", r.EndDigest))
+			fold = fold*1099511628211 ^ r.EndDigest
+			o.Metrics.Add("bench/total-cycles", r.Cycles)
+			o.Metrics.Merge(sc.reg)
+		}
+		o.Render(w, t)
+		fmt.Fprintf(w, "%s × %s digest: %016x\n\n", spec.Name, kern, fold)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"vdom/internal/metrics"
+)
+
+// specPath resolves a committed spec file relative to the repo root
+// (tests run from internal/bench).
+func specPath(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "testdata", "scenarios", name+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed spec %s missing (run `go test -run TestScenarioGolden -update-scenarios .` at the root): %v", name, err)
+	}
+	return path
+}
+
+// runScenario runs one spec × kernel at the given pool width and returns
+// the rendered output, the metrics snapshot, and every trace file's
+// bytes keyed by filename.
+func runScenario(t *testing.T, spec, kern string, workers int) (out, snap []byte, traces map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	o := Options{
+		Quick: true, Parallel: workers,
+		Kernel: kern, Scenario: specPath(t, spec),
+		TraceDir: dir, Metrics: metrics.New(),
+	}
+	var tb, mb bytes.Buffer
+	if err := Scenario(&tb, o); err != nil {
+		t.Fatalf("scenario %s × %s: %v", spec, kern, err)
+	}
+	if err := o.Metrics.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("scenario run recorded no traces")
+	}
+	traces = make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[filepath.Base(p)] = data
+	}
+	return tb.Bytes(), mb.Bytes(), traces
+}
+
+// TestScenarioByteIdentical is the scenario subsystem's determinism
+// regression: for committed specs × kernels, the rendered tables (with
+// the fold digest line), the metrics snapshot, and every recorded
+// vdom-trace/v1 file must be byte-identical between the sequential
+// reference (-parallel 1) and a NumCPU-wide pool. Run under -race this
+// also shakes out data races between scenario cells.
+func TestScenarioByteIdentical(t *testing.T) {
+	wide := runtime.NumCPU()
+	if wide < 2 {
+		wide = 2
+	}
+	cases := []struct{ spec, kern string }{
+		{"mesh-churn", "vdom"},
+		{"mesh-churn", "dpti"},
+		{"oltp-phases", "vdom"},
+		{"oltp-phases", "dpti"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.spec+"/"+tc.kern, func(t *testing.T) {
+			t.Parallel()
+			o1, m1, tr1 := runScenario(t, tc.spec, tc.kern, 1)
+			oN, mN, trN := runScenario(t, tc.spec, tc.kern, wide)
+			if !bytes.Equal(o1, oN) {
+				t.Errorf("rendered output differs between -parallel 1 and %d:\n--- p1\n%s\n--- pN\n%s", wide, o1, oN)
+			}
+			if !bytes.Equal(m1, mN) {
+				t.Errorf("metrics snapshots differ between -parallel 1 and %d", wide)
+			}
+			if len(tr1) != len(trN) {
+				t.Fatalf("trace counts differ: %d vs %d", len(tr1), len(trN))
+			}
+			for name, data := range tr1 {
+				if !bytes.Equal(data, trN[name]) {
+					t.Errorf("trace %s differs between -parallel 1 and %d", name, wide)
+				}
+			}
+			if len(o1) == 0 {
+				t.Error("scenario produced no output")
+			}
+		})
+	}
+}
+
+// TestScenarioAllSpecsAllKernels smokes every committed spec across every
+// registered kernel through the bench entry point — the same sweep CI
+// runs via `vdom-bench scenario`, minus trace recording.
+func TestScenarioAllSpecsAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is not short")
+	}
+	for _, name := range []string{"mesh-churn", "serverless-burst", "sandbox-churn", "oltp-phases"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var tb bytes.Buffer
+			o := Options{Quick: true, Parallel: 2, Scenario: specPath(t, name)}
+			if err := Scenario(&tb, o); err != nil {
+				t.Fatalf("scenario %s: %v", name, err)
+			}
+			if tb.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+// TestScenarioErrors pins the subcommand's failure modes: a missing
+// -scenario flag, a nonexistent file, a corrupt spec, and an unregistered
+// kernel all fail with a diagnosable error instead of running nothing.
+func TestScenarioErrors(t *testing.T) {
+	var tb bytes.Buffer
+	if err := Scenario(&tb, Options{}); err == nil {
+		t.Error("missing -scenario did not error")
+	}
+	if err := Scenario(&tb, Options{Scenario: filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Error("nonexistent spec file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"format":"vdom-scenario/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scenario(&tb, Options{Scenario: bad}); err == nil {
+		t.Error("corrupt spec did not error")
+	}
+	if err := Scenario(&tb, Options{Scenario: specPath(t, "mesh-churn"), Kernel: "xen"}); err == nil {
+		t.Error("unregistered kernel did not error")
+	}
+}

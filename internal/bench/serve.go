@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vdom/internal/chaos"
+	"vdom/internal/scenario"
 	"vdom/internal/serve"
 )
 
@@ -62,6 +63,59 @@ func serveCrashKinds(name string) ([]chaos.CrashKind, error) {
 	}
 }
 
+// scenarioServeConfig lowers a spec's crash stanza and fault schedule
+// onto the serve fleet configuration. Explicit -flags win: a stanza
+// value applies only where the corresponding ServeOptions field is still
+// zero. The fault mix comes from the spec's first faulted phase (the
+// crash-soak default otherwise), and a nonzero spec seed replaces the
+// -seed default so the fleet is reproducible from the spec alone.
+func scenarioServeConfig(w io.Writer, spec *scenario.Spec, kinds []chaos.CrashKind, seed uint64, so ServeOptions) (chaos.Config, []chaos.CrashKind, uint64, ServeOptions) {
+	if spec.Seed != 0 {
+		seed = spec.Seed
+	}
+	mix := snapshotChaosConfig(0)
+	faultPhase := ""
+	for i := range spec.Phases {
+		if f := spec.Phases[i].Faults; f.Any() {
+			mix = f.Config(0)
+			faultPhase = spec.Phases[i].Name
+			break
+		}
+	}
+	if c := spec.Crash; c != nil {
+		applyIfZero := func(dst *int, v int) {
+			if *dst == 0 {
+				*dst = v
+			}
+		}
+		applyIfZero(&so.Shards, c.Shards)
+		applyIfZero(&so.OpsPerShard, c.OpsPerShard)
+		applyIfZero(&so.CheckpointEvery, c.CheckpointEvery)
+		applyIfZero(&so.Ring, c.Ring)
+		applyIfZero(&so.CrashEvery, c.CrashEvery)
+		applyIfZero(&so.MaxRetries, c.MaxRetries)
+		if so.SnapWriteFail == 0 {
+			so.SnapWriteFail = c.SnapWriteFail
+		}
+		if so.SnapCorrupt == 0 {
+			so.SnapCorrupt = c.SnapCorrupt
+		}
+		if (so.CrashKind == "" || so.CrashKind == "all") && len(c.Kinds) > 0 {
+			// Stanza kinds are validated at decode time; the error path is
+			// unreachable for a decoded spec.
+			if ks, err := c.CrashKinds(); err == nil {
+				kinds = ks
+			}
+		}
+	}
+	if faultPhase != "" {
+		fmt.Fprintf(w, "scenario %q: fault mix from phase %q, fleet config from crash stanza\n", spec.Name, faultPhase)
+	} else {
+		fmt.Fprintf(w, "scenario %q: crash-soak default fault mix, fleet config from crash stanza\n", spec.Name)
+	}
+	return mix, kinds, seed, so
+}
+
 // writeHealth writes one health report to path (best-effort on the
 // periodic ticks; the final report returns its error).
 func writeHealth(path string, h *serve.Health) error {
@@ -90,10 +144,18 @@ func Serve(w io.Writer, o Options, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	soak := chaos.SoakConfig{Chaos: snapshotChaosConfig(0)}
+	if o.Scenario != "" {
+		spec, err := loadScenario(o.Scenario)
+		if err != nil {
+			return err
+		}
+		soak.Chaos, kinds, seed, so = scenarioServeConfig(w, spec, kinds, seed, so)
+	}
 	cfg := serve.Config{
 		Shards:          so.Shards,
 		Seed:            seed,
-		Soak:            chaos.SoakConfig{Chaos: snapshotChaosConfig(0)},
+		Soak:            soak,
 		Pressure:        chaos.PressureConfig{SnapWriteFail: so.SnapWriteFail, SnapCorrupt: so.SnapCorrupt},
 		OpsPerShard:     so.OpsPerShard,
 		Duration:        so.Duration,

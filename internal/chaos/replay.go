@@ -53,6 +53,49 @@ func soakHeader(cfg SoakConfig) replay.Header {
 	return h
 }
 
+// ExtraConfig encodes an injector configuration into trace-header Extra
+// keys; ConfigFromExtra is the inverse. The scenario compiler embeds a
+// phase's fault schedule into cell headers through it, so a faulted
+// scenario trace replays under the identical fault stream.
+func ExtraConfig(cfg Config) map[string]uint64 {
+	return injectorExtra(cfg)
+}
+
+// ConfigFromExtra rebuilds an injector configuration from trace-header
+// Extra keys. The boolean reports whether the map carried a chaos
+// configuration at all (headers of fault-free runs do not).
+func ConfigFromExtra(extra map[string]uint64) (Config, bool) {
+	if _, ok := extra[extraSeed]; !ok {
+		return Config{}, false
+	}
+	return Config{
+		Seed:           extra[extraSeed],
+		DropIPI:        math.Float64frombits(extra[extraDropIPI]),
+		DelayIPI:       math.Float64frombits(extra[extraDelayIPI]),
+		StaleTLB:       math.Float64frombits(extra[extraStaleTLB]),
+		ASIDExhaustion: math.Float64frombits(extra[extraASIDExhaustion]),
+		ASIDLimit:      tlb.ASID(extra[extraASIDLimit]),
+		VDSAllocFail:   math.Float64frombits(extra[extraVDSAllocFail]),
+		PdomExhaustion: math.Float64frombits(extra[extraPdomExhaustion]),
+		SpuriousFault:  math.Float64frombits(extra[extraSpuriousFault]),
+	}, true
+}
+
+// AttachSystem wires the injector into every layer a booted instance
+// carries that has a chaos hook: the machine, the kernel, and (for VDom
+// systems) the core manager. Layers the instance lacks are skipped.
+func (in *Injector) AttachSystem(sys *replay.System) {
+	if sys.Machine != nil {
+		in.AttachMachine(sys.Machine)
+	}
+	if sys.Kernel != nil {
+		in.AttachKernel(sys.Kernel)
+	}
+	if sys.Manager != nil {
+		in.AttachManager(sys.Manager)
+	}
+}
+
 // injectorExtra encodes the injector configuration into trace-header
 // Extra keys (configFromHeader is the inverse).
 func injectorExtra(cfg Config) map[string]uint64 {
@@ -103,16 +146,7 @@ func ReplayTrace(t *replay.Trace, opt replay.Options) (*replay.Result, error) {
 	}
 	inner := opt.Setup
 	opt.Setup = func(sys *replay.System) {
-		in := New(cfg)
-		if sys.Machine != nil {
-			in.AttachMachine(sys.Machine)
-		}
-		if sys.Kernel != nil {
-			in.AttachKernel(sys.Kernel)
-		}
-		if sys.Manager != nil {
-			in.AttachManager(sys.Manager)
-		}
+		New(cfg).AttachSystem(sys)
 		if inner != nil {
 			inner(sys)
 		}

@@ -114,7 +114,8 @@ func TestOpNamesRoundTrip(t *testing.T) {
 func TestErrCodeNamesRoundTrip(t *testing.T) {
 	codes := []ErrCode{CodeOK, CodeSigsegv, CodeBlocked, CodeNoVDR, CodeDenied, CodeReassign,
 		CodeFreedVdom, CodeNoResources, CodeExhausted, CodeDegraded, CodeNoFreeKey,
-		CodeUnknownKey, CodeBadRange, CodeNoMapping, CodeOther}
+		CodeUnknownKey, CodeBadRange, CodeNoMapping, CodeUnknownDomain, CodeNoASID,
+		CodeDomainCapacity, CodeOther}
 	for _, c := range codes {
 		if got := errCodeFromName(c.String()); got != c {
 			t.Fatalf("errCodeFromName(%q) = %v, want %v", c.String(), got, c)

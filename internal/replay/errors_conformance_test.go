@@ -10,6 +10,7 @@ import (
 	"errors"
 	"testing"
 
+	"vdom/internal/backend"
 	"vdom/internal/core"
 	"vdom/internal/hw"
 	"vdom/internal/kernel"
@@ -17,6 +18,7 @@ import (
 	"vdom/internal/mm"
 	"vdom/internal/pagetable"
 	"vdom/internal/replay"
+	"vdom/internal/scenario"
 	"vdom/internal/sim"
 	"vdom/internal/snapshot"
 	"vdom/internal/tlb"
@@ -224,6 +226,71 @@ func TestSentinelConformance(t *testing.T) {
 			},
 			want: []error{libmpk.ErrUnknownKey},
 			code: replay.CodeUnknownKey,
+		},
+		{
+			name: "backend/domain-capacity",
+			run: func(t *testing.T) error {
+				// EPK's monotonic group allocator is the one backend with a
+				// fixed domain capacity; exhausting it must surface the
+				// registry-level sentinel through the DomainOps adapter.
+				h := replay.Header{
+					Version: replay.FormatVersion, Kernel: replay.KernelEPK,
+					Arch: "x86", Cores: 1, Workload: "conformance", Domains: 1,
+				}
+				sys, err := replay.Boot(h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, ok := backend.Get(replay.KernelEPK)
+				if !ok {
+					t.Fatal("epk backend not registered")
+				}
+				ops := b.Ops(sys)
+				tk := sys.Proc.NewTask(0)
+				if _, _, err := ops.Alloc(tk); err != nil {
+					t.Fatal(err)
+				}
+				_, _, aerr := ops.Alloc(tk)
+				return aerr
+			},
+			want: []error{backend.ErrDomainCapacity},
+			code: replay.CodeDomainCapacity,
+		},
+		{
+			name: "scenario/bad-magic",
+			run: func(t *testing.T) error {
+				_, err := scenario.Decode([]byte(`{"format":"vdom-trace/v1"}`))
+				return err
+			},
+			want: []error{scenario.ErrBadMagic},
+			code: replay.CodeOther,
+		},
+		{
+			name: "scenario/bad-version",
+			run: func(t *testing.T) error {
+				_, err := scenario.Decode([]byte(`{"format":"vdom-scenario/v2"}`))
+				return err
+			},
+			want: []error{scenario.ErrBadVersion},
+			code: replay.CodeOther,
+		},
+		{
+			name: "scenario/truncated",
+			run: func(t *testing.T) error {
+				_, err := scenario.Decode([]byte(`{"format":"vdom-scenario/v1","name":"tr`))
+				return err
+			},
+			want: []error{scenario.ErrTruncated},
+			code: replay.CodeOther,
+		},
+		{
+			name: "scenario/bad-record",
+			run: func(t *testing.T) error {
+				_, err := scenario.Decode([]byte(`{"format":"vdom-scenario/v1","name":"x","phases":[]}`))
+				return err
+			},
+			want: []error{scenario.ErrBadRecord},
+			code: replay.CodeOther,
 		},
 		{
 			name: "snapshot/truncated-gob-section",

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"hash/fnv"
 
+	"vdom/internal/backend"
 	"vdom/internal/core"
 	"vdom/internal/cycles"
 	"vdom/internal/dpti"
@@ -211,6 +212,11 @@ const (
 	CodeNoMapping
 	CodeUnknownDomain
 	CodeNoASID
+	CodeDomainCapacity
+
+	// codeMax is the highest dedicated code; the JSONL decoder's inverse
+	// name lookup scans up to it.
+	codeMax = CodeDomainCapacity
 
 	// CodeOther is any error not covered by a dedicated code.
 	CodeOther ErrCode = 255
@@ -251,6 +257,8 @@ func (c ErrCode) String() string {
 		return "unknown-domain"
 	case CodeNoASID:
 		return "no-asid"
+	case CodeDomainCapacity:
+		return "domain-capacity"
 	default:
 		return "other"
 	}
@@ -286,6 +294,8 @@ func CodeOf(err error) ErrCode {
 		return CodeUnknownDomain
 	case errors.Is(err, dpti.ErrNoASID):
 		return CodeNoASID
+	case errors.Is(err, backend.ErrDomainCapacity):
+		return CodeDomainCapacity
 	case errors.Is(err, kernel.ErrBlocked):
 		return CodeBlocked
 	case errors.Is(err, mm.ErrBadRange):

@@ -164,7 +164,7 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 
 // errCodeFromName inverts ErrCode.String for the JSONL decoder.
 func errCodeFromName(s string) ErrCode {
-	for c := CodeOK; c <= CodeNoMapping; c++ {
+	for c := CodeOK; c <= codeMax; c++ {
 		if c.String() == s {
 			return c
 		}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Decode parses and validates one vdom-scenario/v1 document. Errors are
+// typed: non-JSON input is ErrBadRecord, input that ends mid-document is
+// ErrTruncated, a wrong or missing format field is ErrBadMagic (or
+// ErrBadVersion for a future vdom-scenario version), and everything
+// structurally invalid past the magic is ErrBadRecord. The decoder
+// rejects unknown fields, so typos in hand-written specs fail loudly
+// instead of silently configuring nothing.
+func Decode(data []byte) (*Spec, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("%w: %d bytes exceed the %d-byte cap", ErrBadRecord, len(data), maxSpecBytes)
+	}
+	// First pass: sniff the magic leniently, so a spec with unknown
+	// fields or a future version still classifies as a version problem
+	// rather than a generic parse failure.
+	var magic struct {
+		Format string `json:"format"`
+	}
+	if err := decodeJSON(data, &magic, false); err != nil {
+		return nil, err
+	}
+	switch {
+	case magic.Format == FormatName:
+	case strings.HasPrefix(magic.Format, formatPrefix):
+		return nil, fmt.Errorf("%w: %q (this build reads %s)", ErrBadVersion, magic.Format, FormatName)
+	default:
+		return nil, fmt.Errorf("%w: format %q", ErrBadMagic, magic.Format)
+	}
+	// Second pass: strict field-checked decode plus structural
+	// validation.
+	s := new(Spec)
+	if err := decodeJSON(data, s, true); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeJSON runs one decode pass, mapping the stdlib's error taxonomy
+// onto the format's typed sentinels and rejecting trailing data.
+func decodeJSON(data []byte, into any, strict bool) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(into); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) && strings.Contains(syn.Error(), "unexpected end") {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after the spec document", ErrBadRecord)
+	}
+	return nil
+}
+
+// Encode renders a spec in the canonical form: two-space-indented JSON
+// in struct field order with a trailing newline. Decode(Encode(s))
+// yields an equal spec, and re-encoding it reproduces the same bytes —
+// the fixed point FuzzScenarioDecode checks and the committed library
+// files are stored in.
+func Encode(s *Spec) []byte {
+	// A Spec holds only marshalable fields, so this cannot fail.
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("scenario: encode: " + err.Error())
+	}
+	return append(out, '\n')
+}

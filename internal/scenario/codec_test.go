@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validSpecBytes is a canonical encoding of the first library spec.
+func validSpecBytes(t testing.TB) []byte {
+	t.Helper()
+	return Encode(Library()[0])
+}
+
+func TestDecodeLibraryFixedPoint(t *testing.T) {
+	for _, want := range Library() {
+		t.Run(want.Name, func(t *testing.T) {
+			data := Encode(want)
+			got, err := Decode(data)
+			if err != nil {
+				t.Fatalf("decode canonical encoding: %v", err)
+			}
+			if !bytes.Equal(Encode(got), data) {
+				t.Fatalf("decode → re-encode is not a fixed point:\n%s\nvs\n%s", Encode(got), data)
+			}
+		})
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := string(validSpecBytes(t))
+	cases := []struct {
+		name string
+		data string
+		want error
+	}{
+		{"empty", "", ErrTruncated},
+		{"truncated-mid-object", valid[:len(valid)/2], ErrTruncated},
+		{"truncated-mid-string", `{"format": "vdom-scen`, ErrTruncated},
+		{"not-json", "\x00\x01\x02garbage", ErrBadRecord},
+		{"wrong-magic", `{"format": "vdom-trace/v1"}`, ErrBadMagic},
+		{"missing-magic", `{"name": "x"}`, ErrBadMagic},
+		{"future-version", `{"format": "vdom-scenario/v2"}`, ErrBadVersion},
+		{"unknown-field", strings.Replace(valid, `"name"`, `"nmae"`, 1), ErrBadRecord},
+		{"trailing-data", valid + `{"again": true}`, ErrBadRecord},
+		{"oversized", `{"format": "vdom-scenario/v1", "notes": "` + strings.Repeat("x", maxSpecBytes) + `"}`, ErrBadRecord},
+		{
+			"no-phases",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": []}`,
+			ErrBadRecord,
+		},
+		{
+			"bad-phase-zero-ops",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 0, "domains_per_client": 2}]}`,
+			ErrBadRecord,
+		},
+		{
+			"bad-phase-domains",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 9999}]}`,
+			ErrBadRecord,
+		},
+		{
+			"overlong-ramp",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2, "end": 8, "steps": 17}, "ops": 10, "domains_per_client": 2}]}`,
+			ErrBadRecord,
+		},
+		{
+			"bad-lifetime-dist",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 2,
+				 "lifetime": {"dist": "zipf", "mean_ops": 4}}]}`,
+			ErrBadRecord,
+		},
+		{
+			"bad-fault-probability",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 2,
+				 "faults": {"drop_ipi": 1.5}}]}`,
+			ErrBadRecord,
+		},
+		{
+			"bad-crash-kind",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 2}],
+			 "crash": {"kinds": ["meteor-strike"]}}`,
+			ErrBadRecord,
+		},
+		{
+			"duplicate-phase-names",
+			`{"format": "vdom-scenario/v1", "name": "x", "seed": 1, "phases": [
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 2},
+				{"name": "p", "clients": {"start": 2}, "ops": 10, "domains_per_client": 2}]}`,
+			ErrBadRecord,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("decode unexpectedly succeeded")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("decode error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzScenarioDecode checks the decoder never panics and that every
+// accepted input's decoded form is a canonical fixed point: re-encoding
+// and re-decoding reproduces the identical spec bytes. Rejections must
+// carry exactly one of the format's typed sentinels.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, s := range Library() {
+		f.Add(Encode(s))
+	}
+	f.Add([]byte(`{"format": "vdom-scenario/v1"}`))
+	f.Add([]byte(`{"format": "vdom-scenario/v99", "name": "future"}`))
+	f.Add([]byte(`{"format": "vdom-trace/v1"}`))
+	f.Add([]byte(`{"name": "x"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("rejection carries no typed sentinel: %v", err)
+			}
+			return
+		}
+		enc := Encode(s)
+		s2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(Encode(s2), enc) {
+			t.Fatalf("encode ∘ decode is not a fixed point")
+		}
+	})
+}

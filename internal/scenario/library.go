@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+
+	"vdom/internal/replay"
+	"vdom/internal/workload"
+)
+
+// Library returns the bundled production-shaped scenarios, in the order
+// they are committed under testdata/scenarios/ (file stem == Name). The
+// specs are constructed here and golden-tested against the committed
+// files, so editing either side without the other fails the build.
+func Library() []*Spec {
+	return []*Spec{
+		{
+			Format: FormatName,
+			Name:   "mesh-churn",
+			Notes: "Microservice-mesh per-request domain churn: a sidecar allocates a " +
+				"short-lived domain per request (the DPTI regime), ramping clients as " +
+				"the mesh scales out, then a request storm under light IPI/TLB fault " +
+				"pressure.",
+			Seed: 0x6d65_7368, // "mesh"
+			Phases: []Phase{
+				{
+					Name:             "ramp",
+					Clients:          Ramp{Start: 2, End: 6, Steps: 3},
+					Ops:              140,
+					DomainsPerClient: 3,
+					Lifetime:         Lifetime{Dist: LifeGeometric, MeanOps: 6},
+				},
+				{
+					Name:             "storm",
+					Clients:          Ramp{Start: 8},
+					Ops:              200,
+					DomainsPerClient: 4,
+					Lifetime:         Lifetime{Dist: LifeFixed, MeanOps: 2},
+					Mix:              &Mix{Activate: 6, Churn: 3, Plain: 1},
+					Faults:           &FaultSpec{DropIPI: 0.02, StaleTLB: 0.02},
+				},
+			},
+		},
+		{
+			Format: FormatName,
+			Name:   "serverless-burst",
+			Notes: "Serverless cold-start bursts: a near-idle warm pool, then a burst " +
+				"of one-shot function sandboxes (every domain lives for exactly one " +
+				"activation), then a cooldown draining the pool.",
+			Seed: 0x6c61_6d62_6461, // "lambda"
+			Phases: []Phase{
+				{
+					Name:             "idle",
+					Clients:          Ramp{Start: 1},
+					Ops:              60,
+					DomainsPerClient: 2,
+					Lifetime:         Lifetime{Dist: LifeGeometric, MeanOps: 8},
+				},
+				{
+					Name:             "burst",
+					Clients:          Ramp{Start: 12},
+					Ops:              240,
+					DomainsPerClient: 2,
+					Lifetime:         Lifetime{Dist: LifeFixed, MeanOps: 1},
+					Mix:              &Mix{Activate: 5, Churn: 4, Plain: 1},
+					Cores:            4,
+				},
+				{
+					Name:             "cooldown",
+					Clients:          Ramp{Start: 3},
+					Ops:              80,
+					DomainsPerClient: 2,
+					Lifetime:         Lifetime{Dist: LifeUniform, MeanOps: 4},
+				},
+			},
+		},
+		{
+			Format: FormatName,
+			Name:   "sandbox-churn",
+			Notes: "Multi-tenant sandbox churn: tenants come and go under injected " +
+				"allocator pressure (VDS alloc failures, pdom exhaustion, spurious " +
+				"faults). The crash stanza schedules it as a supervised fleet with a " +
+				"rolling checkpoint ring (vdom-bench serve -scenario).",
+			Seed: 0x7465_6e61_6e74, // "tenant"
+			Phases: []Phase{
+				{
+					Name:             "tenants",
+					Clients:          Ramp{Start: 4, End: 10, Steps: 2},
+					Ops:              160,
+					DomainsPerClient: 4,
+					Lifetime:         Lifetime{Dist: LifeUniform, MeanOps: 5},
+					Faults: &FaultSpec{
+						VDSAllocFail:   0.05,
+						PdomExhaustion: 0.03,
+						SpuriousFault:  0.02,
+					},
+				},
+			},
+			Crash: &CrashSpec{
+				Shards:          2,
+				OpsPerShard:     600,
+				CheckpointEvery: 100,
+				Ring:            4,
+				CrashEvery:      250,
+				Kinds:           []string{"kernel-panic"},
+				MaxRetries:      3,
+				SnapWriteFail:   0.05,
+			},
+		},
+		{
+			Format: FormatName,
+			Name:   "oltp-phases",
+			Notes: "Phase-shifting OLTP: a read-heavy steady state over long-lived " +
+				"table domains, a write-heavy batch window with rapid domain " +
+				"recycling (on the ARM cost table), then a post-batch read recovery.",
+			Seed: 0x6f6c_7470, // "oltp"
+			Phases: []Phase{
+				{
+					Name:             "read-heavy",
+					Clients:          Ramp{Start: 4},
+					Ops:              150,
+					DomainsPerClient: 3,
+					Mix:              &Mix{Activate: 9, Churn: 0, Plain: 1},
+				},
+				{
+					Name:             "write-heavy",
+					Clients:          Ramp{Start: 6},
+					Ops:              180,
+					DomainsPerClient: 3,
+					Lifetime:         Lifetime{Dist: LifeFixed, MeanOps: 3},
+					Mix:              &Mix{Activate: 5, Churn: 4, Plain: 1},
+					Arch:             "arm",
+				},
+				{
+					Name:             "recovery-read",
+					Clients:          Ramp{Start: 4},
+					Ops:              100,
+					DomainsPerClient: 3,
+					Lifetime:         Lifetime{Dist: LifeGeometric, MeanOps: 4},
+				},
+			},
+		},
+	}
+}
+
+// LibrarySpec returns the bundled scenario with the given name.
+func LibrarySpec(name string) (*Spec, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no bundled scenario %q", ErrBadRecord, name)
+}
+
+// TraceCorpus returns the scenario entries of the golden-trace corpus:
+// one recorded cell (mesh-churn's first ramp step on the VDom kernel,
+// x86) proving scenarios ride the record/replay guarantee. The cell is
+// fault-free, so the committed trace replays through the plain engine.
+func TraceCorpus() []workload.TraceSpec {
+	return []workload.TraceSpec{{
+		Name: "scenario-mesh-vdom-x86",
+		Record: func() *replay.Trace {
+			spec, err := LibrarySpec("mesh-churn")
+			if err != nil {
+				panic(err)
+			}
+			plan, err := Compile(spec, replay.KernelVDom)
+			if err != nil {
+				panic(fmt.Sprintf("scenario: compile bundled mesh-churn: %v", err))
+			}
+			res, err := RunCell(plan.Cells[0], CellOptions{Record: true})
+			if err != nil {
+				panic(fmt.Sprintf("scenario: record mesh-churn cell 0: %v", err))
+			}
+			return res.Trace
+		},
+	}}
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"vdom/internal/replay"
+	"vdom/internal/scenario"
 	"vdom/internal/workload"
 )
 
@@ -19,12 +21,29 @@ var updateTraces = flag.Bool("update-traces", false, "rewrite testdata/traces go
 
 const traceDir = "testdata/traces"
 
+// goldenCorpus is the full golden-trace corpus: the paper workloads plus
+// the scenario subsystem's recorded cell.
+func goldenCorpus() []workload.TraceSpec {
+	return append(workload.TraceCorpus(), scenario.TraceCorpus()...)
+}
+
+// replayGolden re-executes a golden trace through the engine that
+// recorded it: scenario traces go through scenario.ReplayTrace (which
+// rebuilds any fault injector from the header), everything else through
+// the plain replay engine.
+func replayGolden(tr *replay.Trace) (*replay.Result, error) {
+	if strings.HasPrefix(tr.Header.Workload, scenario.WorkloadPrefix) {
+		return scenario.ReplayTrace(tr, replay.Options{})
+	}
+	return replay.Run(tr, replay.Options{})
+}
+
 // TestReplayGolden is the golden-trace regression: every corpus workload
 // is re-recorded and must match its checked-in trace byte-for-byte, and
 // replaying the checked-in trace must reproduce the recorded cycle
 // clock, event stream, and end state with zero divergence.
 func TestReplayGolden(t *testing.T) {
-	for _, spec := range workload.TraceCorpus() {
+	for _, spec := range goldenCorpus() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			path := filepath.Join(traceDir, spec.Name+".trace")
@@ -62,7 +81,7 @@ func TestReplayGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("decode golden: %v", err)
 			}
-			res, err := replay.Run(tr, replay.Options{})
+			res, err := replayGolden(tr)
 			if err != nil {
 				t.Fatalf("replay: %v", err)
 			}
@@ -87,7 +106,7 @@ func TestReplayRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus re-record is not short")
 	}
-	for _, spec := range workload.TraceCorpus() {
+	for _, spec := range goldenCorpus() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			tr := spec.Record()
@@ -111,7 +130,7 @@ func TestReplayRoundTrip(t *testing.T) {
 			}
 			assertTraceEqual(t, "jsonl", tr, jdec)
 
-			res, err := replay.Run(dec, replay.Options{})
+			res, err := replayGolden(dec)
 			if err != nil {
 				t.Fatalf("replay: %v", err)
 			}

@@ -1,0 +1,63 @@
+package vdom
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdom/internal/scenario"
+)
+
+// updateScenarios rewrites the committed spec files under
+// testdata/scenarios/ from the bundled library. Run
+// `go test -run TestScenarioGolden -update-scenarios .` after an
+// intentional change to a bundled scenario.
+var updateScenarios = flag.Bool("update-scenarios", false, "rewrite testdata/scenarios spec files")
+
+const scenarioDir = "testdata/scenarios"
+
+// TestScenarioGolden pins the committed vdom-scenario/v1 spec files to
+// the bundled library: each testdata/scenarios/<name>.json must be the
+// canonical encoding of its library spec byte-for-byte, and must decode
+// back to a spec whose re-encoding is a fixed point. The committed files
+// are what CI and the documentation drive `vdom-bench scenario` with, so
+// drift here means the docs and the library disagree.
+func TestScenarioGolden(t *testing.T) {
+	for _, spec := range scenario.Library() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			path := filepath.Join(scenarioDir, spec.Name+".json")
+			enc := scenario.Encode(spec)
+
+			if *updateScenarios {
+				if err := os.MkdirAll(scenarioDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(enc))
+				return
+			}
+
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden spec (run with -update-scenarios): %v", err)
+			}
+			if !bytes.Equal(enc, golden) {
+				t.Fatalf("library spec %s no longer matches its committed file (%d vs %d bytes); run with -update-scenarios if the change is intentional",
+					spec.Name, len(enc), len(golden))
+			}
+
+			dec, err := scenario.Decode(golden)
+			if err != nil {
+				t.Fatalf("decode committed spec: %v", err)
+			}
+			if re := scenario.Encode(dec); !bytes.Equal(re, golden) {
+				t.Fatalf("committed spec %s is not an encode fixed point", spec.Name)
+			}
+		})
+	}
+}
