@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"vdom/internal/cycles"
 	"vdom/internal/metrics"
@@ -88,6 +89,12 @@ type Options struct {
 	Ctx context.Context
 	// Serve parameterizes the serve subcommand; see ServeOptions.
 	Serve ServeOptions
+
+	// FleetRun, when non-nil, shards every distributable experiment
+	// grid across a fleet of worker subprocesses instead of the
+	// in-process pool; output stays byte-identical (see FLEET.md). The
+	// fleet's recovery ladder and its aggregated report live here.
+	FleetRun *FleetRun
 }
 
 // ctx resolves Options.Ctx, defaulting to the background context.
@@ -104,12 +111,19 @@ func (o Options) workers() int { return par.Workers(o.Parallel) }
 // cell is one grid cell's harvested result: its rendered value plus the
 // observability state the cell collected privately. Each parallel worker
 // fills cells for disjoint indices; the collector merges them in index
-// order so worker count never reaches the output.
+// order so worker count never reaches the output. Cells computed by a
+// fleet worker subprocess arrive with their registry decoded into snap
+// (instead of reg) and any grid-specific payload in aux; fail carries a
+// cell-level failure (non-empty only for cells a fleet quarantined or a
+// cancelled soak shard).
 type cell struct {
 	text  string
 	total uint64
 	reg   *metrics.Registry
+	snap  *metrics.Snapshot
 	tr    *metrics.Trace
+	aux   []byte
+	fail  string
 }
 
 // newCellSinks returns fresh per-cell observability sinks mirroring which
@@ -127,9 +141,13 @@ func (o Options) newCellSinks() (*metrics.Registry, *metrics.Trace) {
 }
 
 // collect folds one cell's observability state into the run-wide sinks.
+// A locally computed cell merges its live registry; a fleet-computed
+// cell merges its decoded snapshot — metrics.MergeSnapshot is lossless
+// against Merge, so the two paths yield byte-identical run snapshots.
 func (o Options) collect(c cell) {
 	o.Metrics.Add("bench/total-cycles", c.total)
 	o.Metrics.Merge(c.reg)
+	o.Metrics.MergeSnapshot(c.snap)
 	o.Trace.Append(c.tr)
 }
 
@@ -169,36 +187,8 @@ func Fig1(w io.Writer, o Options) {
 		Title:   "Figure 1: overhead breakdown of libmpk on httpd (25 threads, 16KB)",
 		Columns: []string{"clients", "total ovh", "busy waiting", "TLB shootdown", "memory+metadata mgmt"},
 	}
-	clientCounts := []int{4, 8, 12, 16, 20, 24, 28, 32}
-	jobs := make([]func() []string, len(clientCounts))
-	for i := range jobs {
-		clients := clientCounts[i]
-		jobs[i] = func() []string {
-			mk := func(sys workload.System) workload.HttpdResult {
-				return workload.RunHttpd(workload.HttpdConfig{
-					Arch: cycles.X86, System: sys, Clients: clients,
-					RequestsPerClient: o.httpdRequests(), FileBytes: 16384, Workers: 25,
-				})
-			}
-			base := mk(workload.Original)
-			lm := mk(workload.Libmpk)
-			ov := float64(lm.Makespan)/float64(base.Makespan) - 1
-
-			// Attribute the overhead to the Figure 1 buckets by each
-			// bucket's share of the extra cycles.
-			st := lm.LibmpkStats
-			bw := float64(st.BusyWaitCycles)
-			sd := float64(st.ShootdownCycles)
-			mg := float64(st.MgmtCycles)
-			sum := bw + sd + mg
-			if sum == 0 {
-				sum = 1
-			}
-			return []string{fmt.Sprint(clients), pct(ov), pct(ov * bw / sum), pct(ov * sd / sum), pct(ov * mg / sum)}
-		}
-	}
-	for _, row := range par.Map(o.workers(), jobs) {
-		t.Row(row...)
+	for _, c := range o.mapGrid("fig1", 0) {
+		t.Row(strings.Split(c.text, rowSep)...)
 	}
 	o.Render(w, t)
 }
@@ -236,43 +226,11 @@ func Table4(w io.Writer, o Options) {
 		Title:   "Table 4: average cycles per activation, 2MB (512-page) vdoms",
 		Columns: cols,
 	}
-	type rowSpec struct {
-		label string
-		arch  cycles.Arch
-		sys   workload.PatternSystem
-		pat   workload.Pattern
-	}
-	specs := []rowSpec{
-		{"VDom X86f seq", cycles.X86, workload.PatternVDomFast, workload.Sequential},
-		{"VDom X86f trig", cycles.X86, workload.PatternVDomFast, workload.SwitchTriggering},
-		{"VDom X86s seq", cycles.X86, workload.PatternVDomSecure, workload.Sequential},
-		{"VDom X86s trig", cycles.X86, workload.PatternVDomSecure, workload.SwitchTriggering},
-		{"VDom X86e seq", cycles.X86, workload.PatternVDomEvict, workload.Sequential},
-		{"libmpk seq", cycles.X86, workload.PatternLibmpk, workload.Sequential},
-		{"EPK seq", cycles.X86, workload.PatternEPK, workload.Sequential},
-		{"EPK trig", cycles.X86, workload.PatternEPK, workload.SwitchTriggering},
-		{"VDom ARM seq", cycles.ARM, workload.PatternVDomSecure, workload.Sequential},
-		{"VDom ARM trig", cycles.ARM, workload.PatternVDomSecure, workload.SwitchTriggering},
-		{"VDom ARMe seq", cycles.ARM, workload.PatternVDomEvict, workload.Sequential},
-	}
-	// One job per (row, vdom count) cell; every cell builds an isolated
+	// One cell per (row, vdom count); every cell builds an isolated
 	// System and collects into private sinks, merged below in cell order.
 	nc := len(table4Counts)
-	jobs := make([]func() cell, len(specs)*nc)
-	for i := range jobs {
-		s, n := specs[i/nc], table4Counts[i%nc]
-		jobs[i] = func() cell {
-			reg, tr := o.newCellSinks()
-			r := workload.RunPattern(workload.PatternConfig{
-				Arch: s.arch, System: s.sys, Pattern: s.pat, NumVdoms: n,
-				Rounds:  o.patternRounds(),
-				Metrics: reg, Trace: tr,
-			})
-			return cell{text: f0(r.AvgCycles), total: r.TotalCycles, reg: reg, tr: tr}
-		}
-	}
-	results := par.Map(o.workers(), jobs)
-	for ri, s := range specs {
+	results := o.mapGrid("table4", 0)
+	for ri, s := range table4Rows {
 		row := []string{s.label}
 		for ci := range table4Counts {
 			c := results[ri*nc+ci]
@@ -294,23 +252,12 @@ func Table5Opts(w io.Writer, o Options) {
 		Title:   "Table 5: alloc+sync overhead across numbers of VDSes",
 		Columns: []string{"# of VDSes", "2", "4", "8", "16", "32"},
 	}
-	vdsCounts := []int{2, 4, 8, 16, 32}
-	arches := []cycles.Arch{cycles.X86, cycles.ARM}
-	jobs := make([]func() string, len(arches)*len(vdsCounts))
-	for i := range jobs {
-		arch, n := arches[i/len(vdsCounts)], vdsCounts[i%len(vdsCounts)]
-		jobs[i] = func() string {
-			ov, ok := workload.MemSyncOverhead(arch, n)
-			if !ok {
-				return "undefined"
-			}
-			return f1(ov * 100)
+	results := o.mapGrid("table5", 0)
+	for ai, arch := range table5Arches {
+		cells := []string{fmt.Sprintf("%v overhead (%%)", arch)}
+		for _, c := range results[ai*len(table5Counts) : (ai+1)*len(table5Counts)] {
+			cells = append(cells, c.text)
 		}
-	}
-	results := par.Map(o.workers(), jobs)
-	for ai, arch := range arches {
-		cells := append([]string{fmt.Sprintf("%v overhead (%%)", arch)},
-			results[ai*len(vdsCounts):(ai+1)*len(vdsCounts)]...)
 		t.Row(cells...)
 	}
 	o.Render(w, t)
@@ -329,11 +276,8 @@ var fig5Systems = []workload.System{
 func Fig5(w io.Writer, o Options) {
 	fmt.Fprintln(w, "Figure 5: httpd throughput (requests/second)")
 	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
-		clientCounts := []int{4, 12, 20, 28, 36, 44, 48}
-		if arch == cycles.ARM {
-			clientCounts = []int{4, 8, 12, 16, 20, 24}
-		}
-		for _, size := range []uint64{1 << 10, 64 << 10, 128 << 10} {
+		clientCounts := fig5Clients(arch)
+		for _, size := range fig5Sizes {
 			cols := []string{"clients"}
 			for _, s := range fig5Systems {
 				cols = append(cols, s.String())
@@ -342,21 +286,12 @@ func Fig5(w io.Writer, o Options) {
 				Title:   fmt.Sprintf("%v %dKB", arch, size/1024),
 				Columns: cols,
 			}
-			jobs := make([]func() string, len(clientCounts)*len(fig5Systems))
-			for i := range jobs {
-				c, sys := clientCounts[i/len(fig5Systems)], fig5Systems[i%len(fig5Systems)]
-				jobs[i] = func() string {
-					r := workload.RunHttpd(workload.HttpdConfig{
-						Arch: arch, System: sys, Clients: c,
-						RequestsPerClient: o.httpdRequests(), FileBytes: size,
-					})
-					return f0(r.ReqPerSec)
-				}
-			}
-			results := par.Map(o.workers(), jobs)
+			results := o.mapGrid(fmt.Sprintf("fig5:%v:%d", arch, size), 0)
 			for ci, c := range clientCounts {
-				cells := append([]string{fmt.Sprint(c)},
-					results[ci*len(fig5Systems):(ci+1)*len(fig5Systems)]...)
+				cells := []string{fmt.Sprint(c)}
+				for _, r := range results[ci*len(fig5Systems) : (ci+1)*len(fig5Systems)] {
+					cells = append(cells, r.text)
+				}
 				t.Row(cells...)
 			}
 			fmt.Fprintln(w)
@@ -368,35 +303,19 @@ func Fig5(w io.Writer, o Options) {
 // Fig6 reproduces Figure 6: MySQL throughput for the four systems.
 func Fig6(w io.Writer, o Options) {
 	fmt.Fprintln(w, "Figure 6: MySQL throughput (queries/second)")
-	systems := []workload.System{workload.Original, workload.VDom, workload.EPK, workload.Libmpk}
 	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
-		clientCounts := []int{4, 8, 12, 16, 24, 32, 40, 48}
-		if arch == cycles.ARM {
-			clientCounts = []int{4, 8, 12, 16, 20, 24}
-		}
+		clientCounts := fig6Clients(arch)
 		cols := []string{"clients"}
-		for _, s := range systems {
+		for _, s := range fig6Systems {
 			cols = append(cols, s.String())
 		}
 		t := &Table{Title: arch.String(), Columns: cols}
-		jobs := make([]func() string, len(clientCounts)*len(systems))
-		for i := range jobs {
-			c, sys := clientCounts[i/len(systems)], systems[i%len(systems)]
-			jobs[i] = func() string {
-				r := workload.RunMySQL(workload.MySQLConfig{
-					Arch: arch, System: sys, Clients: c,
-					QueriesPerClient: o.mysqlQueries(),
-				})
-				if !r.Supported {
-					return "DNF"
-				}
-				return f0(r.QueriesPerS)
-			}
-		}
-		results := par.Map(o.workers(), jobs)
+		results := o.mapGrid(fmt.Sprintf("fig6:%v", arch), 0)
 		for ci, c := range clientCounts {
-			cells := append([]string{fmt.Sprint(c)},
-				results[ci*len(systems):(ci+1)*len(systems)]...)
+			cells := []string{fmt.Sprint(c)}
+			for _, r := range results[ci*len(fig6Systems) : (ci+1)*len(fig6Systems)] {
+				cells = append(cells, r.text)
+			}
 			t.Row(cells...)
 		}
 		fmt.Fprintln(w)
@@ -408,57 +327,19 @@ func Fig6(w io.Writer, o Options) {
 // configurations across thread counts.
 func Fig7(w io.Writer, o Options) {
 	fmt.Fprintln(w, "Figure 7: String Replace overhead (%) on 64 x 2MB PMOs")
-	type variant struct {
-		name string
-		cfg  func(arch cycles.Arch, threads int) workload.PMOConfig
-	}
-	variants := []variant{
-		{"lowerbound", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.VDomLowerbound, Threads: th}
-		}},
-		{"EPK", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.EPK, Threads: th}
-		}},
-		{"libmpk 4KB pages", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.Libmpk, Threads: th}
-		}},
-		{"libmpk 2MB huge pages", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.Libmpk, LibmpkMode: 1, Threads: th}
-		}},
-		{"VDS switch", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.VDom, Mode: workload.PMOSwitch, Threads: th}
-		}},
-		{"VDom eviction", func(a cycles.Arch, th int) workload.PMOConfig {
-			return workload.PMOConfig{Arch: a, System: workload.VDom, Mode: workload.PMOEvict, Threads: th}
-		}},
-	}
 	for _, arch := range []cycles.Arch{cycles.X86, cycles.ARM} {
-		threads := []int{1, 2, 4, 8}
-		if arch == cycles.ARM {
-			threads = []int{1, 2, 4}
-		}
+		threads := fig7Threads(arch)
 		cols := []string{"threads"}
 		for _, th := range threads {
 			cols = append(cols, fmt.Sprint(th))
 		}
 		t := &Table{Title: arch.String(), Columns: cols}
-		jobs := make([]func() string, len(variants)*len(threads))
-		for i := range jobs {
-			v, th := variants[i/len(threads)], threads[i%len(threads)]
-			jobs[i] = func() string {
-				cfg := v.cfg(arch, th)
-				cfg.OpsPerThread = o.pmoOps()
-				base := cfg
-				base.System = workload.Original
-				b := workload.RunPMO(base)
-				r := workload.RunPMO(cfg)
-				return pct(float64(r.Makespan)/float64(b.Makespan) - 1)
+		results := o.mapGrid(fmt.Sprintf("fig7:%v", arch), 0)
+		for vi, v := range fig7Variants {
+			cells := []string{v.name}
+			for _, r := range results[vi*len(threads) : (vi+1)*len(threads)] {
+				cells = append(cells, r.text)
 			}
-		}
-		results := par.Map(o.workers(), jobs)
-		for vi, v := range variants {
-			cells := append([]string{v.name},
-				results[vi*len(threads):(vi+1)*len(threads)]...)
 			t.Row(cells...)
 		}
 		fmt.Fprintln(w)
@@ -475,35 +356,8 @@ func UnixBenchOpts(w io.Writer, o Options) {
 		Title:   "UnixBench (§7.3): VDom kernel score relative to vanilla (100% = equal)",
 		Columns: []string{"arch", "suite", "index", "worst test"},
 	}
-	type ubCase struct {
-		arch     cycles.Arch
-		parallel bool
-	}
-	cases := []ubCase{
-		{cycles.X86, false}, {cycles.X86, true},
-		{cycles.ARM, false}, {cycles.ARM, true},
-	}
-	jobs := make([]func() []string, len(cases))
-	for i := range jobs {
-		c := cases[i]
-		jobs[i] = func() []string {
-			suite := "single-thread"
-			if c.parallel {
-				suite = "parallel"
-			}
-			r := workload.RunUnixBench(c.arch, c.parallel)
-			worst := r.Scores[0]
-			for _, s := range r.Scores {
-				if s.Relative < worst.Relative {
-					worst = s
-				}
-			}
-			return []string{c.arch.String(), suite, f1(r.Index) + "%",
-				fmt.Sprintf("%s (%.1f%%)", worst.Test, worst.Relative)}
-		}
-	}
-	for _, row := range par.Map(o.workers(), jobs) {
-		t.Row(row...)
+	for _, c := range o.mapGrid("unixbench", 0) {
+		t.Row(strings.Split(c.text, rowSep)...)
 	}
 	o.Render(w, t)
 }

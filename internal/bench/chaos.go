@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -8,9 +9,6 @@ import (
 	"sort"
 
 	"vdom/internal/chaos"
-	"vdom/internal/metrics"
-	"vdom/internal/par"
-	"vdom/internal/replay"
 )
 
 // chaosSoakOps returns the soak length for the chaos report.
@@ -53,86 +51,30 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 	if kern != "vdom" && kern != "dpti" {
 		return fmt.Errorf("chaos: no soak driver for kernel %q (have vdom, dpti)", kern)
 	}
-	totalOps := o.chaosSoakOps()
-	ctx := o.ctx()
-	type shard struct {
-		res *chaos.SoakResult
-		reg *metrics.Registry
-		tr  *metrics.Trace
-		err error
-	}
-	jobs := make([]func() shard, chaosShards)
-	for i := range jobs {
-		i := i
-		ops := totalOps / chaosShards
-		if i < totalOps%chaosShards {
-			ops++
+	cells := o.mapGrid("chaos:"+kern, seed)
+	wires := make([]chaosWire, len(cells))
+	for i, c := range cells {
+		if c.fail != "" {
+			return errors.New(c.fail)
 		}
-		jobs[i] = func() shard {
-			reg, tr := o.newCellSinks()
-			fault := chaos.Config{
-				Seed:           seed + uint64(i),
-				DropIPI:        0.05,
-				DelayIPI:       0.05,
-				StaleTLB:       0.03,
-				ASIDExhaustion: 0.02,
-				ASIDLimit:      24,
-				VDSAllocFail:   0.10,
-				PdomExhaustion: 0.05,
-				SpuriousFault:  0.02,
-			}
-			if kern == "dpti" {
-				// DPTI has no manager-level hooks; zero the faults that
-				// would never draw so the injected counters stay honest.
-				fault.VDSAllocFail = 0
-				fault.PdomExhaustion = 0
-			}
-			scfg := chaos.SoakConfig{
-				Chaos:   fault,
-				Ops:     ops,
-				Metrics: reg,
-				Trace:   tr,
-				Record:  o.TraceDump != "",
-			}
-			var s interface {
-				NextOp() int
-				Step() bool
-				Finish() *chaos.SoakResult
-			}
-			if kern == "dpti" {
-				s = chaos.StartSoakDPTI(scfg)
-			} else {
-				s = chaos.StartSoak(scfg)
-			}
-			// Step with a periodic wall-clock escape hatch: a -timeout
-			// cancels the soak between ops instead of hanging the job.
-			for {
-				if s.NextOp()%256 == 0 && ctx.Err() != nil {
-					return shard{err: fmt.Errorf("chaos shard %d cancelled at op %d: %w", i, s.NextOp(), ctx.Err())}
-				}
-				if !s.Step() {
-					break
-				}
-			}
-			return shard{res: s.Finish(), reg: reg, tr: tr}
+		wi, err := decodeChaosWire(c.aux)
+		if err != nil {
+			return fmt.Errorf("chaos shard %d: %w", i, err)
 		}
-	}
-	shards := par.Map(o.workers(), jobs)
-	for _, s := range shards {
-		if s.err != nil {
-			return s.err
-		}
+		wires[i] = wi
 	}
 
 	// Dump failing shards' minimal reproducer traces before aggregating,
-	// so each shard's TracePath lands in the report.
+	// so each shard's TracePath lands in the report. The wire carries the
+	// fail trace pre-encoded, so a shard soaked in a fleet worker dumps
+	// the identical bytes a local shard would.
+	tracePaths := make([]string, len(wires))
 	if o.TraceDump != "" {
 		if err := os.MkdirAll(o.TraceDump, 0o755); err != nil {
 			return err
 		}
-		for i, s := range shards {
-			ft := s.res.FailTrace()
-			if ft == nil {
+		for i, wi := range wires {
+			if len(wi.FailTrace) == 0 {
 				continue
 			}
 			stem := "chaos-soak-shard%d.trace"
@@ -140,22 +82,20 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 				stem = "chaos-soak-" + kern + "-shard%d.trace"
 			}
 			path := filepath.Join(o.TraceDump, fmt.Sprintf(stem, i))
-			if err := os.WriteFile(path, replay.Encode(ft), 0o644); err != nil {
+			if err := os.WriteFile(path, wi.FailTrace, 0o644); err != nil {
 				return err
 			}
-			s.res.TracePath = path
+			tracePaths[i] = path
 		}
 	}
 
 	// Aggregate in shard order: sums are order-insensitive, but the
 	// violation/unrecovered listings below keep shard order for stable
 	// replayable output.
-	var agg chaos.SoakResult
-	for _, s := range shards {
-		agg.Merge(s.res)
-		o.Metrics.Add("bench/total-cycles", uint64(s.res.Cycles))
-		o.Metrics.Merge(s.reg)
-		o.Trace.Append(s.tr)
+	var agg chaosAgg
+	for i, wi := range wires {
+		agg.merge(wi)
+		o.collect(cells[i])
 	}
 
 	title := fmt.Sprintf("Chaos soak: %d ops over %d shards, seed %d (replayable), all fault classes enabled",
@@ -194,9 +134,20 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 	}
 
 	if o.SoakReport != "" {
-		srs := make([]chaos.ShardReport, len(shards))
-		for i, s := range shards {
-			srs[i] = chaos.NewShardReport(i, seed+uint64(i), s.res)
+		srs := make([]chaos.ShardReport, len(wires))
+		for i, wi := range wires {
+			srs[i] = chaos.ShardReport{
+				Shard:       i,
+				Seed:        seed + uint64(i),
+				Ops:         wi.Ops,
+				Cycles:      wi.Cycles,
+				Injected:    wi.Injected,
+				Recovered:   wi.Recovered,
+				Violations:  wi.Violations,
+				Unrecovered: wi.Unrecovered,
+				TraceEvents: wi.TraceEvents,
+				TracePath:   tracePaths[i],
+			}
 		}
 		f, err := os.Create(o.SoakReport)
 		if err != nil {
@@ -209,6 +160,42 @@ func ChaosSeed(w io.Writer, o Options, seed uint64) error {
 		return f.Close()
 	}
 	return nil
+}
+
+// chaosAgg aggregates shard wires in shard order: sums are
+// order-insensitive, listings keep shard order. It mirrors
+// chaos.SoakResult.Merge over the wire representation, so the fleet and
+// in-process paths aggregate identically.
+type chaosAgg struct {
+	Ops           int
+	Cycles        uint64
+	Injected      map[string]uint64
+	Recovered     map[string]uint64
+	Violations    []string
+	Unrecovered   []string
+	Audits        int
+	ASIDRollovers uint64
+}
+
+func (a *chaosAgg) merge(wi chaosWire) {
+	a.Ops += wi.Ops
+	a.Cycles += wi.Cycles
+	a.Audits += wi.Audits
+	a.ASIDRollovers += wi.ASIDRollovers
+	if a.Injected == nil {
+		a.Injected = map[string]uint64{}
+	}
+	for k, v := range wi.Injected {
+		a.Injected[k] += v
+	}
+	if a.Recovered == nil {
+		a.Recovered = map[string]uint64{}
+	}
+	for k, v := range wi.Recovered {
+		a.Recovered[k] += v
+	}
+	a.Violations = append(a.Violations, wi.Violations...)
+	a.Unrecovered = append(a.Unrecovered, wi.Unrecovered...)
 }
 
 // sortedKeys returns the map's keys in lexical order for stable output.

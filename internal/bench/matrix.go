@@ -6,7 +6,6 @@ import (
 
 	"vdom/internal/backend"
 	"vdom/internal/cycles"
-	"vdom/internal/par"
 	"vdom/internal/workload"
 )
 
@@ -57,24 +56,7 @@ func Matrix(w io.Writer, o Options) {
 	}
 
 	na := len(matrixArches)
-	jobs := make([]func() cell, len(names)*na)
-	for i := range jobs {
-		name, arch := names[i/na], matrixArches[i%na]
-		jobs[i] = func() cell {
-			sys, ok := matrixSystem(name)
-			if !ok {
-				return cell{text: "NA"}
-			}
-			reg, tr := o.newCellSinks()
-			r := workload.RunPattern(workload.PatternConfig{
-				Arch: arch, System: sys, Pattern: workload.SwitchTriggering,
-				NumVdoms: matrixVdoms, Rounds: o.patternRounds(),
-				Metrics: reg, Trace: tr,
-			})
-			return cell{text: f0(r.AvgCycles), total: r.TotalCycles, reg: reg, tr: tr}
-		}
-	}
-	results := par.Map(o.workers(), jobs)
+	results := o.mapGrid("matrix", 0)
 	for ri, name := range names {
 		row := []string{name}
 		for ci := range matrixArches {

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"vdom/internal/sim"
+)
+
+// Transport fault model for the fleet: where chaos.Pressure attacks the
+// soak harness's checkpoint IO, FaultConfig attacks the coordinator's
+// view of a worker pipe — frames corrupt, truncate, duplicate, and lag
+// in flight, the way a loaded host sheds and reorders pipe IO. The
+// coordinator must treat every symptom as a torn transport: kill the
+// worker, respawn it on the backoff schedule, and reassign its
+// in-flight cell, so the merged output stays byte-identical despite
+// the noise.
+//
+// The injector draws from its own seeded PRNG (per worker pipe, fully
+// independent of the workload's streams), so enabling faults never
+// perturbs what a cell computes — only whether its bytes survive the
+// trip.
+
+// faultWindow is the draw granularity: each class is drawn once per
+// window of bytes transferred, so a fault schedule depends on how many
+// bytes crossed the pipe, never on how the host chunked them into
+// reads. Per-read draws would let a stream of tiny heartbeat frames
+// multiply the effective fault rate by orders of magnitude whenever a
+// cell runs long (each 10-byte heartbeat read rolling the same dice as
+// a 4 KiB data chunk), quarantining precisely the slowest cells.
+const faultWindow = 4096
+
+// FaultConfig enables the transport fault classes with probabilities
+// in [0, 1], each drawn once per 4 KiB transferred. The zero value
+// injects nothing.
+type FaultConfig struct {
+	// Seed drives the PRNG; each worker pipe derives an independent
+	// schedule from it, and the same seed replays the same schedule
+	// against the same byte stream.
+	Seed uint64
+	// Corrupt is the probability that the current chunk has one byte
+	// flipped, leaving frame structure mostly intact so the digest and
+	// structural checks do the catching.
+	Corrupt float64
+	// Truncate is the probability that the stream shears: half the
+	// chunk is delivered, then the pipe reads as closed.
+	Truncate float64
+	// Duplicate is the probability that a chunk is served twice — the
+	// second copy desyncs the frame stream into the magic check.
+	Duplicate float64
+	// Delay is the probability that delivery stalls briefly (DelayStep
+	// per hit), exercising the heartbeat path without real wedges.
+	Delay float64
+	// DelayStep is the stall per delay hit; zero means 1ms.
+	DelayStep time.Duration
+}
+
+// enabled reports whether any fault class can fire.
+func (c FaultConfig) enabled() bool {
+	return c.Corrupt > 0 || c.Truncate > 0 || c.Duplicate > 0 || c.Delay > 0
+}
+
+// faultReader wraps one worker pipe's read side with the seeded
+// injector. Read runs on a single pump goroutine; only the fired-fault
+// counters are shared with the coordinator, so only they take the
+// mutex — never across the blocking inner read.
+type faultReader struct {
+	r       io.Reader
+	cfg     FaultConfig
+	rng     *sim.Rand
+	sheared bool
+	pending []byte
+	// budget counts transferred bytes toward the next faultWindow
+	// crossing (the next draw round).
+	budget int
+	// mu guards injected, the per-class fired-fault counters the fleet
+	// report collects.
+	mu       sync.Mutex
+	injected map[string]uint64
+}
+
+// newFaultReader wraps r; with no fault classes enabled it is a
+// transparent passthrough (the PRNG is never drawn).
+func newFaultReader(r io.Reader, cfg FaultConfig) *faultReader {
+	return &faultReader{
+		r:        r,
+		cfg:      cfg,
+		rng:      sim.NewRand(cfg.Seed),
+		injected: make(map[string]uint64),
+	}
+}
+
+func (f *faultReader) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+func (f *faultReader) fired(class string) {
+	f.mu.Lock()
+	f.injected[class]++
+	f.mu.Unlock()
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if f.sheared {
+		return 0, io.EOF
+	}
+	if len(f.pending) > 0 {
+		n := copy(p, f.pending)
+		f.pending = f.pending[n:]
+		return n, nil
+	}
+	if !f.cfg.enabled() {
+		return f.r.Read(p)
+	}
+	n, err := f.r.Read(p)
+	if n > 0 {
+		f.budget += n
+		for f.budget >= faultWindow {
+			f.budget -= faultWindow
+			if f.hit(f.cfg.Delay) {
+				f.fired("delay")
+				step := f.cfg.DelayStep
+				if step <= 0 {
+					step = time.Millisecond
+				}
+				time.Sleep(step)
+			}
+			if f.hit(f.cfg.Truncate) {
+				f.fired("truncate")
+				f.sheared = true
+				half := n / 2
+				if half == 0 {
+					return 0, io.EOF
+				}
+				return half, nil
+			}
+			if f.hit(f.cfg.Corrupt) {
+				f.fired("corrupt")
+				p[f.rng.Intn(n)] ^= 0x40
+			}
+			if f.hit(f.cfg.Duplicate) {
+				f.fired("duplicate")
+				f.pending = append(f.pending, p[:n]...)
+			}
+		}
+	}
+	return n, err
+}
+
+// counts snapshots the per-class fired-fault counters.
+func (f *faultReader) counts() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFleetDecode hammers every vdom-fleet/v1 decoder with arbitrary
+// bytes: whatever a faulted transport delivers, decoding must return a
+// typed sentinel — never panic, never allocate unboundedly.
+func FuzzFleetDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeHello(Hello{Version: ProtocolVersion, Worker: 1}))
+	f.Add(EncodeAssign(Assign{ID: 9, Spec: CellSpec{Grid: "fig5:X86:1024", Index: 3, Seed: 7, Kernel: "dpti", Flags: 5}}))
+	f.Add(EncodeResult(Result{ID: 9, Cell: CellResult{Text: "row\n", Total: 42, Metrics: []byte(`{}`), Aux: []byte{1}}}))
+	f.Add(EncodeHeartbeat(Heartbeat{Worker: 1, Cell: 9, Beat: 3}))
+	var framed bytes.Buffer
+	WriteFrame(&framed, FrameAssign, EncodeAssign(Assign{ID: 1, Spec: CellSpec{Grid: "table4"}}))
+	WriteFrame(&framed, FrameShutdown, nil)
+	f.Add(framed.Bytes())
+	f.Add([]byte("VDFL\x03\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	typed := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil || err == io.EOF {
+			return
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+			!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadRecord) &&
+			!errors.Is(err, ErrBadDigest) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, err := DecodeHello(data)
+		typed(t, err)
+		_, err = DecodeAssign(data)
+		typed(t, err)
+		_, err = DecodeResult(data)
+		typed(t, err)
+		_, err = DecodeHeartbeat(data)
+		typed(t, err)
+
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			ft, payload, err := ReadFrame(br)
+			if err != nil {
+				typed(t, err)
+				break
+			}
+			switch ft {
+			case FrameHello:
+				_, err = DecodeHello(payload)
+			case FrameAssign:
+				_, err = DecodeAssign(payload)
+			case FrameResult:
+				_, err = DecodeResult(payload)
+			case FrameHeartbeat:
+				_, err = DecodeHeartbeat(payload)
+			}
+			typed(t, err)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// SpawnProcess returns a Spawn that launches real worker subprocesses:
+// argv[0] run with argv[1:], stdin/stdout as the protocol pipes, stderr
+// passed through to the coordinator's stderr. Kill delivers SIGKILL —
+// the same uncatchable death the chaos tests inject — and is safe to
+// call repeatedly or after exit.
+func SpawnProcess(argv []string) Spawn {
+	return func(id int) (*WorkerProc, error) {
+		if len(argv) == 0 {
+			return nil, fmt.Errorf("fleet: empty worker command")
+		}
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("VDOM_FLEET_WORKER=%d", id))
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &WorkerProc{
+			In:   in,
+			Out:  out,
+			Kill: func() { cmd.Process.Kill() },
+			Wait: func() error { return cmd.Wait() },
+		}, nil
+	}
+}

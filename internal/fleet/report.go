@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ReportSchema tags the machine-readable fleet report.
+const ReportSchema = "vdom-fleet-report/v1"
+
+// QuarantinedCell is one cell that exhausted its retry budget.
+type QuarantinedCell struct {
+	// Grid and Index identify the cell.
+	Grid  string `json:"grid"`
+	Index int    `json:"index"`
+	// Attempts is how many executions were tried before quarantine.
+	Attempts int `json:"attempts"`
+	// LastError is the final failure, rendered.
+	LastError string `json:"lastError"`
+}
+
+// Report is the machine-readable outcome of one fleet run: how the
+// coordinator's recovery ladder fared. Quarantined non-empty is the
+// run's only failure condition — everything else (deaths, respawns,
+// timeouts, transport errors) is recovered-from noise the fleet is
+// built to absorb.
+type Report struct {
+	Schema string `json:"schema"`
+	// Workers is the fleet width that was requested.
+	Workers int `json:"workers"`
+	// Cells is the number of cells distributed.
+	Cells int `json:"cells"`
+	// Degraded reports the no-subprocess fallback: no worker could be
+	// spawned, so every cell ran in-process.
+	Degraded bool `json:"degraded"`
+	// Recoveries counts cells that failed at least once and then
+	// completed on a retry.
+	Recoveries int `json:"recoveries"`
+	// WorkerDeaths counts pipe losses: kill -9, worker exit, torn or
+	// sheared transport.
+	WorkerDeaths int `json:"workerDeaths"`
+	// Respawns counts replacement workers brought up after a death.
+	Respawns int `json:"respawns"`
+	// Timeouts counts cells reassigned because their heartbeat stalled
+	// past the per-cell timeout.
+	Timeouts int `json:"timeouts"`
+	// TransportErrors counts frames rejected by the codec or the result
+	// digest, per decode sentinel class.
+	TransportErrors map[string]uint64 `json:"transportErrors,omitempty"`
+	// FaultsInjected counts transport faults fired by the injector, per
+	// class (only present when fault injection was enabled).
+	FaultsInjected map[string]uint64 `json:"faultsInjected,omitempty"`
+	// Quarantined lists cells that exhausted their retries, in cell
+	// order. Non-empty means the run failed.
+	Quarantined []QuarantinedCell `json:"quarantined"`
+}
+
+// Healthy reports whether every cell completed without quarantine.
+func (r *Report) Healthy() bool { return len(r.Quarantined) == 0 }
+
+// WriteJSON renders the report deterministically (map keys sorted by
+// encoding/json, quarantined cells already in cell order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.Schema = ReportSchema
+	if r.Quarantined == nil {
+		r.Quarantined = []QuarantinedCell{}
+	}
+	sort.Slice(r.Quarantined, func(i, j int) bool {
+		if r.Quarantined[i].Grid != r.Quarantined[j].Grid {
+			return r.Quarantined[i].Grid < r.Quarantined[j].Grid
+		}
+		return r.Quarantined[i].Index < r.Quarantined[j].Index
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}

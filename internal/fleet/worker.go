@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// WorkerConfig shapes one worker process's protocol loop.
+type WorkerConfig struct {
+	// ID is the worker's fleet slot, echoed in hello and heartbeats.
+	ID int
+	// HeartbeatEvery is the beacon period while a cell executes; zero
+	// means DefaultHeartbeat.
+	HeartbeatEvery time.Duration
+}
+
+// DefaultHeartbeat is the worker's beacon period while a cell runs.
+const DefaultHeartbeat = 100 * time.Millisecond
+
+// frameWriter serializes frame writes from the worker's main loop and
+// its heartbeat goroutine onto one pipe.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (fw *frameWriter) send(t FrameType, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := WriteFrame(fw.w, t, payload); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// Worker runs the worker side of the vdom-fleet/v1 protocol: it sends
+// hello, then serves assignments from in — executing each cell via exec
+// with panic isolation, beating a heartbeat while the cell runs, and
+// writing the result frame — until a shutdown frame or clean EOF ends
+// the loop. It returns an error only for protocol violations or a torn
+// pipe; a failing or panicking cell is reported in its result frame and
+// the loop continues.
+func Worker(in io.Reader, out io.Writer, cfg WorkerConfig, exec Exec) error {
+	br := bufio.NewReader(in)
+	fw := &frameWriter{w: bufio.NewWriter(out)}
+	if err := fw.send(FrameHello, EncodeHello(Hello{Version: ProtocolVersion, Worker: cfg.ID})); err != nil {
+		return fmt.Errorf("fleet worker %d: hello: %w", cfg.ID, err)
+	}
+	beat := cfg.HeartbeatEvery
+	if beat <= 0 {
+		beat = DefaultHeartbeat
+	}
+	for {
+		t, payload, err := ReadFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("fleet worker %d: %w", cfg.ID, err)
+		}
+		switch t {
+		case FrameShutdown:
+			return nil
+		case FrameAssign:
+			a, err := DecodeAssign(payload)
+			if err != nil {
+				return fmt.Errorf("fleet worker %d: %w", cfg.ID, err)
+			}
+			res := executeWithHeartbeat(fw, cfg.ID, beat, a, exec)
+			if err := fw.send(FrameResult, EncodeResult(Result{ID: a.ID, Cell: res})); err != nil {
+				return fmt.Errorf("fleet worker %d: result for cell %d: %w", cfg.ID, a.ID, err)
+			}
+		default:
+			return fmt.Errorf("%w: worker %d got unexpected frame type %d", ErrBadRecord, cfg.ID, t)
+		}
+	}
+}
+
+// executeWithHeartbeat runs one cell while a side goroutine beats the
+// liveness beacon; the beacon stops before the result frame is written,
+// so result frames never interleave with beats for the same cell.
+func executeWithHeartbeat(fw *frameWriter, id int, every time.Duration, a Assign, exec Exec) CellResult {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var beat uint64
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				beat++
+				// A torn pipe surfaces in the main loop's next write;
+				// the beacon just stops.
+				if fw.send(FrameHeartbeat, EncodeHeartbeat(Heartbeat{Worker: id, Cell: a.ID, Beat: beat})) != nil {
+					return
+				}
+			}
+		}
+	}()
+	res := runGuarded(exec, a.Spec)
+	close(done)
+	wg.Wait()
+	return res
+}

@@ -13,10 +13,39 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// JobPanic is the panic value Do re-raises when a job panics: the
+// original value wrapped with the failing job's index, so supervisors
+// (the fleet coordinator, the serve shard guard) can attribute the
+// failure to one cell instead of one anonymous pool. A panic that is
+// already a JobPanic is re-raised unchanged, preserving the innermost
+// attribution through nested pools.
+type JobPanic struct {
+	// Index is the failing job's index in the Do/Map fan-out.
+	Index int
+	// Value is the original panic value.
+	Value any
+}
+
+// Error renders the wrapped panic; JobPanic satisfies error so recovered
+// values flow into error-shaped supervision paths unchanged.
+func (p JobPanic) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v", p.Index, p.Value)
+}
+
+// wrap boxes a recovered panic value with its job index, passing
+// through values that already carry one.
+func wrap(i int, r any) any {
+	if _, ok := r.(JobPanic); ok {
+		return r
+	}
+	return JobPanic{Index: i, Value: r}
+}
 
 // Workers normalizes a -parallel flag value: n > 0 is used as-is, while
 // n <= 0 selects runtime.GOMAXPROCS(0) (one worker per schedulable CPU).
@@ -35,7 +64,9 @@ func Workers(n int) int {
 // Jobs must be independent: they may not share mutable state, and each
 // must confine its writes to its own result slot. A panicking job stops
 // the pool and the panic value is re-raised on the calling goroutine once
-// every in-flight job has returned, mirroring sequential behaviour.
+// every in-flight job has returned, mirroring sequential behaviour; the
+// re-raised value is a JobPanic wrapping the original with the failing
+// index, at every pool width including the sequential one.
 func Do(workers, n int, job func(i int)) {
 	if n <= 0 {
 		return
@@ -45,7 +76,7 @@ func Do(workers, n int, job func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			runWrapped(i, job)
 		}
 		return
 	}
@@ -69,7 +100,7 @@ func Do(workers, n int, job func(i int)) {
 						if r := recover(); r != nil {
 							panicMu.Lock()
 							if panicked == nil {
-								panicked = r
+								panicked = wrap(i, r)
 								// Park the index cursor past the end so
 								// idle workers drain instead of starting
 								// doomed work.
@@ -92,6 +123,18 @@ func Do(workers, n int, job func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// runWrapped runs job(i) on the calling goroutine, re-raising any panic
+// wrapped as a JobPanic so the sequential path attributes failures
+// exactly like the pooled one.
+func runWrapped(i int, job func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(wrap(i, r))
+		}
+	}()
+	job(i)
 }
 
 // Map runs the jobs concurrently on at most `workers` goroutines and

@@ -66,8 +66,9 @@ func TestDoPropagatesPanic(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		func() {
 			defer func() {
-				if r := recover(); r != "boom" {
-					t.Errorf("workers=%d: recovered %v, want boom", workers, r)
+				jp, ok := recover().(JobPanic)
+				if !ok || jp.Value != "boom" || jp.Index != 3 {
+					t.Errorf("workers=%d: recovered %#v, want JobPanic{Index: 3, Value: boom}", workers, jp)
 				}
 			}()
 			Do(workers, 10, func(i int) {
@@ -77,4 +78,71 @@ func TestDoPropagatesPanic(t *testing.T) {
 			})
 		}()
 	}
+}
+
+// TestJobPanicIndex pins the failure-attribution contract: Do and Map
+// re-raise a job panic as a JobPanic carrying the exact failing index —
+// at every pool width, including the sequential reference execution —
+// so fleet and serve supervisors can name the cell that died.
+func TestJobPanicIndex(t *testing.T) {
+	const fail = 7
+	catch := func(run func()) JobPanic {
+		t.Helper()
+		var jp JobPanic
+		func() {
+			defer func() {
+				r := recover()
+				var ok bool
+				if jp, ok = r.(JobPanic); !ok {
+					t.Fatalf("recovered %#v, want a JobPanic", r)
+				}
+			}()
+			run()
+		}()
+		return jp
+	}
+	for _, workers := range []int{1, 2, 16} {
+		jp := catch(func() {
+			Do(workers, 12, func(i int) {
+				if i == fail {
+					panic("do-boom")
+				}
+			})
+		})
+		if jp.Index != fail || jp.Value != "do-boom" {
+			t.Errorf("Do workers=%d: got JobPanic{%d, %v}, want {%d, do-boom}", workers, jp.Index, jp.Value, fail)
+		}
+		jobs := make([]func() int, 12)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() int {
+				if i == fail {
+					panic("map-boom")
+				}
+				return i
+			}
+		}
+		jp = catch(func() { Map(workers, jobs) })
+		if jp.Index != fail || jp.Value != "map-boom" {
+			t.Errorf("Map workers=%d: got JobPanic{%d, %v}, want {%d, map-boom}", workers, jp.Index, jp.Value, fail)
+		}
+	}
+}
+
+// TestJobPanicNoDoubleWrap re-raises an already-wrapped panic unchanged
+// through a nested pool, preserving the innermost attribution.
+func TestJobPanicNoDoubleWrap(t *testing.T) {
+	defer func() {
+		jp, ok := recover().(JobPanic)
+		if !ok || jp.Index != 2 || jp.Value != "inner" {
+			t.Errorf("recovered %#v, want the inner JobPanic{2, inner}", jp)
+		}
+	}()
+	Do(1, 1, func(int) {
+		Do(4, 5, func(i int) {
+			if i == 2 {
+				panic("inner")
+			}
+		})
+	})
 }

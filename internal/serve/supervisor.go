@@ -10,6 +10,7 @@ import (
 
 	"vdom/internal/chaos"
 	"vdom/internal/metrics"
+	"vdom/internal/par"
 	"vdom/internal/sim"
 	"vdom/internal/snapshot"
 )
@@ -23,12 +24,19 @@ type ShardFailure struct {
 	Op    int
 	// Phase is the supervisor phase that panicked ("step", "drain").
 	Phase string
-	// Cause is the recovered panic value.
+	// Cause is the recovered panic value, unwrapped from par.JobPanic
+	// when the panic escaped a parallel fan-out inside the shard.
 	Cause any
+	// JobIndex is the failing job's index when the panic arrived wrapped
+	// as a par.JobPanic, and -1 otherwise.
+	JobIndex int
 }
 
 // Error renders the failure.
 func (f *ShardFailure) Error() string {
+	if f.JobIndex >= 0 {
+		return fmt.Sprintf("serve: shard %d %s at op %d: panic in job %d: %v", f.Shard, f.Phase, f.Op, f.JobIndex, f.Cause)
+	}
 	return fmt.Sprintf("serve: shard %d %s at op %d: panic: %v", f.Shard, f.Phase, f.Op, f.Cause)
 }
 
@@ -450,11 +458,16 @@ func (s *Supervisor) quarantine(err error) {
 }
 
 // guard runs f with panic isolation, converting a panic into a typed
-// ShardFailure.
+// ShardFailure. A par.JobPanic is unwrapped so the failure names the
+// exact fan-out index that died, not just the pool that contained it.
 func (s *Supervisor) guard(op int, phase string, f func()) (fail *ShardFailure) {
 	defer func() {
 		if r := recover(); r != nil {
-			fail = &ShardFailure{Shard: s.shard, Op: op, Phase: phase, Cause: r}
+			fail = &ShardFailure{Shard: s.shard, Op: op, Phase: phase, Cause: r, JobIndex: -1}
+			if jp, ok := r.(par.JobPanic); ok {
+				fail.Cause = jp.Value
+				fail.JobIndex = jp.Index
+			}
 		}
 	}()
 	f()

@@ -88,6 +88,93 @@ func TestRingRestartAdoptsPersistedEntries(t *testing.T) {
 	}
 }
 
+// TestRingAdoptionSkipsForeignAndTornEntries opens a ring over a
+// directory a previous process left in a hostile state: foreign files
+// that merely resemble ring entries, a stray temp file, and a torn
+// half-written entry (a crash on a filesystem that renamed before the
+// data hit disk). Adoption must take only genuine entries, LatestGood
+// must skip the torn one without error, and pruning must never delete a
+// file the ring does not own.
+func TestRingAdoptionSkipsForeignAndTornEntries(t *testing.T) {
+	dir := t.TempDir()
+
+	// Foreign occupants of the ring's directory: a sibling shard's entry,
+	// a same-prefix file outside the naming scheme, an unrelated file,
+	// and a stray temp from an interrupted append.
+	foreign := []string{
+		"other-00000001-op5.snap",
+		"shard0-notes.snap",
+		"README.txt",
+		"shard0-00000009-op900.snap.tmp",
+	}
+	for _, name := range foreign {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a ring entry"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := snapshot.NewRing(dir, "shard0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("fresh ring adopted %d foreign files as entries: %+v", r.Len(), r.Entries())
+	}
+	if _, err := r.Append(10, ringSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := r.Append(20, ringSnap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest entry: half its bytes reached disk.
+	full, err := os.ReadFile(torn.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn.Path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process adopts the two genuine entries — and only them.
+	r2, err := snapshot.NewRing(dir, "shard0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("restarted ring adopted %d entries, want 2", r2.Len())
+	}
+
+	// The torn newest entry is skipped without error; recovery lands on
+	// the older good one.
+	data, ent, skipped, err := r2.LatestGood()
+	if err != nil {
+		t.Fatalf("LatestGood with a torn newest entry: %v", err)
+	}
+	if skipped != 1 || ent.Op != 10 {
+		t.Errorf("LatestGood skipped %d landing on op %d, want 1 and 10", skipped, ent.Op)
+	}
+	if st, err := snapshot.Decode(data); err != nil || st.Meta.Clock != 1 {
+		t.Errorf("recovered entry is not the good checkpoint: %v, %v", st, err)
+	}
+
+	// Appending past capacity prunes ring entries only: every foreign
+	// file must survive.
+	for op := 30; op <= 50; op += 10 {
+		if _, err := r2.Append(op, ringSnap(byte(op/10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", r2.Len())
+	}
+	for _, name := range foreign {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("pruning deleted foreign file %s: %v", name, err)
+		}
+	}
+}
+
 func TestRingLatestGoodFallsBackPastCorruption(t *testing.T) {
 	dir := t.TempDir()
 	r, err := snapshot.NewRing(dir, "shard0", 4)
